@@ -1,0 +1,52 @@
+package superfw
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestAutoPicksSuperFwOnPlanar(t *testing.T) {
+	g := gen.RoadNetwork(30, 30, 0.3, 11)
+	D, c, err := Auto(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Algorithm != "superfw" {
+		t.Errorf("road network should pick superfw, got %s (%s)", c.Algorithm, c)
+	}
+	want, err := Baseline("dijkstra", g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !D.EqualTol(want, 1e-9) {
+		t.Fatal("auto result wrong")
+	}
+}
+
+func TestAutoPicksDijkstraOnExpander(t *testing.T) {
+	// A sparse expander: no separators, SuperFw degenerates to ~n³ while
+	// n Dijkstra runs stay n·m·log n.
+	g := gen.BarabasiAlbert(900, 3, gen.WeightUniform, 12)
+	D, c, err := Auto(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Algorithm != "dijkstra" {
+		t.Errorf("expander should pick dijkstra, got %s (%s)", c.Algorithm, c)
+	}
+	want, err := Baseline("dijkstra", g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !D.EqualTol(want, 1e-9) {
+		t.Fatal("auto result wrong")
+	}
+}
+
+func TestAutoRejectsNegative(t *testing.T) {
+	g, _ := NewGraph(2, []Edge{{U: 0, V: 1, W: -1}})
+	if _, _, err := Auto(g, 1); err == nil {
+		t.Fatal("negative weights must be rejected")
+	}
+}

@@ -1,0 +1,382 @@
+package superfw
+
+// One testing.B benchmark family per table/figure of the paper's
+// evaluation. These run at reduced ("quick") sizes so `go test -bench=.`
+// finishes on a laptop; `cmd/apspbench` regenerates the full-scale
+// experiment reports.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/order"
+	"repro/internal/semiring"
+)
+
+// BenchmarkSemiringGemm measures the min-plus GEMM kernel (§5.1.2): the
+// throughput that bounds every FW-family algorithm.
+func BenchmarkSemiringGemm(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			A := gen.ErdosRenyi(n, float64(n)/4, gen.WeightUniform, 1).ToDense()
+			B := gen.ErdosRenyi(n, float64(n)/4, gen.WeightUniform, 2).ToDense()
+			C := semiring.NewInfMat(n, n)
+			b.SetBytes(int64(3 * n * n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				semiring.MinPlusMulAdd(C, A, B)
+			}
+			b.ReportMetric(2*float64(n)*float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+		})
+	}
+}
+
+// BenchmarkDiagKernel measures the dense FW kernel used by DiagUpdate.
+func BenchmarkDiagKernel(b *testing.B) {
+	for _, n := range []int{64, 128} {
+		b.Run(fmt.Sprintf("fw/n=%d", n), func(b *testing.B) {
+			src := gen.ErdosRenyi(n, 8, gen.WeightUniform, 3).ToDense()
+			work := semiring.NewMat(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.Copy(src)
+				semiring.FloydWarshall(work)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked/n=%d", n), func(b *testing.B) {
+			src := gen.ErdosRenyi(n, 8, gen.WeightUniform, 3).ToDense()
+			work := semiring.NewMat(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work.Copy(src)
+				semiring.BlockedFloydWarshall(work, 32)
+			}
+		})
+	}
+}
+
+// benchGraph builds a catalog entry at quick scale.
+func benchGraph(b *testing.B, name string) *Graph {
+	b.Helper()
+	e, ok := bench.Find(name)
+	if !ok {
+		b.Fatalf("unknown catalog graph %q", name)
+	}
+	return e.Build(true)
+}
+
+// BenchmarkTable2WorkScaling measures the symbolic phase that produces
+// Table 2's W(n) counts: nested dissection + supernode extraction on
+// grids of growing size (the numeric counts themselves are exact and
+// printed by cmd/apspbench -exp table2).
+func BenchmarkTable2WorkScaling(b *testing.B) {
+	for _, s := range []int{16, 24, 32} {
+		b.Run(fmt.Sprintf("grid=%dx%d", s, s), func(b *testing.B) {
+			g := gen.Grid2D(s, s, gen.WeightUniform, 4)
+			ord := order.GridND(s, s, 32)
+			b.ResetTimer()
+			var ops int64
+			for i := 0; i < b.N; i++ {
+				plan, err := core.NewPlan(g, core.Options{Ordering: core.OrderCustom, Custom: &ord})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops = plan.PlannedOps()
+			}
+			b.ReportMetric(float64(ops), "fused-ops")
+		})
+	}
+}
+
+// BenchmarkFig6aSmallGraphs: the small-graph algorithm comparison.
+func BenchmarkFig6aSmallGraphs(b *testing.B) {
+	graphs := []string{"geoknn_s", "hypercube", "ba_sparse"}
+	algos := []apsp.Algorithm{apsp.AlgoBlockedFW, apsp.AlgoSuperBFS, apsp.AlgoSuperFW, apsp.AlgoDijkstra}
+	for _, gn := range graphs {
+		g := benchGraph(b, gn)
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("%s/%s", gn, a), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := apsp.Run(a, g, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6bLargeGraphs: the large-graph comparison (O(n³)
+// algorithms excluded, as in the paper).
+func BenchmarkFig6bLargeGraphs(b *testing.B) {
+	graphs := []string{"road_l", "finance_l", "community_l"}
+	algos := []apsp.Algorithm{apsp.AlgoDijkstra, apsp.AlgoSuperFW, apsp.AlgoBoostDijkstra, apsp.AlgoDeltaStep}
+	for _, gn := range graphs {
+		g := benchGraph(b, gn)
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("%s/%s", gn, a), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := apsp.Run(a, g, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Scaling: strong scaling across thread counts.
+func BenchmarkFig7Scaling(b *testing.B) {
+	g := benchGraph(b, "finance_l")
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("superfw/t=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveWith(threads, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("dijkstra/t=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := apsp.Dijkstra(g, threads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8EtreeParallelism: SuperFw with and without etree-level
+// scheduling.
+func BenchmarkFig8EtreeParallelism(b *testing.B) {
+	for _, gn := range []string{"powergrid_s", "finance_l"} {
+		g := benchGraph(b, gn)
+		plan, err := core.NewPlan(g, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, etree := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/etree=%v", gn, etree), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := plan.SolveWith(4, etree); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable3Symbolic measures the pre-processing pipeline (§5.1.4):
+// ordering plus symbolic analysis per catalog graph.
+func BenchmarkTable3Symbolic(b *testing.B) {
+	for _, gn := range []string{"geoknn_s", "road_m", "mesh3d_s"} {
+		g := benchGraph(b, gn)
+		b.Run(gn, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewPlan(g, core.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrderingAblation compares numeric time across orderings on a
+// mesh — the DESIGN.md ablation of the fill-reducing ordering choice.
+func BenchmarkOrderingAblation(b *testing.B) {
+	g := benchGraph(b, "geoknn_s")
+	for _, ok := range []core.OrderingKind{core.OrderND, core.OrderMinDegree, core.OrderBFS, core.OrderRCM, core.OrderNatural} {
+		plan, err := core.NewPlan(g, core.Options{Ordering: ok, EtreeParallel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(ok.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveWith(0, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(plan.PlannedOps()), "fused-ops")
+		})
+	}
+}
+
+// BenchmarkFactor measures the O(fill) supernodal factor extension:
+// factorization, SSSP sweeps, and 2-hop-label point queries, against the
+// per-query Dijkstra alternative.
+func BenchmarkFactor(b *testing.B) {
+	g := benchGraph(b, "road_m")
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("factorize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewFactor(plan, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	f, err := core.NewFactor(plan, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = f.SSSP(i % g.N)
+		}
+	})
+	b.Run("dijkstra-sssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := apsp.DijkstraSSSP(g, i%g.N); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("label-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = f.Dist(i%g.N, (i*7919)%g.N)
+		}
+	})
+}
+
+// BenchmarkPathTracking measures the overhead of next-hop maintenance.
+func BenchmarkPathTracking(b *testing.B) {
+	g := benchGraph(b, "geoknn_s")
+	for _, track := range []bool{false, true} {
+		opts := core.DefaultOptions()
+		opts.TrackPaths = track
+		plan, err := core.NewPlan(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("track=%v", track), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveWith(0, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWidestPath measures the max-min semiring on the same engine.
+func BenchmarkWidestPath(b *testing.B) {
+	g := benchGraph(b, "geoknn_s")
+	for _, K := range []*semiring.Kernels{semiring.MinPlusKernels, semiring.MaxMinKernels} {
+		opts := core.DefaultOptions()
+		opts.Semiring = K
+		plan, err := core.NewPlan(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(K.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveWith(0, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecreaseEdge measures the incremental O(n²) edge update
+// against a full re-solve.
+func BenchmarkDecreaseEdge(b *testing.B) {
+	g := benchGraph(b, "geoknn_s")
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u := i % g.N
+			v := (u + g.N/2) % g.N
+			if err := res.DecreaseEdge(u, v, 0.001/float64(i+1), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resolve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.SolveWith(0, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLeafSizeAblation sweeps the nested-dissection leaf size: tiny
+// leaves deepen the tree (more scheduling, less dense-block work); huge
+// leaves waste dense FW work on internally sparse blocks.
+func BenchmarkLeafSizeAblation(b *testing.B) {
+	g := benchGraph(b, "road_m")
+	for _, leaf := range []int{8, 32, 64, 128} {
+		plan, err := core.NewPlan(g, core.Options{Ordering: core.OrderND, LeafSize: leaf, EtreeParallel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("leaf=%d", leaf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveWith(0, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(plan.PlannedOps()), "fused-ops")
+		})
+	}
+}
+
+// BenchmarkExactReachAblation compares Algorithm 3's D∪A reach with the
+// ancestor-exact struct(k) refinement on an ordering with skinny etrees.
+func BenchmarkExactReachAblation(b *testing.B) {
+	// Natural ordering on a road-like graph: the etree is skinny and
+	// A(k) wildly over-approximates the true block structure.
+	g := benchGraph(b, "road_m")
+	for _, exact := range []bool{false, true} {
+		plan, err := core.NewPlan(g, core.Options{Ordering: core.OrderNatural, ExactReach: exact, EtreeParallel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("natural/exact=%v", exact), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveWith(0, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(plan.PlannedOps()), "fused-ops")
+		})
+	}
+}
+
+// BenchmarkBlockSizeAblation sweeps the supernode block cap — the
+// locality knob of the supernodal data structure.
+func BenchmarkBlockSizeAblation(b *testing.B) {
+	g := benchGraph(b, "geoknn_s")
+	for _, mb := range []int{16, 64, 128, 256} {
+		plan, err := core.NewPlan(g, core.Options{Ordering: core.OrderND, MaxBlock: mb, EtreeParallel: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("maxblock=%d", mb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.SolveWith(0, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

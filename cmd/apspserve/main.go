@@ -1,0 +1,97 @@
+// Command apspserve serves shortest-path queries over HTTP from a
+// precomputed supernodal factor — the offline-precompute / online-query
+// deployment the O(fill) factor enables.
+//
+// Usage:
+//
+//	apspserve -graph road_l -addr :8080            # build in-process
+//	apspserve -loadfactor road.sfwf -addr :8080    # serve a saved factor
+//	apspserve -graph road_m -routes -addr :8080    # also enable /route
+//
+// Endpoints:
+//
+//	GET /health
+//	GET /dist?u=U&v=V     point-to-point distance (2-hop labels)
+//	GET /sssp?src=S       full distance row (etree sweeps)
+//	GET /route?u=U&v=V    vertex path (needs -routes)
+package main
+
+import (
+	"flag"
+
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		graphName  = flag.String("graph", "", "catalog graph to build and serve")
+		loadFactor = flag.String("loadfactor", "", "serve a factor saved by superfw -savefactor")
+		quick      = flag.Bool("quick", false, "reduced graph sizes")
+		routes     = flag.Bool("routes", false, "also solve densely with path tracking to enable /route")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "build parallelism")
+	)
+	flag.Parse()
+
+	var factor *core.Factor
+	var result *core.Result
+	var n int
+	switch {
+	case *loadFactor != "":
+		fh, err := os.Open(*loadFactor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		factor, err = core.ReadFactor(fh)
+		fh.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		n = factor.N()
+		log.Printf("loaded factor %s (%.1f MB, %d vertices)", *loadFactor, float64(factor.Memory())/1e6, n)
+	case *graphName != "":
+		e, ok := bench.Find(*graphName)
+		if !ok {
+			log.Fatalf("unknown catalog graph %q", *graphName)
+		}
+		g := e.Build(*quick)
+		n = g.N
+		plan, err := core.NewPlan(g, core.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		factor, err = core.NewFactor(plan, *threads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built factor for %s: n=%d, %.1f MB", *graphName, n, float64(factor.Memory())/1e6)
+		if *routes {
+			opts := core.DefaultOptions()
+			opts.TrackPaths = true
+			plan2, err := core.NewPlan(g, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			result, err = plan2.Solve()
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("dense path-tracked solve ready (/route enabled)")
+		}
+	default:
+		log.Fatal("need -graph or -loadfactor")
+	}
+
+	srv := serve.New(factor, result, n)
+	log.Printf("serving on http://%s (try /dist?u=0&v=%d)", *addr, n-1)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

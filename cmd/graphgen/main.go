@@ -1,0 +1,69 @@
+// Command graphgen emits catalog graphs as MatrixMarket files, so the
+// test suite can be consumed by external tools (or by superfw -mtx).
+//
+// Usage:
+//
+//	graphgen -graph road_m -out road_m.mtx
+//	graphgen -all -dir graphs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		name  = flag.String("graph", "", "catalog graph to emit")
+		out   = flag.String("out", "", "output path (default <name>.mtx)")
+		all   = flag.Bool("all", false, "emit every catalog graph")
+		dir   = flag.String("dir", ".", "output directory for -all")
+		quick = flag.Bool("quick", false, "reduced sizes")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, e := range bench.Catalog() {
+			path := filepath.Join(*dir, e.Name+".mtx")
+			if err := write(e, path, *quick); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+	if *name == "" {
+		fail(fmt.Errorf("need -graph or -all"))
+	}
+	e, ok := bench.Find(*name)
+	if !ok {
+		fail(fmt.Errorf("unknown graph %q", *name))
+	}
+	path := *out
+	if path == "" {
+		path = e.Name + ".mtx"
+	}
+	if err := write(e, path, *quick); err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func write(e bench.Entry, path string, quick bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.WriteMatrixMarket(f, e.Build(quick))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,270 @@
+// Command superfw runs one APSP algorithm on a catalog or MatrixMarket
+// graph and reports timings and (optionally) a correctness check against
+// Dijkstra.
+//
+// Usage:
+//
+//	superfw -graph road_m -algo superfw -threads 4 -check
+//	superfw -graph geoknn_s -algo superfw -ordering mindegree -stats
+//	superfw -graph road_m -factor -route 0,500
+//	superfw -graph rgg2d -widest
+//	superfw -mtx graph.mtx -algo dijkstra
+//	superfw -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	superfw "repro"
+	"repro/internal/apsp"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+func main() {
+	var (
+		graphName  = flag.String("graph", "geoknn_s", "catalog graph name (see -list)")
+		mtxPath    = flag.String("mtx", "", "load a MatrixMarket file instead of a catalog graph")
+		algoName   = flag.String("algo", "superfw", "algorithm: auto superfw superbfs blockedfw naivefw dijkstra boostdijkstra deltastep pathdoubling johnson")
+		ordering   = flag.String("ordering", "nd", "SuperFw ordering: nd mindegree bfs rcm natural")
+		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+		quick      = flag.Bool("quick", false, "use reduced graph sizes")
+		check      = flag.Bool("check", false, "validate the result against Dijkstra and APSP invariants")
+		stats      = flag.Bool("stats", false, "print symbolic-structure statistics")
+		profile    = flag.Bool("profile", false, "print per-stage and per-level numeric timings")
+		widest     = flag.Bool("widest", false, "solve widest (max-min bottleneck) paths instead of shortest")
+		exact      = flag.Bool("exact", false, "use the exact ancestor block structure instead of Algorithm 3's A(k)")
+		factor     = flag.Bool("factor", false, "use the O(fill) supernodal factor instead of the dense solver")
+		saveFactor = flag.String("savefactor", "", "with -factor: write the factor to this file")
+		loadFactor = flag.String("loadfactor", "", "answer -route from a saved factor file (skips all computation)")
+		route      = flag.String("route", "", "u,v: print the shortest route between two vertices (enables path tracking)")
+		list       = flag.Bool("list", false, "list catalog graphs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %-16s %s\n", "NAME", "PAPER ROW", "CLASS")
+		for _, e := range bench.Catalog() {
+			fmt.Printf("%-14s %-16s %s\n", e.Name, e.PaperRow, e.Class)
+		}
+		return
+	}
+
+	if *loadFactor != "" {
+		fh, err := os.Open(*loadFactor)
+		if err != nil {
+			fail(err)
+		}
+		defer fh.Close()
+		f, err := core.ReadFactor(fh)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("factor:   loaded %s (%.1f MB)\n", *loadFactor, float64(f.Memory())/1e6)
+		if *route != "" {
+			u, v, err := parseRoute(*route)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("dist(%d,%d) = %.4f (2-hop label query)\n", u, v, f.Dist(u, v))
+		}
+		return
+	}
+
+	g, err := loadGraph(*graphName, *mtxPath, *quick)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("graph: n=%d m=%d avg-degree=%.2f\n", g.N, g.M(), g.AvgDegree())
+
+	if *algoName == "auto" {
+		t0 := time.Now()
+		D, choice, err := superfw.Auto(g, *threads)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("auto:     %s\n", choice)
+		fmt.Printf("solve:    %v (threads=%d)\n", time.Since(t0).Round(time.Microsecond), *threads)
+		if *check {
+			runCheck(g, D, *threads)
+		}
+		return
+	}
+
+	algo, err := apsp.ParseAlgorithm(*algoName)
+	if err != nil {
+		fail(err)
+	}
+	if algo != apsp.AlgoSuperFW && algo != apsp.AlgoSuperBFS {
+		if *widest || *factor || *route != "" || *ordering != "nd" {
+			fail(fmt.Errorf("-widest/-factor/-route/-ordering apply to the superfw family only"))
+		}
+		t0 := time.Now()
+		D, err := apsp.Run(algo, g, *threads)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("solve:    %v (threads=%d)\n", time.Since(t0).Round(time.Microsecond), *threads)
+		if *check {
+			runCheck(g, D, *threads)
+		}
+		return
+	}
+
+	opts := core.DefaultOptions()
+	opts.Threads = *threads
+	switch {
+	case algo == apsp.AlgoSuperBFS:
+		opts.Ordering = core.OrderBFS
+	default:
+		kinds := map[string]core.OrderingKind{
+			"nd": core.OrderND, "mindegree": core.OrderMinDegree, "bfs": core.OrderBFS,
+			"rcm": core.OrderRCM, "natural": core.OrderNatural,
+		}
+		k, ok := kinds[*ordering]
+		if !ok {
+			fail(fmt.Errorf("unknown ordering %q", *ordering))
+		}
+		opts.Ordering = k
+	}
+	if *widest {
+		opts.Semiring = semiring.MaxMinKernels
+	}
+	opts.ExactReach = *exact
+	var routeUV [2]int
+	if *route != "" {
+		u, v, err := parseRoute(*route)
+		if err != nil || u >= g.N || v >= g.N {
+			fail(fmt.Errorf("bad -route %q", *route))
+		}
+		routeUV = [2]int{u, v}
+		// The factor answers distance queries via labels; full route
+		// reconstruction needs the dense solver's next-hop matrix.
+		opts.TrackPaths = !*factor
+	}
+
+	plan, err := core.NewPlan(g, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("symbolic: ordering=%v semiring=%s order=%v symbolic=%v\n",
+		opts.Ordering, plan.Opts.Semiring.Name,
+		plan.OrderTime.Round(time.Microsecond), plan.SymbolicTime.Round(time.Microsecond))
+	if *stats {
+		fmt.Println(plan.Stats())
+	}
+
+	if *factor {
+		f, err := core.NewFactor(plan, *threads)
+		if err != nil {
+			fail(err)
+		}
+		dense := int64(8) * int64(g.N) * int64(g.N)
+		fmt.Printf("factor:   %v, %.1f MB (dense matrix would be %.1f MB — %.1f× more)\n",
+			f.FactorTime.Round(time.Microsecond), float64(f.Memory())/1e6,
+			float64(dense)/1e6, float64(dense)/float64(f.Memory()))
+		if *saveFactor != "" {
+			fh, err := os.Create(*saveFactor)
+			if err != nil {
+				fail(err)
+			}
+			if _, err := f.WriteTo(fh); err != nil {
+				fail(err)
+			}
+			if err := fh.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("saved:    %s\n", *saveFactor)
+		}
+		if *route != "" {
+			fmt.Printf("dist(%d,%d) = %.4f (2-hop label query)\n", routeUV[0], routeUV[1], f.Dist(routeUV[0], routeUV[1]))
+		}
+		return
+	}
+
+	var res *core.Result
+	if *profile {
+		var prof *core.Profile
+		res, prof, err = plan.SolveProfiled(*threads, true)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(prof)
+	} else {
+		res, err = plan.Solve()
+		if err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("numeric:  %v (threads=%d, etree parallelism on)\n", res.NumericTime.Round(time.Microsecond), *threads)
+	if *route != "" {
+		path, ok := res.Path(routeUV[0], routeUV[1])
+		if !ok {
+			fmt.Printf("route %d → %d: unreachable\n", routeUV[0], routeUV[1])
+		} else {
+			fmt.Printf("route %d → %d: dist %.4f via %v\n", routeUV[0], routeUV[1], res.At(routeUV[0], routeUV[1]), path)
+		}
+	}
+	if *check {
+		if *widest {
+			fmt.Println("check:    skipped (Dijkstra reference is shortest-path only)")
+			return
+		}
+		runCheck(g, res.Dense(), *threads)
+	}
+}
+
+func loadGraph(name, mtx string, quick bool) (*graph.Graph, error) {
+	if mtx != "" {
+		f, err := os.Open(mtx)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadMatrixMarket(f)
+	}
+	e, ok := bench.Find(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown catalog graph %q (use -list)", name)
+	}
+	return e.Build(quick), nil
+}
+
+func runCheck(g *graph.Graph, D semiring.Mat, threads int) {
+	ref, err := apsp.Dijkstra(g, threads)
+	if err != nil {
+		fmt.Printf("check:    skipped (%v)\n", err)
+		return
+	}
+	diff := apsp.MaxAbsDiff(D, ref)
+	if err := apsp.CheckAPSPInvariants(g, D, 20); err != nil {
+		fail(fmt.Errorf("invariant check failed: %w", err))
+	}
+	fmt.Printf("check:    max |Δ| vs Dijkstra = %.2e, invariants OK\n", diff)
+}
+
+func parseRoute(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-route wants u,v")
+	}
+	u, err1 := strconv.Atoi(parts[0])
+	v, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || u < 0 || v < 0 {
+		return 0, 0, fmt.Errorf("bad -route %q", s)
+	}
+	return u, v, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "superfw:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package superfw
+
+// Directed APSP support. The supernodal machinery requires a SYMMETRIC
+// sparsity pattern (separators and elimination trees are defined on the
+// undirected structure) but never value symmetry: every kernel treats
+// row and column panels independently. A directed graph is therefore
+// solved by symmetrizing the pattern — each arc u→v contributes the
+// undirected pattern edge {u,v} — and initializing the matrix with the
+// true arc weights, +Inf where the reverse arc is absent. The paper's
+// algebra (§2) covers this directly; only its experiments restrict to
+// the undirected case.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+// Arc is a directed weighted edge from U to V.
+type Arc struct {
+	U, V int
+	W    float64
+}
+
+// SolveDirected computes all-pairs shortest paths for a directed graph
+// given as an arc list. Duplicate arcs keep the minimum weight;
+// self-loops are ignored. Negative arc weights are allowed as long as no
+// directed cycle is negative. threads ≤ 0 uses GOMAXPROCS.
+func SolveDirected(n int, arcs []Arc, threads int) (*Result, error) {
+	plan, init, err := planDirected(n, arcs)
+	if err != nil {
+		return nil, err
+	}
+	return plan.SolveInitMatrix(init, threads, true)
+}
+
+// planDirected builds the symmetrized-pattern plan and the directed
+// initial matrix.
+func planDirected(n int, arcs []Arc) (*Plan, Mat, error) {
+	if n <= 0 {
+		return nil, Mat{}, fmt.Errorf("superfw: need at least one vertex")
+	}
+	// Pattern: the undirected union of all arcs.
+	edges := make([]graph.Edge, 0, len(arcs))
+	for _, a := range arcs {
+		if a.U == a.V {
+			continue
+		}
+		if math.IsNaN(a.W) {
+			return nil, Mat{}, fmt.Errorf("superfw: arc (%d,%d) has NaN weight", a.U, a.V)
+		}
+		edges = append(edges, graph.Edge{U: a.U, V: a.V, W: 1})
+	}
+	g, err := graph.NewFromEdges(n, edges)
+	if err != nil {
+		return nil, Mat{}, err
+	}
+	init := semiring.NewInfMat(n, n)
+	for i := 0; i < n; i++ {
+		init.Set(i, i, 0)
+	}
+	for _, a := range arcs {
+		if a.U == a.V {
+			continue
+		}
+		if a.W < init.At(a.U, a.V) {
+			init.Set(a.U, a.V, a.W)
+		}
+	}
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		return nil, Mat{}, err
+	}
+	return plan, init, nil
+}

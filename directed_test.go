@@ -1,0 +1,112 @@
+package superfw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/semiring"
+)
+
+// directedClosure is the reference: scalar FW on the directed init.
+func directedClosure(n int, arcs []Arc) Mat {
+	D := semiring.NewInfMat(n, n)
+	for i := 0; i < n; i++ {
+		D.Set(i, i, 0)
+	}
+	for _, a := range arcs {
+		if a.U != a.V && a.W < D.At(a.U, a.V) {
+			D.Set(a.U, a.V, a.W)
+		}
+	}
+	semiring.FloydWarshall(D)
+	return D
+}
+
+func TestSolveDirectedOneWayStreets(t *testing.T) {
+	// A one-way ring 0→1→2→3→0 plus a two-way chord 0↔2.
+	arcs := []Arc{
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1},
+		{0, 2, 1.5}, {2, 0, 1.5},
+	}
+	res, err := SolveDirected(4, arcs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against the ring direction, 1→0 must go 1→2→0 (or around).
+	if got := res.At(1, 0); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("dist(1,0) = %g, want 2.5 via the chord", got)
+	}
+	// With the ring: 0→1 direct.
+	if got := res.At(0, 1); got != 1 {
+		t.Fatalf("dist(0,1) = %g, want 1", got)
+	}
+	// Asymmetry is real.
+	if res.At(0, 3) == res.At(3, 0) {
+		t.Fatal("directed distances should be asymmetric here")
+	}
+}
+
+func TestSolveDirectedRandomMatchesFW(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(60)
+		var arcs []Arc
+		m := n * (1 + rng.Intn(4))
+		for i := 0; i < m; i++ {
+			arcs = append(arcs, Arc{rng.Intn(n), rng.Intn(n), 0.1 + rng.Float64()})
+		}
+		want := directedClosure(n, arcs)
+		res, err := SolveDirected(n, arcs, 1+rng.Intn(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Dense().EqualTol(want, 1e-9) {
+			t.Fatalf("trial %d: directed solve mismatch (n=%d, m=%d)", trial, n, m)
+		}
+	}
+}
+
+func TestSolveDirectedUnreachable(t *testing.T) {
+	// Single arc: reachable one way only.
+	res, err := SolveDirected(3, []Arc{{0, 1, 2}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.At(0, 1) != 2 {
+		t.Fatal("forward arc missing")
+	}
+	if !math.IsInf(res.At(1, 0), 1) {
+		t.Fatal("reverse direction must be unreachable")
+	}
+	if !math.IsInf(res.At(0, 2), 1) {
+		t.Fatal("isolated vertex must be unreachable")
+	}
+}
+
+func TestSolveDirectedNegativeCycle(t *testing.T) {
+	// 0→1→0 with total −1.
+	if _, err := SolveDirected(2, []Arc{{0, 1, 1}, {1, 0, -2}}, 1); err == nil {
+		t.Fatal("directed negative cycle must be rejected")
+	}
+	// Negative arc without a negative cycle is fine.
+	res, err := SolveDirected(3, []Arc{{0, 1, -1}, {1, 2, 3}, {2, 0, 5}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.At(0, 2) != 2 {
+		t.Fatalf("dist(0,2) = %g, want 2", res.At(0, 2))
+	}
+}
+
+func TestSolveDirectedErrors(t *testing.T) {
+	if _, err := SolveDirected(0, nil, 1); err == nil {
+		t.Fatal("zero vertices must error")
+	}
+	if _, err := SolveDirected(2, []Arc{{0, 1, math.NaN()}}, 1); err == nil {
+		t.Fatal("NaN weight must error")
+	}
+	if _, err := SolveDirected(2, []Arc{{0, 5, 1}}, 1); err == nil {
+		t.Fatal("out-of-range arc must error")
+	}
+}

@@ -1,0 +1,104 @@
+package superfw_test
+
+import (
+	"bytes"
+	"fmt"
+
+	superfw "repro"
+)
+
+// The weighted square with a diagonal used by most examples:
+//
+//	0 --1-- 1
+//	|     / |
+//	4   1   2
+//	| /     |
+//	2 --5-- 3
+func exampleGraph() *superfw.Graph {
+	g, err := superfw.NewGraph(4, []superfw.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 3, W: 2}, {U: 0, V: 2, W: 4},
+		{U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func ExampleSolve() {
+	res, err := superfw.Solve(exampleGraph())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dist(0,3) = %v\n", res.At(0, 3))
+	fmt.Printf("dist(0,2) = %v\n", res.At(0, 2)) // via vertex 1, not the weight-4 edge
+	// Output:
+	// dist(0,3) = 3
+	// dist(0,2) = 2
+}
+
+func ExampleSolveWithPaths() {
+	res, err := superfw.SolveWithPaths(exampleGraph())
+	if err != nil {
+		panic(err)
+	}
+	path, _ := res.Path(0, 3)
+	fmt.Println(path)
+	// Output: [0 1 3]
+}
+
+func ExampleSolveWidest() {
+	// Edge weights read as capacities: the widest 0→3 route avoids the
+	// weight-1 links.
+	res, err := superfw.SolveWidest(exampleGraph())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bottleneck(0,3) = %v\n", res.At(0, 3)) // 0-2-3 carries min(4,5)=4
+	// Output: bottleneck(0,3) = 4
+}
+
+func ExampleSolveDirected() {
+	// A one-way triangle: going against the arrows costs the long way.
+	res, err := superfw.SolveDirected(3, []superfw.Arc{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 0, W: 1},
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.At(0, 1), res.At(1, 0))
+	// Output: 1 2
+}
+
+func ExampleNewFactor() {
+	g := exampleGraph()
+	plan, err := superfw.NewPlan(g, superfw.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	f, err := superfw.NewFactor(plan, 1)
+	if err != nil {
+		panic(err)
+	}
+	// The factor answers queries without the dense matrix, and it
+	// round-trips through serialization.
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	f2, err := superfw.ReadFactor(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(f2.Dist(0, 3))
+	// Output: 3
+}
+
+func ExampleAuto() {
+	_, choice, err := superfw.Auto(exampleGraph(), 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(choice.Algorithm)
+	// Output: superfw
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a small weighted graph, solve all-pairs shortest
+// paths with the supernodal Floyd-Warshall solver, and query distances.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	superfw "repro"
+)
+
+func main() {
+	// A small road map: 6 intersections, weighted by travel time.
+	//
+	//	0 --1.0-- 1 --2.0-- 2
+	//	|         |         |
+	//	1.5      0.5       1.0
+	//	|         |         |
+	//	3 --2.5-- 4 --1.0-- 5
+	g, err := superfw.NewGraph(6, []superfw.Edge{
+		{U: 0, V: 1, W: 1.0}, {U: 1, V: 2, W: 2.0},
+		{U: 0, V: 3, W: 1.5}, {U: 1, V: 4, W: 0.5}, {U: 2, V: 5, W: 1.0},
+		{U: 3, V: 4, W: 2.5}, {U: 4, V: 5, W: 1.0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One-shot solve with default options (nested dissection ordering,
+	// supernodal blocking, etree parallelism).
+	res, err := superfw.Solve(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("shortest travel times:")
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			fmt.Printf("  %d → %d: %.1f\n", u, v, res.At(u, v))
+		}
+	}
+
+	// For repeated solves on the same structure, build the plan once.
+	plan, err := superfw.NewPlan(g, superfw.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := plan.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan reuse: %d supernodes, deterministic result: %v\n",
+		plan.NumSupernodes(), res.At(0, 5) == res2.At(0, 5))
+
+	// With path tracking enabled, the actual route is recoverable.
+	resP, err := superfw.SolveWithPaths(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	route, _ := resP.Path(3, 2)
+	fmt.Printf("route 3 → 2: %v (travel time %.1f)\n", route, resP.At(3, 2))
+}

@@ -1,0 +1,175 @@
+package superfw
+
+// End-to-end integration tests: the full pipeline (generator → ordering
+// → symbolic → numeric → analytics/factor/update) on one larger graph
+// per structural class, plus robustness cases that have historically
+// broken sparse solvers (degenerate shapes, zero weights, dense blocks).
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/analytics"
+	"repro/internal/apsp"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestIntegrationFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test takes a few seconds")
+	}
+	g := gen.RoadNetwork(36, 36, 0.35, 7)
+
+	// 1. Dense solve with paths.
+	opts := DefaultOptions()
+	opts.TrackPaths = true
+	plan, err := NewPlan(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Validate against Dijkstra + invariants.
+	dj, err := apsp.Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := res.Dense()
+	if d := apsp.MaxAbsDiff(D, dj); d > 1e-9 {
+		t.Fatalf("dense solve differs from Dijkstra by %g", d)
+	}
+	if err := apsp.CheckAPSPInvariants(g, D, 25); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Factor round trip through serialization, then query agreement.
+	fplan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactor(fplan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ReadFactor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N; u += 97 {
+		for v := 0; v < g.N; v += 89 {
+			if d := math.Abs(f2.Dist(u, v) - res.At(u, v)); d > 1e-9 && !math.IsNaN(d) {
+				t.Fatalf("factor label query differs at (%d,%d) by %g", u, v, d)
+			}
+		}
+	}
+
+	// 4. Incremental update tracks a re-solve.
+	if err := res.DecreaseEdge(0, g.N-1, 0.01, 0); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.MustFromEdges(g.N, append(g.Edges(), graph.Edge{U: 0, V: g.N - 1, W: 0.01}))
+	want := core.Closure(g2.ToDense())
+	if !res.Dense().EqualTol(want, 1e-9) {
+		t.Fatal("incremental update diverged")
+	}
+
+	// 5. Analytics on the updated matrix: the shortcut must shrink the
+	// diameter or keep it equal, never grow it.
+	diaBefore, _ := analytics.DiameterRadius(D, 0)
+	diaAfter, _ := analytics.DiameterRadius(res.Dense(), 0)
+	if diaAfter > diaBefore+1e-9 {
+		t.Fatalf("adding an edge grew the diameter: %g → %g", diaBefore, diaAfter)
+	}
+
+	// 6. Path reconstruction on the updated result still yields real
+	// paths with matching weights.
+	path, ok := res.Path(0, g.N-1)
+	if !ok || len(path) != 2 {
+		t.Fatalf("expected the new direct edge as the path, got %v", path)
+	}
+}
+
+func TestIntegrationDegenerateShapes(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"single edge":  graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, W: 3}}),
+		"two isolated": graph.MustFromEdges(2, nil),
+		"complete K8":  gen.ErdosRenyi(8, 7, gen.WeightUniform, 1), // near-complete
+		"star":         starGraph(30),
+		"zero weights": graph.MustFromEdges(4, []graph.Edge{
+			{U: 0, V: 1, W: 0}, {U: 1, V: 2, W: 0}, {U: 2, V: 3, W: 1},
+		}),
+		"parallel-ish": graph.MustFromEdges(3, []graph.Edge{
+			{U: 0, V: 1, W: 5}, {U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 1},
+		}),
+	}
+	for name, g := range cases {
+		want := core.Closure(g.ToDense())
+		res, err := Solve(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Dense().EqualTol(want, 1e-12) {
+			t.Errorf("%s: solve mismatch", name)
+		}
+		// Factor path too.
+		plan, err := NewPlan(g, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f, err := NewFactor(plan, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for src := 0; src < g.N; src++ {
+			row := f.SSSP(src)
+			for v := 0; v < g.N; v++ {
+				x, y := row[v], want.At(src, v)
+				if x != y && !(math.IsInf(x, 1) && math.IsInf(y, 1)) {
+					t.Errorf("%s: factor SSSP(%d)[%d] = %g, want %g", name, src, v, x, y)
+				}
+			}
+		}
+	}
+}
+
+func starGraph(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: i, W: float64(i)})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+func TestIntegrationAllOrderingsAllSemirings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("combinatorial sweep")
+	}
+	g := gen.GeometricKNN(200, 2, 3, gen.WeightUniform, 9)
+	wantSP := core.Closure(g.ToDense())
+	for _, ok := range []core.OrderingKind{core.OrderND, core.OrderBFS, core.OrderRCM, core.OrderNatural, core.OrderMinDegree} {
+		for _, exact := range []bool{false, true} {
+			opts := core.Options{Ordering: ok, ExactReach: exact, EtreeParallel: true, Threads: 2}
+			plan, err := NewPlan(g, opts)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", ok, exact, err)
+			}
+			res, err := plan.Solve()
+			if err != nil {
+				t.Fatalf("%v/%v: %v", ok, exact, err)
+			}
+			if !res.Dense().EqualTol(wantSP, 1e-9) {
+				t.Errorf("ordering=%v exact=%v: mismatch", ok, exact)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package analytics derives standard graph measures from all-pairs
+// shortest path results: eccentricity, diameter and radius, closeness
+// centrality, the Wiener index, and hop-limited reachability — the
+// downstream consumers that motivate computing APSP at all (the paper's
+// introduction cites path analysis workloads).
+//
+// All functions accept the distance matrix in original vertex order
+// (superfw.Result.Dense() or any baseline's output) and treat +Inf as
+// unreachable; vertices outside the queried vertex's component are
+// excluded from averages rather than poisoning them.
+package analytics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/semiring"
+)
+
+// Eccentricity returns, for every vertex, the largest finite distance to
+// any vertex it can reach (0 for isolated vertices).
+func Eccentricity(D semiring.Mat, threads int) []float64 {
+	out := make([]float64, D.Rows)
+	par.ForRanges(D.Rows, threads, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			worst := 0.0
+			for _, d := range D.Row(i) {
+				if !math.IsInf(d, 1) && d > worst {
+					worst = d
+				}
+			}
+			out[i] = worst
+		}
+	})
+	return out
+}
+
+// DiameterRadius returns the largest and smallest eccentricities over
+// vertices that reach at least one other vertex. For disconnected graphs
+// this is the max/min over components' internal eccentricities.
+func DiameterRadius(D semiring.Mat, threads int) (diameter, radius float64) {
+	ecc := Eccentricity(D, threads)
+	radius = math.Inf(1)
+	for i, e := range ecc {
+		if reachesAnyone(D, i) {
+			if e > diameter {
+				diameter = e
+			}
+			if e < radius {
+				radius = e
+			}
+		}
+	}
+	if math.IsInf(radius, 1) {
+		radius = 0
+	}
+	return diameter, radius
+}
+
+func reachesAnyone(D semiring.Mat, i int) bool {
+	for j, d := range D.Row(i) {
+		if j != i && !math.IsInf(d, 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Closeness returns the harmonic closeness centrality of every vertex:
+// C(u) = Σ_{v≠u, reachable} 1/d(u,v). The harmonic form handles
+// disconnected graphs gracefully (unreachable vertices contribute 0).
+func Closeness(D semiring.Mat, threads int) []float64 {
+	out := make([]float64, D.Rows)
+	par.ForRanges(D.Rows, threads, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			for j, d := range D.Row(i) {
+				if j != i && !math.IsInf(d, 1) && d > 0 {
+					sum += 1 / d
+				}
+			}
+			out[i] = sum
+		}
+	})
+	return out
+}
+
+// MostCentral returns the index of the vertex with the highest harmonic
+// closeness, breaking ties toward the lower index.
+func MostCentral(D semiring.Mat, threads int) int {
+	c := Closeness(D, threads)
+	best := 0
+	for i, v := range c {
+		if v > c[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// WienerIndex returns the sum of distances over all unordered reachable
+// pairs — a topological descriptor from chemistry, and a quick global
+// sanity statistic for APSP results.
+func WienerIndex(D semiring.Mat) float64 {
+	sum := 0.0
+	for i := 0; i < D.Rows; i++ {
+		row := D.Row(i)
+		for j := i + 1; j < D.Cols; j++ {
+			if !math.IsInf(row[j], 1) {
+				sum += row[j]
+			}
+		}
+	}
+	return sum
+}
+
+// ReachableWithin returns, for the given vertex, how many vertices lie
+// within each of the given distance budgets (budgets must be ascending).
+func ReachableWithin(D semiring.Mat, u int, budgets []float64) []int {
+	ds := make([]float64, 0, D.Cols-1)
+	for j, d := range D.Row(u) {
+		if j != u && !math.IsInf(d, 1) {
+			ds = append(ds, d)
+		}
+	}
+	sort.Float64s(ds)
+	out := make([]int, len(budgets))
+	for i, b := range budgets {
+		out[i] = sort.SearchFloat64s(ds, math.Nextafter(b, math.Inf(1)))
+	}
+	return out
+}
+
+// DistanceHistogram buckets all finite pairwise distances into the given
+// number of equal-width bins between 0 and the diameter, returning the
+// bin edges and counts. Useful for comparing graph classes' distance
+// distributions (e.g. road networks vs expanders).
+func DistanceHistogram(D semiring.Mat, bins int) (edges []float64, counts []int64) {
+	diameter, _ := DiameterRadius(D, 0)
+	if bins <= 0 || diameter <= 0 {
+		return nil, nil
+	}
+	edges = make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = diameter * float64(i) / float64(bins)
+	}
+	counts = make([]int64, bins)
+	for i := 0; i < D.Rows; i++ {
+		row := D.Row(i)
+		for j := i + 1; j < D.Cols; j++ {
+			d := row[j]
+			if math.IsInf(d, 1) {
+				continue
+			}
+			b := int(d / diameter * float64(bins))
+			if b >= bins {
+				b = bins - 1
+			}
+			counts[b]++
+		}
+	}
+	return edges, counts
+}

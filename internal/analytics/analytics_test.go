@@ -1,0 +1,141 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+// pathClosure returns the APSP closure of a unit-weight path of n
+// vertices: D[i][j] = |i−j|.
+func pathClosure(n int) semiring.Mat {
+	var edges []graph.Edge
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1, W: 1})
+	}
+	return apsp.NaiveFW(graph.MustFromEdges(n, edges))
+}
+
+func TestEccentricityPath(t *testing.T) {
+	D := pathClosure(5)
+	ecc := Eccentricity(D, 2)
+	want := []float64{4, 3, 2, 3, 4}
+	for i := range want {
+		if ecc[i] != want[i] {
+			t.Fatalf("ecc[%d] = %g, want %g", i, ecc[i], want[i])
+		}
+	}
+}
+
+func TestDiameterRadiusPath(t *testing.T) {
+	D := pathClosure(7)
+	dia, rad := DiameterRadius(D, 1)
+	if dia != 6 || rad != 3 {
+		t.Fatalf("diameter=%g radius=%g, want 6 and 3", dia, rad)
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	// Two paths of 3 and 2 vertices: diameter 2 (within the larger
+	// component), radius 1 (middle of the P3 or either end of the P2).
+	g := graph.MustFromEdges(5, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 3, V: 4, W: 1}})
+	D := apsp.NaiveFW(g)
+	dia, rad := DiameterRadius(D, 1)
+	if dia != 2 || rad != 1 {
+		t.Fatalf("diameter=%g radius=%g, want 2 and 1", dia, rad)
+	}
+	// Isolated vertex: excluded, not poisoning.
+	g2 := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1, W: 5}})
+	dia2, rad2 := DiameterRadius(apsp.NaiveFW(g2), 1)
+	if dia2 != 5 || rad2 != 5 {
+		t.Fatalf("isolated vertex skewed results: %g %g", dia2, rad2)
+	}
+}
+
+func TestClosenessStar(t *testing.T) {
+	// Star: the hub has the highest closeness.
+	var edges []graph.Edge
+	for i := 1; i < 8; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: i, W: 1})
+	}
+	D := apsp.NaiveFW(graph.MustFromEdges(8, edges))
+	if MostCentral(D, 2) != 0 {
+		t.Fatal("hub should be most central")
+	}
+	c := Closeness(D, 1)
+	if math.Abs(c[0]-7) > 1e-12 { // 7 neighbors at distance 1
+		t.Fatalf("hub closeness %g, want 7", c[0])
+	}
+	if math.Abs(c[1]-(1+6*0.5)) > 1e-12 { // 1 hub + 6 leaves at distance 2
+		t.Fatalf("leaf closeness %g, want 4", c[1])
+	}
+}
+
+func TestWienerIndexPath(t *testing.T) {
+	// P4: pairs (1+2+3) + (1+2) + 1 = 10.
+	if w := WienerIndex(pathClosure(4)); w != 10 {
+		t.Fatalf("Wiener = %g, want 10", w)
+	}
+	// Disconnected pairs contribute nothing.
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1, W: 2}})
+	if w := WienerIndex(apsp.NaiveFW(g)); w != 2 {
+		t.Fatalf("Wiener = %g, want 2", w)
+	}
+}
+
+func TestReachableWithin(t *testing.T) {
+	D := pathClosure(10)
+	got := ReachableWithin(D, 0, []float64{0.5, 1, 3.5, 100})
+	want := []int{0, 1, 3, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("budget %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDistanceHistogram(t *testing.T) {
+	D := pathClosure(5)
+	edges, counts := DistanceHistogram(D, 4)
+	if len(edges) != 5 || len(counts) != 4 {
+		t.Fatal("histogram shape wrong")
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 { // C(5,2) finite pairs
+		t.Fatalf("histogram covers %d pairs, want 10", total)
+	}
+	if edges[4] != 4 { // diameter
+		t.Fatalf("last edge %g, want diameter 4", edges[4])
+	}
+}
+
+func TestAnalyticsOnRealGraph(t *testing.T) {
+	// Cross-validate diameter against eccentricity max on a geometric
+	// graph solved with the production solver path.
+	g := gen.GeometricKNN(150, 2, 4, gen.WeightEuclidean, 95)
+	D, err := apsp.Run(apsp.AlgoSuperFW, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dia, rad := DiameterRadius(D, 2)
+	if rad > dia {
+		t.Fatal("radius exceeds diameter")
+	}
+	ecc := Eccentricity(D, 2)
+	worst := 0.0
+	for _, e := range ecc {
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst != dia {
+		t.Fatal("diameter must equal max eccentricity")
+	}
+}

@@ -1,0 +1,257 @@
+package apsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+func suite() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"grid":         gen.Grid2D(9, 7, gen.WeightUniform, 1),
+		"geo":          gen.GeometricKNN(140, 2, 4, gen.WeightEuclidean, 2),
+		"er":           gen.ErdosRenyi(110, 4, gen.WeightUniform, 3),
+		"ba":           gen.BarabasiAlbert(90, 3, gen.WeightUniform, 4),
+		"path":         gen.Grid2D(50, 1, gen.WeightUniform, 5),
+		"disconnected": disconnected(),
+		"unit":         gen.Grid2D(8, 8, gen.WeightUnit, 6),
+	}
+}
+
+func disconnected() *graph.Graph {
+	e := gen.Grid2D(5, 5, gen.WeightUniform, 7).Edges()
+	for _, x := range gen.Grid2D(4, 4, gen.WeightUniform, 8).Edges() {
+		e = append(e, graph.Edge{U: x.U + 25, V: x.V + 25, W: x.W})
+	}
+	return graph.MustFromEdges(41, e)
+}
+
+func TestAllAlgorithmsAgree(t *testing.T) {
+	for name, g := range suite() {
+		want := NaiveFW(g)
+		for _, algo := range Algorithms() {
+			if algo == AlgoNaiveFW {
+				continue
+			}
+			for _, threads := range []int{1, 3} {
+				got, err := Run(algo, g, threads)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, algo, err)
+				}
+				if d := MaxAbsDiff(got, want); d > 1e-9 {
+					t.Errorf("%s/%s threads=%d: max diff %g", name, algo, threads, d)
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraRejectsNegative(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, W: -1}})
+	if _, err := Dijkstra(g, 1); err == nil {
+		t.Error("Dijkstra must reject negative weights")
+	}
+	if _, err := BoostDijkstra(g, 1); err == nil {
+		t.Error("BoostDijkstra must reject negative weights")
+	}
+	if _, err := DeltaStep(g, 0, 1); err == nil {
+		t.Error("DeltaStep must reject negative weights")
+	}
+}
+
+func TestDeltaStepExplicitDelta(t *testing.T) {
+	g := gen.GeometricKNN(100, 2, 3, gen.WeightUniform, 9)
+	want := NaiveFW(g)
+	for _, delta := range []float64{0.05, 0.5, 5, 1e9} {
+		got, err := DeltaStep(g, delta, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(got, want); d > 1e-9 {
+			t.Errorf("delta=%g: max diff %g", delta, d)
+		}
+	}
+}
+
+func TestJohnsonNegativeArcs(t *testing.T) {
+	g := gen.GeometricKNN(90, 2, 3, gen.WeightUniform, 10)
+	p := gen.Potential(g.N, 2.5, 11)
+	init := g.ToDensePotential(p)
+	want := init.Clone()
+	semiring.FloydWarshall(want)
+	got, err := Johnson(g, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("Johnson on negative-arc instance: max diff %g", d)
+	}
+}
+
+func TestBellmanFordPotentialFeasible(t *testing.T) {
+	g := gen.GeometricKNN(70, 2, 3, gen.WeightUniform, 12)
+	p := gen.Potential(g.N, 2.0, 13)
+	h, err := BellmanFordPotential(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility: w'(u→v) + h[u] − h[v] ≥ 0 for every arc.
+	for u := 0; u < g.N; u++ {
+		adj, wgt := g.Neighbors(u)
+		for i, v := range adj {
+			w := wgt[i] + p[u] - p[v] + h[u] - h[v]
+			if w < -1e-9 {
+				t.Fatalf("infeasible potential at arc %d→%d: %g", u, v, w)
+			}
+		}
+	}
+}
+
+func TestBellmanFordDetectsNegativeCycle(t *testing.T) {
+	// Symmetric negative edge = negative 2-cycle.
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1, W: -1}, {U: 1, V: 2, W: 1}})
+	if _, err := BellmanFordPotential(g, nil); err == nil {
+		t.Error("negative 2-cycle must be detected")
+	}
+}
+
+func TestPathDoublingEarlyFixpoint(t *testing.T) {
+	// A clique closes in one squaring; make sure early exit is correct.
+	g := gen.ErdosRenyi(30, 20, gen.WeightUniform, 14)
+	want := NaiveFW(g)
+	got := PathDoubling(g, 2)
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("path doubling diff %g", d)
+	}
+}
+
+func TestDijkstraSSSP(t *testing.T) {
+	g := gen.GeometricKNN(120, 2, 3, gen.WeightUniform, 40)
+	want := NaiveFW(g)
+	for _, src := range []int{0, 17, 119} {
+		d, err := DijkstraSSSP(g, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range d {
+			if math.Abs(d[v]-want.At(src, v)) > 1e-9 {
+				t.Fatalf("SSSP(%d)[%d] = %g, want %g", src, v, d[v], want.At(src, v))
+			}
+		}
+	}
+	neg := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, W: -1}})
+	if _, err := DijkstraSSSP(neg, 0); err == nil {
+		t.Error("negative weights must be rejected")
+	}
+}
+
+func TestBidirectionalDijkstra(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"geo":          gen.GeometricKNN(130, 2, 3, gen.WeightEuclidean, 41),
+		"grid":         gen.Grid2D(9, 9, gen.WeightUniform, 42),
+		"disconnected": disconnected(),
+		"rmat":         gen.RMAT(7, 4, gen.WeightUniform, 43),
+	}
+	for name, g := range graphs {
+		want := NaiveFW(g)
+		for u := 0; u < g.N; u += 11 {
+			for v := 0; v < g.N; v += 13 {
+				got, err := BidirectionalDijkstra(g, u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exp := want.At(u, v)
+				if math.IsInf(got, 1) != math.IsInf(exp, 1) || (!math.IsInf(got, 1) && math.Abs(got-exp) > 1e-9) {
+					t.Fatalf("%s: bidi(%d,%d) = %g, want %g", name, u, v, got, exp)
+				}
+			}
+		}
+	}
+	if _, err := BidirectionalDijkstra(graphs["grid"], -1, 0); err == nil {
+		t.Error("out of range must error")
+	}
+	if d, _ := BidirectionalDijkstra(graphs["grid"], 4, 4); d != 0 {
+		t.Error("self distance must be 0")
+	}
+}
+
+func TestDeltaStepManyThreadsFewVerts(t *testing.T) {
+	// Regression: genRequests chunking used to slice past the frontier
+	// when threads exceeded the frontier size (panic [6:5]).
+	g := gen.Grid2D(4, 3, gen.WeightUniform, 77)
+	want := NaiveFW(g)
+	got, err := DeltaStep(g, 0.3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("diff %g", d)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	a, err := ParseAlgorithm("superfw")
+	if err != nil || a != AlgoSuperFW {
+		t.Error("parse failed")
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := semiring.NewInfMat(2, 2)
+	b := semiring.NewInfMat(2, 2)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("identical Inf matrices differ?")
+	}
+	b.Set(0, 0, 1)
+	if !math.IsInf(MaxAbsDiff(a, b), 1) {
+		t.Error("Inf vs finite must be Inf diff")
+	}
+	a.Set(0, 0, 3)
+	if MaxAbsDiff(a, b) != 2 {
+		t.Error("diff should be 2")
+	}
+	if !math.IsInf(MaxAbsDiff(a, semiring.NewMat(3, 3)), 1) {
+		t.Error("shape mismatch must be Inf")
+	}
+}
+
+func TestCheckAPSPInvariants(t *testing.T) {
+	g := gen.Grid2D(7, 7, gen.WeightUniform, 15)
+	D := NaiveFW(g)
+	if err := CheckAPSPInvariants(g, D, 10); err != nil {
+		t.Fatalf("valid closure rejected: %v", err)
+	}
+	// Break symmetry.
+	D.Set(0, 1, D.At(0, 1)+1)
+	if err := CheckAPSPInvariants(g, D, 50); err == nil {
+		t.Error("tampered matrix should fail invariants")
+	}
+	// Break diagonal.
+	D2 := NaiveFW(g)
+	D2.Set(3, 3, 0.5)
+	if err := CheckAPSPInvariants(g, D2, 10); err == nil {
+		t.Error("nonzero diagonal should fail")
+	}
+}
+
+func TestMinHeap(t *testing.T) {
+	var h minHeap
+	vals := []float64{5, 1, 4, 1.5, 9, 0.2, 7}
+	for i, v := range vals {
+		h.push(heapItem{v, i})
+	}
+	prev := math.Inf(-1)
+	for len(h) > 0 {
+		it := h.pop()
+		if it.d < prev {
+			t.Fatal("heap pop order violated")
+		}
+		prev = it.d
+	}
+}

@@ -1,0 +1,120 @@
+package apsp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+// BidirectionalDijkstra answers a single point-to-point query by growing
+// Dijkstra search balls from both endpoints simultaneously and stopping
+// when the frontiers' combined radius exceeds the best meeting point.
+// It is the standard no-precomputation baseline for point queries, and
+// the comparison target for the supernodal factor's 2-hop label queries.
+// Requires non-negative weights. Returns +Inf when t is unreachable.
+func BidirectionalDijkstra(g *graph.Graph, s, t int) (float64, error) {
+	if g.HasNegativeWeights() {
+		return 0, fmt.Errorf("apsp: bidirectional Dijkstra requires non-negative weights")
+	}
+	if s < 0 || t < 0 || s >= g.N || t >= g.N {
+		return 0, fmt.Errorf("apsp: vertex out of range")
+	}
+	if s == t {
+		return 0, nil
+	}
+	// Forward and backward state (the graph is symmetric, so the
+	// backward search uses the same adjacency).
+	df := newSearch(g.N, s)
+	db := newSearch(g.N, t)
+	best := semiring.Inf
+	for {
+		// Expand the side with the smaller next key.
+		fTop, fOK := df.peek()
+		bTop, bOK := db.peek()
+		if !fOK && !bOK {
+			break
+		}
+		// Standard stopping criterion: when topF + topB ≥ best, no
+		// shorter meeting can be found.
+		minF, minB := semiring.Inf, semiring.Inf
+		if fOK {
+			minF = fTop
+		}
+		if bOK {
+			minB = bTop
+		}
+		if minF+minB >= best {
+			break
+		}
+		side, other := df, db
+		if !fOK || (bOK && bTop < fTop) {
+			side, other = db, df
+		}
+		u, du := side.pop()
+		if u < 0 {
+			continue
+		}
+		adj, wgt := g.Neighbors(u)
+		for i, v := range adj {
+			nd := du + wgt[i]
+			if nd < side.dist[v] {
+				side.dist[v] = nd
+				side.h.push(heapItem{nd, v})
+			}
+			// Meeting candidate through edge (u, v).
+			if od := other.dist[v]; !math.IsInf(od, 1) {
+				if cand := nd + od; cand < best {
+					best = cand
+				}
+			}
+		}
+		if od := other.dist[u]; !math.IsInf(od, 1) && du+od < best {
+			best = du + od
+		}
+	}
+	return best, nil
+}
+
+// search is one direction's Dijkstra state.
+type search struct {
+	dist []float64
+	done []bool
+	h    minHeap
+}
+
+func newSearch(n, src int) *search {
+	s := &search{dist: make([]float64, n), done: make([]bool, n)}
+	for i := range s.dist {
+		s.dist[i] = semiring.Inf
+	}
+	s.dist[src] = 0
+	s.h.push(heapItem{0, src})
+	return s
+}
+
+// peek returns the smallest live key.
+func (s *search) peek() (float64, bool) {
+	for len(s.h) > 0 {
+		if top := s.h[0]; top.d > s.dist[top.v] || s.done[top.v] {
+			s.h.pop() // stale
+			continue
+		}
+		return s.h[0].d, true
+	}
+	return 0, false
+}
+
+// pop settles and returns the next vertex, or -1 if exhausted.
+func (s *search) pop() (int, float64) {
+	for len(s.h) > 0 {
+		it := s.h.pop()
+		if it.d > s.dist[it.v] || s.done[it.v] {
+			continue
+		}
+		s.done[it.v] = true
+		return it.v, it.d
+	}
+	return -1, 0
+}

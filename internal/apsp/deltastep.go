@@ -1,0 +1,190 @@
+package apsp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/semiring"
+)
+
+// deltaState is the per-source working state of Δ-stepping: distance
+// labels and the bucket structure.
+type deltaState struct {
+	g       *graph.Graph
+	delta   float64
+	dist    []float64
+	buckets [][]int
+	inB     []int // bucket index the vertex currently sits in, -1 if none
+}
+
+func newDeltaState(g *graph.Graph, delta float64) *deltaState {
+	return &deltaState{
+		g:     g,
+		delta: delta,
+		dist:  make([]float64, g.N),
+		inB:   make([]int, g.N),
+	}
+}
+
+// request is a pending relaxation offer produced by an edge scan.
+type request struct {
+	v int
+	d float64
+}
+
+// sssp runs Δ-stepping from src, leaving distances in s.dist.
+//
+// Light edges (w ≤ Δ) are relaxed repeatedly within a bucket's phases;
+// heavy edges once, when the bucket settles. The paper notes Δ-stepping
+// "only parallelizes each SSSP call, thus requires significantly more
+// inter-thread synchronization": each phase scans its frontier's edges in
+// parallel (a barrier per phase) and then applies the generated
+// relaxation requests, which mutate the shared bucket structure, serially.
+func (s *deltaState) sssp(src, threads int) {
+	for i := range s.dist {
+		s.dist[i] = semiring.Inf
+		s.inB[i] = -1
+	}
+	s.buckets = s.buckets[:0]
+	s.relax(src, 0)
+	for bi := 0; bi < len(s.buckets); bi++ {
+		var settled []int
+		for len(s.buckets[bi]) > 0 {
+			// Phase: empty the bucket; pop each vertex once (stale
+			// duplicate entries are skipped via inB).
+			cur := s.buckets[bi]
+			s.buckets[bi] = nil
+			frontier := cur[:0]
+			for _, v := range cur {
+				if s.inB[v] == bi {
+					s.inB[v] = -1
+					settled = append(settled, v)
+					frontier = append(frontier, v)
+				}
+			}
+			for _, req := range s.genRequests(frontier, true, threads) {
+				s.relax(req.v, req.d)
+			}
+		}
+		// Bucket settled: relax heavy edges of everything it held.
+		for _, req := range s.genRequests(settled, false, threads) {
+			s.relax(req.v, req.d)
+		}
+	}
+}
+
+// genRequests scans the light (light=true) or heavy edges of the given
+// frontier vertices in parallel and returns the relaxation requests.
+func (s *deltaState) genRequests(verts []int, light bool, threads int) []request {
+	nchunks := par.DefaultThreads(threads)
+	if nchunks > len(verts) {
+		nchunks = len(verts)
+	}
+	if nchunks <= 1 {
+		return s.scanChunk(verts, light, nil)
+	}
+	chunkOut := make([][]request, nchunks)
+	size := (len(verts) + nchunks - 1) / nchunks
+	par.For(nchunks, threads, 1, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if lo > len(verts) {
+			lo = len(verts)
+		}
+		if hi > len(verts) {
+			hi = len(verts)
+		}
+		chunkOut[c] = s.scanChunk(verts[lo:hi], light, nil)
+	})
+	var out []request
+	for _, c := range chunkOut {
+		out = append(out, c...)
+	}
+	return out
+}
+
+func (s *deltaState) scanChunk(verts []int, light bool, out []request) []request {
+	g := s.g
+	for _, v := range verts {
+		dv := s.dist[v]
+		for e := g.Ptr[v]; e < g.Ptr[v+1]; e++ {
+			w := g.Wgt[e]
+			if (w <= s.delta) != light {
+				continue
+			}
+			u := g.Adj[e]
+			if nd := dv + w; nd < s.dist[u] {
+				out = append(out, request{u, nd})
+			}
+		}
+	}
+	return out
+}
+
+// relax offers distance nd to vertex v, moving it between buckets.
+func (s *deltaState) relax(v int, nd float64) {
+	if nd >= s.dist[v] {
+		return
+	}
+	s.dist[v] = nd
+	bi := int(nd / s.delta)
+	for len(s.buckets) <= bi {
+		s.buckets = append(s.buckets, nil)
+	}
+	s.buckets[bi] = append(s.buckets[bi], v)
+	s.inB[v] = bi
+}
+
+// DeltaStep computes APSP by running Δ-stepping SSSP from every source.
+// Delta ≤ 0 triggers auto-tuning: a handful of candidate Δ values are
+// timed on the first sources and the fastest is used for the rest,
+// mirroring the paper's auto-tuned Galois ∆-Step baseline.
+func DeltaStep(g *graph.Graph, delta float64, threads int) (semiring.Mat, error) {
+	if g.HasNegativeWeights() {
+		return semiring.Mat{}, fmt.Errorf("apsp: Δ-stepping requires non-negative weights")
+	}
+	if g.N == 0 {
+		return semiring.NewMat(0, 0), nil
+	}
+	if delta <= 0 {
+		delta = tuneDelta(g, threads)
+	}
+	D := semiring.NewMat(g.N, g.N)
+	// Within-call parallelism only (the paper's ∆-Step shape): sources
+	// run one at a time, each call parallelizing its phases.
+	st := newDeltaState(g, delta)
+	for src := 0; src < g.N; src++ {
+		st.sssp(src, threads)
+		copy(D.Row(src), st.dist)
+	}
+	return D, nil
+}
+
+// tuneDelta times one SSSP per candidate Δ and returns the fastest. The
+// candidate ladder spans bucket granularities from single-edge to
+// near-Dijkstra.
+func tuneDelta(g *graph.Graph, threads int) float64 {
+	var sum float64
+	for _, w := range g.Wgt {
+		sum += w
+	}
+	avg := sum / float64(len(g.Wgt))
+	if avg <= 0 || math.IsNaN(avg) {
+		avg = 1
+	}
+	candidates := []float64{avg / 2, avg, 2 * avg, 4 * avg, 16 * avg}
+	best, bestTime := candidates[0], time.Duration(math.MaxInt64)
+	for i, d := range candidates {
+		st := newDeltaState(g, d)
+		src := (i * 7919) % g.N // decorrelate tuning sources
+		t0 := time.Now()
+		st.sssp(src, threads)
+		if el := time.Since(t0); el < bestTime {
+			best, bestTime = d, el
+		}
+	}
+	return best
+}

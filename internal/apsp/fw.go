@@ -1,0 +1,50 @@
+package apsp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/semiring"
+)
+
+// NaiveFW computes APSP with the classic three-loop Floyd-Warshall
+// algorithm (Algorithm 1). Reference implementation for validation.
+func NaiveFW(g *graph.Graph) semiring.Mat {
+	D := g.ToDense()
+	semiring.FloydWarshall(D)
+	return D
+}
+
+// defaultBlock is the BlockedFw block size. 64×64 double blocks (32 KiB)
+// keep one operand block resident in L1 during the SemiringGemm calls.
+const defaultBlock = 64
+
+// BlockedFW computes APSP with the multithreaded blocked Floyd-Warshall
+// algorithm (Algorithm 2) — the paper's efficient dense baseline that
+// ignores sparsity and performs Θ(n³) work.
+func BlockedFW(g *graph.Graph, threads int) semiring.Mat {
+	D := g.ToDense()
+	semiring.ParallelBlockedFloydWarshall(D, defaultBlock, threads)
+	return D
+}
+
+// PathDoubling computes APSP by repeated min-plus matrix squaring:
+// D ← D ⊗ D doubles the maximum hop count of the paths represented, so
+// ⌈log₂ n⌉ squarings reach the closure. Θ(n³ log n) work with O(log n)
+// depth — the theoretical low-depth variant in the paper's Table 2.
+func PathDoubling(g *graph.Graph, threads int) semiring.Mat {
+	D := g.ToDense()
+	n := g.N
+	next := semiring.NewMat(n, n)
+	for hops := 1; hops < n; hops *= 2 {
+		next.Copy(D)
+		// next = D ⊕ D⊗D, tiled over row bands in parallel.
+		par.ForRanges(n, threads, 0, func(lo, hi int) {
+			semiring.MinPlusMulAdd(next.View(lo, 0, hi-lo, n), D.View(lo, 0, hi-lo, n), D)
+		})
+		if next.Equal(D) {
+			break // fixpoint reached early
+		}
+		D, next = next, D
+	}
+	return D
+}

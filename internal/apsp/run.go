@@ -1,0 +1,166 @@
+package apsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+// Algorithm names the competing APSP implementations of the paper's
+// evaluation (§5.1.2).
+type Algorithm string
+
+const (
+	AlgoSuperFW       Algorithm = "superfw"       // ND + supernodes + etree parallelism
+	AlgoSuperBFS      Algorithm = "superbfs"      // BFS order + supernodal structure
+	AlgoBlockedFW     Algorithm = "blockedfw"     // dense blocked FW, Θ(n³)
+	AlgoNaiveFW       Algorithm = "naivefw"       // scalar FW reference
+	AlgoDijkstra      Algorithm = "dijkstra"      // CSR Dijkstra from every source
+	AlgoBoostDijkstra Algorithm = "boostdijkstra" // adjacency-list Dijkstra
+	AlgoDeltaStep     Algorithm = "deltastep"     // Δ-stepping per source
+	AlgoPathDoubling  Algorithm = "pathdoubling"  // min-plus repeated squaring
+	AlgoJohnson       Algorithm = "johnson"       // Bellman-Ford + Dijkstra
+)
+
+// Algorithms lists every registered algorithm in display order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoSuperFW, AlgoSuperBFS, AlgoBlockedFW, AlgoNaiveFW,
+		AlgoDijkstra, AlgoBoostDijkstra, AlgoDeltaStep, AlgoPathDoubling, AlgoJohnson,
+	}
+}
+
+// ParseAlgorithm converts a name into an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if string(a) == name {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("apsp: unknown algorithm %q (known: %v)", name, Algorithms())
+}
+
+// Run executes the named algorithm on g with the given parallelism and
+// returns the closed distance matrix in original vertex order. For the
+// SuperFW/SuperBFS family the symbolic phase is included; use the core
+// package directly to amortize plans across solves.
+func Run(algo Algorithm, g *graph.Graph, threads int) (semiring.Mat, error) {
+	switch algo {
+	case AlgoSuperFW, AlgoSuperBFS:
+		opts := core.DefaultOptions()
+		opts.Threads = threads
+		if algo == AlgoSuperBFS {
+			opts.Ordering = core.OrderBFS
+		}
+		plan, err := core.NewPlan(g, opts)
+		if err != nil {
+			return semiring.Mat{}, err
+		}
+		res, err := plan.Solve()
+		if err != nil {
+			return semiring.Mat{}, err
+		}
+		return res.Dense(), nil
+	case AlgoBlockedFW:
+		return BlockedFW(g, threads), nil
+	case AlgoNaiveFW:
+		return NaiveFW(g), nil
+	case AlgoDijkstra:
+		return Dijkstra(g, threads)
+	case AlgoBoostDijkstra:
+		return BoostDijkstra(g, threads)
+	case AlgoDeltaStep:
+		return DeltaStep(g, 0, threads)
+	case AlgoPathDoubling:
+		return PathDoubling(g, threads), nil
+	case AlgoJohnson:
+		return Johnson(g, nil, threads)
+	}
+	return semiring.Mat{}, fmt.Errorf("apsp: unknown algorithm %q", algo)
+}
+
+// MaxAbsDiff returns the largest absolute difference between two distance
+// matrices, treating matching +Inf entries as equal. A shape mismatch or
+// an Inf/finite disagreement returns +Inf.
+func MaxAbsDiff(a, b semiring.Mat) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			x, y := ra[j], rb[j]
+			if math.IsInf(x, 1) || math.IsInf(y, 1) {
+				if math.IsInf(x, 1) != math.IsInf(y, 1) {
+					return math.Inf(1)
+				}
+				continue
+			}
+			if d := math.Abs(x - y); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// CheckAPSPInvariants verifies semantic properties any correct APSP
+// closure of a (symmetric, non-negatively weighted) graph must satisfy:
+// zero diagonal, symmetry, the triangle inequality over a vertex sample,
+// and edge upper bounds (D[u][v] ≤ w(u,v)). Returns the first violation.
+func CheckAPSPInvariants(g *graph.Graph, D semiring.Mat, sample int) error {
+	n := g.N
+	if D.Rows != n || D.Cols != n {
+		return fmt.Errorf("apsp: matrix is %d×%d, want %d×%d", D.Rows, D.Cols, n, n)
+	}
+	const eps = 1e-9
+	for i := 0; i < n; i++ {
+		if D.At(i, i) != 0 {
+			return fmt.Errorf("apsp: nonzero diagonal D[%d][%d]=%g", i, i, D.At(i, i))
+		}
+	}
+	for u := 0; u < n; u++ {
+		adj, wgt := g.Neighbors(u)
+		for k, v := range adj {
+			if D.At(u, v) > wgt[k]+eps {
+				return fmt.Errorf("apsp: D[%d][%d]=%g exceeds edge weight %g", u, v, D.At(u, v), wgt[k])
+			}
+		}
+	}
+	// Symmetry and triangle inequality on a deterministic sample.
+	step := n / sample
+	if step < 1 {
+		step = 1
+	}
+	var picks []int
+	for i := 0; i < n; i += step {
+		picks = append(picks, i)
+	}
+	sort.Ints(picks)
+	for _, i := range picks {
+		for _, j := range picks {
+			dij := D.At(i, j)
+			if dji := D.At(j, i); !eq(dij, dji, eps) {
+				return fmt.Errorf("apsp: asymmetric D[%d][%d]=%g vs D[%d][%d]=%g", i, j, dij, j, i, dji)
+			}
+			for _, k := range picks {
+				if via := D.At(i, k) + D.At(k, j); dij > via+eps {
+					return fmt.Errorf("apsp: triangle violation D[%d][%d]=%g > %g via %d", i, j, dij, via, k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func eq(x, y, eps float64) bool {
+	if math.IsInf(x, 1) || math.IsInf(y, 1) {
+		return math.IsInf(x, 1) && math.IsInf(y, 1)
+	}
+	return math.Abs(x-y) <= eps
+}

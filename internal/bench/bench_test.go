@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCatalogBuildsValidGraphs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Catalog() {
+		if seen[e.Name] {
+			t.Fatalf("duplicate catalog name %q", e.Name)
+		}
+		seen[e.Name] = true
+		g := e.Build(true)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if g.N == 0 || g.M() == 0 {
+			t.Fatalf("%s: degenerate graph", e.Name)
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("catalog has %d entries, expected ≥20 (one per Table 3 row)", len(seen))
+	}
+}
+
+func TestCatalogSuitesNonEmpty(t *testing.T) {
+	var small, large int
+	for _, e := range Catalog() {
+		if e.Small {
+			small++
+		}
+		if e.Large {
+			large++
+		}
+	}
+	if small < 5 || large < 5 {
+		t.Errorf("suites too small: %d small, %d large", small, large)
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("geoknn_s"); !ok {
+		t.Error("known entry not found")
+	}
+	if _, ok := Find("nonexistent"); ok {
+		t.Error("unknown entry found")
+	}
+}
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds even in quick mode")
+	}
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := Run(id, true, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id {
+				t.Errorf("report id %q, want %q", rep.ID, id)
+			}
+			if len(rep.Rows) == 0 {
+				t.Error("experiment produced no rows")
+			}
+			md := rep.Markdown()
+			if !strings.Contains(md, rep.Title) {
+				t.Error("markdown missing title")
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", true, 1); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunAllWritesMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll([]string{"fig1"}, true, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "## fig1") {
+		t.Error("markdown output missing section header")
+	}
+}
+
+func TestSlopeFit(t *testing.T) {
+	// y = 2.5x + 1 exactly.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3.5, 6, 8.5, 11}
+	if s := slope(x, y); s < 2.49 || s > 2.51 {
+		t.Errorf("slope %g, want 2.5", s)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtDur(1500*time.Millisecond) != "1.50s" {
+		t.Error(fmtDur(1500 * time.Millisecond))
+	}
+	if fmtDur(2500*time.Microsecond) != "2.5ms" {
+		t.Error(fmtDur(2500 * time.Microsecond))
+	}
+	if fmtSpeedup(123.4) != "123×" {
+		t.Error(fmtSpeedup(123.4))
+	}
+	if fmtSpeedup(12.34) != "12.3×" {
+		t.Error(fmtSpeedup(12.34))
+	}
+	if fmtSpeedup(1.234) != "1.23×" {
+		t.Error(fmtSpeedup(1.234))
+	}
+}
+
+func TestRadiusForDeg(t *testing.T) {
+	// For n=1000 points in 2D with target degree 20: check the expected
+	// degree formula round-trips: deg = n·π·r².
+	r := radiusForDeg(1000, 2, 20)
+	deg := 1000 * 3.14159265 * r * r
+	if deg < 19 || deg > 21 {
+		t.Errorf("2D radius formula off: deg=%g", deg)
+	}
+	r3 := radiusForDeg(1000, 3, 30)
+	deg3 := 1000 * 4.18879 * r3 * r3 * r3
+	if deg3 < 29 || deg3 > 31 {
+		t.Errorf("3D radius formula off: deg=%g", deg3)
+	}
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Entry is one synthetic stand-in for a row of the paper's Table 3.
+// Quick mode shrinks every graph (used by unit tests and -quick runs);
+// full mode uses sizes a single-machine container can hold (the dense
+// distance matrix is n² float64, so n is capped well below the paper's
+// 114k-vertex maximum — the structural classes are what matter).
+type Entry struct {
+	Name     string // our graph name
+	PaperRow string // the Table 3 row this stands in for
+	Class    string // structural class
+	Small    bool   // member of the Fig 6a (small-graph) suite
+	Large    bool   // member of the Fig 6b (large-graph) suite
+	Build    func(quick bool) *graph.Graph
+}
+
+// scale returns full in normal mode and a reduced size in quick mode.
+func scale(quick bool, full, small int) int {
+	if quick {
+		return small
+	}
+	return full
+}
+
+// Catalog returns every test graph, one per Table 3 row.
+func Catalog() []Entry {
+	return []Entry{
+		{
+			Name: "powergrid_s", PaperRow: "USpowerGrid", Class: "power network", Small: true,
+			Build: func(q bool) *graph.Graph { return gen.PowerGrid(scale(q, 1600, 300), 101) },
+		},
+		{
+			Name: "powergrid_m", PaperRow: "OPF_6000", Class: "power network", Small: true,
+			Build: func(q bool) *graph.Graph { return gen.PowerGrid(scale(q, 2400, 400), 102) },
+		},
+		{
+			Name: "mesh3d_s", PaperRow: "nd6k", Class: "3D mesh", Small: true,
+			Build: func(q bool) *graph.Graph {
+				s := scale(q, 12, 6)
+				return gen.Grid3D(s, s, s, gen.WeightUniform, 103)
+			},
+		},
+		{
+			Name: "structural2d", PaperRow: "oilpan", Class: "structural", Large: true,
+			Build: func(q bool) *graph.Graph {
+				s := scale(q, 64, 16)
+				return gen.Grid2D(s, s, gen.WeightUniform, 104)
+			},
+		},
+		{
+			Name: "finance_l", PaperRow: "finan512", Class: "optimization", Large: true,
+			Build: func(q bool) *graph.Graph { return gen.Finance(scale(q, 96, 12), 48, 105) },
+		},
+		{
+			Name: "finance_m", PaperRow: "net4-1", Class: "optimization", Large: true,
+			Build: func(q bool) *graph.Graph { return gen.Finance(scale(q, 64, 10), 64, 106) },
+		},
+		{
+			Name: "community_s", PaperRow: "c-42", Class: "optimization", Small: true,
+			Build: func(q bool) *graph.Graph { return gen.CommunityGraph(scale(q, 1500, 300), 107) },
+		},
+		{
+			Name: "community_l", PaperRow: "email-Enron", Class: "social network", Large: true,
+			Build: func(q bool) *graph.Graph { return gen.CommunityGraph(scale(q, 4000, 500), 108) },
+		},
+		{
+			Name: "geoknn_s", PaperRow: "delaunay_n14", Class: "planar triangulation", Small: true,
+			Build: func(q bool) *graph.Graph {
+				return gen.GeometricKNN(scale(q, 2048, 256), 2, 3, gen.WeightEuclidean, 109)
+			},
+		},
+		{
+			Name: "geoknn_l", PaperRow: "delaunay_n16", Class: "planar triangulation", Large: true,
+			Build: func(q bool) *graph.Graph {
+				return gen.GeometricKNN(scale(q, 5000, 512), 2, 3, gen.WeightEuclidean, 110)
+			},
+		},
+		{
+			Name: "sphere", PaperRow: "fe_sphere", Class: "2D mesh", Small: true,
+			Build: func(q bool) *graph.Graph {
+				return gen.GeometricKNN(scale(q, 1600, 256), 2, 4, gen.WeightEuclidean, 111)
+			},
+		},
+		{
+			Name: "road_l", PaperRow: "luxembourg_osm", Class: "road network", Large: true,
+			Build: func(q bool) *graph.Graph {
+				s := scale(q, 80, 20)
+				return gen.RoadNetwork(s, s, 0.35, 112)
+			},
+		},
+		{
+			Name: "mesh3d_l", PaperRow: "fe_tooth", Class: "3D mesh", Large: true,
+			Build: func(q bool) *graph.Graph {
+				return gen.Grid3D(scale(q, 17, 7), scale(q, 16, 7), scale(q, 15, 6), gen.WeightUniform, 113)
+			},
+		},
+		{
+			Name: "wing", PaperRow: "wing", Class: "3D mesh (sparse)", Large: true,
+			Build: func(q bool) *graph.Graph {
+				return gen.GeometricKNN(scale(q, 4500, 400), 3, 2, gen.WeightEuclidean, 114)
+			},
+		},
+		{
+			Name: "road_m", PaperRow: "t60k", Class: "sparse mesh", Large: true,
+			Build: func(q bool) *graph.Graph {
+				s := scale(q, 64, 16)
+				return gen.RoadNetwork(s, s, 0.2, 115)
+			},
+		},
+		{
+			Name: "er", PaperRow: "G67", Class: "random", Small: true,
+			Build: func(q bool) *graph.Graph { return gen.ErdosRenyi(scale(q, 1024, 200), 4, gen.WeightUniform, 116) },
+		},
+		{
+			Name: "ba_dense", PaperRow: "EB_8192_256", Class: "preferential attachment", Small: true,
+			Build: func(q bool) *graph.Graph {
+				return gen.BarabasiAlbert(scale(q, 1200, 200), scale(q, 64, 8), gen.WeightUniform, 117)
+			},
+		},
+		{
+			Name: "ba_sparse", PaperRow: "EB_16384_64", Class: "preferential attachment", Small: true,
+			Build: func(q bool) *graph.Graph {
+				return gen.BarabasiAlbert(scale(q, 1600, 250), scale(q, 32, 6), gen.WeightUniform, 118)
+			},
+		},
+		{
+			Name: "rgg2d", PaperRow: "rgg2d_14", Class: "random geometric", Small: true,
+			Build: func(q bool) *graph.Graph {
+				n := scale(q, 1600, 256)
+				return gen.GeometricRadius(n, 2, radiusForDeg(n, 2, 20), gen.WeightUniform, 119)
+			},
+		},
+		{
+			Name: "rgg3d", PaperRow: "rgg3d_14", Class: "random geometric", Small: true,
+			Build: func(q bool) *graph.Graph {
+				n := scale(q, 1500, 256)
+				return gen.GeometricRadius(n, 3, radiusForDeg(n, 3, 30), gen.WeightUniform, 120)
+			},
+		},
+		{
+			Name: "hypercube", PaperRow: "hypercube_14", Class: "hypercube", Small: true,
+			Build: func(q bool) *graph.Graph { return gen.Hypercube(scale(q, 11, 8), gen.WeightUniform, 121) },
+		},
+	}
+}
+
+// radiusForDeg returns the radius giving the target average degree for n
+// uniform points in the unit dim-cube: deg ≈ n·V_d·r^d with V_2 = π,
+// V_3 = 4π/3.
+func radiusForDeg(n, dim int, deg float64) float64 {
+	if dim == 2 {
+		return math.Sqrt(deg / (math.Pi * float64(n)))
+	}
+	return math.Cbrt(deg / (4 * math.Pi / 3 * float64(n)))
+}
+
+// Find returns the catalog entry with the given name.
+func Find(name string) (Entry, bool) {
+	for _, e := range Catalog() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

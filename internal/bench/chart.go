@@ -1,0 +1,170 @@
+package bench
+
+// ASCII chart rendering for experiment reports: the paper's figures are
+// bar charts (Fig 6) and line plots (Fig 7/8); regenerating them as
+// text keeps the harness dependency-free while still giving a visual
+// read of the shapes.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders labeled values as horizontal bars, scaled to width.
+// Values must be non-negative; the scale is linear from zero.
+func BarChart(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(values) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(v / maxV * float64(width)))
+		fmt.Fprintf(&b, "%-*s │%s %.3g\n", maxL, labels[i], strings.Repeat("█", n), v)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// LogBarChart renders bars on a log10 scale — right for speedup factors
+// spanning orders of magnitude (Fig 6's 1×…123× labels).
+func LogBarChart(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(values) == 0 {
+		return ""
+	}
+	logs := make([]float64, len(values))
+	for i, v := range values {
+		if v < 1 {
+			v = 1
+		}
+		logs[i] = math.Log10(v) + 0.05 // keep 1× visible as a sliver
+	}
+	out := BarChart(labels, logs, width)
+	// Re-annotate with the raw values (BarChart printed the logs).
+	lines := strings.Split(out, "\n")
+	for i := range lines {
+		if i < len(values) {
+			if cut := strings.LastIndex(lines[i], " "); cut >= 0 {
+				lines[i] = lines[i][:cut] + fmt.Sprintf(" %.3g×", values[i])
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// LinePlot renders one or more series against a shared x axis as an
+// ASCII scatter/line grid of the given dimensions. Each series gets a
+// distinct glyph; points are plotted at the nearest cell.
+func LinePlot(x []float64, series map[string][]float64, width, height int) string {
+	if len(x) == 0 || len(series) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 50
+	}
+	if height <= 0 {
+		height = 12
+	}
+	minX, maxX := x[0], x[0]
+	for _, v := range x {
+		minX = math.Min(minX, v)
+		maxX = math.Max(maxX, v)
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		for _, v := range ys {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				minY = math.Min(minY, v)
+				maxY = math.Max(maxY, v)
+			}
+		}
+	}
+	if math.IsInf(minY, 0) || maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	glyphs := []rune{'●', '▲', '■', '◆', '○', '△'}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	// deterministic glyph assignment
+	sortStrings(names)
+	for si, name := range names {
+		g := glyphs[si%len(glyphs)]
+		ys := series[name]
+		for i, xv := range x {
+			if i >= len(ys) || math.IsInf(ys[i], 0) || math.IsNaN(ys[i]) {
+				continue
+			}
+			c := int((xv - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((ys[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[r][c] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.3g ┤%s\n", maxY, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%8s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8.3g ┼%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&b, "%8s  %-*.3g%*.3g\n", "", width/2, minX, width-width/2, maxX)
+	legend := make([]string, 0, len(names))
+	for si, name := range names {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], name))
+	}
+	b.WriteString("          " + strings.Join(legend, "   "))
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// CSV renders the report's table as RFC-4180-ish CSV (quotes only when
+// needed), for machine consumption alongside the markdown.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]string{"aa", "b"}, []float64{10, 5}, 10)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 bars, got %d", len(lines))
+	}
+	if strings.Count(lines[0], "█") != 10 {
+		t.Errorf("max bar should fill width: %q", lines[0])
+	}
+	if strings.Count(lines[1], "█") != 5 {
+		t.Errorf("half bar should be half width: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[0], "aa ") || !strings.HasPrefix(lines[1], "b  ") {
+		t.Errorf("labels must be aligned: %q", out)
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	if BarChart(nil, nil, 10) != "" {
+		t.Error("empty input should render empty")
+	}
+	if BarChart([]string{"a"}, []float64{1, 2}, 10) != "" {
+		t.Error("mismatched lengths should render empty")
+	}
+	out := BarChart([]string{"z"}, []float64{0}, 10)
+	if strings.Contains(out, "█") {
+		t.Error("zero value should have no bar")
+	}
+}
+
+func TestLogBarChart(t *testing.T) {
+	out := LogBarChart([]string{"big", "one"}, []float64{100, 1}, 20)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "100×") || !strings.Contains(lines[1], "1×") {
+		t.Errorf("raw values must annotate the bars: %q", out)
+	}
+	if strings.Count(lines[0], "█") <= strings.Count(lines[1], "█") {
+		t.Error("100× must be a longer bar than 1×")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	x := []float64{1, 2, 4, 8}
+	out := LinePlot(x, map[string][]float64{
+		"fast": {1, 2, 4, 8},
+		"flat": {1, 1, 1, 1},
+	}, 30, 8)
+	if !strings.Contains(out, "●") || !strings.Contains(out, "▲") {
+		t.Errorf("both series glyphs must appear:\n%s", out)
+	}
+	if !strings.Contains(out, "fast") || !strings.Contains(out, "flat") {
+		t.Error("legend missing")
+	}
+	if LinePlot(nil, nil, 10, 5) != "" {
+		t.Error("empty input should render empty")
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{Header: []string{"a", "b"}, Rows: [][]string{{"1", "x,y"}, {"2", `say "hi"`}}}
+	csv := r.CSV()
+	want := "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/apsp"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Crossover is an extension experiment: it interpolates between the
+// paper's best case (a planar grid with Θ(√n) separators) and its
+// adversarial case (an expander) by adding a growing number of random
+// long-range edges to a grid, and records where the SuperFw/Dijkstra
+// winner flips. The paper states the two regimes qualitatively (§4.3,
+// §5.2); this measures the boundary on one graph family.
+func Crossover(quick bool, threads int) *Report {
+	r := &Report{ID: "crossover", Title: "EXTENSION — planar→expander dial: where SuperFw stops winning",
+		Header: []string{"extra edges / n", "n/|S|", "planned ops / n³", "SuperFw", "Dijkstra", "SuperFw/Dijkstra"}}
+	side := 40
+	if quick {
+		side = 16
+	}
+	n := side * side
+	base := gen.Grid2D(side, side, gen.WeightUniform, 400)
+	fractions := []float64{0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0}
+	rng := rand.New(rand.NewSource(401))
+	var xs, ratios []float64
+	for _, frac := range fractions {
+		edges := base.Edges()
+		extra := int(frac * float64(n))
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v, W: 0.1 + rng.Float64()})
+			}
+		}
+		g := graph.MustFromEdges(n, edges)
+		plan, err := core.NewPlan(g, core.DefaultOptions())
+		if err != nil {
+			r.AddNote("frac %.2f: %v", frac, err)
+			continue
+		}
+		res, err := plan.SolveWith(threads, true)
+		if err != nil {
+			r.AddNote("frac %.2f: %v", frac, err)
+			continue
+		}
+		var djTime time.Duration
+		djTime = timeIt(func() {
+			if _, err := apsp.Dijkstra(g, threads); err != nil {
+				r.AddNote("frac %.2f: %v", frac, err)
+			}
+		})
+		sep := "-"
+		if plan.TopSep > 0 {
+			sep = fmt.Sprintf("%.1f", float64(n)/float64(plan.TopSep))
+		}
+		nd := float64(plan.PlannedOps()) / (float64(n) * float64(n) * float64(n))
+		ratio := float64(res.NumericTime) / float64(djTime)
+		r.AddRow(fmt.Sprintf("%.2f", frac), sep, fmt.Sprintf("%.3f", nd),
+			fmtDur(res.NumericTime), fmtDur(djTime), fmt.Sprintf("%.2f", ratio))
+		xs = append(xs, frac)
+		ratios = append(ratios, ratio)
+	}
+	if len(xs) > 1 {
+		r.Chart = "SuperFw/Dijkstra time ratio vs extra random edges (1.0 = crossover):\n" +
+			LinePlot(xs, map[string][]float64{"ratio": ratios}, 50, 10)
+	}
+	r.AddNote("ratios < 1 mean SuperFw wins; the flip tracks the separator quality (n/|S|) collapsing as random edges destroy planarity.")
+	return r
+}

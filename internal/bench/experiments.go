@@ -1,0 +1,525 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/apsp"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/semiring"
+)
+
+// Table3 regenerates the paper's Table 3: the test-graph suite with n,
+// nnz/n, and the separator quality n/|S| measured by our nested
+// dissection.
+func Table3(quick bool) *Report {
+	r := &Report{ID: "table3", Title: "Test graphs (synthetic analogues of the paper's suite)",
+		Header: []string{"Name", "Stands in for", "Class", "n", "nnz/n", "n/|S|"}}
+	for _, e := range Catalog() {
+		g := e.Build(quick)
+		plan, err := core.NewPlan(g, core.DefaultOptions())
+		if err != nil {
+			r.AddNote("%s: plan failed: %v", e.Name, err)
+			continue
+		}
+		sepRatio := "-"
+		if plan.TopSep > 0 {
+			sepRatio = fmt.Sprintf("%.1f", float64(g.N)/float64(plan.TopSep))
+		}
+		r.AddRow(e.Name, e.PaperRow, e.Class,
+			fmt.Sprintf("%d", g.N), fmt.Sprintf("%.2f", g.AvgDegree()), sepRatio)
+	}
+	r.AddNote("n/|S| uses the multilevel-ND top separator; the paper's column used METIS.")
+	return r
+}
+
+// runAlgo times one full APSP solve (including plan construction for the
+// SuperFW family, matching the paper's methodology note that reported
+// times exclude pre-processing — so the FW-family numeric time is
+// returned separately from plan time).
+func runAlgo(algo apsp.Algorithm, g *graph.Graph, threads int) (time.Duration, error) {
+	switch algo {
+	case apsp.AlgoSuperFW, apsp.AlgoSuperBFS:
+		opts := core.DefaultOptions()
+		opts.Threads = threads
+		if algo == apsp.AlgoSuperBFS {
+			opts.Ordering = core.OrderBFS
+		}
+		plan, err := core.NewPlan(g, opts)
+		if err != nil {
+			return 0, err
+		}
+		res, err := plan.Solve()
+		if err != nil {
+			return 0, err
+		}
+		return res.NumericTime, nil
+	default:
+		var err error
+		d := timeIt(func() { _, err = apsp.Run(algo, g, threads) })
+		return d, err
+	}
+}
+
+// Fig6a regenerates Fig 6a: normalized execution time of multithreaded
+// APSP algorithms on the small-graph suite, with speedups labeled over
+// the BlockedFw reference.
+func Fig6a(quick bool, threads int) *Report {
+	r := &Report{ID: "fig6a", Title: "Small graphs: time normalized to BlockedFw (labels = speedup over BlockedFw)",
+		Header: []string{"Graph", "n", "BlockedFw", "SuperBfs", "SuperFw", "Dijkstra"}}
+	algos := []apsp.Algorithm{apsp.AlgoBlockedFW, apsp.AlgoSuperBFS, apsp.AlgoSuperFW, apsp.AlgoDijkstra}
+	var chartLabels []string
+	var chartVals []float64
+	for _, e := range Catalog() {
+		if !e.Small {
+			continue
+		}
+		g := e.Build(quick)
+		times := make([]time.Duration, len(algos))
+		failed := false
+		for i, a := range algos {
+			d, err := runAlgo(a, g, threads)
+			if err != nil {
+				r.AddNote("%s/%s failed: %v", e.Name, a, err)
+				failed = true
+				break
+			}
+			times[i] = d
+		}
+		if failed {
+			continue
+		}
+		base := float64(times[0])
+		row := []string{e.Name, fmt.Sprintf("%d", g.N), fmtDur(times[0])}
+		for _, d := range times[1:] {
+			row = append(row, fmt.Sprintf("%s (%s)", fmtDur(d), fmtSpeedup(base/float64(d))))
+		}
+		r.AddRow(row...)
+		chartLabels = append(chartLabels, e.Name)
+		chartVals = append(chartVals, base/float64(times[2]))
+	}
+	r.Chart = "SuperFw speedup over BlockedFw (log scale):\n" + LogBarChart(chartLabels, chartVals, 40)
+	r.AddNote("threads=%d; FW-family times are numeric phase only (paper §5.1.4 excludes pre-processing).", threads)
+	return r
+}
+
+// Fig6b regenerates Fig 6b: the large-graph suite where O(n³) algorithms
+// are dropped and times are normalized to Dijkstra.
+func Fig6b(quick bool, threads int) *Report {
+	r := &Report{ID: "fig6b", Title: "Large graphs: time normalized to Dijkstra (labels = speedup over Dijkstra)",
+		Header: []string{"Graph", "n", "Dijkstra", "SuperFw", "BoostDijkstra", "DeltaStep"}}
+	algos := []apsp.Algorithm{apsp.AlgoDijkstra, apsp.AlgoSuperFW, apsp.AlgoBoostDijkstra, apsp.AlgoDeltaStep}
+	var chartLabels []string
+	var chartVals []float64
+	for _, e := range Catalog() {
+		if !e.Large {
+			continue
+		}
+		g := e.Build(quick)
+		times := make([]time.Duration, len(algos))
+		failed := false
+		for i, a := range algos {
+			d, err := runAlgo(a, g, threads)
+			if err != nil {
+				r.AddNote("%s/%s failed: %v", e.Name, a, err)
+				failed = true
+				break
+			}
+			times[i] = d
+		}
+		if failed {
+			continue
+		}
+		base := float64(times[0])
+		row := []string{e.Name, fmt.Sprintf("%d", g.N), fmtDur(times[0])}
+		for _, d := range times[1:] {
+			row = append(row, fmt.Sprintf("%s (%s)", fmtDur(d), fmtSpeedup(base/float64(d))))
+		}
+		r.AddRow(row...)
+		chartLabels = append(chartLabels, e.Name)
+		chartVals = append(chartVals, base/float64(times[1]))
+	}
+	r.Chart = "SuperFw speedup over Dijkstra (log scale; <1x = Dijkstra wins):\n" + LogBarChart(chartLabels, chartVals, 40)
+	r.AddNote("threads=%d.", threads)
+	return r
+}
+
+// fig7Graphs are the four large graphs of Fig 7 (a-d analogues).
+func fig7Graphs() []string { return []string{"finance_l", "finance_m", "community_l", "wing"} }
+
+// Fig7 regenerates Fig 7: strong scaling of SuperFw, Dijkstra,
+// BoostDijkstra and Δ-stepping over thread counts.
+func Fig7(quick bool) *Report {
+	threadSweep := []int{1, 2, 4, 8}
+	if quick {
+		threadSweep = []int{1, 2}
+	}
+	header := []string{"Graph", "Algorithm"}
+	for _, t := range threadSweep {
+		header = append(header, fmt.Sprintf("t=%d", t))
+	}
+	header = append(header, "speedup@max")
+	r := &Report{ID: "fig7", Title: "Strong scaling (speedup over the same algorithm at t=1)", Header: header}
+	algos := []apsp.Algorithm{apsp.AlgoSuperFW, apsp.AlgoDijkstra, apsp.AlgoBoostDijkstra, apsp.AlgoDeltaStep}
+	chartSeries := map[string][]float64{}
+	var chartX []float64
+	for _, t := range threadSweep {
+		chartX = append(chartX, float64(t))
+	}
+	for gi, name := range fig7Graphs() {
+		e, ok := Find(name)
+		if !ok {
+			continue
+		}
+		g := e.Build(quick)
+		for _, a := range algos {
+			row := []string{e.Name, string(a)}
+			var t1 time.Duration
+			var last float64
+			var speedups []float64
+			ok := true
+			for _, th := range threadSweep {
+				d, err := runAlgo(a, g, th)
+				if err != nil {
+					r.AddNote("%s/%s failed: %v", e.Name, a, err)
+					ok = false
+					break
+				}
+				if th == 1 {
+					t1 = d
+				}
+				last = float64(t1) / float64(d)
+				speedups = append(speedups, last)
+				row = append(row, fmtDur(d))
+			}
+			if !ok {
+				continue
+			}
+			if gi == 0 {
+				chartSeries[string(a)] = speedups
+			}
+			row = append(row, fmtSpeedup(last))
+			r.AddRow(row...)
+		}
+	}
+	if len(chartSeries) > 0 {
+		r.Chart = fmt.Sprintf("speedup vs threads on %s (paper Fig 7a analogue):\n", fig7Graphs()[0]) +
+			LinePlot(chartX, chartSeries, 48, 10)
+	}
+	r.AddNote("Speedups are bounded by the physical core count of the host (the paper used 32 cores / 64 hyperthreads).")
+	return r
+}
+
+// Fig8 regenerates Fig 8: the impact of etree parallelism on SuperFw
+// scaling — parallel speedup over the sequential run, with and without
+// level scheduling.
+func Fig8(quick bool) *Report {
+	r := &Report{ID: "fig8", Title: "Impact of etree parallelism on SuperFw (speedup over 1-thread run)",
+		Header: []string{"Graph", "n", "t=1", "parallel w/o etree", "parallel with etree", "etree gain"}}
+	names := []string{"powergrid_s", "geoknn_s", "road_m", "finance_l"}
+	threads := 8
+	if quick {
+		threads = 2
+	}
+	var chartLabels []string
+	var chartVals []float64
+	for _, name := range names {
+		e, ok := Find(name)
+		if !ok {
+			continue
+		}
+		g := e.Build(quick)
+		plan, err := core.NewPlan(g, core.DefaultOptions())
+		if err != nil {
+			r.AddNote("%s: %v", name, err)
+			continue
+		}
+		seq, err := plan.SolveWith(1, false)
+		if err != nil {
+			r.AddNote("%s: %v", name, err)
+			continue
+		}
+		noEtree, err1 := plan.SolveWith(threads, false)
+		withEtree, err2 := plan.SolveWith(threads, true)
+		if err1 != nil || err2 != nil {
+			r.AddNote("%s: solve failed", name)
+			continue
+		}
+		s1 := float64(seq.NumericTime) / float64(noEtree.NumericTime)
+		s2 := float64(seq.NumericTime) / float64(withEtree.NumericTime)
+		r.AddRow(e.Name, fmt.Sprintf("%d", g.N), fmtDur(seq.NumericTime),
+			fmtSpeedup(s1), fmtSpeedup(s2), fmt.Sprintf("%.2f", s2/s1))
+		chartLabels = append(chartLabels, e.Name)
+		chartVals = append(chartVals, s2/s1)
+	}
+	if len(chartVals) > 0 {
+		r.Chart = "etree-parallelism gain (with/without level scheduling):\n" + BarChart(chartLabels, chartVals, 36)
+	}
+	r.AddNote("threads=%d. The paper reports etree parallelism helping most on small graphs with little per-level work.", threads)
+	return r
+}
+
+// Table2 regenerates Table 2 empirically: measured work-scaling exponents
+// on 2D grids (known Θ(√n) separators), where SuperFw's fused-op count
+// should grow ≈ n^2.5 against BlockedFw's n³, and SuperFw's critical-path
+// proxy stays polylog·√n.
+func Table2(quick bool) *Report {
+	sides := []int{24, 32, 48, 64, 96}
+	if quick {
+		sides = []int{12, 16, 24}
+	}
+	r := &Report{ID: "table2", Title: "Work/depth scaling on 2D grids (measured fused-op counts)",
+		Header: []string{"grid", "n", "SuperFw W(n)", "BlockedFw W(n)=n³", "SuperFw D(n) proxy", "concurrency W/D"}}
+	var logN, logW, logD []float64
+	for _, s := range sides {
+		g := gen.Grid2D(s, s, gen.WeightUniform, 200)
+		ord := order.GridND(s, s, 32)
+		plan, err := core.NewPlan(g, core.Options{Ordering: core.OrderCustom, Custom: &ord, MaxBlock: 64})
+		if err != nil {
+			r.AddNote("grid %d: %v", s, err)
+			continue
+		}
+		w := plan.PlannedOps()
+		d := plan.CriticalPathOps()
+		n := int64(g.N)
+		r.AddRow(fmt.Sprintf("%dx%d", s, s), fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", w), fmt.Sprintf("%d", n*n*n),
+			fmt.Sprintf("%d", d), fmt.Sprintf("%.0f", float64(w)/float64(d)))
+		logN = append(logN, math.Log(float64(n)))
+		logW = append(logW, math.Log(float64(w)))
+		logD = append(logD, math.Log(float64(d)))
+	}
+	if len(logN) >= 2 {
+		r.AddNote("fitted work exponent: W(n) ~ n^%.2f (paper: n^2.5 = n²·|S| with |S|=√n on planar graphs; BlockedFw is n^3).", slope(logN, logW))
+		r.AddNote("fitted depth exponent: D(n) ~ n^%.2f (paper: |S|·log²n ⇒ exponent ≈ 0.5 up to polylog).", slope(logN, logD))
+	}
+	return r
+}
+
+// slope returns the least-squares slope of y against x.
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// Fig1 regenerates Fig 1: how quickly the Dist matrix densifies during
+// Floyd-Warshall when the vertex ordering is not optimal. The reported
+// quantity is the density of the TRAILING submatrix A[k:n, k:n] — the
+// part still awaiting elimination, whose new finite entries are the
+// graph-path analogue of Cholesky fill-in. A random ordering (the paper's
+// "not optimal" case) densifies the trailing matrix almost immediately;
+// the natural row-major order of a grid behaves like a band ordering;
+// nested dissection keeps the trailing matrix sparse until the very end.
+func Fig1() *Report {
+	r := &Report{ID: "fig1", Title: "Trailing-submatrix density vs FW progress (fill-in analogue)",
+		Header: []string{"ordering", "k=0", "k=n/4", "k=n/2", "k=3n/4"}}
+	side := 16
+	g := gen.Grid2D(side, side, gen.WeightUniform, 300)
+	n := g.N
+	rng := rand.New(rand.NewSource(301))
+	randPerm := rng.Perm(n)
+	ndOrd := order.GridND(side, side, 16)
+	for _, mode := range []struct {
+		name string
+		perm []int
+	}{
+		{"random (not optimal)", randPerm},
+		{"natural (row-major band)", nil},
+		{"nested dissection", ndOrd.Perm},
+	} {
+		pg := g
+		if mode.perm != nil {
+			pg = g.Permute(mode.perm)
+		}
+		D := pg.ToDense()
+		marks := map[int]bool{0: true, n / 4: true, n / 2: true, 3 * n / 4: true}
+		row := []string{mode.name}
+		for k := 0; k < n; k++ {
+			if marks[k] {
+				row = append(row, fmt.Sprintf("%.3f", trailingDensity(D, k)))
+			}
+			fwStep(D, k)
+		}
+		r.AddRow(row...)
+	}
+	// The worked 6-vertex example of the paper's Fig 1.
+	ex := graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1, W: 0.3}, {U: 1, V: 2, W: 0.2}, {U: 1, V: 3, W: 0.2},
+		{U: 0, V: 4, W: 0.6}, {U: 0, V: 5, W: 0.6},
+	})
+	D := ex.ToDense()
+	before := D.CountFinite()
+	fwStep(D, 0)
+	fwStep(D, 1)
+	after2 := D.CountFinite()
+	semiring.FloydWarshall(D)
+	r.AddNote("paper's 6-vertex example: %d finite entries initially, %d after two iterations, %d at closure (matches Fig 1b: fully dense).",
+		before, after2, D.CountFinite())
+	r.AddNote("with the hub vertex ordered first (natural), two iterations already densify the matrix; ND defers fill to the final separator eliminations.")
+	return r
+}
+
+func density(D semiring.Mat) float64 {
+	return float64(D.CountFinite()) / float64(D.Rows*D.Cols)
+}
+
+// trailingDensity returns the finite fraction of A[k:n, k:n].
+func trailingDensity(D semiring.Mat, k int) float64 {
+	n := D.Rows
+	if k >= n {
+		return 1
+	}
+	return density(D.View(k, k, n-k, n-k))
+}
+
+// fwStep performs one outer iteration of scalar FW.
+func fwStep(D semiring.Mat, k int) { semiring.FloydWarshallStep(D, k) }
+
+// Kernel regenerates the §5.1.2 kernel-rate measurements: SemiringGemm
+// throughput across operand sizes, and the aggregate BlockedFw rate.
+func Kernel(quick bool) *Report {
+	sizes := []int{64, 128, 256, 512}
+	if quick {
+		sizes = []int{32, 64}
+	}
+	r := &Report{ID: "kernel", Title: "SemiringGemm kernel rate (fused min-plus op = 2 flops, as the paper counts)",
+		Header: []string{"n", "time", "Gflop/s"}}
+	for _, n := range sizes {
+		A := randDense(n, 400+int64(n))
+		B := randDense(n, 500+int64(n))
+		C := semiring.NewInfMat(n, n)
+		// Repeat small sizes for stable timing.
+		reps := 1
+		if n <= 128 {
+			reps = 8
+		}
+		d := timeIt(func() {
+			for i := 0; i < reps; i++ {
+				semiring.MinPlusMulAdd(C, A, B)
+			}
+		})
+		flops := 2 * float64(n) * float64(n) * float64(n) * float64(reps)
+		r.AddRow(fmt.Sprintf("%d", n), fmtDur(d), fmt.Sprintf("%.2f", flops/d.Seconds()/1e9))
+	}
+	// Aggregate BlockedFw rate.
+	n := 1024
+	if quick {
+		n = 256
+	}
+	g := gen.ErdosRenyi(n, 8, gen.WeightUniform, 600)
+	d := timeIt(func() { apsp.BlockedFW(g, 0) })
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	r.AddRow(fmt.Sprintf("BlockedFw n=%d", n), fmtDur(d), fmt.Sprintf("%.2f", flops/d.Seconds()/1e9))
+	r.AddNote("paper: 10.2 Gflop/s per core for SemiringGemm (hand-tuned SIMD), 244 Gflop/s for BlockedFw on 32 cores; pure Go reaches a lower absolute rate, same kernel-bound shape.")
+	return r
+}
+
+func randDense(n int, seed int64) semiring.Mat {
+	g := gen.ErdosRenyi(n, float64(n)/4, gen.WeightUniform, seed)
+	return g.ToDense()
+}
+
+// Preproc regenerates the §5.1.4 accounting: pre-processing (ordering +
+// symbolic analysis) time as a fraction of end-to-end SuperFw time.
+func Preproc(quick bool) *Report {
+	r := &Report{ID: "preproc", Title: "Pre-processing overhead of SuperFw",
+		Header: []string{"Graph", "n", "ordering", "symbolic", "numeric", "preproc %"}}
+	names := []string{"geoknn_s", "powergrid_m", "mesh3d_s", "road_m", "finance_m"}
+	worst := 0.0
+	for _, name := range names {
+		e, ok := Find(name)
+		if !ok {
+			continue
+		}
+		g := e.Build(quick)
+		plan, err := core.NewPlan(g, core.DefaultOptions())
+		if err != nil {
+			r.AddNote("%s: %v", name, err)
+			continue
+		}
+		res, err := plan.Solve()
+		if err != nil {
+			r.AddNote("%s: %v", name, err)
+			continue
+		}
+		pre := plan.OrderTime + plan.SymbolicTime
+		frac := 100 * float64(pre) / float64(pre+res.NumericTime)
+		if frac > worst {
+			worst = frac
+		}
+		r.AddRow(e.Name, fmt.Sprintf("%d", g.N), fmtDur(plan.OrderTime), fmtDur(plan.SymbolicTime),
+			fmtDur(res.NumericTime), fmt.Sprintf("%.1f%%", frac))
+	}
+	r.AddNote("worst case %.1f%% (paper: worst case 18%% of multithreaded execution time).", worst)
+	return r
+}
+
+// Experiments lists every experiment id in run order: one per paper
+// table/figure plus the "factor" extension study.
+func Experiments() []string {
+	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "preproc", "factor", "crossover", "comm"}
+}
+
+// Run executes the named experiment.
+func Run(id string, quick bool, threads int) (*Report, error) {
+	switch id {
+	case "fig1":
+		return Fig1(), nil
+	case "table2":
+		return Table2(quick), nil
+	case "table3":
+		return Table3(quick), nil
+	case "fig6a":
+		return Fig6a(quick, threads), nil
+	case "fig6b":
+		return Fig6b(quick, threads), nil
+	case "fig7":
+		return Fig7(quick), nil
+	case "fig8":
+		return Fig8(quick), nil
+	case "kernel":
+		return Kernel(quick), nil
+	case "preproc":
+		return Preproc(quick), nil
+	case "factor":
+		return Factor(quick), nil
+	case "crossover":
+		return Crossover(quick, threads), nil
+	case "comm":
+		return Comm(quick), nil
+	}
+	return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
+}
+
+// RunAll executes the given experiments (all when ids is empty), writing
+// markdown to w as each finishes.
+func RunAll(ids []string, quick bool, threads int, w io.Writer) error {
+	if len(ids) == 0 {
+		ids = Experiments()
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rep, err := Run(id, quick, threads)
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, rep.Markdown()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§5): the test-graph catalog
+// (Table 3), the asymptotic work study (Table 2), the small- and
+// large-graph algorithm comparisons (Fig 6a/6b), strong scaling (Fig 7),
+// the etree-parallelism ablation (Fig 8), the SemiringGemm kernel rates
+// (§5.1.2), and pre-processing overhead (§5.1.4).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is a rendered experiment: a titled table plus free-form notes
+// and an optional ASCII chart (the figure form of figure experiments).
+type Report struct {
+	ID     string // experiment id, e.g. "fig6a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	Chart  string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a note line rendered under the table.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Markdown renders the report as a GitHub-flavored markdown section.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		b.WriteString("| " + strings.Join(r.Header, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(r.Header)) + "\n")
+		for _, row := range r.Rows {
+			b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		}
+		b.WriteString("\n")
+	}
+	if r.Chart != "" {
+		b.WriteString("```\n" + r.Chart + "\n```\n\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "- %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// fmtDur renders a duration with 3 significant figures.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// fmtSpeedup renders a speedup factor the way the paper labels its bars.
+func fmtSpeedup(x float64) string {
+	switch {
+	case x >= 100:
+		return fmt.Sprintf("%.0f×", x)
+	case x >= 10:
+		return fmt.Sprintf("%.1f×", x)
+	default:
+		return fmt.Sprintf("%.2f×", x)
+	}
+}
+
+// timeIt runs fn once and returns the elapsed wall time.
+func timeIt(fn func()) time.Duration {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}

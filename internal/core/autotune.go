@@ -1,0 +1,53 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+)
+
+// AutotuneMaxBlock picks the supernode block cap empirically: it builds
+// a plan per candidate size and times a numeric solve on the graph
+// itself (when the graph is small) or on a sampled subgraph, returning
+// the fastest candidate. The block cap is the main machine-dependent
+// knob of the supernodal data structure — it trades kernel efficiency
+// (bigger dense blocks) against schedule granularity and padding, and
+// the best value depends on cache sizes the library cannot know.
+//
+// Candidates defaults to {32, 64, 128, 256} when nil.
+func AutotuneMaxBlock(g *graph.Graph, opts Options, candidates []int) (best int, err error) {
+	if candidates == nil {
+		candidates = []int{32, 64, 128, 256}
+	}
+	sample := g
+	const sampleCap = 3000
+	if g.N > sampleCap {
+		// Time on a BFS ball around a pseudo-peripheral vertex: it
+		// preserves local structure (degree, weights) at a size where a
+		// few trial solves are cheap.
+		root := g.PseudoPeripheral(0)
+		order := g.BFSOrder(root)
+		if len(order) > sampleCap {
+			order = order[:sampleCap]
+		}
+		sample = g.InducedSubgraph(order)
+	}
+	bestTime := time.Duration(1<<62 - 1)
+	for _, mb := range candidates {
+		o := opts
+		o.MaxBlock = mb
+		plan, perr := NewPlan(sample, o)
+		if perr != nil {
+			return 0, perr
+		}
+		res, serr := plan.Solve()
+		if serr != nil {
+			return 0, serr
+		}
+		if res.NumericTime < bestTime {
+			bestTime = res.NumericTime
+			best = mb
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/symbolic"
+)
+
+func TestExactReachMatchesDefault(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		want := Closure(g.ToDense())
+		for _, ok := range []OrderingKind{OrderND, OrderBFS, OrderMinDegree, OrderNatural} {
+			for _, threads := range []int{1, 4} {
+				opts := Options{Ordering: ok, Threads: threads, EtreeParallel: true,
+					MaxBlock: 16, LeafSize: 12, ExactReach: true}
+				plan, err := NewPlan(g, opts)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, ok, err)
+				}
+				res, err := plan.Solve()
+				if err != nil {
+					t.Fatalf("%s/%v: %v", name, ok, err)
+				}
+				if !res.Dense().EqualTol(want, 1e-9) {
+					t.Errorf("%s ordering=%v threads=%d: exact-reach result differs", name, ok, threads)
+				}
+			}
+		}
+	}
+}
+
+func TestExactReachPathGraphRegression(t *testing.T) {
+	// Regression for the descendant-side soundness bug: on a natural-
+	// ordered path graph, a descendant-side "exact" restriction would
+	// lose Dist[0][n-1] entirely (distance-matrix updates create finite
+	// entries outside the symbolic fill). The ancestor-side-only
+	// refinement must still produce the full closure.
+	g := gen.Grid2D(12, 1, gen.WeightUnit, 1)
+	plan, err := NewPlan(g, Options{Ordering: OrderNatural, MaxBlock: 1, ExactReach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.At(0, 11); got != 11 {
+		t.Fatalf("path end-to-end distance = %g, want 11", got)
+	}
+}
+
+func TestExactReachReducesWork(t *testing.T) {
+	// On a natural-ordered path graph, A(k) is the whole suffix but
+	// struct(k) is one supernode: exact reach must slash planned ops.
+	g := gen.Grid2D(200, 1, gen.WeightUniform, 2)
+	def, err := NewPlan(g, Options{Ordering: OrderNatural, MaxBlock: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewPlan(g, Options{Ordering: OrderNatural, MaxBlock: 4, ExactReach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The descendant side stays whole, so the reduction is bounded; the
+	// ancestor chain collapsing from O(n) to 1 supernode still must buy
+	// a clear constant factor.
+	if exact.PlannedOps()*2 >= def.PlannedOps() {
+		t.Errorf("exact reach ops %d should be well below default %d on a path",
+			exact.PlannedOps(), def.PlannedOps())
+	}
+	// Exact reach can never plan MORE work than the default.
+	for name, g := range testGraphs(t) {
+		d, err1 := NewPlan(g, Options{Ordering: OrderBFS, MaxBlock: 16})
+		e, err2 := NewPlan(g, Options{Ordering: OrderBFS, MaxBlock: 16, ExactReach: true})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if e.PlannedOps() > d.PlannedOps() {
+			t.Errorf("%s: exact ops %d exceed default %d", name, e.PlannedOps(), d.PlannedOps())
+		}
+	}
+}
+
+func TestSupernodalStructSubsetOfAncestors(t *testing.T) {
+	g := gen.GeometricKNN(300, 2, 4, gen.WeightUniform, 3)
+	plan, err := NewPlan(g, Options{Ordering: OrderND, MaxBlock: 32, ExactReach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	structs := symbolic.SupernodalStruct(plan.PG, plan.Sn)
+	for k := range plan.Sn.Ranges {
+		anc := map[int]bool{}
+		for _, a := range plan.Sn.Ancestors(k) {
+			anc[a] = true
+		}
+		for _, a := range structs[k] {
+			if !anc[int(a)] {
+				t.Fatalf("supernode %d: struct member %d is not an ancestor", k, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+// Binary serialization for the supernodal factor. A factor computed once
+// for a large graph (e.g. a road network) can be written to disk and
+// later memory-mapped cheaply for query serving, without the graph, the
+// ordering pipeline, or the partitioner.
+//
+// Format (little-endian):
+//
+//	magic "SFWF", u32 version
+//	u8 semiring id (0 = min-plus, 1 = max-min)
+//	u64 n, u64 #supernodes
+//	perm:  n × u64
+//	per supernode: u64 lo, hi, subLo, parent+1
+//	per supernode: diag (s×s f64), up (s×anc f64), down (anc×s f64)
+//
+// Matrix dimensions are reconstructed from the supernode structure, so
+// only raw payloads are stored.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/semiring"
+	"repro/internal/symbolic"
+)
+
+const factorMagic = "SFWF"
+const factorVersion = 1
+
+func semiringID(K *semiring.Kernels) (uint8, error) {
+	switch K {
+	case semiring.MinPlusKernels:
+		return 0, nil
+	case semiring.MaxMinKernels:
+		return 1, nil
+	}
+	return 0, fmt.Errorf("core: cannot serialize custom semiring %q", K.Name)
+}
+
+func semiringByID(id uint8) (*semiring.Kernels, error) {
+	switch id {
+	case 0:
+		return semiring.MinPlusKernels, nil
+	case 1:
+		return semiring.MaxMinKernels, nil
+	}
+	return nil, fmt.Errorf("core: unknown semiring id %d", id)
+}
+
+// WriteTo serializes the factor. It implements io.WriterTo.
+func (f *Factor) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &countWriter{w: bw}
+	sid, err := semiringID(f.K)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := cw.Write([]byte(factorMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, factorVersion); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write([]byte{sid}); err != nil {
+		return cw.n, err
+	}
+	ns := f.sn.NumSupernodes()
+	if err := writeU64s(cw, uint64(f.n), uint64(ns)); err != nil {
+		return cw.n, err
+	}
+	for _, p := range f.perm {
+		if err := writeU64s(cw, uint64(p)); err != nil {
+			return cw.n, err
+		}
+	}
+	for k := 0; k < ns; k++ {
+		r := f.sn.Ranges[k]
+		if err := writeU64s(cw, uint64(r.Lo), uint64(r.Hi), uint64(f.sn.SubLo[k]), uint64(f.sn.Parent[k]+1)); err != nil {
+			return cw.n, err
+		}
+	}
+	for k := 0; k < ns; k++ {
+		for _, m := range []semiring.Mat{f.diag[k], f.up[k], f.down[k]} {
+			if err := writeFloats(cw, m.Data); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFactor deserializes a factor written by WriteTo.
+func ReadFactor(r io.Reader) (*Factor, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != factorMagic {
+		return nil, fmt.Errorf("core: not a factor file (magic %q)", head)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != factorVersion {
+		return nil, fmt.Errorf("core: unsupported factor version %d", ver)
+	}
+	sidBuf := make([]byte, 1)
+	if _, err := io.ReadFull(br, sidBuf); err != nil {
+		return nil, err
+	}
+	K, err := semiringByID(sidBuf[0])
+	if err != nil {
+		return nil, err
+	}
+	n64, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	ns64, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	n, ns := int(n64), int(ns64)
+	// The 2^24 cap is far above any graph this library can solve (the
+	// factor of a 16M-vertex graph would not fit in memory anyway) and
+	// stops crafted headers from driving huge allocations.
+	if n < 0 || ns < 0 || ns > n || n > 1<<24 {
+		return nil, fmt.Errorf("core: corrupt factor header (n=%d, ns=%d)", n, ns)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		v, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		perm[i] = int(v)
+	}
+	if !graph.IsPermutation(perm) {
+		return nil, fmt.Errorf("core: corrupt factor permutation")
+	}
+	ranges := make([]symbolic.Range, ns)
+	parent := make([]int, ns)
+	subLo := make([]int, ns)
+	for k := 0; k < ns; k++ {
+		lo, err1 := readU64(br)
+		hi, err2 := readU64(br)
+		sl, err3 := readU64(br)
+		pp, err4 := readU64(br)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("core: truncated supernode table")
+		}
+		ranges[k] = symbolic.Range{Lo: int(lo), Hi: int(hi)}
+		subLo[k] = int(sl)
+		parent[k] = int(pp) - 1
+		if parent[k] >= ns || int(hi) > n || int(lo) > int(hi) {
+			return nil, fmt.Errorf("core: corrupt supernode %d", k)
+		}
+	}
+	sn := symbolic.New(ranges, parent, subLo)
+	if msg := sn.Check(); msg != "" {
+		return nil, fmt.Errorf("core: corrupt supernode structure: %s", msg)
+	}
+	f := &Factor{
+		n:      n,
+		perm:   perm,
+		iperm:  graph.InversePerm(perm),
+		sn:     sn,
+		K:      K,
+		diag:   make([]semiring.Mat, ns),
+		up:     make([]semiring.Mat, ns),
+		down:   make([]semiring.Mat, ns),
+		ancIDs: make([][]int, ns),
+		ancOff: make([][]int, ns),
+	}
+	for k := 0; k < ns; k++ {
+		anc := sn.Ancestors(k)
+		off := make([]int, len(anc)+1)
+		for i, a := range anc {
+			off[i+1] = off[i] + sn.Ranges[a].Size()
+		}
+		f.ancIDs[k] = anc
+		f.ancOff[k] = off
+		s := ranges[k].Size()
+		total := off[len(anc)]
+		f.diag[k] = semiring.Mat{Data: make([]float64, s*s), Stride: s, Rows: s, Cols: s}
+		f.up[k] = semiring.Mat{Data: make([]float64, s*total), Stride: total, Rows: s, Cols: total}
+		f.down[k] = semiring.Mat{Data: make([]float64, total*s), Stride: s, Rows: total, Cols: s}
+		for _, m := range []semiring.Mat{f.diag[k], f.up[k], f.down[k]} {
+			if err := readFloats(br, m.Data); err != nil {
+				return nil, fmt.Errorf("core: truncated factor payload: %w", err)
+			}
+		}
+	}
+	return f, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeU64s(w io.Writer, vs ...uint64) error {
+	var b [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(b[:], v)
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// writeFloats writes a float64 slice as raw little-endian payload.
+func writeFloats(w io.Writer, data []float64) error {
+	buf := make([]byte, 8*1024)
+	for len(data) > 0 {
+		chunk := len(data)
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(data[i]))
+		}
+		if _, err := w.Write(buf[:8*chunk]); err != nil {
+			return err
+		}
+		data = data[chunk:]
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, data []float64) error {
+	buf := make([]byte, 8*1024)
+	for len(data) > 0 {
+		chunk := len(data)
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		if _, err := io.ReadFull(r, buf[:8*chunk]); err != nil {
+			return err
+		}
+		for i := 0; i < chunk; i++ {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		data = data[chunk:]
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/semiring"
+)
+
+func TestFactorRoundTrip(t *testing.T) {
+	g := gen.RoadNetwork(14, 14, 0.3, 91)
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactor(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	f2, err := ReadFactor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same SSSP answers, same memory, same structure.
+	if f2.Memory() != f.Memory() {
+		t.Errorf("memory %d != %d after round trip", f2.Memory(), f.Memory())
+	}
+	for src := 0; src < g.N; src += 23 {
+		a := f.SSSP(src)
+		b := f2.SSSP(src)
+		for v := range a {
+			if a[v] != b[v] && !(math.IsInf(a[v], 1) && math.IsInf(b[v], 1)) {
+				t.Fatalf("SSSP(%d)[%d]: %g != %g", src, v, a[v], b[v])
+			}
+		}
+	}
+	if f.Dist(3, 100) != f2.Dist(3, 100) {
+		t.Error("label query differs after round trip")
+	}
+}
+
+func TestFactorRoundTripWidest(t *testing.T) {
+	g := gen.GeometricKNN(100, 2, 3, gen.WeightUniform, 92)
+	plan, err := NewPlan(g, Options{Semiring: semiring.MaxMinKernels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ReadFactor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.K != semiring.MaxMinKernels {
+		t.Error("semiring not restored")
+	}
+	a, b := f.SSSP(5), f2.SSSP(5)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("widest SSSP differs after round trip")
+		}
+	}
+}
+
+func TestReadFactorRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOPE",
+		"SFWF\x09\x00\x00\x00", // bad version
+	}
+	for i, c := range cases {
+		if _, err := ReadFactor(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncated real file.
+	g := gen.Grid2D(6, 6, gen.WeightUniform, 93)
+	plan, _ := NewPlan(g, DefaultOptions())
+	f, _ := NewFactor(plan, 1)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 12, len(full) / 2, len(full) - 1} {
+		if _, err := ReadFactor(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

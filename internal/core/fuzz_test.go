@@ -1,0 +1,46 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// FuzzReadFactor: arbitrary bytes must never panic the deserializer, and
+// bit-flipped real files must either error or still satisfy structural
+// invariants (they cannot be silently accepted as a DIFFERENT valid
+// structure without tripping the supernode checks — value corruption is
+// out of scope for a checksum-free format).
+func FuzzReadFactor(f *testing.F) {
+	g := gen.Grid2D(5, 5, gen.WeightUniform, 94)
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	fac, err := NewFactor(plan, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := fac.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SFWF"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		fac, err := ReadFactor(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must answer queries without panicking.
+		if fac.n > 0 {
+			_ = fac.SSSP(0)
+			_ = fac.Dist(0, fac.n-1)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Metamorphic properties: transformations of the input with known
+// effects on the output. These catch bugs that reference-comparison
+// tests share with the reference.
+
+// TestScalingInvariance: multiplying all weights by c > 0 multiplies all
+// distances by c.
+func TestScalingInvariance(t *testing.T) {
+	f := func(seed int64, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		c := 0.25 + float64(cRaw)/32 // 0.25 .. 8.2
+		scaled := make([]graph.Edge, 0, g.M())
+		for _, e := range g.Edges() {
+			scaled = append(scaled, graph.Edge{U: e.U, V: e.V, W: e.W * c})
+		}
+		g2 := graph.MustFromEdges(g.N, scaled)
+		p1, err1 := NewPlan(g, DefaultOptions())
+		p2, err2 := NewPlan(g2, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		r1, err1 := p1.Solve()
+		r2, err2 := p2.Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for u := 0; u < g.N; u += 3 {
+			for v := 0; v < g.N; v += 3 {
+				a, b := r1.At(u, v), r2.At(u, v)
+				if math.IsInf(a, 1) != math.IsInf(b, 1) {
+					return false
+				}
+				if !math.IsInf(a, 1) && math.Abs(a*c-b) > 1e-6*(1+math.Abs(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRelabelingInvariance: permuting vertex labels permutes distances.
+func TestRelabelingInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		pi := rng.Perm(g.N) // pi maps new -> old
+		g2 := g.Permute(pi)
+		p1, err1 := NewPlan(g, DefaultOptions())
+		p2, err2 := NewPlan(g2, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		r1, err1 := p1.Solve()
+		r2, err2 := p2.Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for u := 0; u < g.N; u += 2 {
+			for v := 0; v < g.N; v += 2 {
+				// new vertex u corresponds to old vertex pi[u]
+				a := r2.At(u, v)
+				b := r1.At(pi[u], pi[v])
+				if math.IsInf(a, 1) != math.IsInf(b, 1) {
+					return false
+				}
+				if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIsolatedVertexInvariance: appending an isolated vertex changes no
+// existing distance and is unreachable from everywhere.
+func TestIsolatedVertexInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		g2 := graph.MustFromEdges(g.N+1, g.Edges())
+		p1, err1 := NewPlan(g, DefaultOptions())
+		p2, err2 := NewPlan(g2, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		r1, err1 := p1.Solve()
+		r2, err2 := p2.Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for u := 0; u < g.N; u += 2 {
+			if !math.IsInf(r2.At(u, g.N), 1) || !math.IsInf(r2.At(g.N, u), 1) {
+				return false
+			}
+			for v := 0; v < g.N; v += 3 {
+				a, b := r1.At(u, v), r2.At(u, v)
+				if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubdivisionInvariance: splitting an edge (u,v,w) into
+// (u,x,w/2),(x,v,w/2) through a fresh vertex preserves all original
+// pairwise distances.
+func TestSubdivisionInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		edges := g.Edges()
+		if len(edges) == 0 {
+			return true
+		}
+		pick := edges[rng.Intn(len(edges))]
+		x := g.N
+		var rebuilt []graph.Edge
+		for _, e := range edges {
+			if e == pick {
+				continue
+			}
+			rebuilt = append(rebuilt, e)
+		}
+		rebuilt = append(rebuilt,
+			graph.Edge{U: pick.U, V: x, W: pick.W / 2},
+			graph.Edge{U: x, V: pick.V, W: pick.W / 2})
+		g2 := graph.MustFromEdges(g.N+1, rebuilt)
+		p1, err1 := NewPlan(g, DefaultOptions())
+		p2, err2 := NewPlan(g2, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		r1, err1 := p1.Solve()
+		r2, err2 := p2.Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for u := 0; u < g.N; u += 2 {
+			for v := 0; v < g.N; v += 3 {
+				a, b := r1.At(u, v), r2.At(u, v)
+				if math.IsInf(a, 1) != math.IsInf(b, 1) {
+					return false
+				}
+				if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

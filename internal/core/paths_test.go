@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+// checkAllPaths verifies for every (u,v) pair that the reconstructed path
+// (a) starts at u and ends at v, (b) uses only real edges, and (c) has
+// total weight equal to the reported distance.
+func checkAllPaths(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	for u := 0; u < g.N; u++ {
+		for v := 0; v < g.N; v++ {
+			d := res.At(u, v)
+			path, ok := res.Path(u, v)
+			if math.IsInf(d, 1) {
+				if ok {
+					t.Fatalf("unreachable pair (%d,%d) returned a path", u, v)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("reachable pair (%d,%d) dist=%g returned no path", u, v, d)
+			}
+			if path[0] != u || path[len(path)-1] != v {
+				t.Fatalf("path (%d,%d) has wrong endpoints: %v", u, v, path)
+			}
+			sum := 0.0
+			for i := 0; i+1 < len(path); i++ {
+				w, exists := g.Weight(path[i], path[i+1])
+				if !exists {
+					t.Fatalf("path (%d,%d) uses non-edge (%d,%d): %v", u, v, path[i], path[i+1], path)
+				}
+				sum += w
+			}
+			if math.Abs(sum-d) > 1e-9 {
+				t.Fatalf("path (%d,%d) weight %g != distance %g (path %v)", u, v, sum, d, path)
+			}
+		}
+	}
+}
+
+func TestPathReconstruction(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid":         gen.Grid2D(7, 6, gen.WeightUniform, 51),
+		"geo":          gen.GeometricKNN(90, 2, 3, gen.WeightEuclidean, 52),
+		"ba":           gen.BarabasiAlbert(60, 3, gen.WeightUniform, 53),
+		"disconnected": disconnectedPair(),
+	}
+	for name, g := range graphs {
+		for _, ok := range []OrderingKind{OrderND, OrderBFS} {
+			for _, threads := range []int{1, 4} {
+				opts := Options{Ordering: ok, TrackPaths: true, Threads: threads, EtreeParallel: true, MaxBlock: 16, LeafSize: 12}
+				plan, err := NewPlan(g, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				res, err := plan.Solve()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				checkAllPaths(t, g, res)
+			}
+		}
+	}
+}
+
+func disconnectedPair() *graph.Graph {
+	e := gen.Grid2D(4, 4, gen.WeightUniform, 54).Edges()
+	for _, x := range gen.Grid2D(3, 3, gen.WeightUniform, 55).Edges() {
+		e = append(e, graph.Edge{U: x.U + 16, V: x.V + 16, W: x.W})
+	}
+	return graph.MustFromEdges(25, e)
+}
+
+func TestPathTrackingLargeDiagonal(t *testing.T) {
+	// Force the ParallelBlockedFloydWarshallPaths diagonal path: one big
+	// supernode (natural ordering, huge MaxBlock) over the cutoff.
+	g := gen.ErdosRenyi(diagParallelCutoff+40, 6, gen.WeightUniform, 56)
+	plan, err := NewPlan(g, Options{Ordering: OrderNatural, MaxBlock: g.N, TrackPaths: true, Threads: 4, EtreeParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPaths(t, g, res)
+}
+
+func TestPathSingleVertexAndSelf(t *testing.T) {
+	g := gen.Grid2D(3, 3, gen.WeightUniform, 57)
+	plan, err := NewPlan(g, Options{Ordering: OrderND, TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := res.Path(4, 4)
+	if !ok || len(p) != 1 || p[0] != 4 {
+		t.Fatalf("self path wrong: %v %v", p, ok)
+	}
+}
+
+func TestPathWithoutTrackingPanics(t *testing.T) {
+	g := gen.Grid2D(3, 3, gen.WeightUniform, 58)
+	plan, _ := NewPlan(g, DefaultOptions())
+	res, _ := plan.Solve()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Path without TrackPaths should panic")
+		}
+	}()
+	res.Path(0, 8)
+}
+
+func TestPathMatchesDistancesVsDijkstraStyle(t *testing.T) {
+	// Path distances must equal the closure of the dense matrix.
+	g := gen.GeometricKNN(70, 2, 4, gen.WeightEuclidean, 59)
+	plan, err := NewPlan(g, Options{Ordering: OrderND, TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Closure(g.ToDense())
+	if !res.Dense().EqualTol(want, 1e-9) {
+		t.Fatal("path-tracking solve changed distances")
+	}
+}
+
+func TestFloydWarshallPathsKernel(t *testing.T) {
+	// Kernel-level check: dense FW with paths on a random distance
+	// matrix; every next-hop chain must terminate and match distances.
+	g := gen.ErdosRenyi(40, 5, gen.WeightUniform, 60)
+	D := g.ToDense()
+	next := semiring.NewIntMat(g.N, g.N)
+	semiring.InitNextHops(D, next)
+	semiring.FloydWarshallPaths(D, next)
+	want := Closure(g.ToDense())
+	if !D.EqualTol(want, 1e-9) {
+		t.Fatal("FW-with-paths changed distances")
+	}
+	for u := 0; u < g.N; u++ {
+		for v := 0; v < g.N; v++ {
+			if u == v || math.IsInf(D.At(u, v), 1) {
+				continue
+			}
+			cur, hops, sum := u, 0, 0.0
+			for cur != v {
+				nx := next.At(cur, v)
+				if nx < 0 || hops > g.N {
+					t.Fatalf("broken chain at (%d,%d)", u, v)
+				}
+				w, ok := g.Weight(cur, int(nx))
+				if !ok {
+					t.Fatalf("non-edge in chain at (%d,%d)", u, v)
+				}
+				sum += w
+				cur = int(nx)
+				hops++
+			}
+			if math.Abs(sum-D.At(u, v)) > 1e-9 {
+				t.Fatalf("chain weight %g != dist %g at (%d,%d)", sum, D.At(u, v), u, v)
+			}
+		}
+	}
+}

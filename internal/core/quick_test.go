@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// randomGraph builds a random graph whose shape (size, density,
+// connectivity, weight range) is itself randomized — the property-based
+// sweep for the full pipeline.
+func randomGraph(rng *rand.Rand) *graph.Graph {
+	n := 2 + rng.Intn(60)
+	density := rng.Float64() * 4 // expected degree 0..4 → often disconnected
+	var edges []graph.Edge
+	m := int(float64(n) * density / 2)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		// Mix of scales, including zero-ish weights.
+		w := rng.Float64()
+		if rng.Intn(4) == 0 {
+			w *= 100
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// TestSuperFWQuickEquivalence is the central property: for ANY graph,
+// ordering, block size, thread count and scheduling mode, SuperFw must
+// produce exactly the Floyd-Warshall closure.
+func TestSuperFWQuickEquivalence(t *testing.T) {
+	f := func(seed int64, ordRaw, blockRaw, threadRaw uint8, etree, paths bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		want := Closure(g.ToDense())
+		orderings := []OrderingKind{OrderND, OrderBFS, OrderRCM, OrderNatural}
+		opts := Options{
+			Ordering:      orderings[int(ordRaw)%len(orderings)],
+			MaxBlock:      1 + int(blockRaw)%40,
+			LeafSize:      1 + int(blockRaw)%20,
+			Threads:       1 + int(threadRaw)%5,
+			EtreeParallel: etree,
+			TrackPaths:    paths,
+		}
+		plan, err := NewPlan(g, opts)
+		if err != nil {
+			t.Logf("seed %d: NewPlan: %v", seed, err)
+			return false
+		}
+		res, err := plan.Solve()
+		if err != nil {
+			t.Logf("seed %d: Solve: %v", seed, err)
+			return false
+		}
+		if !res.Dense().EqualTol(want, 1e-9) {
+			t.Logf("seed %d: mismatch (n=%d, opts=%+v)", seed, g.N, opts)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecreaseEdgeQuick: the incremental update must agree with a fresh
+// solve for arbitrary graphs and arbitrary improving edges.
+func TestDecreaseEdgeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		plan, err := NewPlan(g, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		res, err := plan.Solve()
+		if err != nil {
+			return false
+		}
+		u, v := rng.Intn(g.N), rng.Intn(g.N)
+		if u == v {
+			return true
+		}
+		w := rng.Float64()
+		if err := res.DecreaseEdge(u, v, w, 1+rng.Intn(3)); err != nil {
+			return false
+		}
+		g2 := graph.MustFromEdges(g.N, append(g.Edges(), graph.Edge{U: u, V: v, W: w}))
+		want := Closure(g2.ToDense())
+		return res.Dense().EqualTol(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlannedOpsNeverExceedDenseQuick: the planner's work estimate on any
+// graph must never exceed the dense n³ bound by more than the supernodal
+// padding factor, and must be exactly n³-comparable for a single
+// supernode.
+func TestPlannedOpsPositiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		plan, err := NewPlan(g, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		ops := plan.PlannedOps()
+		if ops <= 0 {
+			return false
+		}
+		// Work can never be below n² (every pair is updated at least
+		// once across the elimination) for connected graphs; use the
+		// weaker ops ≥ n bound that holds always.
+		return ops >= int64(g.N)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzSolveMatchesNaive decodes arbitrary bytes into a small graph and
+// checks the full supernodal pipeline against the scalar reference —
+// differential fuzzing of the solver itself.
+//
+// Encoding: byte 0 = n (2..33); every following 3-byte group is an edge
+// (u%n, v%n, weight w/16+0.1).
+func FuzzSolveMatchesNaive(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 16, 1, 2, 32, 2, 3, 8})
+	f.Add([]byte{2})
+	f.Add([]byte{9, 0, 8, 1, 3, 4, 200, 8, 8, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 256 {
+			return
+		}
+		n := int(data[0])%32 + 2
+		var edges []graph.Edge
+		rest := data[1:]
+		for len(rest) >= 3 {
+			u, v := int(rest[0])%n, int(rest[1])%n
+			w := float64(rest[2])/16 + 0.1
+			edges = append(edges, graph.Edge{U: u, V: v, W: w})
+			rest = rest[3:]
+		}
+		g := graph.MustFromEdges(n, edges)
+		want := Closure(g.ToDense())
+		// Vary the configuration deterministically from the input.
+		orderings := []OrderingKind{OrderND, OrderBFS, OrderMinDegree, OrderNatural}
+		opts := Options{
+			Ordering:      orderings[int(data[0]/32)%len(orderings)],
+			MaxBlock:      1 + int(data[0])%9,
+			LeafSize:      1 + int(data[0])%7,
+			Threads:       1 + int(data[0])%3,
+			EtreeParallel: data[0]%2 == 0,
+			ExactReach:    data[0]%3 == 0,
+			TrackPaths:    data[0]%5 == 0,
+		}
+		plan, err := NewPlan(g, opts)
+		if err != nil {
+			t.Fatalf("NewPlan: %v", err)
+		}
+		res, err := plan.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if !res.Dense().EqualTol(want, 1e-9) {
+			t.Fatalf("solve mismatch (n=%d, m=%d, opts=%+v)", g.N, g.M(), opts)
+		}
+	})
+}

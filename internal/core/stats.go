@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanStats summarizes a plan's symbolic structure for diagnostics.
+type PlanStats struct {
+	N             int
+	M             int
+	Supernodes    int
+	MaxBlock      int   // largest supernode
+	MedianBlock   int   // median supernode size
+	EtreeLevels   int   // height of the level schedule
+	TopSep        int   // top-level separator size (0 if not dissection)
+	FillCount     int64 // symbolic fill (-1 if not computed)
+	PlannedOps    int64
+	CriticalPath  int64
+	DenseOps      int64   // n³ for comparison
+	WorkReduction float64 // DenseOps / PlannedOps
+}
+
+// Stats computes the plan's structural summary.
+func (p *Plan) Stats() PlanStats {
+	sizes := make([]int, 0, p.Sn.NumSupernodes())
+	maxB := 0
+	for _, r := range p.Sn.Ranges {
+		s := r.Size()
+		sizes = append(sizes, s)
+		if s > maxB {
+			maxB = s
+		}
+	}
+	// median via counting (sizes are small ints)
+	med := 0
+	if len(sizes) > 0 {
+		counts := make([]int, maxB+1)
+		for _, s := range sizes {
+			counts[s]++
+		}
+		seen, half := 0, (len(sizes)+1)/2
+		for s, c := range counts {
+			seen += c
+			if seen >= half {
+				med = s
+				break
+			}
+		}
+	}
+	n := int64(p.G.N)
+	ops := p.PlannedOps()
+	st := PlanStats{
+		N:            p.G.N,
+		M:            p.G.M(),
+		Supernodes:   p.Sn.NumSupernodes(),
+		MaxBlock:     maxB,
+		MedianBlock:  med,
+		EtreeLevels:  len(p.Sn.Levels),
+		TopSep:       p.TopSep,
+		FillCount:    p.FillCount,
+		PlannedOps:   ops,
+		CriticalPath: p.CriticalPathOps(),
+		DenseOps:     n * n * n,
+	}
+	if ops > 0 {
+		st.WorkReduction = float64(st.DenseOps) / float64(ops)
+	}
+	return st
+}
+
+// String renders the stats as a compact multi-line report.
+func (s PlanStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d m=%d supernodes=%d (max %d, median %d) etree-levels=%d\n",
+		s.N, s.M, s.Supernodes, s.MaxBlock, s.MedianBlock, s.EtreeLevels)
+	if s.TopSep > 0 {
+		fmt.Fprintf(&b, "top separator |S|=%d (n/|S| = %.1f)\n", s.TopSep, float64(s.N)/float64(s.TopSep))
+	}
+	if s.FillCount >= 0 {
+		fmt.Fprintf(&b, "symbolic fill=%d (%.2f× edges)\n", s.FillCount, float64(s.FillCount)/float64(s.M))
+	}
+	fmt.Fprintf(&b, "planned ops=%d vs dense n³=%d (%.1f× reduction), critical path=%d",
+		s.PlannedOps, s.DenseOps, s.WorkReduction, s.CriticalPath)
+	return b.String()
+}

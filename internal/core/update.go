@@ -1,0 +1,116 @@
+package core
+
+// Incremental distance-matrix updates. The paper's related-work section
+// traces the APSP/linear-solver correspondence back to Carré, including
+// the Sherman-Morrison-Woodbury formula for graph updates: when a single
+// edge improves, the closed distance matrix can be repaired with a
+// rank-1-style min-plus correction in O(n²) instead of re-running the
+// O(n²|S|) solve. This file implements that update for edge insertions
+// and weight decreases.
+//
+// Correctness: with no negative cycles, a shortest path uses the new edge
+// at most once (shortest walks are simple paths), so offering every pair
+// the detour through the edge — in each direction — restores the closure.
+// The two sweeps may read partially-updated entries; that is safe because
+// every entry always holds the length of some real path in the updated
+// graph (no undershoot) and the detour using pre-update values is among
+// the candidates considered (full coverage).
+//
+// Weight *increases* invalidate paths and cannot be repaired locally;
+// callers must re-solve.
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/semiring"
+)
+
+// DecreaseEdge applies the min-plus rank-1 update for a new or improved
+// undirected edge {u, v} (original vertex ids) of weight w ≥ 0:
+//
+//	D[i][j] ← min(D[i][j], D[i][u] + w + D[v][j], D[i][v] + w + D[u][j])
+//
+// in O(n²) with row parallelism (threads ≤ 0 uses GOMAXPROCS). Negative w
+// is rejected — a negative undirected edge is itself a negative 2-cycle.
+// Next-hop tracking, when enabled on the result, is repaired consistently.
+func (r *Result) DecreaseEdge(u, v int, w float64, threads int) error {
+	if w < 0 {
+		return fmt.Errorf("core: a negative undirected edge is a negative 2-cycle")
+	}
+	if err := r.checkPair(u, v); err != nil {
+		return err
+	}
+	pu, pv := r.IPerm[u], r.IPerm[v]
+	if w >= r.D.At(pu, pv) && w >= r.D.At(pv, pu) {
+		return nil // not an improvement; closure unchanged
+	}
+	r.applyDetour(pu, pv, w, threads)
+	r.applyDetour(pv, pu, w, threads)
+	return nil
+}
+
+// DecreaseArc is DecreaseEdge for a single directed arc u→v, for results
+// solved from asymmetric (e.g. potential-reweighted) instances. w may be
+// negative as long as no negative cycle arises (w + D[v][u] ≥ 0).
+func (r *Result) DecreaseArc(u, v int, w float64, threads int) error {
+	if err := r.checkPair(u, v); err != nil {
+		return err
+	}
+	pu, pv := r.IPerm[u], r.IPerm[v]
+	if w+r.D.At(pv, pu) < 0 {
+		return fmt.Errorf("core: arc update would create a negative cycle")
+	}
+	if w >= r.D.At(pu, pv) {
+		return nil
+	}
+	r.applyDetour(pu, pv, w, threads)
+	return nil
+}
+
+func (r *Result) checkPair(u, v int) error {
+	n := r.D.Rows
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("core: vertex out of range")
+	}
+	if u == v {
+		return fmt.Errorf("core: self-loop update is a no-op")
+	}
+	return nil
+}
+
+// applyDetour offers every pair (i, j) the detour i→a —w→ b→j, where a
+// and b are permuted indices.
+func (r *Result) applyDetour(a, b int, w float64, threads int) {
+	n := r.D.Rows
+	brow := r.D.Row(b)
+	track := r.Next.Data != nil
+	par.ForRanges(n, threads, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dia := r.D.At(i, a)
+			if dia == semiring.Inf {
+				continue
+			}
+			base := dia + w
+			irow := r.D.Row(i)
+			var nrow []int32
+			var hop int32
+			if track {
+				nrow = r.Next.Row(i)
+				if i == a {
+					hop = int32(b) // the new edge itself is the first hop
+				} else {
+					hop = nrow[a] // first hop of the existing i→a path
+				}
+			}
+			for j, dbj := range brow {
+				if nd := base + dbj; nd < irow[j] {
+					irow[j] = nd
+					if track {
+						nrow[j] = hop
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDecreaseEdgeMatchesResolve(t *testing.T) {
+	g := gen.GeometricKNN(80, 2, 3, gen.WeightUniform, 61)
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	edges := g.Edges()
+	for trial := 0; trial < 12; trial++ {
+		// Alternate between improving an existing edge and inserting a
+		// brand new one.
+		var u, v int
+		var w float64
+		if trial%2 == 0 {
+			e := edges[rng.Intn(len(edges))]
+			u, v, w = e.U, e.V, e.W*0.3
+		} else {
+			u, v = rng.Intn(g.N), rng.Intn(g.N)
+			if u == v {
+				continue
+			}
+			w = 0.05 + rng.Float64()*0.2
+		}
+		if err := res.DecreaseEdge(u, v, w, 2); err != nil {
+			t.Fatal(err)
+		}
+		// Reference: rebuild the graph with the new edge and re-solve.
+		edges = append(edges, graph.Edge{U: u, V: v, W: w})
+		g = graph.MustFromEdges(g.N, edges)
+		want := Closure(g.ToDense())
+		if !res.Dense().EqualTol(want, 1e-9) {
+			t.Fatalf("trial %d: incremental update diverged from re-solve", trial)
+		}
+		edges = g.Edges() // dedup: keep min weights as the graph does
+	}
+}
+
+func TestDecreaseEdgeWithPaths(t *testing.T) {
+	g := gen.Grid2D(6, 6, gen.WeightUniform, 63)
+	opts := DefaultOptions()
+	opts.TrackPaths = true
+	plan, err := NewPlan(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a shortcut across the grid and verify paths stay valid.
+	if err := res.DecreaseEdge(0, 35, 0.01, 2); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.MustFromEdges(36, append(g.Edges(), graph.Edge{U: 0, V: 35, W: 0.01}))
+	checkAllPaths(t, g2, res)
+	want := Closure(g2.ToDense())
+	if !res.Dense().EqualTol(want, 1e-9) {
+		t.Fatal("distances diverged after path-tracked update")
+	}
+}
+
+func TestDecreaseEdgeNoImprovement(t *testing.T) {
+	g := gen.Grid2D(4, 4, gen.WeightUnit, 64)
+	plan, _ := NewPlan(g, DefaultOptions())
+	res, _ := plan.Solve()
+	before := res.Dense()
+	// Weight above the current distance: closure must be untouched.
+	if err := res.DecreaseEdge(0, 15, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dense().Equal(before) {
+		t.Fatal("non-improving update changed the matrix")
+	}
+}
+
+func TestDecreaseEdgeRejections(t *testing.T) {
+	g := gen.Grid2D(3, 3, gen.WeightUnit, 65)
+	plan, _ := NewPlan(g, DefaultOptions())
+	res, _ := plan.Solve()
+	if err := res.DecreaseEdge(0, 0, 1, 1); err == nil {
+		t.Error("self loop must be rejected")
+	}
+	if err := res.DecreaseEdge(0, 99, 1, 1); err == nil {
+		t.Error("out of range must be rejected")
+	}
+	if err := res.DecreaseEdge(0, 1, -0.5, 1); err == nil {
+		t.Error("negative undirected edge must be rejected")
+	}
+}
+
+func TestDecreaseArcAsymmetric(t *testing.T) {
+	g := gen.GeometricKNN(60, 2, 3, gen.WeightUniform, 66)
+	p := gen.Potential(g.N, 1.5, 67)
+	init := g.ToDensePotential(p)
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.SolveInitMatrix(init, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a directed arc 5→40 with a (possibly negative) reweighted value.
+	w := 0.02 + p[5] - p[40]
+	if err := res.DecreaseArc(5, 40, w, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := init.Clone()
+	if w < want.At(5, 40) {
+		want.Set(5, 40, w)
+	}
+	want = Closure(want)
+	if !res.Dense().EqualTol(want, 1e-9) {
+		t.Fatal("directed arc update diverged from re-solve")
+	}
+	// An arc that closes a negative cycle must be rejected.
+	if err := res.DecreaseArc(40, 5, -res.At(5, 40)-1, 1); err == nil {
+		t.Error("negative-cycle arc must be rejected")
+	}
+}

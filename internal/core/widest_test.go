@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+// widestClosure is the scalar reference for the max-min semiring.
+func widestClosure(g *graph.Graph) semiring.Mat {
+	D := g.ToDenseWith(-semiring.Inf, semiring.Inf)
+	semiring.MaxMinFloydWarshall(D)
+	return D
+}
+
+func TestWidestPathMatchesScalar(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid": gen.Grid2D(8, 7, gen.WeightUniform, 71),
+		"geo":  gen.GeometricKNN(120, 2, 3, gen.WeightUniform, 72),
+		"ba":   gen.BarabasiAlbert(80, 3, gen.WeightUniform, 73),
+	}
+	for name, g := range graphs {
+		want := widestClosure(g)
+		for _, ok := range []OrderingKind{OrderND, OrderBFS} {
+			for _, threads := range []int{1, 4} {
+				opts := Options{Ordering: ok, Semiring: semiring.MaxMinKernels,
+					Threads: threads, EtreeParallel: true, MaxBlock: 16, LeafSize: 12}
+				plan, err := NewPlan(g, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				res, err := plan.Solve()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !res.Dense().EqualTol(want, 1e-12) {
+					t.Errorf("%s ordering=%v threads=%d: widest-path mismatch", name, ok, threads)
+				}
+			}
+		}
+	}
+}
+
+func TestWidestPathSemantics(t *testing.T) {
+	// A two-route graph: 0-1-3 with bottleneck 5, 0-2-3 with bottleneck 8.
+	g := graph.MustFromEdges(4, []graph.Edge{
+		{U: 0, V: 1, W: 10}, {U: 1, V: 3, W: 5},
+		{U: 0, V: 2, W: 8}, {U: 2, V: 3, W: 9},
+	})
+	plan, err := NewPlan(g, Options{Ordering: OrderND, Semiring: semiring.MaxMinKernels, TrackPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.At(0, 3); got != 8 {
+		t.Fatalf("widest 0→3 = %g, want 8 (via vertex 2)", got)
+	}
+	if got := res.At(0, 0); !math.IsInf(got, 1) {
+		t.Fatalf("self capacity should be +Inf, got %g", got)
+	}
+	path, ok := res.Path(0, 3)
+	if !ok {
+		t.Fatal("path missing")
+	}
+	want := []int{0, 2, 3}
+	if len(path) != 3 || path[0] != want[0] || path[1] != want[1] || path[2] != want[2] {
+		t.Fatalf("widest path %v, want %v", path, want)
+	}
+}
+
+func TestWidestPathDisconnected(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1, W: 4}})
+	plan, err := NewPlan(g, Options{Semiring: semiring.MaxMinKernels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.At(0, 2), -1) {
+		t.Fatalf("unreachable capacity should be -Inf, got %g", res.At(0, 2))
+	}
+}
+
+func TestWidestLargeDiagonalBlocked(t *testing.T) {
+	// Exercise ParallelBlockedFWKernels for max-min (one big supernode).
+	g := gen.ErdosRenyi(diagParallelCutoff+30, 6, gen.WeightUniform, 74)
+	plan, err := NewPlan(g, Options{Ordering: OrderNatural, MaxBlock: g.N,
+		Semiring: semiring.MaxMinKernels, Threads: 4, EtreeParallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dense().EqualTol(widestClosure(g), 1e-12) {
+		t.Fatal("blocked max-min diag diverged from scalar reference")
+	}
+}

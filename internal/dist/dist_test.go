@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/semiring"
+)
+
+func TestBlockedFWDistMatchesSequential(t *testing.T) {
+	graphs := []struct {
+		name string
+		n    int
+		A    semiring.Mat
+	}{
+		{"geo", 0, gen.GeometricKNN(90, 2, 3, gen.WeightUniform, 1).ToDense()},
+		{"er", 0, gen.ErdosRenyi(64, 5, gen.WeightUniform, 2).ToDense()},
+		{"grid", 0, gen.Grid2D(8, 8, gen.WeightUniform, 3).ToDense()},
+	}
+	grids := [][2]int{{1, 1}, {1, 2}, {2, 2}, {2, 3}, {4, 4}}
+	for _, tc := range graphs {
+		want := tc.A.Clone()
+		semiring.FloydWarshall(want)
+		for _, pg := range grids {
+			for _, b := range []int{8, 16, 37} {
+				got, stats, err := BlockedFW(tc.A, b, pg[0], pg[1])
+				if err != nil {
+					t.Fatalf("%s %v b=%d: %v", tc.name, pg, b, err)
+				}
+				if !got.EqualTol(want, 1e-12) {
+					t.Fatalf("%s grid=%v b=%d: distributed result differs", tc.name, pg, b)
+				}
+				if pg[0]*pg[1] == 1 && stats.Messages != 0 {
+					t.Errorf("single process should not communicate, got %d msgs", stats.Messages)
+				}
+				if pg[0]*pg[1] > 1 && stats.Messages == 0 {
+					t.Errorf("%s grid=%v: no communication recorded", tc.name, pg)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockedFWDistCommGrowsWithP(t *testing.T) {
+	A := gen.GeometricKNN(80, 2, 3, gen.WeightUniform, 4).ToDense()
+	_, s2, err := BlockedFW(A, 16, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s4, err := BlockedFW(A, 16, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.Words <= s2.Words {
+		t.Errorf("4-process volume %d should exceed 2-process %d", s4.Words, s2.Words)
+	}
+}
+
+func TestBlockedFWDistErrors(t *testing.T) {
+	A := semiring.NewMat(4, 5)
+	if _, _, err := BlockedFW(A, 2, 1, 1); err == nil {
+		t.Error("non-square must error")
+	}
+	B := semiring.NewMat(4, 4)
+	if _, _, err := BlockedFW(B, 0, 1, 1); err == nil {
+		t.Error("bad block size must error")
+	}
+	if _, _, err := BlockedFW(B, 2, 0, 2); err == nil {
+		t.Error("bad grid must error")
+	}
+}
+
+func TestSuperFWVolumeBeatsBlockedOnGrid(t *testing.T) {
+	// On a planar graph the supernodal volume must be far below dense
+	// blocked FW's 2n²(P−1) for meaningful P.
+	g := gen.Grid2D(32, 32, gen.WeightUniform, 5)
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, P := range []int{4, 16, 64} {
+		sv := SuperFWVolume(plan, P)
+		bv := BlockedFWVolume(g.N, P)
+		if sv.Words <= 0 {
+			t.Fatalf("P=%d: supernodal volume should be positive, got %d", P, sv.Words)
+		}
+		if sv.Words*4 >= bv.Words {
+			t.Errorf("P=%d: supernodal volume %d not clearly below blocked %d", P, sv.Words, bv.Words)
+		}
+	}
+}
+
+func TestSuperFWVolumeMonotoneInP(t *testing.T) {
+	g := gen.GeometricKNN(600, 2, 3, gen.WeightUniform, 6)
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for _, P := range []int{1, 2, 4, 8, 16} {
+		v := SuperFWVolume(plan, P)
+		if v.Words < prev {
+			// Volume can plateau but should not decrease when more
+			// processes split the reach sets.
+			t.Errorf("volume decreased from %d to %d at P=%d", prev, v.Words, P)
+		}
+		prev = v.Words
+	}
+	if v := SuperFWVolume(plan, 1); v.Words != 0 {
+		t.Errorf("single process should need no communication, got %d", v.Words)
+	}
+}

@@ -1,0 +1,91 @@
+package dist
+
+// Analytic communication-volume model: supernodal FW under proportional
+// elimination-tree mapping versus blocked FW, with every process owning
+// a 1D slice of matrix rows. This is the quantity the paper's
+// "communication-avoiding" framing targets: etree locality means most
+// eliminations touch data owned by a single process, while dense blocked
+// FW rebroadcasts a full panel every iteration.
+//
+// Model (owner-computes, 1D ownership):
+//
+//   - SuperFw: supernodes are assigned to processes by proportional
+//     mapping — each supernode belongs to the process whose vertex chunk
+//     contains its subtree start (so a process owns a maximal run of
+//     subtrees, the subtree-to-subcube mapping collapsed to 1D).
+//     Eliminating supernode k requires its row and column panels
+//     (2·s_k·R_k words) at every distinct process owning part of the
+//     reach R(k); each such process other than k's owner receives the
+//     panels once.
+//
+//   - BlockedFw: iteration k broadcasts the pivot row and column
+//     (2n words) to the P−1 non-owners; 2n²(P−1) words over n
+//     iterations.
+//
+// Low-level supernodes have reaches owned almost entirely by their own
+// process (volume 0), and only the O(√n)-sized separator panels travel —
+// that is the communication avoidance.
+
+import (
+	"repro/internal/core"
+)
+
+// Volume is the modeled communication of one algorithm at one process
+// count.
+type Volume struct {
+	P     int
+	Words int64
+}
+
+// SuperFWVolume computes the modeled word volume of eliminating the
+// plan's supernodes on P processes under proportional subtree mapping.
+func SuperFWVolume(plan *core.Plan, P int) Volume {
+	sn := plan.SymbolicOnly()
+	owner := proportionalMapping(plan, P)
+	var words int64
+	for k, r := range sn.Ranges {
+		s := int64(r.Size())
+		reach := int64(0)
+		owners := map[int]bool{}
+		// Descendants: in postorder they are exactly the supernodes
+		// j < k whose range starts at or after SubLo[k].
+		for j := k - 1; j >= 0 && sn.Ranges[j].Lo >= sn.SubLo[k]; j-- {
+			owners[owner[j]] = true
+			reach += int64(sn.Ranges[j].Size())
+		}
+		for _, a := range sn.Ancestors(k) {
+			owners[owner[a]] = true
+			reach += int64(sn.Ranges[a].Size())
+		}
+		delete(owners, owner[k])
+		words += int64(len(owners)) * 2 * s * reach
+	}
+	return Volume{P: P, Words: words}
+}
+
+// proportionalMapping assigns each supernode to the process whose vertex
+// chunk contains its subtree start.
+func proportionalMapping(plan *core.Plan, P int) []int {
+	sn := plan.SymbolicOnly()
+	n := plan.G.N
+	owner := make([]int, sn.NumSupernodes())
+	chunk := (n + P - 1) / P
+	for k := range sn.Ranges {
+		q := sn.SubLo[k] / chunk
+		if q >= P {
+			q = P - 1
+		}
+		owner[k] = q
+	}
+	return owner
+}
+
+// BlockedFWVolume returns the modeled word volume of dense blocked FW on
+// P processes with 1D row ownership: every iteration ships the pivot row
+// and column to every non-owner.
+func BlockedFWVolume(n, P int) Volume {
+	if P <= 1 {
+		return Volume{P: P, Words: 0}
+	}
+	return Volume{P: P, Words: 2 * int64(n) * int64(n) * int64(P-1)}
+}

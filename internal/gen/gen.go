@@ -1,0 +1,572 @@
+// Package gen provides seeded synthetic graph generators standing in for
+// the paper's test matrices (Table 3). The paper's suite comes from
+// SuiteSparse, SNAP, DIMACS10 and synthetic generators; this repository
+// is offline, so each structural class is reproduced by a generator:
+//
+//	grid / mesh graphs        → Grid2D, Grid3D          (nd6k, fe_* analogues)
+//	planar triangulations     → GeometricKNN            (delaunay_n* analogues)
+//	road networks             → RoadNetwork             (luxembourg_osm analogue)
+//	power networks            → PowerGrid               (USpowerGrid, OPF_6000)
+//	optimization matrices     → Finance                 (finan512, net4-1 analogues)
+//	random geometric          → GeometricRadius         (rgg2d/rgg3d)
+//	hypercube                 → Hypercube               (hypercube_14)
+//	preferential attachment   → BarabasiAlbert          (EB_* adversarial cases)
+//	random sparse             → ErdosRenyi, WattsStrogatz (G67, expander-like)
+//	social networks           → CommunityGraph          (email-Enron analogue)
+//
+// All generators are deterministic for a fixed seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// WeightMode selects how edge weights are assigned.
+type WeightMode int
+
+const (
+	// WeightUnit gives every edge weight 1.
+	WeightUnit WeightMode = iota
+	// WeightUniform draws weights uniformly from [0.1, 1.1).
+	WeightUniform
+	// WeightEuclidean uses the Euclidean distance between embedded
+	// endpoints (geometric generators only; others fall back to uniform).
+	WeightEuclidean
+)
+
+func uniformWeight(rng *rand.Rand) float64 { return 0.1 + rng.Float64() }
+
+// Grid2D returns the w×h grid graph (the nested-dissection model problem;
+// its exact separators make it the calibration workload for Table 2).
+func Grid2D(w, h int, mode WeightMode, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	id := func(x, y int) int { return y*w + x }
+	edges := make([]graph.Edge, 0, 2*w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y), W: gridWeight(mode, rng)})
+			}
+			if y+1 < h {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x, y+1), W: gridWeight(mode, rng)})
+			}
+		}
+	}
+	return graph.MustFromEdges(w*h, edges)
+}
+
+// Grid3D returns the x×y×z grid graph (separator Θ(n^(2/3)); the 3D mesh
+// class of nd6k / fe_tooth).
+func Grid3D(x, y, z int, mode WeightMode, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	id := func(i, j, k int) int { return (k*y+j)*x + i }
+	var edges []graph.Edge
+	for k := 0; k < z; k++ {
+		for j := 0; j < y; j++ {
+			for i := 0; i < x; i++ {
+				if i+1 < x {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i+1, j, k), W: gridWeight(mode, rng)})
+				}
+				if j+1 < y {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i, j+1, k), W: gridWeight(mode, rng)})
+				}
+				if k+1 < z {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i, j, k+1), W: gridWeight(mode, rng)})
+				}
+			}
+		}
+	}
+	return graph.MustFromEdges(x*y*z, edges)
+}
+
+func gridWeight(mode WeightMode, rng *rand.Rand) float64 {
+	if mode == WeightUnit {
+		return 1
+	}
+	return uniformWeight(rng)
+}
+
+// Hypercube returns the d-dimensional hypercube graph on 2^d vertices.
+// Its separator is Θ(n/√log n), the paper's example of a graph where
+// reordering cannot reduce asymptotic cost but supernodal blocking still
+// helps (hypercube_14).
+func Hypercube(d int, mode WeightMode, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << d
+	edges := make([]graph.Edge, 0, n*d/2)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				edges = append(edges, graph.Edge{U: v, V: u, W: gridWeight(mode, rng)})
+			}
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// points returns n uniform points in the unit dim-cube.
+func points(n, dim int, rng *rand.Rand) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// cellGrid bins points into cells of the given side length for
+// neighborhood queries.
+type cellGrid struct {
+	side  float64
+	res   int
+	dim   int
+	cells map[int][]int
+	pts   [][]float64
+}
+
+func newCellGrid(pts [][]float64, side float64, dim int) *cellGrid {
+	res := int(math.Ceil(1 / side))
+	if res < 1 {
+		res = 1
+	}
+	cg := &cellGrid{side: 1 / float64(res), res: res, dim: dim, cells: make(map[int][]int), pts: pts}
+	for i, p := range pts {
+		cg.cells[cg.key(p)] = append(cg.cells[cg.key(p)], i)
+	}
+	return cg
+}
+
+func (cg *cellGrid) key(p []float64) int {
+	k := 0
+	for d := 0; d < cg.dim; d++ {
+		c := int(p[d] / cg.side)
+		if c >= cg.res {
+			c = cg.res - 1
+		}
+		k = k*cg.res + c
+	}
+	return k
+}
+
+// forNear calls fn(j) for every point j in the 3^dim cells around p.
+func (cg *cellGrid) forNear(p []float64, fn func(j int)) {
+	coord := make([]int, cg.dim)
+	for d := 0; d < cg.dim; d++ {
+		coord[d] = int(p[d] / cg.side)
+		if coord[d] >= cg.res {
+			coord[d] = cg.res - 1
+		}
+	}
+	offs := make([]int, cg.dim)
+	for i := range offs {
+		offs[i] = -1
+	}
+	for {
+		key, ok := 0, true
+		for d := 0; d < cg.dim; d++ {
+			c := coord[d] + offs[d]
+			if c < 0 || c >= cg.res {
+				ok = false
+				break
+			}
+			key = key*cg.res + c
+		}
+		if ok {
+			for _, j := range cg.cells[key] {
+				fn(j)
+			}
+		}
+		// advance offsets odometer-style over {-1,0,1}^dim
+		d := 0
+		for ; d < cg.dim; d++ {
+			offs[d]++
+			if offs[d] <= 1 {
+				break
+			}
+			offs[d] = -1
+		}
+		if d == cg.dim {
+			return
+		}
+	}
+}
+
+// GeometricRadius returns a random geometric graph: n uniform points in
+// the unit dim-cube, an edge between every pair within the given radius
+// (rgg2d_14 / rgg3d_14 analogues).
+func GeometricRadius(n, dim int, radius float64, mode WeightMode, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	pts := points(n, dim, rng)
+	cg := newCellGrid(pts, radius, dim)
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		cg.forNear(pts[i], func(j int) {
+			if j <= i {
+				return
+			}
+			if d := dist(pts[i], pts[j]); d <= radius {
+				edges = append(edges, graph.Edge{U: i, V: j, W: geomWeight(mode, rng, d)})
+			}
+		})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// GeometricKNN returns a symmetrized k-nearest-neighbor graph on n uniform
+// points in the unit dim-cube. For dim=2 and small k this is planar-like
+// with Θ(√n) separators — the stand-in for the DIMACS10 Delaunay
+// triangulations (delaunay_n14/n16, fe_sphere).
+func GeometricKNN(n, dim, k int, mode WeightMode, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	pts := points(n, dim, rng)
+	// Expected kNN radius ~ (k/n)^(1/dim); bin at twice that and expand
+	// the search ring if a point has too few candidates.
+	side := math.Pow(float64(k+1)/float64(n), 1/float64(dim)) * 2
+	cg := newCellGrid(pts, side, dim)
+	type cand struct {
+		j int
+		d float64
+	}
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		var cands []cand
+		cg.forNear(pts[i], func(j int) {
+			if j != i {
+				cands = append(cands, cand{j, dist(pts[i], pts[j])})
+			}
+		})
+		if len(cands) < k { // sparse region: brute-force fallback
+			cands = cands[:0]
+			for j := 0; j < n; j++ {
+				if j != i {
+					cands = append(cands, cand{j, dist(pts[i], pts[j])})
+				}
+			}
+		}
+		// partial selection of the k nearest
+		for a := 0; a < k && a < len(cands); a++ {
+			best := a
+			for b := a + 1; b < len(cands); b++ {
+				if cands[b].d < cands[best].d {
+					best = b
+				}
+			}
+			cands[a], cands[best] = cands[best], cands[a]
+			edges = append(edges, graph.Edge{U: i, V: cands[a].j, W: geomWeight(mode, rng, cands[a].d)})
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+func geomWeight(mode WeightMode, rng *rand.Rand, d float64) float64 {
+	switch mode {
+	case WeightUnit:
+		return 1
+	case WeightEuclidean:
+		return d + 1e-9 // avoid exact-zero weights for coincident points
+	default:
+		return uniformWeight(rng)
+	}
+}
+
+// ErdosRenyi returns a G(n, m) random graph with m = n*avgDeg/2 edges
+// (expander-like for avgDeg above the connectivity threshold; the G67 /
+// adversarial random class).
+func ErdosRenyi(n int, avgDeg float64, mode WeightMode, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	m := int(float64(n) * avgDeg / 2)
+	edges := make([]graph.Edge, 0, m)
+	seen := make(map[int64]bool, m)
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, graph.Edge{U: u, V: v, W: gridWeight(mode, rng)})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: each new vertex
+// attaches to k existing vertices chosen proportionally to degree. This
+// reproduces the paper's extended Barabási–Albert adversarial graphs
+// (EB_8192_256, EB_16384_64): sparse but expander-like, with no small
+// separator.
+func BarabasiAlbert(n, k int, mode WeightMode, seed int64) *graph.Graph {
+	if k < 1 || n <= k {
+		panic("gen: BarabasiAlbert requires 1 <= k < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	// repeated-vertex list: vertex appears once per incident edge endpoint
+	targets := make([]int, 0, 2*n*k)
+	// seed clique on k+1 vertices
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j, W: gridWeight(mode, rng)})
+			targets = append(targets, i, j)
+		}
+	}
+	chosen := make(map[int]bool, k)
+	picks := make([]int, 0, k)
+	for v := k + 1; v < n; v++ {
+		for id := range chosen {
+			delete(chosen, id)
+		}
+		// Record picks in draw order (NOT map order, which Go randomizes
+		// per process — the target list's order feeds later draws, so
+		// map iteration would make the generator non-deterministic).
+		picks = picks[:0]
+		for len(chosen) < k {
+			u := targets[rng.Intn(len(targets))]
+			if !chosen[u] {
+				chosen[u] = true
+				picks = append(picks, u)
+			}
+		}
+		for _, u := range picks {
+			edges = append(edges, graph.Edge{U: u, V: v, W: gridWeight(mode, rng)})
+			targets = append(targets, u, v)
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// WattsStrogatz returns a small-world ring lattice: n vertices each
+// connected to k nearest ring neighbors, with each edge rewired with
+// probability beta.
+func WattsStrogatz(n, k int, beta float64, mode WeightMode, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		for off := 1; off <= k/2; off++ {
+			u := (v + off) % n
+			if rng.Float64() < beta {
+				for {
+					u = rng.Intn(n)
+					if u != v {
+						break
+					}
+				}
+			}
+			edges = append(edges, graph.Edge{U: v, V: u, W: gridWeight(mode, rng)})
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// RoadNetwork returns a road-network-like planar graph: a jittered grid
+// with a fraction of edges deleted (dead ends, sparse rural areas) while
+// preserving connectivity, and Euclidean-ish weights. Average degree
+// lands near 2.5, matching OSM road graphs (luxembourg_osm analogue).
+func RoadNetwork(w, h int, deleteFrac float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := w * h
+	id := func(x, y int) int { return y*w + x }
+	var all []graph.Edge
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				all = append(all, graph.Edge{U: id(x, y), V: id(x+1, y), W: 0.5 + rng.Float64()})
+			}
+			if y+1 < h {
+				all = append(all, graph.Edge{U: id(x, y), V: id(x, y+1), W: 0.5 + rng.Float64()})
+			}
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	// Keep a spanning forest first (union-find), then add the remaining
+	// edges until only deleteFrac of them have been dropped.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	kept := make([]graph.Edge, 0, len(all))
+	var extra []graph.Edge
+	for _, e := range all {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+			kept = append(kept, e)
+		} else {
+			extra = append(extra, e)
+		}
+	}
+	wantExtra := int(float64(len(all))*(1-deleteFrac)) - len(kept)
+	for i := 0; i < wantExtra && i < len(extra); i++ {
+		kept = append(kept, extra[i])
+	}
+	return graph.MustFromEdges(n, kept)
+}
+
+// PowerGrid returns a power-network-like graph: a geometric 2-NN backbone
+// plus sparse long-distance transmission ties, average degree ≈ 2.7
+// (USpowerGrid / OPF_6000 analogue).
+func PowerGrid(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	backbone := GeometricKNN(n, 2, 2, WeightEuclidean, seed)
+	edges := backbone.Edges()
+	ties := n / 20
+	for i := 0; i < ties; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, graph.Edge{U: u, V: v, W: 1 + rng.Float64()})
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// Finance returns a hierarchical optimization-style graph modeled on
+// finan512: c-vertex local communities (sparse random internal wiring)
+// whose hubs are linked in a ring plus a binary-tree overlay.
+func Finance(communities, size int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := communities * size
+	var edges []graph.Edge
+	for c := 0; c < communities; c++ {
+		base := c * size
+		// ring within the community plus random chords
+		for i := 0; i < size; i++ {
+			edges = append(edges, graph.Edge{U: base + i, V: base + (i+1)%size, W: uniformWeight(rng)})
+		}
+		for i := 0; i < 2*size; i++ {
+			u, v := base+rng.Intn(size), base+rng.Intn(size)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v, W: uniformWeight(rng)})
+			}
+		}
+	}
+	for c := 0; c < communities; c++ {
+		hub := c * size
+		next := ((c + 1) % communities) * size
+		edges = append(edges, graph.Edge{U: hub, V: next, W: uniformWeight(rng)})
+		if p := (c - 1) / 2; c > 0 {
+			edges = append(edges, graph.Edge{U: hub, V: p * size, W: uniformWeight(rng)})
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// CommunityGraph returns a social-network-like graph: power-law-ish
+// community sizes with dense cores and random inter-community edges
+// (email-Enron analogue: small separator relative to n is absent; hubs
+// dominate).
+func CommunityGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	v := 0
+	var hubs []int
+	for v < n {
+		size := 4 + rng.Intn(60)
+		if v+size > n {
+			size = n - v
+		}
+		hub := v
+		hubs = append(hubs, hub)
+		for i := 1; i < size; i++ {
+			edges = append(edges, graph.Edge{U: hub, V: v + i, W: uniformWeight(rng)})
+			if rng.Float64() < 0.3 {
+				o := v + rng.Intn(size)
+				if o != v+i {
+					edges = append(edges, graph.Edge{U: v + i, V: o, W: uniformWeight(rng)})
+				}
+			}
+		}
+		v += size
+	}
+	for i := 1; i < len(hubs); i++ {
+		edges = append(edges, graph.Edge{U: hubs[i], V: hubs[rng.Intn(i)], W: uniformWeight(rng)})
+		if rng.Float64() < 0.5 {
+			edges = append(edges, graph.Edge{U: hubs[i], V: hubs[rng.Intn(i)], W: uniformWeight(rng)})
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// RMAT returns a recursive-matrix (Kronecker-style) power-law graph on
+// 2^scale vertices with edgeFactor·n edges, using the standard
+// (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) Graph500 parameters. RMAT graphs
+// are the canonical scale-free adversarial inputs: heavy-tailed degrees
+// and no small separators, the class on which supernodal FW should show
+// no advantage.
+func RMAT(scale, edgeFactor int, mode WeightMode, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := edgeFactor * n
+	const a, b, c = 0.57, 0.19, 0.19
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left
+			case r < a+b: // top-right
+				v |= 1 << bit
+			case r < a+b+c: // bottom-left
+				u |= 1 << bit
+			default: // bottom-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: gridWeight(mode, rng)})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// Potential returns a random vertex potential p with values in
+// [0, scale), for building negative-arc APSP instances. Reweighting every
+// arc u→v as w'(u→v) = w(u,v) + p[u] − p[v] leaves the weight of every
+// cycle unchanged (the potentials telescope), so the instance has
+// negative arcs but provably no negative cycles, while the sparsity
+// pattern stays symmetric — exactly the class of inputs the
+// Floyd-Warshall family accepts but plain Dijkstra does not.
+//
+// A truly undirected negative edge is impossible without a negative
+// 2-cycle (u→v→u), which the paper's problem statement precludes; the
+// potential construction is the standard way (Johnson's transform run in
+// reverse) to produce valid negative-weight instances.
+func Potential(n int, scale float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = rng.Float64() * scale
+	}
+	return p
+}

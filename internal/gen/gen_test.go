@@ -1,0 +1,293 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+func mustValid(t *testing.T, name string, g *graph.Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: invalid graph: %v", name, err)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(5, 4, WeightUnit, 1)
+	mustValid(t, "grid", g)
+	if g.N != 20 {
+		t.Fatalf("n=%d, want 20", g.N)
+	}
+	// 2*w*h - w - h edges for a grid
+	if want := 2*5*4 - 5 - 4; g.M() != want {
+		t.Fatalf("m=%d, want %d", g.M(), want)
+	}
+	if !g.IsConnected() {
+		t.Error("grid must be connected")
+	}
+	// corner degree 2, interior degree 4
+	if g.Degree(0) != 2 {
+		t.Error("corner degree should be 2")
+	}
+	if g.Degree(6) != 4 { // (1,1)
+		t.Error("interior degree should be 4")
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D(3, 4, 5, WeightUniform, 2)
+	mustValid(t, "grid3d", g)
+	if g.N != 60 {
+		t.Fatal("n wrong")
+	}
+	if !g.IsConnected() {
+		t.Error("3d grid must be connected")
+	}
+	want := 2*4*5 + 3*3*5 + 3*4*4 // (x-1)yz + x(y-1)z + xy(z-1)
+	if g.M() != want {
+		t.Fatalf("m=%d, want %d", g.M(), want)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(5, WeightUnit, 3)
+	mustValid(t, "hypercube", g)
+	if g.N != 32 || g.M() != 32*5/2 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) != 5 {
+			t.Fatal("hypercube is 5-regular")
+		}
+	}
+}
+
+func TestGeometricRadius(t *testing.T) {
+	g := GeometricRadius(300, 2, 0.12, WeightEuclidean, 4)
+	mustValid(t, "rgg", g)
+	if g.N != 300 {
+		t.Fatal("n wrong")
+	}
+	if g.M() == 0 {
+		t.Fatal("radius graph should have edges")
+	}
+	// Euclidean weights in (0, sqrt(2)]
+	for _, w := range g.Wgt {
+		if w <= 0 || w > 0.12+1e-6 {
+			t.Fatalf("weight %g outside (0, radius]", w)
+		}
+	}
+}
+
+func TestGeometricKNN(t *testing.T) {
+	g := GeometricKNN(400, 2, 4, WeightUniform, 5)
+	mustValid(t, "knn", g)
+	if g.N != 400 {
+		t.Fatal("n wrong")
+	}
+	// Every vertex has degree ≥ k (k out-edges, symmetrized).
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) < 4 {
+			t.Fatalf("vertex %d degree %d < k", v, g.Degree(v))
+		}
+	}
+	// Average degree stays near 2k for a kNN graph.
+	if avg := g.AvgDegree(); avg > 12 {
+		t.Errorf("avg degree %g unexpectedly high", avg)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(500, 6, WeightUniform, 6)
+	mustValid(t, "er", g)
+	if g.M() != 1500 {
+		t.Fatalf("m=%d, want 1500", g.M())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(300, 4, WeightUniform, 7)
+	mustValid(t, "ba", g)
+	if g.N != 300 {
+		t.Fatal("n wrong")
+	}
+	if !g.IsConnected() {
+		t.Error("BA graph must be connected")
+	}
+	// Preferential attachment: max degree far above the mean.
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 3*g.AvgDegree() {
+		t.Errorf("expected a hub: max degree %d vs avg %g", maxDeg, g.AvgDegree())
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k >= n must panic")
+		}
+	}()
+	BarabasiAlbert(3, 3, WeightUnit, 1)
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 6, 0.1, WeightUniform, 8)
+	mustValid(t, "ws", g)
+	if g.N != 200 {
+		t.Fatal("n wrong")
+	}
+	if g.AvgDegree() < 5 || g.AvgDegree() > 7 {
+		t.Errorf("avg degree %g should be near k=6", g.AvgDegree())
+	}
+}
+
+func TestRoadNetwork(t *testing.T) {
+	g := RoadNetwork(30, 30, 0.3, 9)
+	mustValid(t, "road", g)
+	if !g.IsConnected() {
+		t.Fatal("road network must stay connected")
+	}
+	if avg := g.AvgDegree(); avg > 3.2 {
+		t.Errorf("road avg degree %g should be below grid's ~4", avg)
+	}
+}
+
+func TestPowerGrid(t *testing.T) {
+	g := PowerGrid(500, 10)
+	mustValid(t, "powergrid", g)
+	if g.N != 500 {
+		t.Fatal("n wrong")
+	}
+	if avg := g.AvgDegree(); avg < 2 || avg > 6 {
+		t.Errorf("power grid avg degree %g out of expected band", avg)
+	}
+}
+
+func TestFinance(t *testing.T) {
+	g := Finance(16, 32, 11)
+	mustValid(t, "finance", g)
+	if g.N != 512 {
+		t.Fatal("n wrong")
+	}
+	if !g.IsConnected() {
+		t.Error("finance graph must be connected (ring + tree overlay)")
+	}
+}
+
+func TestCommunityGraph(t *testing.T) {
+	g := CommunityGraph(800, 12)
+	mustValid(t, "community", g)
+	if g.N != 800 {
+		t.Fatal("n wrong")
+	}
+	if !g.IsConnected() {
+		t.Error("community graph must be connected via hubs")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(9, 8, WeightUniform, 15)
+	mustValid(t, "rmat", g)
+	if g.N != 512 {
+		t.Fatalf("n=%d, want 512", g.N)
+	}
+	// Power-law-ish: a hub far above the average degree.
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 4*g.AvgDegree() {
+		t.Errorf("RMAT should have hubs: max %d vs avg %.1f", maxDeg, g.AvgDegree())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Cross-run determinism of BarabasiAlbert is checked by a golden
+	// fingerprint below (same-process double-generation cannot catch
+	// map-iteration nondeterminism, which varies per process).
+	a := GeometricKNN(200, 2, 3, WeightUniform, 77)
+	b := GeometricKNN(200, 2, 3, WeightUniform, 77)
+	if a.M() != b.M() {
+		t.Fatal("same seed must give same graph")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed must give identical edges")
+		}
+	}
+	c := GeometricKNN(200, 2, 3, WeightUniform, 78)
+	if func() bool {
+		ec := c.Edges()
+		if len(ec) != len(ea) {
+			return false
+		}
+		for i := range ea {
+			if ea[i] != ec[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestBarabasiAlbertGoldenFingerprint(t *testing.T) {
+	// A golden edge-checksum: fails if the generator's output ever
+	// depends on process-randomized state (e.g. map iteration order).
+	g := BarabasiAlbert(64, 3, WeightUnit, 5)
+	sum := 0
+	for _, e := range g.Edges() {
+		sum = sum*31%1000003 + e.U*97 + e.V
+	}
+	const want = 642788
+	if sum != want {
+		t.Fatalf("BarabasiAlbert fingerprint = %d, want %d (generator output changed or is nondeterministic)", sum, want)
+	}
+}
+
+func TestPotentialCreatesNegativeArcsNoNegCycle(t *testing.T) {
+	g := GeometricKNN(100, 2, 3, WeightUniform, 13)
+	p := Potential(g.N, 3.0, 14)
+	init := g.ToDensePotential(p)
+	neg := false
+	for i := 0; i < init.Rows; i++ {
+		for _, v := range init.Row(i) {
+			if v < 0 {
+				neg = true
+			}
+		}
+	}
+	if !neg {
+		t.Fatal("potential with scale 3 should create negative arcs")
+	}
+	semiring.FloydWarshall(init)
+	if semiring.HasNegativeCycle(init) {
+		t.Fatal("potential reweighting must not create negative cycles")
+	}
+}
+
+func TestWeightModes(t *testing.T) {
+	unit := Grid2D(4, 4, WeightUnit, 1)
+	for _, w := range unit.Wgt {
+		if w != 1 {
+			t.Fatal("unit weights must be 1")
+		}
+	}
+	uni := Grid2D(4, 4, WeightUniform, 1)
+	for _, w := range uni.Wgt {
+		if w < 0.1 || w >= 1.1 {
+			t.Fatalf("uniform weight %g out of [0.1,1.1)", w)
+		}
+	}
+}

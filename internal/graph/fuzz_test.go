@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket: the parser must never panic, and anything it
+// accepts must be a structurally valid graph that round-trips.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 1.5\n3 2 2.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 5\n2 1 3\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n-1 -1 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n9 9 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n1000000000 1000000000 1\n1 2 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if g.N > 1<<20 {
+			return // degenerate huge-but-empty headers: skip round trip
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.N != g.N || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzNewFromEdges: arbitrary edge triples either error cleanly or build
+// a valid graph.
+func FuzzNewFromEdges(f *testing.F) {
+	f.Add(5, 0, 1, 2.5, 1, 0, 3.5)
+	f.Add(0, 0, 0, 0.0, 0, 0, 0.0)
+	f.Add(3, -1, 2, 1.0, 2, 2, 1.0)
+	f.Fuzz(func(t *testing.T, n, u1, v1 int, w1 float64, u2, v2 int, w2 float64) {
+		if n < 0 || n > 10000 {
+			return
+		}
+		g, err := NewFromEdges(n, []Edge{{u1, v1, w1}, {u2, v2, w2}})
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+	})
+}

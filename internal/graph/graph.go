@@ -1,0 +1,314 @@
+// Package graph provides the weighted undirected graph substrate used by
+// every APSP algorithm in this repository: a compressed-sparse-row (CSR)
+// representation, construction and validation from edge lists,
+// traversals (BFS, connected components, pseudo-peripheral vertices),
+// relabeling, and conversion to dense distance matrices.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/semiring"
+)
+
+// Edge is an undirected weighted edge between vertices U and V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is a weighted undirected graph in CSR form. For every undirected
+// edge {u,v} both directed arcs are stored, so len(Adj) == 2m. Neighbor
+// lists are sorted by target vertex and contain no self-loops or
+// duplicates.
+type Graph struct {
+	N   int       // number of vertices
+	Ptr []int     // CSR row pointers, len N+1
+	Adj []int     // concatenated neighbor lists, len Ptr[N]
+	Wgt []float64 // weights parallel to Adj
+}
+
+// NewFromEdges builds a graph on n vertices from an edge list. Self-loops
+// are dropped; duplicate edges keep the minimum weight. The input slice is
+// not modified.
+func NewFromEdges(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	type arc struct {
+		u, v int
+		w    float64
+	}
+	arcs := make([]arc, 0, 2*len(edges))
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if math.IsNaN(e.W) {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has NaN weight", e.U, e.V)
+		}
+		if e.U == e.V {
+			continue
+		}
+		arcs = append(arcs, arc{e.U, e.V, e.W}, arc{e.V, e.U, e.W})
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].u != arcs[j].u {
+			return arcs[i].u < arcs[j].u
+		}
+		if arcs[i].v != arcs[j].v {
+			return arcs[i].v < arcs[j].v
+		}
+		return arcs[i].w < arcs[j].w
+	})
+	g := &Graph{N: n, Ptr: make([]int, n+1)}
+	g.Adj = make([]int, 0, len(arcs))
+	g.Wgt = make([]float64, 0, len(arcs))
+	for i := 0; i < len(arcs); i++ {
+		if i > 0 && arcs[i].u == arcs[i-1].u && arcs[i].v == arcs[i-1].v {
+			continue // duplicate: earlier (smaller) weight wins
+		}
+		g.Adj = append(g.Adj, arcs[i].v)
+		g.Wgt = append(g.Wgt, arcs[i].w)
+		g.Ptr[arcs[i].u+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.Ptr[i+1] += g.Ptr[i]
+	}
+	return g, nil
+}
+
+// MustFromEdges is NewFromEdges that panics on error; for tests and
+// generators whose inputs are valid by construction.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := NewFromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.Adj) / 2 }
+
+// NNZ returns the number of stored arcs (2m), i.e. off-diagonal nonzeros
+// of the adjacency matrix.
+func (g *Graph) NNZ() int { return len(g.Adj) }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return g.Ptr[v+1] - g.Ptr[v] }
+
+// Neighbors returns the sorted neighbor list of v and the parallel weight
+// slice. The returned slices alias the graph's storage.
+func (g *Graph) Neighbors(v int) ([]int, []float64) {
+	lo, hi := g.Ptr[v], g.Ptr[v+1]
+	return g.Adj[lo:hi], g.Wgt[lo:hi]
+}
+
+// AvgDegree returns 2m/n, the nnz/n column of the paper's Table 3.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(g.NNZ()) / float64(g.N)
+}
+
+// HasNegativeWeights reports whether any edge weight is negative.
+func (g *Graph) HasNegativeWeights() bool {
+	for _, w := range g.Wgt {
+		if w < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MinWeight returns the smallest edge weight, or +Inf for an edgeless graph.
+func (g *Graph) MinWeight() float64 {
+	m := math.Inf(1)
+	for _, w := range g.Wgt {
+		if w < m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Validate checks CSR structural invariants: monotone pointers, sorted
+// duplicate-free neighbor lists, no self-loops, and symmetry (u∈adj(v) ⇔
+// v∈adj(u) with equal weights).
+func (g *Graph) Validate() error {
+	if len(g.Ptr) != g.N+1 {
+		return fmt.Errorf("graph: len(Ptr)=%d, want %d", len(g.Ptr), g.N+1)
+	}
+	if g.Ptr[0] != 0 || g.Ptr[g.N] != len(g.Adj) || len(g.Adj) != len(g.Wgt) {
+		return fmt.Errorf("graph: inconsistent CSR arrays")
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Ptr[v] > g.Ptr[v+1] {
+			return fmt.Errorf("graph: Ptr not monotone at %d", v)
+		}
+		adj, wgt := g.Neighbors(v)
+		for i, u := range adj {
+			if u < 0 || u >= g.N {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", u, v)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if i > 0 && adj[i-1] >= u {
+				return fmt.Errorf("graph: neighbors of %d not strictly sorted", v)
+			}
+			w, ok := g.Weight(u, v)
+			if !ok || w != wgt[i] {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Weight returns the weight of edge {u,v} and whether it exists.
+func (g *Graph) Weight(u, v int) (float64, bool) {
+	adj, wgt := g.Neighbors(u)
+	i := sort.SearchInts(adj, v)
+	if i < len(adj) && adj[i] == v {
+		return wgt[i], true
+	}
+	return 0, false
+}
+
+// Edges returns the undirected edge list (each edge once, U < V).
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.M())
+	for u := 0; u < g.N; u++ {
+		adj, wgt := g.Neighbors(u)
+		for i, v := range adj {
+			if u < v {
+				edges = append(edges, Edge{u, v, wgt[i]})
+			}
+		}
+	}
+	return edges
+}
+
+// Permute returns the graph relabeled so that new vertex i is old vertex
+// perm[i] (perm maps new→old).
+func (g *Graph) Permute(perm []int) *Graph {
+	if len(perm) != g.N {
+		panic("graph: permutation length mismatch")
+	}
+	iperm := InversePerm(perm)
+	edges := make([]Edge, 0, g.M())
+	for u := 0; u < g.N; u++ {
+		adj, wgt := g.Neighbors(u)
+		for i, v := range adj {
+			if u < v {
+				edges = append(edges, Edge{iperm[u], iperm[v], wgt[i]})
+			}
+		}
+	}
+	return MustFromEdges(g.N, edges)
+}
+
+// InversePerm returns the inverse of perm: iperm[perm[i]] = i.
+func InversePerm(perm []int) []int {
+	iperm := make([]int, len(perm))
+	for i, p := range perm {
+		iperm[p] = i
+	}
+	return iperm
+}
+
+// IsPermutation reports whether p is a permutation of [0, len(p)).
+func IsPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// ToDense returns the n×n initial distance matrix: 0 on the diagonal,
+// edge weights where edges exist, +Inf elsewhere. This is the Dist
+// initialization of Algorithm 1.
+func (g *Graph) ToDense() semiring.Mat {
+	d := semiring.NewInfMat(g.N, g.N)
+	for i := 0; i < g.N; i++ {
+		row := d.Row(i)
+		row[i] = 0
+		adj, wgt := g.Neighbors(i)
+		for k, j := range adj {
+			row[j] = wgt[k]
+		}
+	}
+	return d
+}
+
+// ToDenseWith returns the initial matrix for an arbitrary semiring:
+// `one` on the diagonal (the empty path), edge weights where edges
+// exist, and `zero` (the "no path" value) elsewhere. ToDense is the
+// min-plus special case (one=0, zero=+Inf); the max-min widest-path
+// semiring uses one=+Inf, zero=-Inf.
+func (g *Graph) ToDenseWith(zero, one float64) semiring.Mat {
+	d := semiring.NewMat(g.N, g.N)
+	d.Fill(zero)
+	for i := 0; i < g.N; i++ {
+		row := d.Row(i)
+		row[i] = one
+		adj, wgt := g.Neighbors(i)
+		for k, j := range adj {
+			row[j] = wgt[k]
+		}
+	}
+	return d
+}
+
+// ToDensePotential returns the directed initial distance matrix of the
+// potential-reweighted instance: arc u→v gets weight w(u,v)+p[u]−p[v].
+// The sparsity pattern stays symmetric (what the supernodal machinery
+// requires) while values become asymmetric and possibly negative; cycle
+// weights are unchanged, so the instance has no negative cycles. The true
+// distances of the original graph are recovered from the closure D' of
+// this matrix as D[u][v] = D'[u][v] − p[u] + p[v].
+func (g *Graph) ToDensePotential(p []float64) semiring.Mat {
+	if len(p) != g.N {
+		panic("graph: potential length mismatch")
+	}
+	d := semiring.NewInfMat(g.N, g.N)
+	for u := 0; u < g.N; u++ {
+		row := d.Row(u)
+		row[u] = 0
+		adj, wgt := g.Neighbors(u)
+		for k, v := range adj {
+			row[v] = wgt[k] + p[u] - p[v]
+		}
+	}
+	return d
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices
+// (which must be distinct) relabeled to [0, len(vertices)), plus nothing
+// else: edges with one endpoint outside are dropped. The i-th vertex of
+// the result is vertices[i].
+func (g *Graph) InducedSubgraph(vertices []int) *Graph {
+	local := make(map[int]int, len(vertices))
+	for i, v := range vertices {
+		local[v] = i
+	}
+	var edges []Edge
+	for i, v := range vertices {
+		adj, wgt := g.Neighbors(v)
+		for k, u := range adj {
+			if j, ok := local[u]; ok && i < j {
+				edges = append(edges, Edge{i, j, wgt[k]})
+			}
+		}
+	}
+	return MustFromEdges(len(vertices), edges)
+}

@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/semiring"
+)
+
+func triangle() *Graph {
+	return MustFromEdges(3, []Edge{{0, 1, 1}, {1, 2, 2}, {0, 2, 4}})
+}
+
+func TestNewFromEdgesBasic(t *testing.T) {
+	g := triangle()
+	if g.N != 3 || g.M() != 3 || g.NNZ() != 6 {
+		t.Fatalf("counts wrong: n=%d m=%d nnz=%d", g.N, g.M(), g.NNZ())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.Weight(2, 0); !ok || w != 4 {
+		t.Error("Weight(2,0) should be 4")
+	}
+	if _, ok := g.Weight(0, 0); ok {
+		t.Error("no self edge")
+	}
+	if g.Degree(1) != 2 {
+		t.Error("degree wrong")
+	}
+}
+
+func TestNewFromEdgesDedupAndLoops(t *testing.T) {
+	g := MustFromEdges(3, []Edge{
+		{0, 1, 5}, {1, 0, 2}, {0, 1, 9}, // duplicates: min weight 2 wins
+		{2, 2, 1}, // self loop dropped
+	})
+	if g.M() != 1 {
+		t.Fatalf("m=%d, want 1", g.M())
+	}
+	if w, _ := g.Weight(0, 1); w != 2 {
+		t.Errorf("duplicate resolution kept %g, want 2", w)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFromEdgesErrors(t *testing.T) {
+	if _, err := NewFromEdges(2, []Edge{{0, 5, 1}}); err == nil {
+		t.Error("out-of-range edge should error")
+	}
+	if _, err := NewFromEdges(-1, nil); err == nil {
+		t.Error("negative n should error")
+	}
+	if _, err := NewFromEdges(2, []Edge{{0, 1, math.NaN()}}); err == nil {
+		t.Error("NaN weight should error")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var edges []Edge
+	n := 40
+	for i := 0; i < 120; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{u, v, rng.Float64()})
+		}
+	}
+	g := MustFromEdges(n, edges)
+	g2 := MustFromEdges(n, g.Edges())
+	if g2.M() != g.M() {
+		t.Fatal("edge list round trip changed edge count")
+	}
+	for u := 0; u < n; u++ {
+		a1, w1 := g.Neighbors(u)
+		a2, w2 := g2.Neighbors(u)
+		if len(a1) != len(a2) {
+			t.Fatal("neighbor list mismatch")
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] || w1[i] != w2[i] {
+				t.Fatal("edge data mismatch")
+			}
+		}
+	}
+}
+
+func TestPermute(t *testing.T) {
+	g := triangle()
+	perm := []int{2, 0, 1} // new0=old2, new1=old0, new2=old1
+	pg := g.Permute(perm)
+	if err := pg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// old edge (0,1,w=1): new ids 1 and 2.
+	if w, ok := pg.Weight(1, 2); !ok || w != 1 {
+		t.Errorf("permuted edge wrong: %v %v", w, ok)
+	}
+	// old (0,2,w=4): new 1 and 0.
+	if w, ok := pg.Weight(0, 1); !ok || w != 4 {
+		t.Errorf("permuted edge wrong: %v %v", w, ok)
+	}
+}
+
+func TestPermuteQuickInverse(t *testing.T) {
+	// Permuting by p then by inverse(p) restores the original graph.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		var edges []Edge
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, Edge{u, v, float64(rng.Intn(100)) + 1})
+			}
+		}
+		g := MustFromEdges(n, edges)
+		p := rng.Perm(n)
+		back := g.Permute(p).Permute(InversePerm(p))
+		if back.M() != g.M() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			a1, w1 := g.Neighbors(u)
+			a2, w2 := back.Neighbors(u)
+			if len(a1) != len(a2) {
+				return false
+			}
+			for i := range a1 {
+				if a1[i] != a2[i] || w1[i] != w2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInversePermAndIsPermutation(t *testing.T) {
+	p := []int{3, 1, 0, 2}
+	ip := InversePerm(p)
+	for i, v := range p {
+		if ip[v] != i {
+			t.Fatal("inverse perm wrong")
+		}
+	}
+	if !IsPermutation(p) {
+		t.Error("valid permutation rejected")
+	}
+	if IsPermutation([]int{0, 0, 1}) || IsPermutation([]int{0, 3}) {
+		t.Error("invalid permutation accepted")
+	}
+}
+
+func TestToDense(t *testing.T) {
+	g := triangle()
+	d := g.ToDense()
+	if d.At(0, 0) != 0 || d.At(1, 1) != 0 {
+		t.Error("diagonal must be 0")
+	}
+	if d.At(0, 1) != 1 || d.At(1, 0) != 1 || d.At(0, 2) != 4 {
+		t.Error("edge weights wrong")
+	}
+	g2 := MustFromEdges(3, []Edge{{0, 1, 1}})
+	if !math.IsInf(g2.ToDense().At(0, 2), 1) {
+		t.Error("non-edges must be Inf")
+	}
+}
+
+func TestToDensePotential(t *testing.T) {
+	g := triangle()
+	p := []float64{0, 1, 3}
+	d := g.ToDensePotential(p)
+	// arc 0→1: 1 + 0 - 1 = 0; arc 1→0: 1 + 1 - 0 = 2.
+	if d.At(0, 1) != 0 || d.At(1, 0) != 2 {
+		t.Errorf("potential arcs wrong: %g %g", d.At(0, 1), d.At(1, 0))
+	}
+	// Cycle sums unchanged: 0→1→2→0 = (1+0-1)+(2+1-3)+(4+3-0) = 7 = 1+2+4.
+	sum := d.At(0, 1) + d.At(1, 2) + d.At(2, 0)
+	if math.Abs(sum-7) > 1e-12 {
+		t.Errorf("cycle sum changed: %g", sum)
+	}
+	if d.At(0, 0) != 0 {
+		t.Error("diagonal must stay 0")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 4, 4}, {0, 4, 5}})
+	sub := g.InducedSubgraph([]int{1, 2, 3})
+	if sub.N != 3 || sub.M() != 2 {
+		t.Fatalf("induced subgraph wrong: n=%d m=%d", sub.N, sub.M())
+	}
+	if w, ok := sub.Weight(0, 1); !ok || w != 2 {
+		t.Error("subgraph edge (1,2) should map to (0,1) with weight 2")
+	}
+}
+
+func TestHasNegativeAndMinWeight(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{0, 1, -1}})
+	if !g.HasNegativeWeights() {
+		t.Error("negative weight not detected")
+	}
+	if g.MinWeight() != -1 {
+		t.Error("min weight wrong")
+	}
+	empty := MustFromEdges(2, nil)
+	if !math.IsInf(empty.MinWeight(), 1) {
+		t.Error("edgeless min weight should be Inf")
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := triangle()
+	if g.AvgDegree() != 2 {
+		t.Errorf("triangle avg degree = %g, want 2", g.AvgDegree())
+	}
+	if MustFromEdges(0, nil).AvgDegree() != 0 {
+		t.Error("empty graph avg degree should be 0")
+	}
+}
+
+func TestToDenseClosureEqualsSemiring(t *testing.T) {
+	// Sanity coupling with the semiring package: closure of triangle.
+	d := triangle().ToDense()
+	semiring.FloydWarshall(d)
+	if d.At(0, 2) != 3 { // 0→1→2 = 1+2 beats direct 4
+		t.Errorf("closure D[0][2] = %g, want 3", d.At(0, 2))
+	}
+}

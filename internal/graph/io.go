@@ -1,0 +1,118 @@
+package graph
+
+// Text serialization in the MatrixMarket coordinate format
+// ("%%MatrixMarket matrix coordinate real symmetric"), the interchange
+// format used by the SuiteSparse collection the paper draws its test
+// matrices from. Only the lower triangle is stored; indices are 1-based.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes g in MatrixMarket symmetric coordinate format.
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real symmetric\n"); err != nil {
+		return err
+	}
+	edges := g.Edges()
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.N, g.N, len(edges)); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		// Lower triangle: row > col, 1-based.
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", e.V+1, e.U+1, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into a Graph.
+// Both "real" and "pattern" matrices are accepted (pattern entries get
+// weight 1); "general" matrices are symmetrized by keeping the minimum
+// weight of each {i,j} pair. Diagonal entries are ignored.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("graph: unsupported MatrixMarket header %q", sc.Text())
+	}
+	pattern := false
+	for _, f := range header[3:] {
+		switch f {
+		case "real", "integer", "symmetric", "general":
+		case "pattern":
+			pattern = true
+		case "complex", "hermitian", "skew-symmetric":
+			return nil, fmt.Errorf("graph: unsupported MatrixMarket qualifier %q", f)
+		}
+	}
+	// Skip comments, read size line.
+	var n, m, entries int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &n, &m, &entries); err != nil {
+			return nil, fmt.Errorf("graph: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if n != m {
+		return nil, fmt.Errorf("graph: adjacency matrix must be square, got %d×%d", n, m)
+	}
+	// Bound header-declared sizes before allocating: a hostile or corrupt
+	// size line must not drive gigabyte allocations. 1<<27 vertices is
+	// far beyond anything this library can process anyway.
+	if n < 0 || entries < 0 || n > 1<<27 {
+		return nil, fmt.Errorf("graph: unreasonable size line (n=%d, entries=%d)", n, entries)
+	}
+	prealloc := entries
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20 // grow beyond this only as actual entries arrive
+	}
+	edges := make([]Edge, 0, prealloc)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: bad entry line %q", line)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: bad indices in %q", line)
+		}
+		w := 1.0
+		if !pattern {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: missing value in %q", line)
+			}
+			w, err1 = strconv.ParseFloat(fields[2], 64)
+			if err1 != nil {
+				return nil, fmt.Errorf("graph: bad value in %q", line)
+			}
+		}
+		if i == j {
+			continue
+		}
+		edges = append(edges, Edge{U: i - 1, V: j - 1, W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewFromEdges(n, edges)
+}

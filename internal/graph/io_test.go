@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	var edges []Edge
+	for i := 0; i < 80; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, Edge{u, v, float64(rng.Intn(1000)) / 8})
+		}
+	}
+	g := MustFromEdges(n, edges)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.M() != g.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g2.N, g2.M(), g.N, g.M())
+	}
+	for u := 0; u < n; u++ {
+		a1, w1 := g.Neighbors(u)
+		a2, w2 := g2.Neighbors(u)
+		for i := range a1 {
+			if a1[i] != a2[i] || w1[i] != w2[i] {
+				t.Fatal("edge mismatch after round trip")
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+3 3 2
+2 1
+3 2
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("pattern read wrong: n=%d m=%d", g.N, g.M())
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 1 {
+		t.Error("pattern entries should get weight 1")
+	}
+}
+
+func TestReadMatrixMarketGeneralSymmetrizes(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 2
+1 2 5.0
+2 1 3.0
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.Weight(0, 1); w != 3 {
+		t.Errorf("general matrix should keep min weight, got %g", w)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate complex symmetric\n1 1 0\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\nx y 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadMatrixMarketSkipsDiagonal(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 9.0
+2 1 1.5
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Errorf("diagonal entries must be ignored, m=%d", g.M())
+	}
+}

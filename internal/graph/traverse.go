@@ -1,0 +1,153 @@
+package graph
+
+// Traversal utilities: BFS orderings (used by the SuperBfs baseline and
+// by pseudo-peripheral vertex search), connected components, and level
+// structures.
+
+// BFSOrder returns the order in which vertices are discovered by a
+// breadth-first search from root, restricted to root's connected
+// component. Neighbor ties break in sorted-index order, so the result is
+// deterministic.
+func (g *Graph) BFSOrder(root int) []int {
+	order := make([]int, 0, g.N)
+	seen := make([]bool, g.N)
+	seen[root] = true
+	order = append(order, root)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if !seen[u] {
+				seen[u] = true
+				order = append(order, u)
+			}
+		}
+	}
+	return order
+}
+
+// BFSOrderAll returns a BFS discovery order covering every vertex: a BFS
+// is started from the lowest-indexed unvisited vertex of each component.
+// This is the vertex ordering used by the SuperBfs baseline ("BFS from
+// vertex-0, order of discovery").
+func (g *Graph) BFSOrderAll() []int {
+	order := make([]int, 0, g.N)
+	seen := make([]bool, g.N)
+	for s := 0; s < g.N; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		order = append(order, s)
+		for head := len(order) - 1; head < len(order); head++ {
+			v := order[head]
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if !seen[u] {
+					seen[u] = true
+					order = append(order, u)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// Levels returns the BFS level of every vertex reachable from root (-1
+// for unreachable vertices) along with the eccentricity of root within
+// its component and the number of vertices in the last level.
+func (g *Graph) Levels(root int) (level []int, height, lastWidth int) {
+	level = make([]int, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if level[u] < 0 {
+					level[u] = level[v] + 1
+					next = append(next, u)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return level, height, len(frontier)
+		}
+		height++
+		frontier = next
+	}
+	return level, height, 1
+}
+
+// PseudoPeripheral returns a vertex of approximately maximal eccentricity
+// in the component containing start, found by the George-Liu iteration:
+// repeatedly move to a minimum-degree vertex of the last BFS level until
+// the eccentricity stops growing.
+func (g *Graph) PseudoPeripheral(start int) int {
+	v := start
+	level, h, _ := g.Levels(v)
+	for iter := 0; iter < 16; iter++ {
+		// Pick the minimum-degree vertex in the deepest level.
+		best, bestDeg := -1, g.N+1
+		for u := 0; u < g.N; u++ {
+			if level[u] == h {
+				if d := g.Degree(u); d < bestDeg {
+					best, bestDeg = u, d
+				}
+			}
+		}
+		if best < 0 {
+			return v
+		}
+		nl, nh, _ := g.Levels(best)
+		if nh <= h {
+			return best
+		}
+		v, level, h = best, nl, nh
+	}
+	return v
+}
+
+// ConnectedComponents returns, for every vertex, the id of its component
+// (ids are dense, assigned in order of the lowest vertex), and the number
+// of components.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	comp = make([]int, g.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	queue := make([]int, 0, g.N)
+	for s := 0; s < g.N; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = count
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if comp[u] < 0 {
+					comp[u] = count
+					queue = append(queue, u)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// IsConnected reports whether the graph has exactly one connected
+// component (and at least one vertex).
+func (g *Graph) IsConnected() bool {
+	if g.N == 0 {
+		return false
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"testing"
+)
+
+func pathGraph(n int) *Graph {
+	var edges []Edge
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1, 1})
+	}
+	return MustFromEdges(n, edges)
+}
+
+func TestBFSOrder(t *testing.T) {
+	g := pathGraph(5)
+	order := g.BFSOrder(2)
+	if len(order) != 5 || order[0] != 2 {
+		t.Fatalf("BFS order %v", order)
+	}
+	// Discovery from the middle of a path: 2, then 1,3, then 0,4.
+	want := []int{2, 1, 3, 0, 4}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("BFS order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBFSOrderAllCoversComponents(t *testing.T) {
+	g := MustFromEdges(6, []Edge{{0, 1, 1}, {3, 4, 1}})
+	order := g.BFSOrderAll()
+	if len(order) != 6 {
+		t.Fatalf("BFSOrderAll covered %d of 6", len(order))
+	}
+	if !IsPermutation(order) {
+		t.Fatal("BFSOrderAll must be a permutation")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := pathGraph(7)
+	level, h, lastW := g.Levels(0)
+	if h != 6 {
+		t.Errorf("path eccentricity from end = %d, want 6", h)
+	}
+	if lastW != 1 {
+		t.Errorf("last level width = %d, want 1", lastW)
+	}
+	for i := 0; i < 7; i++ {
+		if level[i] != i {
+			t.Errorf("level[%d]=%d, want %d", i, level[i], i)
+		}
+	}
+	// Unreachable vertices get -1.
+	g2 := MustFromEdges(3, []Edge{{0, 1, 1}})
+	lv, _, _ := g2.Levels(0)
+	if lv[2] != -1 {
+		t.Error("unreachable vertex should have level -1")
+	}
+}
+
+func TestPseudoPeripheral(t *testing.T) {
+	g := pathGraph(20)
+	v := g.PseudoPeripheral(10)
+	if v != 0 && v != 19 {
+		t.Errorf("pseudo-peripheral of a path should be an endpoint, got %d", v)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := MustFromEdges(7, []Edge{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}})
+	comp, count := g.ConnectedComponents()
+	if count != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("count=%d, want 4", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Error("3,4 should share a distinct component")
+	}
+	if comp[5] == comp[6] {
+		t.Error("isolated vertices should be separate components")
+	}
+	if g.IsConnected() {
+		t.Error("graph is not connected")
+	}
+	if !pathGraph(4).IsConnected() {
+		t.Error("path is connected")
+	}
+}

@@ -1,0 +1,214 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// checkTree validates the separator-tree invariants an Ordering must
+// satisfy for the supernodal engine: postorder (children before parents),
+// contiguous nested subtree ranges, and ranges partitioning [0,n).
+func checkTree(t *testing.T, ord Ordering, n int) {
+	t.Helper()
+	if !graph.IsPermutation(ord.Perm) {
+		t.Fatal("Perm is not a permutation")
+	}
+	if ord.Tree == nil {
+		return
+	}
+	covered := make([]bool, n)
+	for i, nd := range ord.Tree {
+		if nd.Lo > nd.Hi || nd.SubLo > nd.Lo {
+			t.Fatalf("node %d: bad ranges %+v", i, nd)
+		}
+		for v := nd.Lo; v < nd.Hi; v++ {
+			if covered[v] {
+				t.Fatalf("vertex %d owned twice", v)
+			}
+			covered[v] = true
+		}
+		if nd.Parent >= 0 {
+			if nd.Parent <= i {
+				t.Fatalf("node %d: parent %d not after child", i, nd.Parent)
+			}
+			p := ord.Tree[nd.Parent]
+			if nd.SubLo < p.SubLo || nd.Hi > p.Lo {
+				t.Fatalf("node %d subtree [%d,%d) not nested in parent's descendants [%d,%d)", i, nd.SubLo, nd.Hi, p.SubLo, p.Lo)
+			}
+		}
+	}
+	for v, c := range covered {
+		if !c {
+			t.Fatalf("vertex %d not owned by any node", v)
+		}
+	}
+}
+
+func TestNestedDissectionGrid(t *testing.T) {
+	g := gen.Grid2D(16, 16, gen.WeightUnit, 1)
+	ord := NestedDissection(g, NDOptions{LeafSize: 16})
+	checkTree(t, ord, g.N)
+	if ord.TopSep == 0 {
+		t.Fatal("grid dissection must find a top separator")
+	}
+	if ord.TopSep > 3*16 {
+		t.Errorf("top separator %d too large for 16x16 grid", ord.TopSep)
+	}
+	if len(ord.Tree) < 3 {
+		t.Error("expected a multi-level tree")
+	}
+}
+
+func TestNestedDissectionSeparatorProperty(t *testing.T) {
+	// The defining invariant: for any tree node, no edge connects its
+	// two child subtrees (all cross paths go through the separator).
+	g := gen.GeometricKNN(600, 2, 4, gen.WeightUnit, 2)
+	ord := NestedDissection(g, NDOptions{LeafSize: 32})
+	checkTree(t, ord, g.N)
+	pg := g.Permute(ord.Perm)
+	// node id owning each vertex
+	owner := make([]int, g.N)
+	for i, nd := range ord.Tree {
+		for v := nd.Lo; v < nd.Hi; v++ {
+			owner[v] = i
+		}
+	}
+	// ancestry test via ranges: u's node must be an ancestor of v's node,
+	// a descendant of it, or equal — never a "cousin" region.
+	for u := 0; u < g.N; u++ {
+		adj, _ := pg.Neighbors(u)
+		nu := ord.Tree[owner[u]]
+		for _, v := range adj {
+			nv := ord.Tree[owner[v]]
+			uInV := nu.SubLo >= nv.SubLo && nu.Hi <= nv.Hi
+			vInU := nv.SubLo >= nu.SubLo && nv.Hi <= nu.Hi
+			if !uInV && !vInU {
+				t.Fatalf("edge (%d,%d) crosses cousin regions", u, v)
+			}
+		}
+	}
+}
+
+func TestNestedDissectionDisconnected(t *testing.T) {
+	e := gen.Grid2D(6, 6, gen.WeightUnit, 3).Edges()
+	for _, x := range gen.Grid2D(7, 7, gen.WeightUnit, 4).Edges() {
+		e = append(e, graph.Edge{U: x.U + 36, V: x.V + 36, W: x.W})
+	}
+	g := graph.MustFromEdges(85, e)
+	ord := NestedDissection(g, NDOptions{LeafSize: 8})
+	checkTree(t, ord, g.N)
+	// Two roots (or more) with Parent == -1.
+	roots := 0
+	for _, nd := range ord.Tree {
+		if nd.Parent == -1 {
+			roots++
+		}
+	}
+	if roots < 2 {
+		t.Errorf("disconnected graph should yield ≥2 tree roots, got %d", roots)
+	}
+}
+
+func TestNestedDissectionSmall(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}})
+	ord := NestedDissection(g, NDOptions{})
+	checkTree(t, ord, 3)
+	if len(ord.Tree) == 0 {
+		t.Fatal("even a tiny graph gets a leaf node")
+	}
+}
+
+func TestBFSOrdering(t *testing.T) {
+	g := gen.Grid2D(8, 8, gen.WeightUnit, 5)
+	ord := BFS(g)
+	if !graph.IsPermutation(ord.Perm) {
+		t.Fatal("BFS perm invalid")
+	}
+	if ord.Perm[0] != 0 {
+		t.Error("BFS starts from vertex 0")
+	}
+	if ord.Tree != nil {
+		t.Error("BFS ordering has no separator tree")
+	}
+}
+
+func TestNaturalOrdering(t *testing.T) {
+	ord := Natural(5)
+	for i, v := range ord.Perm {
+		if i != v {
+			t.Fatal("natural ordering must be identity")
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A path graph labeled randomly: RCM should recover near-optimal
+	// bandwidth (1), far below the random labeling's.
+	g := gen.Grid2D(64, 1, gen.WeightUnit, 6)
+	perm := make([]int, g.N)
+	for i := range perm {
+		perm[i] = (i*37 + 11) % g.N
+	}
+	rg := g.Permute(perm)
+	ord := RCM(rg)
+	if !graph.IsPermutation(ord.Perm) {
+		t.Fatal("RCM perm invalid")
+	}
+	pg := rg.Permute(ord.Perm)
+	bw := 0
+	for u := 0; u < pg.N; u++ {
+		adj, _ := pg.Neighbors(u)
+		for _, v := range adj {
+			if d := v - u; d > bw {
+				bw = d
+			}
+		}
+	}
+	if bw > 3 {
+		t.Errorf("RCM bandwidth %d on a path, want ≤3", bw)
+	}
+}
+
+func TestGridND(t *testing.T) {
+	for _, wh := range [][2]int{{8, 8}, {16, 12}, {5, 31}, {1, 1}, {3, 1}} {
+		w, h := wh[0], wh[1]
+		ord := GridND(w, h, 4)
+		if !graph.IsPermutation(ord.Perm) {
+			t.Fatalf("GridND(%d,%d) perm invalid", w, h)
+		}
+		checkTree(t, ord, w*h)
+	}
+	// 17x17 grid's top separator is the middle column of 17.
+	ord := GridND(17, 17, 8)
+	if ord.TopSep != 17 {
+		t.Errorf("GridND(17,17) top separator = %d, want 17", ord.TopSep)
+	}
+}
+
+func TestGridNDSeparatorProperty(t *testing.T) {
+	// Same cousin-region test as multilevel ND, on the analytic orderer.
+	w, h := 12, 9
+	g := gen.Grid2D(w, h, gen.WeightUnit, 7)
+	ord := GridND(w, h, 6)
+	pg := g.Permute(ord.Perm)
+	owner := make([]int, g.N)
+	for i, nd := range ord.Tree {
+		for v := nd.Lo; v < nd.Hi; v++ {
+			owner[v] = i
+		}
+	}
+	for u := 0; u < g.N; u++ {
+		adj, _ := pg.Neighbors(u)
+		nu := ord.Tree[owner[u]]
+		for _, v := range adj {
+			nv := ord.Tree[owner[v]]
+			uInV := nu.SubLo >= nv.SubLo && nu.Hi <= nv.Hi
+			vInU := nv.SubLo >= nu.SubLo && nv.Hi <= nu.Hi
+			if !uInV && !vInU {
+				t.Fatalf("edge (%d,%d) crosses cousin regions", u, v)
+			}
+		}
+	}
+}

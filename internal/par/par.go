@@ -1,0 +1,164 @@
+// Package par provides small shared-memory parallel building blocks used
+// by the APSP implementations: a bounded parallel for-loop, a task group,
+// and a striped mutex set for synchronizing reduction-style updates.
+//
+// All primitives degrade gracefully to sequential execution when the
+// requested parallelism is 1, which keeps single-threaded benchmark runs
+// free of scheduling overhead.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultThreads returns the parallelism used when a caller passes
+// threads <= 0: the current GOMAXPROCS setting.
+func DefaultThreads(threads int) int {
+	if threads > 0 {
+		return threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For executes fn(i) for i in [0, n) using at most threads workers.
+// Iterations are handed out in contiguous chunks of the given grain to
+// amortize scheduling; grain <= 0 selects a grain that yields roughly 4
+// chunks per worker.
+func For(n, threads, grain int, fn func(i int)) {
+	threads = DefaultThreads(threads)
+	if n <= 0 {
+		return
+	}
+	if threads == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if grain <= 0 {
+		grain = n / (threads * 4)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var next int
+	var mu sync.Mutex
+	take := func() (int, int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, 0, false
+		}
+		lo := next
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		next = hi
+		return lo, hi, true
+	}
+	var wg sync.WaitGroup
+	workers := threads
+	if workers > n {
+		workers = n
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi, ok := take()
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForRanges executes fn(lo, hi) over contiguous ranges covering [0, n).
+// It is a chunked variant of For for callers that can process a whole
+// range more efficiently than element-at-a-time.
+func ForRanges(n, threads, grain int, fn func(lo, hi int)) {
+	threads = DefaultThreads(threads)
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = n / (threads * 4)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	nchunks := (n + grain - 1) / grain
+	For(nchunks, threads, 1, func(c int) {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Group runs tasks with bounded parallelism. Zero value is not usable;
+// construct with NewGroup.
+type Group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewGroup returns a Group that runs at most threads tasks concurrently.
+func NewGroup(threads int) *Group {
+	threads = DefaultThreads(threads)
+	return &Group{sem: make(chan struct{}, threads)}
+}
+
+// Go schedules fn on the group, blocking while the group is saturated.
+func (g *Group) Go(fn func()) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until all scheduled tasks have finished.
+func (g *Group) Wait() { g.wg.Wait() }
+
+// StripedMutex is a fixed set of mutexes indexed by key hash, used to
+// serialize concurrent min-reductions into shared blocks without one lock
+// per block.
+type StripedMutex struct {
+	mus []sync.Mutex
+}
+
+// NewStripedMutex returns a striped mutex with the given number of
+// stripes (rounded up to a power of two, minimum 16).
+func NewStripedMutex(stripes int) *StripedMutex {
+	n := 16
+	for n < stripes {
+		n <<= 1
+	}
+	return &StripedMutex{mus: make([]sync.Mutex, n)}
+}
+
+// Lock acquires the stripe for key.
+func (s *StripedMutex) Lock(key uint64) { s.mus[s.index(key)].Lock() }
+
+// Unlock releases the stripe for key.
+func (s *StripedMutex) Unlock(key uint64) { s.mus[s.index(key)].Unlock() }
+
+func (s *StripedMutex) index(key uint64) int {
+	// Fibonacci hash spreads sequential keys across stripes.
+	return int((key * 0x9e3779b97f4a7c15) >> 32 & uint64(len(s.mus)-1))
+}

@@ -1,0 +1,121 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, threads := range []int{1, 2, 8} {
+			var hits sync.Map
+			var count int64
+			For(n, threads, 3, func(i int) {
+				if _, dup := hits.LoadOrStore(i, true); dup {
+					t.Errorf("index %d executed twice", i)
+				}
+				atomic.AddInt64(&count, 1)
+			})
+			if int(count) != n {
+				t.Fatalf("n=%d threads=%d: executed %d", n, threads, count)
+			}
+		}
+	}
+}
+
+func TestForSequentialWhenOneThread(t *testing.T) {
+	// threads=1 must run in order on the caller's goroutine.
+	var order []int
+	For(10, 1, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatal("sequential mode must preserve order")
+		}
+	}
+}
+
+func TestForRanges(t *testing.T) {
+	covered := make([]int32, 100)
+	ForRanges(100, 4, 7, func(lo, hi int) {
+		if lo >= hi {
+			t.Error("empty range delivered")
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestGroup(t *testing.T) {
+	g := NewGroup(3)
+	var active, maxActive int64
+	var count int64
+	for i := 0; i < 50; i++ {
+		g.Go(func() {
+			cur := atomic.AddInt64(&active, 1)
+			for {
+				m := atomic.LoadInt64(&maxActive)
+				if cur <= m || atomic.CompareAndSwapInt64(&maxActive, m, cur) {
+					break
+				}
+			}
+			runtime.Gosched()
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt64(&active, -1)
+		})
+	}
+	g.Wait()
+	if count != 50 {
+		t.Fatalf("ran %d of 50 tasks", count)
+	}
+	if maxActive > 3 {
+		t.Fatalf("concurrency %d exceeded bound 3", maxActive)
+	}
+}
+
+func TestStripedMutex(t *testing.T) {
+	// One counter per key: the same key always maps to the same stripe,
+	// so per-key increments are serialized and none may be lost.
+	sm := NewStripedMutex(64)
+	counters := make([]int, 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := uint64(i % 10)
+				sm.Lock(k)
+				counters[k]++
+				sm.Unlock(k)
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != 8000 {
+		t.Fatalf("lost updates: %d of 8000", total)
+	}
+}
+
+func TestDefaultThreads(t *testing.T) {
+	if DefaultThreads(5) != 5 {
+		t.Error("positive passthrough")
+	}
+	if DefaultThreads(0) != runtime.GOMAXPROCS(0) {
+		t.Error("zero should map to GOMAXPROCS")
+	}
+	if DefaultThreads(-3) != runtime.GOMAXPROCS(0) {
+		t.Error("negative should map to GOMAXPROCS")
+	}
+}

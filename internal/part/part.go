@@ -1,0 +1,670 @@
+// Package part implements graph partitioning: a multilevel edge
+// bisection (heavy-edge matching coarsening, graph-growing initial
+// partitions, Fiduccia-Mattheyses boundary refinement) and vertex
+// separator extraction. It plays the role METIS/Scotch play in the paper:
+// supplying the separators that drive nested-dissection ordering.
+package part
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Options control the bisection.
+type Options struct {
+	// Imbalance is the tolerated deviation from a perfect 50/50 split,
+	// as a fraction of total vertex weight (default 0.15).
+	Imbalance float64
+	// CoarsenTo stops coarsening when the graph has at most this many
+	// vertices (default 48).
+	CoarsenTo int
+	// Trials is the number of initial partitions tried on the coarsest
+	// graph (default 6).
+	Trials int
+	// Seed makes the randomized phases deterministic.
+	Seed int64
+	// RefinePasses bounds FM passes per level (default 8).
+	RefinePasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Imbalance <= 0 {
+		o.Imbalance = 0.15
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 48
+	}
+	if o.Trials <= 0 {
+		o.Trials = 6
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 8
+	}
+	return o
+}
+
+// Separator is a vertex separator: Part[v] is 0 or 1 for the two
+// components and 2 for separator vertices. No edge joins a 0-vertex to a
+// 1-vertex.
+type Separator struct {
+	Part  []uint8
+	Sizes [3]int // vertex counts of side 0, side 1, separator
+}
+
+const (
+	side0 = 0
+	side1 = 1
+	sepID = 2
+)
+
+// VertexSeparator computes a vertex separator of g using multilevel edge
+// bisection followed by minimum-vertex-cover extraction on the cut.
+// The graph need not be connected; disconnected pieces are distributed to
+// balance the sides (possibly yielding an empty separator).
+func VertexSeparator(g *graph.Graph, opts Options) Separator {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	w := wgraphFromGraph(g)
+	side := multilevelBisect(w, opts, rng)
+	sep := coverSeparator(g, side)
+	refineSeparator(g, &sep)
+	improveSeparator(g, &sep, opts)
+	return sep
+}
+
+// wgraph is a working graph with integer vertex weights (contracted
+// multiplicity) and float edge weights (summed multi-edge weight), used
+// during multilevel coarsening.
+type wgraph struct {
+	n    int
+	ptr  []int
+	adj  []int
+	ewgt []float64
+	vwgt []int
+	// cmap maps this level's vertices to the coarser graph (set during
+	// coarsening); fmap maps to the finer parent vertices.
+	parent *wgraph
+	cmap   []int
+}
+
+func wgraphFromGraph(g *graph.Graph) *wgraph {
+	vw := make([]int, g.N)
+	for i := range vw {
+		vw[i] = 1
+	}
+	ew := make([]float64, len(g.Wgt))
+	for i := range ew {
+		ew[i] = 1 // structural weight: separator quality is about counts
+	}
+	return &wgraph{n: g.N, ptr: g.Ptr, adj: g.Adj, ewgt: ew, vwgt: vw}
+}
+
+func (w *wgraph) totalVWgt() int {
+	t := 0
+	for _, v := range w.vwgt {
+		t += v
+	}
+	return t
+}
+
+// coarsen builds the next-coarser graph via heavy-edge matching. Returns
+// nil if coarsening stalls (graph shrinks by <10%).
+func (w *wgraph) coarsen(rng *rand.Rand) *wgraph {
+	match := make([]int, w.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(w.n)
+	nc := 0
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestW := -1, -1.0
+		for e := w.ptr[v]; e < w.ptr[v+1]; e++ {
+			u := w.adj[e]
+			if match[u] < 0 && u != v && w.ewgt[e] > bestW {
+				best, bestW = u, w.ewgt[e]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+		nc++
+	}
+	if nc >= w.n-w.n/10 {
+		return nil // stalled
+	}
+	// Assign coarse ids: each matched pair (or singleton) becomes one
+	// coarse vertex, in order of first appearance.
+	cmap := make([]int, w.n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	next := 0
+	for v := 0; v < w.n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = next
+		if m := match[v]; m != v {
+			cmap[m] = next
+		}
+		next++
+	}
+	// Build coarse adjacency by accumulating edge weights.
+	c := &wgraph{n: next, vwgt: make([]int, next), parent: w}
+	w.cmap = cmap
+	for v := 0; v < w.n; v++ {
+		c.vwgt[cmap[v]] += w.vwgt[v]
+	}
+	type nb struct {
+		u int
+		w float64
+	}
+	lists := make([][]nb, next)
+	seen := make(map[int64]int) // (cu,cv) -> index into lists[cu]
+	for v := 0; v < w.n; v++ {
+		cu := cmap[v]
+		for e := w.ptr[v]; e < w.ptr[v+1]; e++ {
+			cv := cmap[w.adj[e]]
+			if cu == cv {
+				continue
+			}
+			key := int64(cu)*int64(next) + int64(cv)
+			if idx, ok := seen[key]; ok {
+				lists[cu][idx].w += w.ewgt[e]
+			} else {
+				seen[key] = len(lists[cu])
+				lists[cu] = append(lists[cu], nb{cv, w.ewgt[e]})
+			}
+		}
+	}
+	c.ptr = make([]int, next+1)
+	for v, l := range lists {
+		c.ptr[v+1] = c.ptr[v] + len(l)
+	}
+	c.adj = make([]int, c.ptr[next])
+	c.ewgt = make([]float64, c.ptr[next])
+	for v, l := range lists {
+		off := c.ptr[v]
+		for i, e := range l {
+			c.adj[off+i] = e.u
+			c.ewgt[off+i] = e.w
+		}
+	}
+	return c
+}
+
+// multilevelBisect returns side[v] ∈ {0,1} for every vertex of w.
+func multilevelBisect(w *wgraph, opts Options, rng *rand.Rand) []uint8 {
+	// Coarsening phase.
+	levels := []*wgraph{w}
+	cur := w
+	for cur.n > opts.CoarsenTo {
+		nxt := cur.coarsen(rng)
+		if nxt == nil {
+			break
+		}
+		levels = append(levels, nxt)
+		cur = nxt
+	}
+	// Initial partition on the coarsest graph.
+	coarsest := levels[len(levels)-1]
+	side := initialPartition(coarsest, opts, rng)
+	fmRefine(coarsest, side, opts, rng)
+	// Uncoarsening: project and refine at each level.
+	for i := len(levels) - 2; i >= 0; i-- {
+		fine := levels[i]
+		fineSide := make([]uint8, fine.n)
+		for v := 0; v < fine.n; v++ {
+			fineSide[v] = side[fine.cmap[v]]
+		}
+		side = fineSide
+		fmRefine(fine, side, opts, rng)
+	}
+	return side
+}
+
+// initialPartition grows a region by BFS from several seeds and keeps the
+// best cut among balanced results.
+func initialPartition(w *wgraph, opts Options, rng *rand.Rand) []uint8 {
+	total := w.totalVWgt()
+	target := total / 2
+	bestCut := -1.0
+	var best []uint8
+	for t := 0; t < opts.Trials; t++ {
+		seed := rng.Intn(w.n)
+		side := growFrom(w, seed, target)
+		cut := cutWeight(w, side)
+		if bestCut < 0 || cut < bestCut {
+			bestCut, best = cut, side
+		}
+	}
+	if best == nil {
+		best = make([]uint8, w.n)
+		for v := range best {
+			best[v] = uint8(v % 2)
+		}
+	}
+	return best
+}
+
+// growFrom grows side 0 from the seed by BFS until its vertex weight
+// reaches target; everything else is side 1. Unreached vertices (other
+// components) are appended to whichever side is lighter.
+func growFrom(w *wgraph, seed, target int) []uint8 {
+	side := make([]uint8, w.n)
+	for i := range side {
+		side[i] = side1
+	}
+	visited := make([]bool, w.n)
+	queue := []int{seed}
+	visited[seed] = true
+	weight := 0
+	for len(queue) > 0 && weight < target {
+		v := queue[0]
+		queue = queue[1:]
+		side[v] = side0
+		weight += w.vwgt[v]
+		for e := w.ptr[v]; e < w.ptr[v+1]; e++ {
+			u := w.adj[e]
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+		if len(queue) == 0 && weight < target {
+			// component exhausted: jump to an unvisited vertex
+			for u := 0; u < w.n; u++ {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+					break
+				}
+			}
+		}
+	}
+	return side
+}
+
+func cutWeight(w *wgraph, side []uint8) float64 {
+	cut := 0.0
+	for v := 0; v < w.n; v++ {
+		for e := w.ptr[v]; e < w.ptr[v+1]; e++ {
+			if u := w.adj[e]; u > v && side[u] != side[v] {
+				cut += w.ewgt[e]
+			}
+		}
+	}
+	return cut
+}
+
+func sideWeights(w *wgraph, side []uint8) [2]int {
+	var sw [2]int
+	for v := 0; v < w.n; v++ {
+		sw[side[v]] += w.vwgt[v]
+	}
+	return sw
+}
+
+// fmRefine performs Fiduccia-Mattheyses-style passes: repeatedly move the
+// highest-gain movable boundary vertex to the other side (respecting the
+// balance constraint), allowing negative-gain moves within a pass and
+// rolling back to the best prefix.
+func fmRefine(w *wgraph, side []uint8, opts Options, rng *rand.Rand) {
+	total := w.totalVWgt()
+	maxSide := int(float64(total) * (0.5 + opts.Imbalance))
+	if maxSide >= total {
+		maxSide = total - 1
+	}
+
+	gain := func(v int) float64 {
+		ext, inte := 0.0, 0.0
+		for e := w.ptr[v]; e < w.ptr[v+1]; e++ {
+			if side[w.adj[e]] != side[v] {
+				ext += w.ewgt[e]
+			} else {
+				inte += w.ewgt[e]
+			}
+		}
+		return ext - inte
+	}
+
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		sw := sideWeights(w, side)
+		locked := make([]bool, w.n)
+		// Candidate set: boundary vertices only (moving an interior
+		// vertex always has negative gain). Neighbors of moved vertices
+		// join the set as moves expose new boundary.
+		inCand := make([]bool, w.n)
+		var cands []int
+		addCand := func(v int) {
+			if !inCand[v] {
+				inCand[v] = true
+				cands = append(cands, v)
+			}
+		}
+		for v := 0; v < w.n; v++ {
+			for e := w.ptr[v]; e < w.ptr[v+1]; e++ {
+				if side[w.adj[e]] != side[v] {
+					addCand(v)
+					break
+				}
+			}
+		}
+		type move struct {
+			v    int
+			gain float64
+		}
+		var seq []move
+		sum, bestSum, bestLen := 0.0, 0.0, 0
+		maxMoves := 64 + len(cands)
+		if maxMoves > w.n {
+			maxMoves = w.n
+		}
+		for step := 0; step < maxMoves; step++ {
+			bv, bg := -1, 0.0
+			for _, v := range cands {
+				if locked[v] {
+					continue
+				}
+				to := 1 - side[v]
+				if sw[to]+w.vwgt[v] > maxSide {
+					continue
+				}
+				if g := gain(v); bv < 0 || g > bg {
+					bv, bg = v, g
+				}
+			}
+			if bv < 0 {
+				break
+			}
+			from := side[bv]
+			side[bv] = 1 - from
+			sw[from] -= w.vwgt[bv]
+			sw[1-from] += w.vwgt[bv]
+			locked[bv] = true
+			for e := w.ptr[bv]; e < w.ptr[bv+1]; e++ {
+				addCand(w.adj[e])
+			}
+			sum += bg
+			seq = append(seq, move{bv, bg})
+			if sum > bestSum {
+				bestSum, bestLen = sum, len(seq)
+			}
+			if len(seq)-bestLen > 64 {
+				break // give up this pass: long negative tail
+			}
+		}
+		// Roll back moves after the best prefix.
+		for i := len(seq) - 1; i >= bestLen; i-- {
+			v := seq[i].v
+			side[v] = 1 - side[v]
+		}
+		if bestSum <= 0 {
+			return
+		}
+	}
+}
+
+// coverSeparator converts an edge bisection into a vertex separator by
+// taking a vertex cover of the cut edges. It uses a maximum bipartite
+// matching (Hopcroft-Karp-style BFS/DFS phases) on the cut-edge bipartite
+// graph and extracts the König minimum vertex cover, which is optimal for
+// the given edge cut.
+func coverSeparator(g *graph.Graph, side []uint8) Separator {
+	// Collect boundary vertices on each side.
+	idx0 := map[int]int{}
+	idx1 := map[int]int{}
+	var b0, b1 []int
+	for v := 0; v < g.N; v++ {
+		if side[v] != side0 {
+			continue
+		}
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if side[u] == side1 {
+				if _, ok := idx0[v]; !ok {
+					idx0[v] = len(b0)
+					b0 = append(b0, v)
+				}
+				if _, ok := idx1[u]; !ok {
+					idx1[u] = len(b1)
+					b1 = append(b1, u)
+				}
+			}
+		}
+	}
+	// Bipartite adjacency from b0 to b1 (cut edges only).
+	adj := make([][]int, len(b0))
+	for i, v := range b0 {
+		nbrs, _ := g.Neighbors(v)
+		for _, u := range nbrs {
+			if side[u] == side1 {
+				adj[i] = append(adj[i], idx1[u])
+			}
+		}
+	}
+	matchL, matchR := maxBipartiteMatching(adj, len(b1))
+	// König: Z = unmatched left ∪ reachable via alternating paths;
+	// cover = (L \ Z) ∪ (R ∩ Z).
+	inZ0 := make([]bool, len(b0))
+	inZ1 := make([]bool, len(b1))
+	var queue []int
+	for i := range b0 {
+		if matchL[i] < 0 {
+			inZ0[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, j := range adj[i] {
+			if inZ1[j] {
+				continue
+			}
+			inZ1[j] = true
+			if mi := matchR[j]; mi >= 0 && !inZ0[mi] {
+				inZ0[mi] = true
+				queue = append(queue, mi)
+			}
+		}
+	}
+	part := make([]uint8, g.N)
+	copy(part, side)
+	var sizes [3]int
+	for i, v := range b0 {
+		if !inZ0[i] {
+			part[v] = sepID
+		}
+	}
+	for j, v := range b1 {
+		if inZ1[j] {
+			part[v] = sepID
+		}
+	}
+	for _, p := range part {
+		sizes[p]++
+	}
+	return Separator{Part: part, Sizes: sizes}
+}
+
+// maxBipartiteMatching computes a maximum matching of the bipartite graph
+// given by adj (left → right neighbor lists). Returns matchL (left →
+// right or -1) and matchR (right → left or -1).
+func maxBipartiteMatching(adj [][]int, nRight int) (matchL, matchR []int) {
+	nLeft := len(adj)
+	matchL = make([]int, nLeft)
+	matchR = make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for j := range matchR {
+		matchR[j] = -1
+	}
+	visited := make([]int, nRight)
+	for j := range visited {
+		visited[j] = -1
+	}
+	var try func(i, stamp int) bool
+	try = func(i, stamp int) bool {
+		for _, j := range adj[i] {
+			if visited[j] == stamp {
+				continue
+			}
+			visited[j] = stamp
+			if matchR[j] < 0 || try(matchR[j], stamp) {
+				matchL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < nLeft; i++ {
+		try(i, i)
+	}
+	return matchL, matchR
+}
+
+// refineSeparator drops separator vertices that are not actually needed
+// (adjacent to only one side); they are moved into that side. This
+// repairs any slack left by the cover step when cut edges shared
+// endpoints.
+func refineSeparator(g *graph.Graph, sep *Separator) {
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			if sep.Part[v] != sepID {
+				continue
+			}
+			adj, _ := g.Neighbors(v)
+			saw0, saw1 := false, false
+			for _, u := range adj {
+				switch sep.Part[u] {
+				case side0:
+					saw0 = true
+				case side1:
+					saw1 = true
+				}
+			}
+			if saw0 && saw1 {
+				continue
+			}
+			// Movable: put it in the side it touches, or the smaller one.
+			to := uint8(side0)
+			if saw1 {
+				to = side1
+			} else if !saw0 && sep.Sizes[side1] < sep.Sizes[side0] {
+				to = side1
+			}
+			sep.Part[v] = to
+			sep.Sizes[sepID]--
+			sep.Sizes[to]++
+			changed = true
+		}
+	}
+	// Recompute sizes defensively (cheap, and keeps the invariant
+	// obvious for callers).
+	var sizes [3]int
+	for _, p := range sep.Part {
+		sizes[p]++
+	}
+	copy(sep.Sizes[:], sizes[:])
+}
+
+// improveSeparator performs greedy vertex-separator refinement: a
+// separator vertex v may move into a side when the neighbors it pulls
+// into the separator (its neighbors on the other side) number fewer
+// than one — i.e. the separator strictly shrinks — subject to the
+// balance constraint. Strictly-improving moves guarantee termination;
+// repeated passes run until a fixpoint.
+func improveSeparator(g *graph.Graph, sep *Separator, opts Options) {
+	maxSide := int(float64(g.N) * (0.5 + opts.Imbalance))
+	for pass := 0; pass < 2*opts.RefinePasses; pass++ {
+		improved := false
+		for v := 0; v < g.N; v++ {
+			if sep.Part[v] != sepID {
+				continue
+			}
+			adj, _ := g.Neighbors(v)
+			var cnt [2]int
+			for _, u := range adj {
+				if p := sep.Part[u]; p == side0 || p == side1 {
+					cnt[p]++
+				}
+			}
+			// Move v to side s: cnt[1-s] neighbors must join the
+			// separator. Net separator change = cnt[1-s] − 1 < 0 means
+			// only cnt[1-s] == 0, i.e. v touches one side only — those
+			// were handled by refineSeparator — OR we allow pulling in
+			// one neighbor when it frees v AND that neighbor could
+			// cascade; restrict to the strict case plus the swap case
+			// where the pulled-in neighbor itself touches one side.
+			for _, s := range [2]uint8{side0, side1} {
+				if cnt[1-s] != 0 || sep.Sizes[s]+1 > maxSide {
+					continue
+				}
+				sep.Part[v] = s
+				sep.Sizes[sepID]--
+				sep.Sizes[s]++
+				improved = true
+				break
+			}
+			if sep.Part[v] != sepID {
+				continue
+			}
+			// Swap move: pull exactly one other-side neighbor u into
+			// the separator and release v, when u's entry does not
+			// enlarge the separator elsewhere (|S| unchanged) but
+			// improves balance toward the lighter side.
+			for _, s := range [2]uint8{side0, side1} {
+				if cnt[1-s] != 1 || sep.Sizes[s] >= sep.Sizes[1-s] || sep.Sizes[s]+1 > maxSide {
+					continue
+				}
+				var u int = -1
+				for _, w := range adj {
+					if sep.Part[w] == 1-s {
+						u = w
+						break
+					}
+				}
+				if u < 0 {
+					continue
+				}
+				sep.Part[v] = s
+				sep.Part[u] = sepID
+				sep.Sizes[s]++
+				sep.Sizes[1-s]--
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// Check verifies the separator invariant: no edge joins side 0 to side 1.
+func (s Separator) Check(g *graph.Graph) bool {
+	for v := 0; v < g.N; v++ {
+		if s.Part[v] != side0 {
+			continue
+		}
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if s.Part[u] == side1 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package part
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func checkSeparator(t *testing.T, name string, g *graph.Graph, s Separator) {
+	t.Helper()
+	if len(s.Part) != g.N {
+		t.Fatalf("%s: part length %d != n %d", name, len(s.Part), g.N)
+	}
+	var sizes [3]int
+	for _, p := range s.Part {
+		if p > 2 {
+			t.Fatalf("%s: invalid part id %d", name, p)
+		}
+		sizes[p]++
+	}
+	if sizes != s.Sizes {
+		t.Fatalf("%s: reported sizes %v != actual %v", name, s.Sizes, sizes)
+	}
+	if !s.Check(g) {
+		t.Fatalf("%s: edge crosses the separator", name)
+	}
+}
+
+func TestVertexSeparatorGrid(t *testing.T) {
+	// 16x16 grid: optimal separator is 16; the multilevel heuristic
+	// should stay within a small factor.
+	g := gen.Grid2D(16, 16, gen.WeightUnit, 1)
+	s := VertexSeparator(g, Options{Seed: 1})
+	checkSeparator(t, "grid16", g, s)
+	if s.Sizes[2] == 0 {
+		t.Fatal("grid must need a separator")
+	}
+	if s.Sizes[2] > 3*16 {
+		t.Errorf("separator size %d too large for a 16x16 grid", s.Sizes[2])
+	}
+	// Balance: neither side should dwarf the other.
+	lo, hi := s.Sizes[0], s.Sizes[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo*4 < hi {
+		t.Errorf("severely unbalanced: %d vs %d", s.Sizes[0], s.Sizes[1])
+	}
+}
+
+func TestVertexSeparatorGeometric(t *testing.T) {
+	g := gen.GeometricKNN(800, 2, 4, gen.WeightUnit, 2)
+	s := VertexSeparator(g, Options{Seed: 2})
+	checkSeparator(t, "geo", g, s)
+	// Planar-like: separator should be O(√n)-ish, far below n.
+	if s.Sizes[2] > g.N/5 {
+		t.Errorf("separator %d of %d is suspiciously large for a planar-like graph", s.Sizes[2], g.N)
+	}
+}
+
+func TestVertexSeparatorPath(t *testing.T) {
+	g := gen.Grid2D(100, 1, gen.WeightUnit, 3)
+	s := VertexSeparator(g, Options{Seed: 3})
+	checkSeparator(t, "path", g, s)
+	if s.Sizes[2] > 5 {
+		t.Errorf("path separator should be ~1 vertex, got %d", s.Sizes[2])
+	}
+}
+
+func TestVertexSeparatorDisconnected(t *testing.T) {
+	// Two disjoint grids: a perfect bisection needs no separator at all.
+	e1 := gen.Grid2D(8, 8, gen.WeightUnit, 4).Edges()
+	for _, e := range gen.Grid2D(8, 8, gen.WeightUnit, 5).Edges() {
+		e1 = append(e1, graph.Edge{U: e.U + 64, V: e.V + 64, W: e.W})
+	}
+	g := graph.MustFromEdges(128, e1)
+	s := VertexSeparator(g, Options{Seed: 6})
+	checkSeparator(t, "disconnected", g, s)
+	if s.Sizes[2] > 4 {
+		t.Errorf("disconnected graph should need a near-empty separator, got %d", s.Sizes[2])
+	}
+}
+
+func TestVertexSeparatorSmallGraphs(t *testing.T) {
+	// Degenerate sizes must not crash.
+	for n := 1; n <= 5; n++ {
+		var edges []graph.Edge
+		for i := 0; i+1 < n; i++ {
+			edges = append(edges, graph.Edge{U: i, V: i + 1, W: 1})
+		}
+		g := graph.MustFromEdges(n, edges)
+		s := VertexSeparator(g, Options{Seed: int64(n)})
+		checkSeparator(t, "tiny", g, s)
+	}
+}
+
+func TestVertexSeparatorExpander(t *testing.T) {
+	// Expander-like: separator will be large — just verify validity.
+	g := gen.BarabasiAlbert(300, 8, gen.WeightUnit, 7)
+	s := VertexSeparator(g, Options{Seed: 7})
+	checkSeparator(t, "ba", g, s)
+}
+
+func TestMaxBipartiteMatching(t *testing.T) {
+	// K2,2 minus one edge: maximum matching 2.
+	adj := [][]int{{0, 1}, {0}}
+	ml, mr := maxBipartiteMatching(adj, 2)
+	matched := 0
+	for _, m := range ml {
+		if m >= 0 {
+			matched++
+		}
+	}
+	if matched != 2 {
+		t.Fatalf("matching size %d, want 2", matched)
+	}
+	for j, i := range mr {
+		if i >= 0 && ml[i] != j {
+			t.Fatal("matchL/matchR inconsistent")
+		}
+	}
+	// Star: left {0,1,2} all pointing at right 0 — matching 1.
+	adj = [][]int{{0}, {0}, {0}}
+	ml, _ = maxBipartiteMatching(adj, 1)
+	matched = 0
+	for _, m := range ml {
+		if m >= 0 {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("star matching size %d, want 1", matched)
+	}
+}
+
+func TestSeparatorQualityScaling(t *testing.T) {
+	// |S| should grow like √n on grids: quadrupling n should roughly
+	// double |S| (allow generous slack for the heuristic).
+	sizes := map[int]int{}
+	for _, side := range []int{12, 24} {
+		g := gen.Grid2D(side, side, gen.WeightUnit, 11)
+		s := VertexSeparator(g, Options{Seed: 11})
+		checkSeparator(t, "scaling", g, s)
+		sizes[side] = s.Sizes[2]
+	}
+	ratio := float64(sizes[24]) / math.Max(1, float64(sizes[12]))
+	if ratio > 4.5 {
+		t.Errorf("separator growth %g too fast for planar scaling", ratio)
+	}
+}

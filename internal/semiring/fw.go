@@ -1,0 +1,129 @@
+package semiring
+
+// Dense Floyd-Warshall kernels (Algorithm 1 of the paper) and the blocked
+// variant (Algorithm 2). These operate in place on a square distance
+// matrix whose entries are initialized from the edge weights, Inf where no
+// edge exists, and 0 on the diagonal.
+
+// FloydWarshall runs the classic three-nested-loop Floyd-Warshall
+// algorithm in place on the square matrix A. After it returns, A[i][j] is
+// the length of the shortest path from i to j using any intermediates.
+func FloydWarshall(A Mat) {
+	n := A.Rows
+	if A.Cols != n {
+		panic("semiring: FloydWarshall requires a square matrix")
+	}
+	for k := 0; k < n; k++ {
+		krow := A.Row(k)
+		for i := 0; i < n; i++ {
+			irow := A.Row(i)
+			aik := irow[k]
+			if aik == Inf {
+				continue
+			}
+			kr := krow[:len(irow)]
+			for j, bkj := range kr {
+				if v := aik + bkj; v < irow[j] {
+					irow[j] = v
+				}
+			}
+		}
+	}
+}
+
+// FloydWarshallStep performs the single outer iteration k of the scalar
+// Floyd-Warshall algorithm on A in place. Exposed for instrumented runs
+// (e.g. tracking fill density per iteration, as in the paper's Fig 1).
+func FloydWarshallStep(A Mat, k int) {
+	n := A.Rows
+	krow := A.Row(k)
+	for i := 0; i < n; i++ {
+		irow := A.Row(i)
+		aik := irow[k]
+		if aik == Inf {
+			continue
+		}
+		kr := krow[:len(irow)]
+		for j, bkj := range kr {
+			if v := aik + bkj; v < irow[j] {
+				irow[j] = v
+			}
+		}
+	}
+}
+
+// HasNegativeCycle reports whether a closed distance matrix (the output of
+// FloydWarshall or any equivalent APSP routine) witnesses a negative-weight
+// cycle, i.e. a negative diagonal entry.
+func HasNegativeCycle(A Mat) bool {
+	for i := 0; i < A.Rows; i++ {
+		if A.At(i, i) < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockedFloydWarshall runs the blocked Floyd-Warshall algorithm
+// (Algorithm 2) in place on the n×n matrix A with block size b. It
+// performs the same computation as FloydWarshall but restructured into
+// DiagUpdate, PanelUpdate, and min-plus outer-product steps so nearly all
+// work runs through the SemiringGemm kernel.
+func BlockedFloydWarshall(A Mat, b int) {
+	n := A.Rows
+	if A.Cols != n {
+		panic("semiring: BlockedFloydWarshall requires a square matrix")
+	}
+	if b <= 0 {
+		panic("semiring: block size must be positive")
+	}
+	for k0 := 0; k0 < n; k0 += b {
+		kb := min(b, n-k0)
+		Akk := A.View(k0, k0, kb, kb)
+
+		// DiagUpdate: close the diagonal block.
+		FloydWarshall(Akk)
+
+		// PanelUpdate: block row from the left, block column from the
+		// right. A panel update with a *closed* diagonal block needs no
+		// iteration (paths within the block are already shortest).
+		for j0 := 0; j0 < n; j0 += b {
+			if j0 == k0 {
+				continue
+			}
+			jb := min(b, n-j0)
+			panelRowUpdate(A.View(k0, j0, kb, jb), Akk)
+			panelColUpdate(A.View(j0, k0, jb, kb), Akk)
+		}
+
+		// MinPlus outer product on all remaining blocks.
+		for i0 := 0; i0 < n; i0 += b {
+			if i0 == k0 {
+				continue
+			}
+			ib := min(b, n-i0)
+			Aik := A.View(i0, k0, ib, kb)
+			for j0 := 0; j0 < n; j0 += b {
+				if j0 == k0 {
+					continue
+				}
+				jb := min(b, n-j0)
+				MinPlusMulAdd(A.View(i0, j0, ib, jb), Aik, A.View(k0, j0, kb, jb))
+			}
+		}
+	}
+}
+
+// panelRowUpdate computes P = P ⊕ (D ⊗ P) where D is a closed (transitively
+// reduced) square diagonal block. Because D is closed, a single pass
+// suffices; the result cannot be improved by iterating.
+func panelRowUpdate(P, D Mat) {
+	tmp := MinPlusMul(D, P)
+	EwiseMinInto(P, tmp)
+}
+
+// panelColUpdate computes P = P ⊕ (P ⊗ D) for a closed diagonal block D.
+func panelColUpdate(P, D Mat) {
+	tmp := MinPlusMul(P, D)
+	EwiseMinInto(P, tmp)
+}

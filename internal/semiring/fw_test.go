@@ -1,0 +1,172 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveFW is the textbook reference (out-of-place per iteration to be
+// maximally literal about the recurrence).
+func naiveFW(A Mat) Mat {
+	n := A.Rows
+	cur := A.Clone()
+	for k := 0; k < n; k++ {
+		next := cur.Clone()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if v := cur.At(i, k) + cur.At(k, j); v < next.At(i, j) {
+					next.Set(i, j, v)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestFloydWarshallMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 3, 8, 17, 40} {
+		for _, inf := range []float64{0, 0.3, 0.8} {
+			A := randomDist(rng, n, inf)
+			want := naiveFW(A)
+			got := A.Clone()
+			FloydWarshall(got)
+			if !got.EqualTol(want, 1e-12) {
+				t.Fatalf("FW mismatch n=%d infFrac=%g", n, inf)
+			}
+		}
+	}
+}
+
+func TestBlockedFWMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{5, 16, 33, 64, 100} {
+		for _, b := range []int{1, 4, 7, 16, 100} {
+			A := randomDist(rng, n, 0.5)
+			want := A.Clone()
+			FloydWarshall(want)
+			got := A.Clone()
+			BlockedFloydWarshall(got, b)
+			if !got.EqualTol(want, 1e-12) {
+				t.Fatalf("BlockedFW mismatch n=%d b=%d", n, b)
+			}
+		}
+	}
+}
+
+func TestParallelBlockedFWMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{10, 64, 129} {
+		for _, threads := range []int{1, 2, 4, 8} {
+			A := randomDist(rng, n, 0.5)
+			want := A.Clone()
+			FloydWarshall(want)
+			got := A.Clone()
+			ParallelBlockedFloydWarshall(got, 16, threads)
+			if !got.EqualTol(want, 1e-12) {
+				t.Fatalf("ParallelBlockedFW mismatch n=%d threads=%d", n, threads)
+			}
+		}
+	}
+}
+
+// TestFWIdempotent: closure is a fixpoint — FW(FW(A)) = FW(A).
+func TestFWIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	A := randomDist(rng, 30, 0.6)
+	FloydWarshall(A)
+	again := A.Clone()
+	FloydWarshall(again)
+	// Tolerance rather than exact equality: float addition is not
+	// associative, so a second sweep may shave off rounding ulps.
+	if !again.EqualTol(A, 1e-12) {
+		t.Error("FW must be idempotent on a closed matrix")
+	}
+}
+
+// TestFWTriangleInequality: the closure satisfies D[i][j] ≤ D[i][k]+D[k][j].
+func TestFWTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	A := randomDist(rng, 25, 0.5)
+	FloydWarshall(A)
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			for k := 0; k < 25; k++ {
+				if A.At(i, j) > A.At(i, k)+A.At(k, j)+1e-12 {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestFWSymmetryPreserved: symmetric input yields symmetric closure.
+func TestFWSymmetryPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	A := randomDist(rng, 31, 0.4)
+	FloydWarshall(A)
+	if !A.IsSymmetric() {
+		t.Error("closure of a symmetric matrix must be symmetric")
+	}
+}
+
+// Property-based: random small distance matrices, blocked == scalar.
+func TestBlockedFWQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	f := func(seed int64, nRaw uint8, bRaw uint8) bool {
+		n := int(nRaw%24) + 1
+		b := int(bRaw%8) + 1
+		r := rand.New(rand.NewSource(seed))
+		A := randomDist(r, n, 0.5)
+		want := A.Clone()
+		FloydWarshall(want)
+		got := A.Clone()
+		BlockedFloydWarshall(got, b)
+		return got.EqualTol(want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasNegativeCycle(t *testing.T) {
+	A := NewInfMat(2, 2)
+	A.Set(0, 0, 0)
+	A.Set(1, 1, 0)
+	A.Set(0, 1, -2)
+	A.Set(1, 0, 1)
+	FloydWarshall(A)
+	if !HasNegativeCycle(A) {
+		t.Error("0→1→0 with total -1 is a negative cycle")
+	}
+	B := NewInfMat(2, 2)
+	B.Set(0, 0, 0)
+	B.Set(1, 1, 0)
+	B.Set(0, 1, -2)
+	B.Set(1, 0, 3)
+	FloydWarshall(B)
+	if HasNegativeCycle(B) {
+		t.Error("total +1 cycle is not negative")
+	}
+}
+
+func TestFWDisconnected(t *testing.T) {
+	// Two components: distances across must stay Inf.
+	A := NewInfMat(4, 4)
+	for i := 0; i < 4; i++ {
+		A.Set(i, i, 0)
+	}
+	A.Set(0, 1, 1)
+	A.Set(1, 0, 1)
+	A.Set(2, 3, 2)
+	A.Set(3, 2, 2)
+	FloydWarshall(A)
+	if A.At(0, 2) != Inf || A.At(3, 1) != Inf {
+		t.Error("cross-component distances must remain Inf")
+	}
+	if A.At(0, 1) != 1 || A.At(2, 3) != 2 {
+		t.Error("within-component distances wrong")
+	}
+}

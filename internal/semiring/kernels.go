@@ -1,0 +1,93 @@
+package semiring
+
+// Kernels bundles the dense kernels of one closed semiring so the
+// supernodal engine can run over any path algebra — the generality the
+// paper's semiring framing promises. Two instances are provided:
+// MinPlusKernels (shortest paths) and MaxMinKernels (widest/bottleneck
+// paths). All kernels must tolerate the same in-place aliasing the
+// min-plus kernels document (the arguments only use monotonicity and
+// idempotence of ⊕, which hold for any bounded semiring here).
+type Kernels struct {
+	// Name identifies the semiring in diagnostics.
+	Name string
+	// Zero is the additive identity: the "no path" value non-edges get.
+	Zero float64
+	// One is the multiplicative identity: the empty-path value the
+	// diagonal gets.
+	One float64
+	// FW closes a square block in place.
+	FW func(Mat)
+	// FWPaths is FW with next-hop maintenance.
+	FWPaths func(Mat, IntMat)
+	// MulAdd computes C = C ⊕ A⊗B.
+	MulAdd func(C, A, B Mat)
+	// MulAddPaths is MulAdd with next-hop maintenance.
+	MulAddPaths func(C, A, B Mat, nextC, nextA IntMat)
+	// AddScalar is the scalar ⊕ (min for min-plus, max for max-min).
+	AddScalar func(x, y float64) float64
+	// MulScalar is the scalar ⊗ (+ for min-plus, min for max-min).
+	MulScalar func(x, y float64) float64
+	// DetectNegCycle enables the negative-diagonal check after a solve
+	// (meaningful only for the tropical semiring).
+	DetectNegCycle bool
+}
+
+// MinPlusKernels is the tropical (min, +) semiring: shortest paths.
+var MinPlusKernels = &Kernels{
+	Name:           "min-plus",
+	Zero:           Inf,
+	One:            0,
+	FW:             FloydWarshall,
+	FWPaths:        FloydWarshallPaths,
+	MulAdd:         MinPlusMulAdd,
+	MulAddPaths:    MinPlusMulAddPaths,
+	AddScalar:      Plus,
+	MulScalar:      Times,
+	DetectNegCycle: true,
+}
+
+// MaxMinKernels is the bottleneck (max, min) semiring: widest paths.
+var MaxMinKernels = &Kernels{
+	Name:        "max-min",
+	Zero:        -Inf,
+	One:         Inf,
+	FW:          MaxMinFloydWarshall,
+	FWPaths:     MaxMinFloydWarshallPaths,
+	MulAdd:      MaxMinMulAdd,
+	MulAddPaths: MaxMinMulAddPaths,
+	AddScalar: func(x, y float64) float64 {
+		if x > y {
+			return x
+		}
+		return y
+	},
+	MulScalar: func(x, y float64) float64 {
+		if x < y {
+			return x
+		}
+		return y
+	},
+}
+
+// ParallelBlockedFWKernels is the blocked Floyd-Warshall algorithm over
+// an arbitrary semiring, with optional next-hop tracking. See
+// ParallelBlockedFloydWarshall for the scheduling structure.
+func ParallelBlockedFWKernels(A Mat, next IntMat, track bool, b, threads int, K *Kernels) {
+	n := A.Rows
+	if A.Cols != n {
+		panic("semiring: ParallelBlockedFWKernels requires a square matrix")
+	}
+	if track && (next.Rows != n || next.Cols != n) {
+		panic("semiring: ParallelBlockedFWKernels next-hop shape mismatch")
+	}
+	nb := (n + b - 1) / b
+	blk := func(i int) (int, int) {
+		lo := i * b
+		hi := lo + b
+		if hi > n {
+			hi = n
+		}
+		return lo, hi - lo
+	}
+	parallelBlockedFW(A, next, track, threads, nb, blk, K)
+}

@@ -1,0 +1,145 @@
+package semiring
+
+// Max-min ("bottleneck") semiring kernels: ⊕ = max, ⊗ = min. Over this
+// semiring the closure of a capacity matrix is the widest-path (maximum
+// bottleneck) matrix: D[i][j] is the largest capacity c such that some
+// i→j path uses only edges of capacity ≥ c.
+//
+// The additive identity ("no path") is -Inf and the multiplicative
+// identity (empty path) is +Inf, so diagonals of capacity matrices are
+// +Inf and non-edges are -Inf. The same in-place update arguments as the
+// min-plus kernels hold with the order flipped: values only increase,
+// every value is a real path bottleneck, and the closed diagonal block's
+// +Inf diagonal makes the aliased row update a no-op.
+//
+// The paper frames Floyd-Warshall as Gaussian elimination over a
+// semiring; these kernels plug into the identical supernodal engine
+// (sparsity is a property of the pattern, not of the algebra), which is
+// exactly the generality §2 and §7 of the paper argue for.
+
+// MaxMinMulAdd computes C[i][j] = max(C[i][j], max_k min(A[i][k], B[k][j])).
+func MaxMinMulAdd(C, A, B Mat) {
+	if A.Rows != C.Rows || B.Cols != C.Cols || A.Cols != B.Rows {
+		panic("semiring: MaxMinMulAdd shape mismatch")
+	}
+	m := A.Cols
+	negInf := -Inf
+	for i := 0; i < A.Rows; i++ {
+		crow := C.Row(i)
+		arow := A.Row(i)
+		for k := 0; k < m; k++ {
+			aik := arow[k]
+			if aik == negInf {
+				continue // min(-Inf, b) = -Inf never improves a max
+			}
+			brow := B.Row(k)
+			cr := crow[:len(brow)]
+			for j, b := range brow {
+				v := b
+				if aik < b {
+					v = aik
+				}
+				if v > cr[j] {
+					cr[j] = v
+				}
+			}
+		}
+	}
+}
+
+// MaxMinMulAddPaths is MaxMinMulAdd with next-hop maintenance (see
+// MinPlusMulAddPaths).
+func MaxMinMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
+	if A.Rows != C.Rows || B.Cols != C.Cols || A.Cols != B.Rows {
+		panic("semiring: MaxMinMulAddPaths shape mismatch")
+	}
+	m := A.Cols
+	negInf := -Inf
+	for i := 0; i < A.Rows; i++ {
+		crow := C.Row(i)
+		arow := A.Row(i)
+		ncrow := nextC.Row(i)
+		narow := nextA.Row(i)
+		for k := 0; k < m; k++ {
+			aik := arow[k]
+			if aik == negInf {
+				continue
+			}
+			hop := narow[k]
+			brow := B.Row(k)
+			cr := crow[:len(brow)]
+			nr := ncrow[:len(brow)]
+			for j, b := range brow {
+				v := b
+				if aik < b {
+					v = aik
+				}
+				if v > cr[j] {
+					cr[j] = v
+					nr[j] = hop
+				}
+			}
+		}
+	}
+}
+
+// MaxMinFloydWarshall computes the max-min closure in place.
+func MaxMinFloydWarshall(A Mat) {
+	n := A.Rows
+	if A.Cols != n {
+		panic("semiring: MaxMinFloydWarshall requires a square matrix")
+	}
+	negInf := -Inf
+	for k := 0; k < n; k++ {
+		krow := A.Row(k)
+		for i := 0; i < n; i++ {
+			irow := A.Row(i)
+			aik := irow[k]
+			if aik == negInf {
+				continue
+			}
+			kr := krow[:len(irow)]
+			for j, bkj := range kr {
+				v := bkj
+				if aik < bkj {
+					v = aik
+				}
+				if v > irow[j] {
+					irow[j] = v
+				}
+			}
+		}
+	}
+}
+
+// MaxMinFloydWarshallPaths is MaxMinFloydWarshall with next-hop tracking.
+func MaxMinFloydWarshallPaths(A Mat, next IntMat) {
+	n := A.Rows
+	if A.Cols != n || next.Rows != n || next.Cols != n {
+		panic("semiring: MaxMinFloydWarshallPaths shape mismatch")
+	}
+	negInf := -Inf
+	for k := 0; k < n; k++ {
+		krow := A.Row(k)
+		for i := 0; i < n; i++ {
+			irow := A.Row(i)
+			aik := irow[k]
+			if aik == negInf {
+				continue
+			}
+			nrow := next.Row(i)
+			hop := nrow[k]
+			kr := krow[:len(irow)]
+			for j, bkj := range kr {
+				v := bkj
+				if aik < bkj {
+					v = aik
+				}
+				if v > irow[j] {
+					irow[j] = v
+					nrow[j] = hop
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomCap returns a random symmetric capacity matrix: +Inf diagonal,
+// -Inf non-edges.
+func randomCap(rng *rand.Rand, n int, edgeFrac float64) Mat {
+	m := NewMat(n, n)
+	m.Fill(math.Inf(-1))
+	for i := 0; i < n; i++ {
+		m.Set(i, i, Inf)
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < edgeFrac {
+				c := rng.Float64() * 10
+				m.Set(i, j, c)
+				m.Set(j, i, c)
+			}
+		}
+	}
+	return m
+}
+
+// naiveMaxMin is the reference O(n³) kernel.
+func naiveMaxMin(C, A, B Mat) {
+	for i := 0; i < C.Rows; i++ {
+		for j := 0; j < C.Cols; j++ {
+			best := C.At(i, j)
+			for k := 0; k < A.Cols; k++ {
+				v := math.Min(A.At(i, k), B.At(k, j))
+				if v > best {
+					best = v
+				}
+			}
+			C.Set(i, j, best)
+		}
+	}
+}
+
+func TestMaxMinMulAddMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, s := range [][3]int{{1, 1, 1}, {5, 7, 3}, {20, 20, 20}} {
+		A := randomCap(rng, max2(s[0], s[1]), 0.4).View(0, 0, s[0], s[1])
+		B := randomCap(rng, max2(s[1], s[2]), 0.4).View(0, 0, s[1], s[2])
+		C := NewMat(s[0], s[2])
+		C.Fill(math.Inf(-1))
+		want := C.Clone()
+		naiveMaxMin(want, A, B)
+		MaxMinMulAdd(C, A, B)
+		for i := 0; i < C.Rows; i++ {
+			for j := 0; j < C.Cols; j++ {
+				if C.At(i, j) != want.At(i, j) {
+					t.Fatalf("shape %v mismatch at (%d,%d): %g vs %g", s, i, j, C.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// naiveMaxMinFW is the textbook max-min closure.
+func naiveMaxMinFW(A Mat) Mat {
+	out := A.Clone()
+	n := A.Rows
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := math.Min(out.At(i, k), out.At(k, j))
+				if v > out.At(i, j) {
+					out.Set(i, j, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestMaxMinFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{1, 4, 15, 40} {
+		A := randomCap(rng, n, 0.3)
+		want := naiveMaxMinFW(A)
+		got := A.Clone()
+		MaxMinFloydWarshall(got)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d mismatch at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxMinWidestSemantics(t *testing.T) {
+	// Two disjoint routes 0→3: bottlenecks 5 and 8. Expect 8.
+	A := NewMat(4, 4)
+	A.Fill(math.Inf(-1))
+	for i := 0; i < 4; i++ {
+		A.Set(i, i, Inf)
+	}
+	set := func(i, j int, v float64) { A.Set(i, j, v); A.Set(j, i, v) }
+	set(0, 1, 10)
+	set(1, 3, 5)
+	set(0, 2, 8)
+	set(2, 3, 9)
+	MaxMinFloydWarshall(A)
+	if A.At(0, 3) != 8 {
+		t.Fatalf("widest 0→3 = %g, want 8", A.At(0, 3))
+	}
+}
+
+func TestMaxMinPathsKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 25
+	A := randomCap(rng, n, 0.25)
+	next := NewIntMat(n, n)
+	InitNextHops(A, next)
+	want := naiveMaxMinFW(A)
+	got := A.Clone()
+	MaxMinFloydWarshallPaths(got, next)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("paths FW changed values at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Follow hops: every reachable pair's chain must terminate and its
+	// bottleneck must equal the reported capacity.
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || math.IsInf(got.At(u, v), -1) {
+				continue
+			}
+			cur, hops, bottleneck := u, 0, Inf
+			for cur != v {
+				nx := next.At(cur, v)
+				if nx < 0 || hops > n {
+					t.Fatalf("broken chain at (%d,%d)", u, v)
+				}
+				c := A.At(cur, int(nx))
+				if math.IsInf(c, -1) {
+					t.Fatalf("chain uses non-edge at (%d,%d)", u, v)
+				}
+				if c < bottleneck {
+					bottleneck = c
+				}
+				cur = int(nx)
+				hops++
+			}
+			if bottleneck != got.At(u, v) {
+				t.Fatalf("chain bottleneck %g != reported %g at (%d,%d)", bottleneck, got.At(u, v), u, v)
+			}
+		}
+	}
+}
+
+func TestParallelBlockedFWKernelsMaxMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 70
+	A := randomCap(rng, n, 0.2)
+	want := naiveMaxMinFW(A)
+	for _, threads := range []int{1, 4} {
+		got := A.Clone()
+		ParallelBlockedFWKernels(got, IntMat{}, false, 16, threads, MaxMinKernels)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("threads=%d mismatch at (%d,%d)", threads, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelsScalarOps(t *testing.T) {
+	if MinPlusKernels.AddScalar(2, 3) != 2 || MinPlusKernels.MulScalar(2, 3) != 5 {
+		t.Error("min-plus scalar ops wrong")
+	}
+	if MaxMinKernels.AddScalar(2, 3) != 3 || MaxMinKernels.MulScalar(2, 3) != 2 {
+		t.Error("max-min scalar ops wrong")
+	}
+	if MinPlusKernels.Zero != Inf || MinPlusKernels.One != 0 {
+		t.Error("min-plus identities wrong")
+	}
+	if !math.IsInf(MaxMinKernels.Zero, -1) || !math.IsInf(MaxMinKernels.One, 1) {
+		t.Error("max-min identities wrong")
+	}
+	if !MinPlusKernels.DetectNegCycle || MaxMinKernels.DetectNegCycle {
+		t.Error("neg-cycle flags wrong")
+	}
+}
+
+func TestMaxMinMulAddPathsMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	A := randomCap(rng, 12, 0.4)
+	B := randomCap(rng, 12, 0.4)
+	C1 := NewMat(12, 12)
+	C1.Fill(math.Inf(-1))
+	C2 := C1.Clone()
+	nc := NewIntMat(12, 12)
+	na := NewIntMat(12, 12)
+	MaxMinMulAdd(C1, A, B)
+	MaxMinMulAddPaths(C2, A, B, nc, na)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if C1.At(i, j) != C2.At(i, j) {
+				t.Fatalf("paths variant changed values at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package semiring
+
+// Path-tracking variants of the min-plus kernels. Alongside the distance
+// matrix they maintain a next-hop matrix: Next[i][j] is the neighbor of i
+// that begins a shortest i→j path (or -1 when no path is known). The
+// update rule mirrors the distance recurrence: when Dist[i][j] improves
+// via intermediate k, the first hop of the new path is the first hop of
+// the i→k path, so Next[i][j] ← Next[i][k].
+//
+// Following next-hops reconstructs paths without recursion. With strictly
+// positive weights each hop strictly decreases the remaining distance, so
+// extraction terminates; extraction guards against the pathological
+// zero-weight-cycle case with a hop budget.
+
+import "fmt"
+
+// IntMat is a dense row-major int32 matrix view (see Mat).
+type IntMat struct {
+	Data   []int32
+	Stride int
+	Rows   int
+	Cols   int
+}
+
+// NewIntMat allocates a Rows×Cols matrix initialized to -1 ("no hop").
+func NewIntMat(rows, cols int) IntMat {
+	m := IntMat{Data: make([]int32, rows*cols), Stride: cols, Rows: rows, Cols: cols}
+	for i := range m.Data {
+		m.Data[i] = -1
+	}
+	return m
+}
+
+// View returns the r×c sub-block at (i, j), aliasing m's storage.
+func (m IntMat) View(i, j, r, c int) IntMat {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("semiring: IntMat view [%d:%d, %d:%d] out of range of %d×%d",
+			i, i+r, j, j+c, m.Rows, m.Cols))
+	}
+	off := i*m.Stride + j
+	end := off
+	if r > 0 && c > 0 {
+		end = off + (r-1)*m.Stride + c
+	}
+	return IntMat{Data: m.Data[off:end:end], Stride: m.Stride, Rows: r, Cols: c}
+}
+
+// At returns the element at (i, j).
+func (m IntMat) At(i, j int) int32 { return m.Data[i*m.Stride+j] }
+
+// Set stores v at (i, j).
+func (m IntMat) Set(i, j int, v int32) { m.Data[i*m.Stride+j] = v }
+
+// Row returns row i, aliasing m's storage.
+func (m IntMat) Row(i int) []int32 {
+	off := i * m.Stride
+	return m.Data[off : off+m.Cols : off+m.Cols]
+}
+
+// FloydWarshallPaths is FloydWarshall with next-hop maintenance. A and
+// next must be square with the same dimension; next is updated in place.
+func FloydWarshallPaths(A Mat, next IntMat) {
+	n := A.Rows
+	if A.Cols != n || next.Rows != n || next.Cols != n {
+		panic("semiring: FloydWarshallPaths shape mismatch")
+	}
+	for k := 0; k < n; k++ {
+		krow := A.Row(k)
+		for i := 0; i < n; i++ {
+			irow := A.Row(i)
+			aik := irow[k]
+			if aik == Inf {
+				continue
+			}
+			nrow := next.Row(i)
+			hop := nrow[k]
+			kr := krow[:len(irow)]
+			for j, bkj := range kr {
+				if v := aik + bkj; v < irow[j] {
+					irow[j] = v
+					nrow[j] = hop
+				}
+			}
+		}
+	}
+}
+
+// MinPlusMulAddPaths computes C = C ⊕ A⊗B while maintaining next-hops:
+// when C[i][j] improves via intermediate k, nextC[i][j] ← nextA[i][k].
+// nextC must be shaped like C and nextA like A. The same in-place
+// aliasing rules as MinPlusMulAdd apply (C may alias A or B when the
+// non-aliased operand is closed with a zero diagonal).
+func MinPlusMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
+	if A.Rows != C.Rows || B.Cols != C.Cols || A.Cols != B.Rows {
+		panic("semiring: MinPlusMulAddPaths shape mismatch")
+	}
+	if nextC.Rows != C.Rows || nextC.Cols != C.Cols || nextA.Rows != A.Rows || nextA.Cols != A.Cols {
+		panic("semiring: MinPlusMulAddPaths next-hop shape mismatch")
+	}
+	m := A.Cols
+	for i := 0; i < A.Rows; i++ {
+		crow := C.Row(i)
+		arow := A.Row(i)
+		ncrow := nextC.Row(i)
+		narow := nextA.Row(i)
+		for k := 0; k < m; k++ {
+			aik := arow[k]
+			if aik == Inf {
+				continue
+			}
+			hop := narow[k]
+			brow := B.Row(k)
+			cr := crow[:len(brow)]
+			nr := ncrow[:len(brow)]
+			for j, b := range brow {
+				if v := aik + b; v < cr[j] {
+					cr[j] = v
+					nr[j] = hop
+				}
+			}
+		}
+	}
+}
+
+// InitNextHops fills next for an initial distance matrix D (in the same
+// index space): next[i][j] = j wherever a finite off-diagonal entry
+// exists (a direct edge), and i on the diagonal.
+func InitNextHops(D Mat, next IntMat) {
+	for i := 0; i < D.Rows; i++ {
+		drow := D.Row(i)
+		nrow := next.Row(i)
+		for j, v := range drow {
+			switch {
+			case i == j:
+				nrow[j] = int32(i)
+			case v != Inf:
+				nrow[j] = int32(j)
+			default:
+				nrow[j] = -1
+			}
+		}
+	}
+}
+
+// PermuteIntMat writes dst[i][j] = m[perm[i]][perm[j]], remapping stored
+// vertex ids through idMap (idMap[old] = new); negative entries pass
+// through unchanged. Used to permute next-hop matrices, whose VALUES are
+// vertex ids and must be relabeled along with the axes.
+func PermuteIntMat(dst, m IntMat, perm []int, idMap []int) {
+	n := m.Rows
+	if m.Cols != n || dst.Rows != n || dst.Cols != n || len(perm) != n {
+		panic("semiring: PermuteIntMat shape mismatch")
+	}
+	for i := 0; i < n; i++ {
+		drow := dst.Row(i)
+		srow := m.Row(perm[i])
+		for j := 0; j < n; j++ {
+			v := srow[perm[j]]
+			if v >= 0 {
+				v = int32(idMap[v])
+			}
+			drow[j] = v
+		}
+	}
+}

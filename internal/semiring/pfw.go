@@ -1,0 +1,115 @@
+package semiring
+
+import "repro/internal/par"
+
+// ParallelBlockedFloydWarshall runs the blocked Floyd-Warshall algorithm
+// (Algorithm 2) in place on the n×n matrix A with block size b, using up
+// to the given number of threads. In the k-th iteration the diagonal
+// update is sequential (it is the critical path), the panel updates run
+// in parallel across blocks, and the min-plus outer product runs in
+// parallel across all (i,j) block pairs — the O(n²) concurrency of the
+// paper's Table 2.
+func ParallelBlockedFloydWarshall(A Mat, b, threads int) {
+	n := A.Rows
+	if A.Cols != n {
+		panic("semiring: ParallelBlockedFloydWarshall requires a square matrix")
+	}
+	if b <= 0 {
+		panic("semiring: block size must be positive")
+	}
+	threads = par.DefaultThreads(threads)
+	if threads == 1 {
+		BlockedFloydWarshall(A, b)
+		return
+	}
+	nb := (n + b - 1) / b
+	blk := func(i int) (int, int) {
+		lo := i * b
+		hi := lo + b
+		if hi > n {
+			hi = n
+		}
+		return lo, hi - lo
+	}
+	parallelBlockedFW(A, IntMat{}, false, threads, nb, blk, MinPlusKernels)
+}
+
+// ParallelBlockedFloydWarshallPaths is ParallelBlockedFloydWarshall with
+// next-hop maintenance (see FloydWarshallPaths).
+func ParallelBlockedFloydWarshallPaths(A Mat, next IntMat, b, threads int) {
+	n := A.Rows
+	if A.Cols != n || next.Rows != n || next.Cols != n {
+		panic("semiring: ParallelBlockedFloydWarshallPaths shape mismatch")
+	}
+	threads = par.DefaultThreads(threads)
+	nb := (n + b - 1) / b
+	blk := func(i int) (int, int) {
+		lo := i * b
+		hi := lo + b
+		if hi > n {
+			hi = n
+		}
+		return lo, hi - lo
+	}
+	parallelBlockedFW(A, next, true, threads, nb, blk, MinPlusKernels)
+}
+
+func parallelBlockedFW(A Mat, next IntMat, track bool, threads, nb int, blk func(int) (int, int), K *Kernels) {
+	mul := func(C, X, Y Mat, nc, nx IntMat) {
+		if track {
+			K.MulAddPaths(C, X, Y, nc, nx)
+		} else {
+			K.MulAdd(C, X, Y)
+		}
+	}
+	iview := func(i0, j0, r, c int) IntMat {
+		if !track {
+			return IntMat{}
+		}
+		return next.View(i0, j0, r, c)
+	}
+	for k := 0; k < nb; k++ {
+		k0, kb := blk(k)
+		Akk := A.View(k0, k0, kb, kb)
+		if track {
+			K.FWPaths(Akk, next.View(k0, k0, kb, kb))
+		} else {
+			K.FW(Akk)
+		}
+
+		// Panel updates: 2(nb-1) independent tasks. The in-place form
+		// P = P ⊕ D⊗P is safe because D is closed with a zero diagonal:
+		// finite values only ever decrease and always correspond to real
+		// path lengths, and the true minimum is reached regardless of
+		// sweep order (see core package for the full argument).
+		par.For(2*nb, threads, 1, func(t int) {
+			j := t / 2
+			if j == k {
+				return
+			}
+			j0, jb := blk(j)
+			if t%2 == 0 {
+				// Row panel: improvement via kk uses the first hop of
+				// the (k-row → kk) path, which lives in the diagonal
+				// region of next.
+				mul(A.View(k0, j0, kb, jb), Akk, A.View(k0, j0, kb, jb),
+					iview(k0, j0, kb, jb), iview(k0, k0, kb, kb))
+			} else {
+				mul(A.View(j0, k0, jb, kb), A.View(j0, k0, jb, kb), Akk,
+					iview(j0, k0, jb, kb), iview(j0, k0, jb, kb))
+			}
+		})
+
+		// Outer product: (nb-1)² independent block updates.
+		par.For(nb*nb, threads, 0, func(t int) {
+			i, j := t/nb, t%nb
+			if i == k || j == k {
+				return
+			}
+			i0, ib := blk(i)
+			j0, jb := blk(j)
+			mul(A.View(i0, j0, ib, jb), A.View(i0, k0, ib, kb), A.View(k0, j0, kb, jb),
+				iview(i0, j0, ib, jb), iview(i0, k0, ib, kb))
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Package serve exposes a solved APSP factor over HTTP: point-to-point
+// distance queries, single-source rows, and shortest routes. It is the
+// deployment shape a downstream user of this library ends up building —
+// precompute the supernodal factor offline (cmd/superfw -factor
+// -savefactor), then serve queries from its O(fill) representation.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Server answers distance queries from a supernodal factor and,
+// optionally, route queries from a path-tracked dense result.
+type Server struct {
+	factor *core.Factor
+	result *core.Result // optional: enables /route
+	n      int
+}
+
+// New builds a Server from a factor and an optional path-tracked result.
+func New(f *core.Factor, res *core.Result, n int) *Server {
+	return &Server{factor: f, result: res, n: n}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", s.health)
+	mux.HandleFunc("GET /dist", s.dist)
+	mux.HandleFunc("GET /sssp", s.sssp)
+	mux.HandleFunc("GET /route", s.route)
+	return mux
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"vertices": s.n,
+		"memoryMB": float64(s.factor.Memory()) / 1e6,
+		"routes":   s.result != nil,
+	})
+}
+
+// dist answers GET /dist?u=U&v=V with the shortest distance.
+func (s *Server) dist(w http.ResponseWriter, r *http.Request) {
+	u, err1 := s.vertex(r, "u")
+	v, err2 := s.vertex(r, "v")
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, firstErr(err1, err2))
+		return
+	}
+	d := s.factor.Dist(u, v)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": u, "v": v,
+		"dist":      jsonFloat(d),
+		"reachable": !math.IsInf(d, 1) && !math.IsInf(d, -1),
+	})
+}
+
+// sssp answers GET /sssp?src=S with the full distance row.
+func (s *Server) sssp(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertex(r, "src")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	row := s.factor.SSSP(src)
+	out := make([]any, len(row))
+	for i, d := range row {
+		out[i] = jsonFloat(d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"src": src, "dist": out})
+}
+
+// route answers GET /route?u=U&v=V with the vertex sequence of a
+// shortest path (requires a path-tracked result).
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	if s.result == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("server was started without route support"))
+		return
+	}
+	u, err1 := s.vertex(r, "u")
+	v, err2 := s.vertex(r, "v")
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, firstErr(err1, err2))
+		return
+	}
+	path, ok := s.result.Path(u, v)
+	if !ok {
+		writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "reachable": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": u, "v": v, "reachable": true,
+		"dist": jsonFloat(s.result.At(u, v)),
+		"path": path,
+	})
+}
+
+func (s *Server) vertex(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 || v >= s.n {
+		return 0, fmt.Errorf("parameter %q must be a vertex id in [0,%d)", key, s.n)
+	}
+	return v, nil
+}
+
+// jsonFloat renders ±Inf as strings (JSON has no infinities).
+func jsonFloat(d float64) any {
+	switch {
+	case math.IsInf(d, 1):
+		return "inf"
+	case math.IsInf(d, -1):
+		return "-inf"
+	default:
+		return d
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

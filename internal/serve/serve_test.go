@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func testServer(t *testing.T, withRoutes bool) (*httptest.Server, int) {
+	t.Helper()
+	g := gen.RoadNetwork(10, 10, 0.3, 7)
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFactor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *core.Result
+	if withRoutes {
+		opts := core.DefaultOptions()
+		opts.TrackPaths = true
+		plan2, err := core.NewPlan(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = plan2.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(New(f, res, g.N).Handler())
+	t.Cleanup(srv.Close)
+	return srv, g.N
+}
+
+func getJSON(t *testing.T, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHealth(t *testing.T) {
+	srv, n := testServer(t, false)
+	out := getJSON(t, srv.URL+"/health", http.StatusOK)
+	if out["status"] != "ok" || int(out["vertices"].(float64)) != n {
+		t.Fatalf("health payload wrong: %v", out)
+	}
+	if out["routes"] != false {
+		t.Fatal("routes should be off")
+	}
+}
+
+func TestDist(t *testing.T) {
+	srv, _ := testServer(t, false)
+	out := getJSON(t, srv.URL+"/dist?u=0&v=42", http.StatusOK)
+	if out["reachable"] != true {
+		t.Fatalf("expected reachable pair: %v", out)
+	}
+	d := out["dist"].(float64)
+	if d <= 0 || math.IsInf(d, 0) {
+		t.Fatalf("distance %v out of range", d)
+	}
+	// Self distance.
+	out = getJSON(t, srv.URL+"/dist?u=5&v=5", http.StatusOK)
+	if out["dist"].(float64) != 0 {
+		t.Fatal("self distance should be 0")
+	}
+}
+
+func TestDistErrors(t *testing.T) {
+	srv, n := testServer(t, false)
+	getJSON(t, srv.URL+"/dist?u=0", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/dist?u=abc&v=1", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/dist?u=0&v=-1", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/dist?u=0&v="+itoa(n), http.StatusBadRequest)
+}
+
+func itoa(n int) string {
+	return string(rune('0'+n/100%10)) + string(rune('0'+n/10%10)) + string(rune('0'+n%10))
+}
+
+func TestSSSP(t *testing.T) {
+	srv, n := testServer(t, false)
+	out := getJSON(t, srv.URL+"/sssp?src=3", http.StatusOK)
+	dist := out["dist"].([]any)
+	if len(dist) != n {
+		t.Fatalf("row length %d, want %d", len(dist), n)
+	}
+	if dist[3].(float64) != 0 {
+		t.Fatal("self entry should be 0")
+	}
+}
+
+func TestRoute(t *testing.T) {
+	srv, _ := testServer(t, true)
+	out := getJSON(t, srv.URL+"/route?u=0&v=77", http.StatusOK)
+	if out["reachable"] != true {
+		t.Fatalf("expected route: %v", out)
+	}
+	path := out["path"].([]any)
+	if int(path[0].(float64)) != 0 || int(path[len(path)-1].(float64)) != 77 {
+		t.Fatalf("route endpoints wrong: %v", path)
+	}
+}
+
+func TestRouteWithoutSupport(t *testing.T) {
+	srv, _ := testServer(t, false)
+	getJSON(t, srv.URL+"/route?u=0&v=1", http.StatusNotImplemented)
+}

@@ -1,0 +1,478 @@
+// Package symbolic implements the symbolic-analysis machinery the paper
+// imports from sparse Cholesky factorization: elimination trees (Liu's
+// algorithm), postordering, explicit symbolic fill, column counts, and
+// fundamental-supernode detection. The output is the supernodal partition
+// and supernodal elimination tree that schedule the numeric phase.
+package symbolic
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// ETree computes the elimination tree of the symmetric sparsity pattern
+// of g under the natural (already applied) ordering, using Liu's
+// algorithm with path compression. parent[v] is the etree parent of v or
+// -1 for roots. Runs in O(m·α(n)).
+func ETree(g *graph.Graph) []int {
+	n := g.N
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+		ancestor[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		adj, _ := g.Neighbors(j)
+		for _, i := range adj {
+			if i >= j {
+				break // neighbors sorted; only lower part drives the etree
+			}
+			r := i
+			for ancestor[r] != -1 && ancestor[r] != j {
+				next := ancestor[r]
+				ancestor[r] = j
+				r = next
+			}
+			if ancestor[r] == -1 {
+				ancestor[r] = j
+				parent[r] = j
+			}
+		}
+	}
+	return parent
+}
+
+// Postorder returns a permutation (perm[new] = old) that postorders the
+// forest given by parent: every subtree becomes a contiguous index range
+// ending at its root. Children are visited in ascending order, so the
+// result is deterministic and is the identity when parent is already a
+// postorder.
+func Postorder(parent []int) []int {
+	n := len(parent)
+	// Build child lists (ascending by construction).
+	head := make([]int, n)
+	next := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	var roots []int
+	for v := n - 1; v >= 0; v-- { // reverse so lists come out ascending
+		p := parent[v]
+		if p < 0 {
+			roots = append(roots, v)
+		} else {
+			next[v] = head[p]
+			head[p] = v
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(roots))) // pop order → ascending
+	perm := make([]int, 0, n)
+	// Iterative DFS emitting vertices in postorder.
+	type frame struct {
+		v     int
+		child int // next child to visit (-1 when exhausted)
+	}
+	stack := make([]frame, 0, 64)
+	for _, r := range roots {
+		stack = append(stack, frame{r, head[r]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.child < 0 {
+				perm = append(perm, f.v)
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			c := f.child
+			f.child = next[c]
+			stack = append(stack, frame{c, head[c]})
+		}
+	}
+	return perm
+}
+
+// RelabelParent returns the parent array expressed in the permuted index
+// space: newParent[i] corresponds to new vertex i = old vertex perm[i].
+func RelabelParent(parent, perm []int) []int {
+	iperm := graph.InversePerm(perm)
+	out := make([]int, len(parent))
+	for old, p := range parent {
+		if p < 0 {
+			out[iperm[old]] = -1
+		} else {
+			out[iperm[old]] = iperm[p]
+		}
+	}
+	return out
+}
+
+// Fill computes the explicit symbolic Cholesky fill of g (which must
+// already be permuted into elimination order): for every column j, the
+// sorted set of rows i > j such that L[i][j] is structurally nonzero.
+// parent must be ETree(g). The total fill (sum of lengths) is the
+// factor's off-diagonal nonzero count.
+func Fill(g *graph.Graph, parent []int) [][]int32 {
+	n := g.N
+	structs := make([][]int32, n)
+	children := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			children[p] = append(children[p], int32(v))
+		}
+	}
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		mark[j] = j
+		var s []int32
+		adj, _ := g.Neighbors(j)
+		for _, i := range adj {
+			if i > j && mark[i] != j {
+				mark[i] = j
+				s = append(s, int32(i))
+			}
+		}
+		for _, c := range children[j] {
+			for _, i := range structs[c] {
+				if int(i) != j && mark[i] != j {
+					mark[i] = j
+					s = append(s, i)
+				}
+			}
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		structs[j] = s
+	}
+	return structs
+}
+
+// FillCount returns the number of structurally nonzero off-diagonal
+// entries of the Cholesky factor (a standard ordering-quality metric).
+func FillCount(structs [][]int32) int64 {
+	var total int64
+	for _, s := range structs {
+		total += int64(len(s))
+	}
+	return total
+}
+
+// ColCounts returns the column counts |struct(j)| from explicit fill.
+func ColCounts(structs [][]int32) []int {
+	counts := make([]int, len(structs))
+	for j, s := range structs {
+		counts[j] = len(s)
+	}
+	return counts
+}
+
+// Range is a half-open contiguous index interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Size returns Hi-Lo.
+func (r Range) Size() int { return r.Hi - r.Lo }
+
+// Supernodes is a partition of [0,n) into contiguous supernodes plus
+// their elimination-tree structure and level schedule.
+type Supernodes struct {
+	// Ranges lists the supernodes in ascending index order; iterating in
+	// this order is a valid (postorder) elimination order.
+	Ranges []Range
+	// Parent is the supernodal elimination tree (-1 for roots).
+	Parent []int
+	// SubLo[k] is the first vertex index of supernode k's subtree:
+	// descendants occupy [SubLo[k], Ranges[k].Lo).
+	SubLo []int
+	// Levels is the bottom-up level schedule: Levels[0] holds leaves,
+	// and every supernode appears in a level strictly above all its
+	// children. Supernodes within one level are mutually cousins
+	// (disjoint descendant sets), so they can be eliminated in parallel.
+	Levels [][]int
+}
+
+// New assembles a Supernodes from its serialized parts (ranges, parent
+// pointers and subtree starts), recomputing the level schedule. Callers
+// must supply a valid postorder structure (see Check).
+func New(ranges []Range, parent, subLo []int) *Supernodes {
+	s := &Supernodes{Ranges: ranges, Parent: parent, SubLo: subLo}
+	s.computeLevels()
+	return s
+}
+
+// N returns the number of vertices covered.
+func (s *Supernodes) N() int {
+	if len(s.Ranges) == 0 {
+		return 0
+	}
+	return s.Ranges[len(s.Ranges)-1].Hi
+}
+
+// NumSupernodes returns the supernode count.
+func (s *Supernodes) NumSupernodes() int { return len(s.Ranges) }
+
+// Ancestors returns the supernode ids on the path from k's parent to its
+// root, in ascending order (the A(k) of the paper).
+func (s *Supernodes) Ancestors(k int) []int {
+	var out []int
+	for p := s.Parent[k]; p >= 0; p = s.Parent[p] {
+		out = append(out, p)
+	}
+	return out
+}
+
+// computeLevels fills Levels from Parent: level(k) = 1+max(level(children)).
+func (s *Supernodes) computeLevels() {
+	ns := len(s.Ranges)
+	level := make([]int, ns)
+	maxLevel := 0
+	// Ranges are in postorder, so children precede parents.
+	for k := 0; k < ns; k++ {
+		if p := s.Parent[k]; p >= 0 {
+			if level[k]+1 > level[p] {
+				level[p] = level[k] + 1
+			}
+		}
+		if level[k] > maxLevel {
+			maxLevel = level[k]
+		}
+	}
+	s.Levels = make([][]int, maxLevel+1)
+	for k := 0; k < ns; k++ {
+		s.Levels[level[k]] = append(s.Levels[level[k]], k)
+	}
+}
+
+// Check validates structural invariants: ranges partition [0,n) in
+// ascending order, parents come after children, subtree ranges are
+// contiguous and nested, and levels are consistent. Returns the first
+// violation found, or "" if valid.
+func (s *Supernodes) Check() string {
+	prev := 0
+	for k, r := range s.Ranges {
+		if r.Lo != prev || r.Hi <= r.Lo {
+			return "ranges do not partition [0,n) in ascending order"
+		}
+		prev = r.Hi
+		if p := s.Parent[k]; p >= 0 {
+			if p <= k {
+				return "parent precedes child"
+			}
+			if s.SubLo[p] > s.SubLo[k] {
+				return "parent subtree does not contain child subtree"
+			}
+		}
+		if s.SubLo[k] > r.Lo {
+			return "SubLo after Lo"
+		}
+	}
+	// every node appears in exactly one level, above its children
+	seen := make([]int, len(s.Ranges))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for lvl, nodes := range s.Levels {
+		for _, k := range nodes {
+			if seen[k] >= 0 {
+				return "supernode in two levels"
+			}
+			seen[k] = lvl
+		}
+	}
+	for k, lvl := range seen {
+		if lvl < 0 {
+			return "supernode missing from levels"
+		}
+		if p := s.Parent[k]; p >= 0 && seen[p] <= lvl {
+			return "parent not above child in level schedule"
+		}
+	}
+	return ""
+}
+
+// FromTree converts a nested-dissection separator tree into a supernode
+// partition, splitting nodes larger than maxBlock into chains of
+// consecutive supernodes (each chunk the parent of the previous), which
+// preserves all ancestor/descendant relations while bounding block sizes
+// for cache-friendly kernels.
+func FromTree(tree []order.Node, n, maxBlock int) *Supernodes {
+	if maxBlock <= 0 {
+		maxBlock = 128
+	}
+	s := &Supernodes{}
+	// tree is in postorder with ascending ranges; map tree-node → id of
+	// its last chunk (the chain head that ancestors attach to).
+	lastChunk := make([]int, len(tree))
+	for ti, nd := range tree {
+		if nd.Hi == nd.Lo { // empty node (degenerate dissection cell)
+			lastChunk[ti] = -1
+			continue
+		}
+		first := len(s.Ranges)
+		for lo := nd.Lo; lo < nd.Hi; lo += maxBlock {
+			hi := lo + maxBlock
+			if hi > nd.Hi {
+				hi = nd.Hi
+			}
+			id := len(s.Ranges)
+			s.Ranges = append(s.Ranges, Range{lo, hi})
+			if id == first {
+				s.SubLo = append(s.SubLo, nd.SubLo)
+				s.Parent = append(s.Parent, -1) // fixed below
+			} else {
+				s.SubLo = append(s.SubLo, nd.SubLo)
+				s.Parent = append(s.Parent, -1)
+				s.Parent[id-1] = id // chain: previous chunk's parent
+			}
+		}
+		lastChunk[ti] = len(s.Ranges) - 1
+	}
+	// Wire each tree node's last chunk to the first chunk of its parent
+	// node. The parent's first chunk is found by scanning ranges: it is
+	// the supernode whose Lo equals the parent node's Lo.
+	loToID := make(map[int]int, len(s.Ranges))
+	for id, r := range s.Ranges {
+		loToID[r.Lo] = id
+	}
+	for ti, nd := range tree {
+		lc := lastChunk[ti]
+		if lc < 0 || nd.Parent < 0 {
+			continue
+		}
+		p := tree[nd.Parent]
+		if pid, ok := loToID[p.Lo]; ok {
+			s.Parent[lc] = pid
+		}
+	}
+	s.computeLevels()
+	return s
+}
+
+// SupernodalStruct computes the exact supernodal block structure of the
+// factor: for every supernode k, the ascending list of ancestor
+// supernodes a such that block (a, k) is structurally nonzero. This is
+// symbolic factorization run at supernode granularity:
+//
+//	struct(k) = snAdj_{>k}(k) ∪ ⋃_{c child of k} (struct(c) \ {k})
+//
+// where snAdj is the supernode-level adjacency of the permuted graph.
+// The result refines the ANCESTOR side of Algorithm 3's reach set
+// R(k) = D(k) ∪ A(k): an ancestor NOT in struct(k) has an all-∞ panel
+// against k at elimination time, so skipping it is exact. The descendant
+// side cannot be refined the same way — the distance-matrix (D-region)
+// updates of earlier eliminations create finite entries outside the
+// symbolic fill pattern, so D(k) must stay whole.
+func SupernodalStruct(g *graph.Graph, s *Supernodes) [][]int32 {
+	ns := len(s.Ranges)
+	// Supernode id of each vertex.
+	snOf := make([]int32, s.N())
+	for k, r := range s.Ranges {
+		for v := r.Lo; v < r.Hi; v++ {
+			snOf[v] = int32(k)
+		}
+	}
+	children := make([][]int32, ns)
+	for k, p := range s.Parent {
+		if p >= 0 {
+			children[p] = append(children[p], int32(k))
+		}
+	}
+	structs := make([][]int32, ns)
+	mark := make([]int32, ns)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for k := 0; k < ns; k++ {
+		var out []int32
+		mark[k] = int32(k)
+		r := s.Ranges[k]
+		for v := r.Lo; v < r.Hi; v++ {
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				a := snOf[u]
+				if int(a) > k && mark[a] != int32(k) {
+					mark[a] = int32(k)
+					out = append(out, a)
+				}
+			}
+		}
+		for _, c := range children[k] {
+			for _, a := range structs[c] {
+				if int(a) != k && mark[a] != int32(k) {
+					mark[a] = int32(k)
+					out = append(out, a)
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		structs[k] = out
+	}
+	return structs
+}
+
+// FromETreeChains builds relaxed supernodes by merging maximal elimination
+// tree chains (vertex j joins j−1's supernode whenever parent(j−1) = j),
+// capped at maxBlock. Unlike fundamental supernodes it ignores column
+// counts: the supernodal engine's reach set R(k) = D(k) ∪ A(k) depends
+// only on subtree/ancestor ranges, so chain merging changes granularity
+// (bigger, cache-friendlier blocks) without adding reach. Used for the
+// SuperBfs baseline, where fundamental supernodes would be tiny.
+func FromETreeChains(parent []int, maxBlock int) *Supernodes {
+	counts := make([]int, len(parent))
+	for j := range counts {
+		// A constant-decrement fake count sequence makes every chain
+		// merge under the fundamental rule.
+		counts[j] = len(parent) - j
+	}
+	return FromETree(parent, counts, maxBlock)
+}
+
+// FromETree builds fundamental supernodes from a vertex elimination tree
+// and column counts (the ordering must already be a postorder of parent):
+// vertex j joins the supernode of j-1 when parent(j-1) = j and
+// count(j) = count(j-1) − 1, i.e. their factor columns have identical
+// structure below the supernode. Chains longer than maxBlock are split.
+func FromETree(parent, colCount []int, maxBlock int) *Supernodes {
+	if maxBlock <= 0 {
+		maxBlock = 128
+	}
+	n := len(parent)
+	s := &Supernodes{}
+	// Subtree sizes for SubLo.
+	size := make([]int, n)
+	for i := range size {
+		size[i] = 1
+	}
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			size[p] += size[v]
+		}
+	}
+	lo := 0
+	for j := 1; j <= n; j++ {
+		fundamental := j < n && parent[j-1] == j && colCount[j] == colCount[j-1]-1
+		if fundamental && j-lo < maxBlock {
+			continue
+		}
+		s.Ranges = append(s.Ranges, Range{lo, j})
+		s.SubLo = append(s.SubLo, j-size[j-1])
+		s.Parent = append(s.Parent, -1)
+		lo = j
+	}
+	// Supernodal parent: the supernode containing parent(top vertex).
+	snodeOf := make([]int, n)
+	for id, r := range s.Ranges {
+		for v := r.Lo; v < r.Hi; v++ {
+			snodeOf[v] = id
+		}
+	}
+	for id, r := range s.Ranges {
+		if p := parent[r.Hi-1]; p >= 0 {
+			s.Parent[id] = snodeOf[p]
+		}
+	}
+	s.computeLevels()
+	return s
+}

@@ -1,0 +1,406 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// naiveETree computes the elimination tree by the defining property:
+// parent(v) = min{ i > v : i ∈ struct(col v of the filled pattern) },
+// obtained by explicitly simulating symbolic elimination.
+func naiveETree(g *graph.Graph) []int {
+	n := g.N
+	// adjacency sets, grown by fill
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = map[int]bool{}
+	}
+	for v := 0; v < n; v++ {
+		nbrs, _ := g.Neighbors(v)
+		for _, u := range nbrs {
+			adj[v][u] = true
+		}
+	}
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		// neighbors of v greater than v at elimination time
+		var higher []int
+		for u := range adj[v] {
+			if u > v {
+				higher = append(higher, u)
+			}
+		}
+		if len(higher) == 0 {
+			continue
+		}
+		min := higher[0]
+		for _, u := range higher {
+			if u < min {
+				min = u
+			}
+		}
+		parent[v] = min
+		// eliminate v: clique its higher neighbors
+		for _, a := range higher {
+			for _, b := range higher {
+				if a != b {
+					adj[a][b] = true
+				}
+			}
+		}
+	}
+	return parent
+}
+
+func TestETreeMatchesNaive(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Grid2D(5, 5, gen.WeightUnit, 1),
+		gen.GeometricKNN(60, 2, 3, gen.WeightUnit, 2),
+		gen.ErdosRenyi(50, 4, gen.WeightUnit, 3),
+		graph.MustFromEdges(4, nil), // edgeless
+	}
+	for gi, g := range graphs {
+		want := naiveETree(g)
+		got := ETree(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("graph %d: parent[%d]=%d, want %d", gi, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPostorderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		// Random forest: parent[v] > v or -1.
+		n := 3 + rng.Intn(40)
+		parent := make([]int, n)
+		for v := 0; v < n; v++ {
+			if v == n-1 || rng.Float64() < 0.2 {
+				parent[v] = -1
+			} else {
+				parent[v] = v + 1 + rng.Intn(n-v-1)
+			}
+		}
+		post := Postorder(parent)
+		if !graph.IsPermutation(post) {
+			t.Fatal("postorder is not a permutation")
+		}
+		// In the relabeled tree, every parent must come after the child
+		// and subtrees must be contiguous.
+		np := RelabelParent(parent, post)
+		size := make([]int, n)
+		for i := range size {
+			size[i] = 1
+		}
+		for v := 0; v < n; v++ {
+			if p := np[v]; p >= 0 {
+				if p <= v {
+					t.Fatal("postorder violated: parent before child")
+				}
+				size[p] += size[v]
+			}
+		}
+		// Contiguity: subtree of v is exactly [v-size[v]+1, v].
+		for v := 0; v < n; v++ {
+			lo := v - size[v] + 1
+			for u := lo; u < v; u++ {
+				// u's root-ward path must hit v before passing it
+				x := u
+				for x >= 0 && x < v {
+					x = np[x]
+				}
+				if x != v {
+					t.Fatalf("vertex %d in [%d,%d] is not in subtree of %d", u, lo, v, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPostorderIdentityOnPostordered(t *testing.T) {
+	// A path tree 0→1→2→…: already a postorder.
+	parent := []int{1, 2, 3, -1}
+	post := Postorder(parent)
+	for i, v := range post {
+		if i != v {
+			t.Fatalf("postorder of a postordered chain must be identity, got %v", post)
+		}
+	}
+}
+
+// naiveFill computes fill by elimination simulation (same as naiveETree).
+func naiveFill(g *graph.Graph) [][]int {
+	n := g.N
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = map[int]bool{}
+		nbrs, _ := g.Neighbors(v)
+		for _, u := range nbrs {
+			adj[v][u] = true
+		}
+	}
+	out := make([][]int, n)
+	for v := 0; v < n; v++ {
+		var higher []int
+		for u := range adj[v] {
+			if u > v {
+				higher = append(higher, u)
+			}
+		}
+		for _, a := range higher {
+			for _, b := range higher {
+				if a != b {
+					adj[a][b] = true
+				}
+			}
+		}
+		out[v] = higher
+	}
+	return out
+}
+
+func TestFillMatchesNaive(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Grid2D(6, 4, gen.WeightUnit, 5),
+		gen.ErdosRenyi(40, 3, gen.WeightUnit, 6),
+		gen.GeometricKNN(50, 2, 3, gen.WeightUnit, 7),
+	}
+	for gi, g := range graphs {
+		parent := ETree(g)
+		got := Fill(g, parent)
+		want := naiveFill(g)
+		for j := 0; j < g.N; j++ {
+			if len(got[j]) != len(want[j]) {
+				t.Fatalf("graph %d col %d: fill size %d, want %d", gi, j, len(got[j]), len(want[j]))
+			}
+			wantSet := map[int]bool{}
+			for _, i := range want[j] {
+				wantSet[i] = true
+			}
+			for _, i := range got[j] {
+				if !wantSet[int(i)] {
+					t.Fatalf("graph %d col %d: spurious fill row %d", gi, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFromETreeSupernodes(t *testing.T) {
+	// A dense-ish band graph postordered: expect chains to merge.
+	g := gen.GeometricKNN(120, 2, 4, gen.WeightUnit, 8)
+	bfs := order.BFS(g)
+	pg1 := g.Permute(bfs.Perm)
+	parent := ETree(pg1)
+	post := Postorder(parent)
+	perm := make([]int, g.N)
+	for i, pi := range post {
+		perm[i] = bfs.Perm[pi]
+	}
+	pg := g.Permute(perm)
+	parent = RelabelParent(parent, post)
+	structs := Fill(pg, parent)
+	sn := FromETree(parent, ColCounts(structs), 16)
+	if msg := sn.Check(); msg != "" {
+		t.Fatalf("supernode check: %s", msg)
+	}
+	if sn.N() != g.N {
+		t.Fatalf("supernodes cover %d of %d", sn.N(), g.N)
+	}
+	for _, r := range sn.Ranges {
+		if r.Size() > 16 {
+			t.Fatalf("supernode size %d exceeds maxBlock", r.Size())
+		}
+	}
+	// Fundamental property: within a supernode, each vertex's etree
+	// parent is the next vertex.
+	for _, r := range sn.Ranges {
+		for v := r.Lo; v < r.Hi-1; v++ {
+			if parent[v] != v+1 {
+				t.Fatalf("vertex %d inside supernode has parent %d, want %d", v, parent[v], v+1)
+			}
+		}
+	}
+}
+
+func TestFromTreeSupernodes(t *testing.T) {
+	g := gen.Grid2D(20, 20, gen.WeightUnit, 9)
+	ord := order.NestedDissection(g, order.NDOptions{LeafSize: 25})
+	sn := FromTree(ord.Tree, g.N, 8)
+	if msg := sn.Check(); msg != "" {
+		t.Fatalf("supernode check: %s", msg)
+	}
+	if sn.N() != g.N {
+		t.Fatalf("cover %d of %d", sn.N(), g.N)
+	}
+	for _, r := range sn.Ranges {
+		if r.Size() > 8 {
+			t.Fatal("maxBlock violated")
+		}
+	}
+	// Chain splitting: number of supernodes must exceed tree nodes when
+	// blocks are small.
+	if len(sn.Ranges) <= len(ord.Tree) {
+		t.Error("expected split chains with maxBlock=8")
+	}
+}
+
+func TestAncestorsChain(t *testing.T) {
+	g := gen.Grid2D(12, 12, gen.WeightUnit, 10)
+	ord := order.NestedDissection(g, order.NDOptions{LeafSize: 12})
+	sn := FromTree(ord.Tree, g.N, 16)
+	for k := range sn.Ranges {
+		anc := sn.Ancestors(k)
+		// ancestors strictly increase and end at a root
+		prev := k
+		for _, a := range anc {
+			if a <= prev {
+				t.Fatal("ancestors must strictly increase")
+			}
+			prev = a
+		}
+		if len(anc) > 0 {
+			last := anc[len(anc)-1]
+			if sn.Parent[last] != -1 {
+				t.Fatal("ancestor walk must end at a root")
+			}
+		} else if sn.Parent[k] != -1 {
+			t.Fatal("non-root with empty ancestors")
+		}
+	}
+}
+
+func TestLevelsAreCousins(t *testing.T) {
+	g := gen.GeometricKNN(400, 2, 4, gen.WeightUnit, 11)
+	ord := order.NestedDissection(g, order.NDOptions{LeafSize: 24})
+	sn := FromTree(ord.Tree, g.N, 32)
+	for _, level := range sn.Levels {
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				// descendant ranges [SubLo, Hi) must be disjoint
+				aLo, aHi := sn.SubLo[a], sn.Ranges[a].Hi
+				bLo, bHi := sn.SubLo[b], sn.Ranges[b].Hi
+				if aLo < bHi && bLo < aHi {
+					t.Fatalf("level peers %d and %d have overlapping subtrees", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFillCountAndColCounts(t *testing.T) {
+	g := gen.Grid2D(6, 6, gen.WeightUnit, 12)
+	parent := ETree(g)
+	structs := Fill(g, parent)
+	counts := ColCounts(structs)
+	var sum int64
+	for _, c := range counts {
+		sum += int64(c)
+	}
+	if FillCount(structs) != sum {
+		t.Fatal("FillCount must equal the sum of column counts")
+	}
+	if sum < int64(g.M()) {
+		t.Fatalf("fill %d must be at least the edge count %d", sum, g.M())
+	}
+}
+
+func TestNewSupernodesRoundTrip(t *testing.T) {
+	g := gen.GeometricKNN(200, 2, 3, gen.WeightUnit, 13)
+	ord := order.NestedDissection(g, order.NDOptions{LeafSize: 24})
+	sn := FromTree(ord.Tree, g.N, 16)
+	rebuilt := New(sn.Ranges, sn.Parent, sn.SubLo)
+	if msg := rebuilt.Check(); msg != "" {
+		t.Fatalf("rebuilt supernodes invalid: %s", msg)
+	}
+	if rebuilt.N() != sn.N() || rebuilt.NumSupernodes() != sn.NumSupernodes() {
+		t.Fatal("round trip changed shape")
+	}
+	if len(rebuilt.Levels) != len(sn.Levels) {
+		t.Fatal("levels not recomputed identically")
+	}
+	for i := range sn.Levels {
+		if len(rebuilt.Levels[i]) != len(sn.Levels[i]) {
+			t.Fatal("level widths differ")
+		}
+	}
+}
+
+func TestFromETreeChainsMergesChains(t *testing.T) {
+	// A path graph in natural order: one maximal chain → supernodes are
+	// consecutive blocks of exactly maxBlock.
+	n := 40
+	parent := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		parent[i] = i + 1
+	}
+	parent[n-1] = -1
+	sn := FromETreeChains(parent, 8)
+	if msg := sn.Check(); msg != "" {
+		t.Fatal(msg)
+	}
+	if len(sn.Ranges) != 5 {
+		t.Fatalf("expected 5 chain blocks of 8, got %d", len(sn.Ranges))
+	}
+	for _, r := range sn.Ranges {
+		if r.Size() != 8 {
+			t.Fatalf("chain block size %d, want 8", r.Size())
+		}
+	}
+}
+
+func TestSupernodalStructExactness(t *testing.T) {
+	// Against brute force: block (a,k) is in the supernodal fill iff
+	// some vertex pair (i∈k, j∈a) is in the vertex-level fill.
+	g := gen.GeometricKNN(120, 2, 3, gen.WeightUnit, 14)
+	ord := order.NestedDissection(g, order.NDOptions{LeafSize: 16})
+	pg := g.Permute(ord.Perm)
+	sn := FromTree(ord.Tree, g.N, 8)
+	got := SupernodalStruct(pg, sn)
+
+	parent := ETree(pg)
+	structs := Fill(pg, parent)
+	snOf := make([]int, g.N)
+	for k, r := range sn.Ranges {
+		for v := r.Lo; v < r.Hi; v++ {
+			snOf[v] = k
+		}
+	}
+	want := make([]map[int]bool, len(sn.Ranges))
+	for i := range want {
+		want[i] = map[int]bool{}
+	}
+	for j := 0; j < g.N; j++ {
+		for _, i := range structs[j] {
+			if a, k := snOf[i], snOf[j]; a != k {
+				want[k][a] = true
+			}
+		}
+	}
+	for k := range sn.Ranges {
+		gotSet := map[int]bool{}
+		for _, a := range got[k] {
+			gotSet[int(a)] = true
+		}
+		for a := range want[k] {
+			if !gotSet[a] {
+				t.Fatalf("supernode %d: missing struct member %d", k, a)
+			}
+		}
+		for a := range gotSet {
+			if !want[k][a] {
+				t.Fatalf("supernode %d: spurious struct member %d", k, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package superfw is a supernodal all-pairs shortest path (APSP) library
+// for sparse graphs, reproducing "A Supernodal All-Pairs Shortest Path
+// Algorithm" (Sao, Kannan, Gera, Vuduc — PPoPP 2020).
+//
+// The core algorithm, SuperFw, runs Floyd-Warshall with the machinery of
+// sparse direct solvers: a fill-in-reducing nested-dissection ordering,
+// symbolic analysis, supernodal blocking, and elimination-tree
+// parallelism. On graphs with small vertex separators (meshes, road
+// networks, planar-like graphs) it performs O(n²|S|) work instead of the
+// dense algorithm's O(n³), while keeping the matrix-multiply-heavy inner
+// loops that make Floyd-Warshall fast on modern hardware.
+//
+// # Quick start
+//
+//	g, _ := superfw.NewGraph(4, []superfw.Edge{
+//		{U: 0, V: 1, W: 1.0}, {U: 1, V: 2, W: 2.0}, {U: 2, V: 3, W: 1.5},
+//	})
+//	res, _ := superfw.Solve(g)
+//	fmt.Println(res.At(0, 3)) // 4.5
+//
+// For repeated solves on the same structure (e.g. different weights or
+// reweighted instances), build a Plan once and call Solve on it:
+//
+//	plan, _ := superfw.NewPlan(g, superfw.DefaultOptions())
+//	res, _ := plan.Solve()
+//
+// The internal packages expose the full substrate: graph generators
+// (internal/gen), the multilevel partitioner (internal/part), nested
+// dissection and other orderings (internal/order), symbolic analysis
+// (internal/symbolic), min-plus dense kernels (internal/semiring), and
+// the baseline algorithms of the paper's evaluation (internal/apsp).
+package superfw
+
+import (
+	"io"
+
+	"repro/internal/apsp"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+// Graph is a weighted undirected graph in CSR form.
+type Graph = graph.Graph
+
+// Edge is an undirected weighted edge.
+type Edge = graph.Edge
+
+// Options configure plan construction (ordering, block sizes, threads).
+type Options = core.Options
+
+// Plan is the reusable symbolic phase: ordering + supernodal structure.
+type Plan = core.Plan
+
+// Result is a solved APSP instance; query it with At(u, v).
+type Result = core.Result
+
+// Mat is a dense row-major distance matrix.
+type Mat = semiring.Mat
+
+// Ordering kinds for Options.Ordering.
+const (
+	OrderND        = core.OrderND
+	OrderBFS       = core.OrderBFS
+	OrderRCM       = core.OrderRCM
+	OrderNatural   = core.OrderNatural
+	OrderCustom    = core.OrderCustom
+	OrderMinDegree = core.OrderMinDegree
+)
+
+// Inf is the distance reported between disconnected vertices.
+var Inf = semiring.Inf
+
+// NewGraph builds a graph on n vertices from an edge list. Self-loops are
+// dropped and duplicate edges keep the minimum weight.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.NewFromEdges(n, edges)
+}
+
+// DefaultOptions returns the paper's default configuration: nested
+// dissection ordering, supernodal blocking, and etree parallelism across
+// all available cores.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewPlan runs the symbolic phase (ordering, symbolic analysis, supernode
+// extraction) for g. The plan can be solved repeatedly.
+func NewPlan(g *Graph, opts Options) (*Plan, error) { return core.NewPlan(g, opts) }
+
+// Solve computes all-pairs shortest paths for g with default options.
+// It returns an error if g contains a negative-weight cycle.
+func Solve(g *Graph) (*Result, error) {
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return plan.Solve()
+}
+
+// SolveWithPaths is Solve with next-hop tracking enabled, so the result
+// supports Path(u, v) reconstruction (one extra n² int32 array, roughly
+// 2× kernel time).
+func SolveWithPaths(g *Graph) (*Result, error) {
+	opts := core.DefaultOptions()
+	opts.TrackPaths = true
+	plan, err := core.NewPlan(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Solve()
+}
+
+// SolveWidest computes all-pairs widest (maximum-bottleneck) paths: the
+// same supernodal engine run over the (max, min) semiring. Edge weights
+// are capacities; the result's At(u, v) is the best bottleneck capacity
+// of any u→v path (−Inf when unreachable, +Inf on the diagonal).
+func SolveWidest(g *Graph) (*Result, error) {
+	opts := core.DefaultOptions()
+	opts.Semiring = semiring.MaxMinKernels
+	plan, err := core.NewPlan(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Solve()
+}
+
+// SolveDense is a convenience that returns the full distance matrix in
+// original vertex order (allocating n² floats beyond the solve itself).
+func SolveDense(g *Graph) (Mat, error) {
+	res, err := Solve(g)
+	if err != nil {
+		return Mat{}, err
+	}
+	return res.Dense(), nil
+}
+
+// Factor is the supernodal semiring factor: the O(fill)-memory
+// alternative to the dense distance matrix, answering SSSP queries via
+// elimination-tree sweeps and point-to-point queries via 2-hop labels.
+type Factor = core.Factor
+
+// NewFactor runs factor-only elimination on a plan: O(fill) memory
+// instead of the dense solver's n² floats. Use Factor.SSSP for full rows
+// and Factor.Dist for point queries.
+func NewFactor(plan *Plan, threads int) (*Factor, error) {
+	return core.NewFactor(plan, threads)
+}
+
+// ReadFactor deserializes a factor previously saved with Factor.WriteTo;
+// the restored factor answers queries without the graph or the plan.
+func ReadFactor(r io.Reader) (*Factor, error) { return core.ReadFactor(r) }
+
+// Baseline runs one of the paper's baseline algorithms by name
+// ("blockedfw", "dijkstra", "boostdijkstra", "deltastep", "johnson",
+// "pathdoubling", "naivefw", "superbfs", "superfw") and returns the
+// distance matrix in original vertex order. threads ≤ 0 uses GOMAXPROCS.
+func Baseline(name string, g *Graph, threads int) (Mat, error) {
+	algo, err := apsp.ParseAlgorithm(name)
+	if err != nil {
+		return Mat{}, err
+	}
+	return apsp.Run(algo, g, threads)
+}

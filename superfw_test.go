@@ -1,0 +1,115 @@
+package superfw
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestQuickstart(t *testing.T) {
+	g, err := NewGraph(4, []Edge{
+		{U: 0, V: 1, W: 1.0}, {U: 1, V: 2, W: 2.0}, {U: 2, V: 3, W: 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.At(0, 3); math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("At(0,3) = %g, want 4.5", got)
+	}
+	if res.At(3, 0) != res.At(0, 3) {
+		t.Error("undirected distances must be symmetric")
+	}
+}
+
+func TestSolveDense(t *testing.T) {
+	g := gen.Grid2D(6, 6, gen.WeightUniform, 1)
+	D, err := SolveDense(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Baseline("naivefw", g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !D.EqualTol(want, 1e-9) {
+		t.Fatal("SolveDense disagrees with naive FW")
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	g := gen.Grid2D(5, 5, gen.WeightUniform, 2)
+	want, _ := Baseline("naivefw", g, 1)
+	for _, name := range []string{"superfw", "superbfs", "blockedfw", "dijkstra", "boostdijkstra", "deltastep", "pathdoubling", "johnson"} {
+		got, err := Baseline(name, g, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.EqualTol(want, 1e-9) {
+			t.Errorf("%s disagrees with naive FW", name)
+		}
+	}
+	if _, err := Baseline("bogus", g, 1); err == nil {
+		t.Error("unknown baseline must error")
+	}
+}
+
+func TestPlanReuse(t *testing.T) {
+	g := gen.GeometricKNN(100, 2, 3, gen.WeightUniform, 3)
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.D.Equal(r2.D) {
+		t.Error("plan reuse must be deterministic")
+	}
+}
+
+func TestSolveWithPaths(t *testing.T) {
+	g := gen.Grid2D(5, 5, gen.WeightUniform, 4)
+	res, err := SolveWithPaths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := res.Path(0, 24)
+	if !ok || path[0] != 0 || path[len(path)-1] != 24 {
+		t.Fatalf("bad path: %v %v", path, ok)
+	}
+	sum := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		w, exists := g.Weight(path[i], path[i+1])
+		if !exists {
+			t.Fatalf("non-edge in path: %v", path)
+		}
+		sum += w
+	}
+	if math.Abs(sum-res.At(0, 24)) > 1e-9 {
+		t.Fatalf("path weight %g != distance %g", sum, res.At(0, 24))
+	}
+}
+
+func TestDisconnectedInf(t *testing.T) {
+	g, _ := NewGraph(3, []Edge{{U: 0, V: 1, W: 1}})
+	res, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.At(0, 2), 1) {
+		t.Error("disconnected pair should be Inf")
+	}
+	if Inf != math.Inf(1) {
+		t.Error("exported Inf wrong")
+	}
+}
