@@ -1,0 +1,26 @@
+GO ?= go
+
+RACE_PKGS := ./internal/par ./internal/core ./internal/serve
+
+.PHONY: all build test race lint bench-smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Compile and run every benchmark exactly once — catches benchmarks that
+# no longer build or crash without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

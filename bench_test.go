@@ -8,11 +8,13 @@ package superfw
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/apsp"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/semiring"
 )
@@ -317,6 +319,140 @@ func BenchmarkDecreaseEdge(b *testing.B) {
 			}
 		}
 	})
+}
+
+// imbalancedCliqueChains builds the deliberately imbalanced
+// path-of-cliques workload: `chains` independent paths of `length`
+// cliques each, meeting at a small root clique. Every clique has `small`
+// vertices except one per chain — at a different (staggered) depth in
+// each chain — which has `big`. The resulting supernodal etree has width
+// `chains` at every level and exactly one expensive supernode per level,
+// so a level-synchronous schedule pays ≈ length × T(big) in barriers
+// while the per-chain critical path is only ≈ length × T(small) + T(big)
+// — the gap dependency-driven scheduling recovers.
+func imbalancedCliqueChains(chains, length, small, big int) (*Graph, order.Ordering) {
+	type clique struct{ lo, hi int }
+	var (
+		edges []Edge
+		nodes []order.Node
+		next  int
+	)
+	addClique := func(size int) clique {
+		c := clique{next, next + size}
+		for u := c.lo; u < c.hi; u++ {
+			for v := u + 1; v < c.hi; v++ {
+				edges = append(edges, Edge{U: u, V: v, W: 1 + float64((u*31+v)%97)/97})
+			}
+		}
+		next = c.hi
+		return c
+	}
+	for c := 0; c < chains; c++ {
+		chainLo := next
+		var prev clique
+		for d := 0; d < length; d++ {
+			size := small
+			if d == c*length/chains {
+				size = big
+			}
+			cur := addClique(size)
+			nodes = append(nodes, order.Node{
+				Parent: len(nodes) + 1, // chain tops re-wired to the root below
+				Lo:     cur.lo,
+				Hi:     cur.hi,
+				SubLo:  chainLo,
+				IsLeaf: d == 0,
+			})
+			if d > 0 {
+				edges = append(edges, Edge{U: prev.hi - 1, V: cur.lo, W: 1})
+			}
+			prev = cur
+		}
+	}
+	root := addClique(small)
+	rootIdx := len(nodes)
+	for c := 0; c < chains; c++ {
+		top := &nodes[(c+1)*length-1]
+		top.Parent = rootIdx
+		edges = append(edges, Edge{U: top.Hi - 1, V: root.lo, W: 1})
+	}
+	nodes = append(nodes, order.Node{Parent: -1, Lo: root.lo, Hi: root.hi, SubLo: 0})
+	perm := make([]int, next)
+	for i := range perm {
+		perm[i] = i
+	}
+	return graph.MustFromEdges(next, edges), order.Ordering{Perm: perm, Tree: nodes}
+}
+
+// TestImbalancedCliqueChains pins the bench workload's structure (one
+// supernode per clique, width = chains at every chain level) and checks
+// both schedules produce the Floyd-Warshall reference on it.
+func TestImbalancedCliqueChains(t *testing.T) {
+	const chains, length, small, big = 3, 4, 6, 14
+	g, ord := imbalancedCliqueChains(chains, length, small, big)
+	for _, sched := range []core.ScheduleKind{core.ScheduleDAG, core.ScheduleLevel} {
+		plan, err := core.NewPlan(g, core.Options{
+			Ordering: core.OrderCustom, Custom: &ord,
+			MaxBlock: big, EtreeParallel: true, Schedule: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := plan.NumSupernodes(), chains*length+1; got != want {
+			t.Fatalf("workload built %d supernodes, want %d (one per clique)", got, want)
+		}
+		res, err := plan.SolveWith(4, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Dense().EqualTol(core.Closure(g.ToDense()), 1e-9) {
+			t.Fatalf("schedule %v diverged from Floyd-Warshall on the clique-chain workload", sched)
+		}
+	}
+}
+
+// BenchmarkScheduleImbalanced is the DAG-vs-level shootout on the
+// imbalanced etree: the dependency-driven schedule must meet or beat the
+// level-synchronous one here (and it is the repo default). Besides
+// ns/op, each run reports "overlap-ms" — how much work crossed etree
+// level boundaries concurrently (the would-be barrier wait the schedule
+// recovered, from the profiled level spans). Level-synchronous runs
+// report ~0 by construction; the DAG number is the structural win and is
+// hardware-independent, which matters because on a single-core host the
+// wall-clock times tie (barriers only waste time when cores sit idle).
+func BenchmarkScheduleImbalanced(b *testing.B) {
+	g, ord := imbalancedCliqueChains(4, 8, 24, 160)
+	for _, sched := range []core.ScheduleKind{core.ScheduleLevel, core.ScheduleDAG} {
+		plan, err := core.NewPlan(g, core.Options{
+			Ordering: core.OrderCustom, Custom: &ord,
+			MaxBlock: 512, EtreeParallel: true, Schedule: sched,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("sched=%v", sched), func(b *testing.B) {
+			var overlap time.Duration
+			for i := 0; i < b.N; i++ {
+				_, prof, err := plan.SolveProfiled(4, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var spans, end time.Duration
+				for _, l := range prof.Levels {
+					spans += l.Wall
+				}
+				for _, sp := range prof.Supernodes {
+					if e := sp.Start + sp.Wall; e > end {
+						end = e
+					}
+				}
+				if spans > end {
+					overlap += spans - end
+				}
+			}
+			b.ReportMetric(float64(overlap.Milliseconds())/float64(b.N), "overlap-ms")
+		})
+	}
 }
 
 // BenchmarkLeafSizeAblation sweeps the nested-dissection leaf size: tiny

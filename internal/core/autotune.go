@@ -19,19 +19,7 @@ func AutotuneMaxBlock(g *graph.Graph, opts Options, candidates []int) (best int,
 	if candidates == nil {
 		candidates = []int{32, 64, 128, 256}
 	}
-	sample := g
-	const sampleCap = 3000
-	if g.N > sampleCap {
-		// Time on a BFS ball around a pseudo-peripheral vertex: it
-		// preserves local structure (degree, weights) at a size where a
-		// few trial solves are cheap.
-		root := g.PseudoPeripheral(0)
-		order := g.BFSOrder(root)
-		if len(order) > sampleCap {
-			order = order[:sampleCap]
-		}
-		sample = g.InducedSubgraph(order)
-	}
+	sample := autotuneSample(g)
 	bestTime := time.Duration(1<<62 - 1)
 	for _, mb := range candidates {
 		o := opts
@@ -50,4 +38,49 @@ func AutotuneMaxBlock(g *graph.Graph, opts Options, candidates []int) (best int,
 		}
 	}
 	return best, nil
+}
+
+// AutotuneSchedule times one numeric solve per schedule kind on the
+// graph (or a sampled subgraph, as in AutotuneMaxBlock) and returns the
+// faster of DAG and level-synchronous scheduling for these options. The
+// DAG schedule dominates on imbalanced elimination trees; on perfectly
+// balanced trees the two are within noise of each other, so the level
+// schedule can still win a coin flip.
+func AutotuneSchedule(g *graph.Graph, opts Options) (ScheduleKind, error) {
+	sample := autotuneSample(g)
+	best, bestTime := ScheduleDAG, time.Duration(1<<62-1)
+	for _, sched := range []ScheduleKind{ScheduleDAG, ScheduleLevel} {
+		o := opts
+		o.Schedule = sched
+		o.EtreeParallel = true
+		plan, err := NewPlan(sample, o)
+		if err != nil {
+			return best, err
+		}
+		res, err := plan.Solve()
+		if err != nil {
+			return best, err
+		}
+		if res.NumericTime < bestTime {
+			bestTime = res.NumericTime
+			best = sched
+		}
+	}
+	return best, nil
+}
+
+// autotuneSample returns g itself when small, or a BFS ball around a
+// pseudo-peripheral vertex: it preserves local structure (degree,
+// weights) at a size where a few trial solves are cheap.
+func autotuneSample(g *graph.Graph) *graph.Graph {
+	const sampleCap = 3000
+	if g.N <= sampleCap {
+		return g
+	}
+	root := g.PseudoPeripheral(0)
+	order := g.BFSOrder(root)
+	if len(order) > sampleCap {
+		order = order[:sampleCap]
+	}
+	return g.InducedSubgraph(order)
 }

@@ -173,7 +173,7 @@ func NewFactor(p *Plan, threads int) (*Factor, error) {
 	}
 
 	t0 := time.Now()
-	f.factorize(threads)
+	f.factorize(threads, p.Opts.Schedule)
 	f.FactorTime = time.Since(t0)
 
 	if K.DetectNegCycle {
@@ -197,9 +197,11 @@ func (f *Factor) ancColumn(k, a, v int) (int, bool) {
 	return 0, false
 }
 
-// factorize runs the factor-only elimination, level-parallel over
-// cousins with target-block locks on shared ancestor updates.
-func (f *Factor) factorize(threads int) {
+// factorize runs the factor-only elimination, parallel over cousins with
+// target-block locks on shared ancestor updates. schedule follows the
+// same DAG/level split as Plan.eliminate: dependency-driven by default,
+// level-synchronous barriers on request.
+func (f *Factor) factorize(threads int, schedule ScheduleKind) {
 	sn := f.sn
 	if threads <= 1 {
 		for k := range sn.Ranges {
@@ -208,20 +210,34 @@ func (f *Factor) factorize(threads int) {
 		return
 	}
 	locks := par.NewStripedMutex(1024)
-	for _, level := range sn.Levels {
-		width := len(level)
-		inner := threads / width
-		if inner < 1 {
-			inner = 1
+	if schedule == ScheduleLevel {
+		for _, level := range sn.Levels {
+			width := len(level)
+			inner := threads / width
+			if inner < 1 {
+				inner = 1
+			}
+			lk := locks
+			if width == 1 {
+				lk = nil
+			}
+			par.For(width, threads, 1, func(i int) {
+				f.eliminate(level[i], inner, lk)
+			})
 		}
-		lk := locks
-		if width == 1 {
-			lk = nil
-		}
-		par.For(width, threads, 1, func(i int) {
-			f.eliminate(level[i], inner, lk)
-		})
+		return
 	}
+	// DAG schedule: concurrently running supernodes are always cousins
+	// (a parent's pending count transitively waits on its whole subtree),
+	// so the supernode-id-keyed ancestor-block locks used by the level
+	// schedule serialize exactly the same collisions here.
+	lk := locks
+	if sn.NumSupernodes() == 1 {
+		lk = nil
+	}
+	par.RunDAG(sn.Parent, threads, func(k, inner int) {
+		f.eliminate(k, inner, lk)
+	})
 }
 
 // eliminate processes supernode k: close the diagonal, update the

@@ -1,14 +1,25 @@
 package core
 
-// Numeric-phase profiling: per-stage and per-level accounting of where
-// the elimination spends its time. Understanding the DiagUpdate /
-// PanelUpdate / OuterUpdate split and the level-by-level load balance is
-// how the paper's Fig 8 discussion reasons about etree parallelism
-// ("small graphs perform very little per-iteration work").
+// Numeric-phase profiling: per-stage and per-supernode accounting of
+// where the elimination spends its time. Understanding the DiagUpdate /
+// PanelUpdate / OuterUpdate split and the schedule's load balance is how
+// the paper's Fig 8 discussion reasons about etree parallelism ("small
+// graphs perform very little per-iteration work").
+//
+// Attribution is per-supernode: every elimination records its start
+// offset and duration relative to the start of the numeric phase. Level
+// summaries are derived from the supernode spans, which keeps them
+// meaningful under both schedules — under the level-synchronous schedule
+// a level's span is the barrier-to-barrier wall time, while under the
+// DAG schedule spans of adjacent levels overlap, and the difference
+// between the sum of level spans and the phase wall time is exactly the
+// barrier cost the DAG schedule recovered.
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,17 +34,76 @@ type Profile struct {
 	Diag  atomic.Int64 // ns in diagonal FW closures
 	Panel atomic.Int64 // ns in panel updates
 	Outer atomic.Int64 // ns in outer-product updates
-	// Levels records, per etree level, the wall time of the level
-	// barrier-to-barrier and the number of supernodes.
+	// Supernodes records one span per eliminated supernode, ordered by
+	// start offset.
+	Supernodes []SupernodeProfile
+	// Levels summarizes the supernode spans per etree level.
 	Levels []LevelProfile
+
+	mu sync.Mutex // guards Supernodes during the solve
 }
 
-// LevelProfile is the wall-clock footprint of one etree level.
+// SupernodeProfile is the elimination span of one supernode, relative to
+// the start of the numeric phase.
+type SupernodeProfile struct {
+	Supernode int
+	Level     int
+	Vertices  int
+	Workers   int           // intra-supernode parallelism budget it ran with
+	Start     time.Duration // offset from numeric-phase start
+	Wall      time.Duration
+}
+
+// LevelProfile is the wall-clock footprint of one etree level: the span
+// from its first supernode start to its last supernode end. Under the
+// level-synchronous schedule this is the barrier-to-barrier wall time;
+// under the DAG schedule spans of different levels overlap.
 type LevelProfile struct {
 	Level      int
 	Supernodes int
 	Vertices   int
 	Wall       time.Duration
+}
+
+// record appends one supernode span (thread-safe).
+func (pr *Profile) record(sp SupernodeProfile) {
+	pr.mu.Lock()
+	pr.Supernodes = append(pr.Supernodes, sp)
+	pr.mu.Unlock()
+}
+
+// finish sorts the supernode spans and derives the level summaries.
+func (pr *Profile) finish(numLevels int) {
+	sort.Slice(pr.Supernodes, func(i, j int) bool {
+		a, b := pr.Supernodes[i], pr.Supernodes[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Supernode < b.Supernode
+	})
+	pr.Levels = make([]LevelProfile, numLevels)
+	first := make([]time.Duration, numLevels)
+	last := make([]time.Duration, numLevels)
+	for i := range pr.Levels {
+		pr.Levels[i].Level = i
+		first[i] = 1<<63 - 1
+	}
+	for _, sp := range pr.Supernodes {
+		l := &pr.Levels[sp.Level]
+		l.Supernodes++
+		l.Vertices += sp.Vertices
+		if sp.Start < first[sp.Level] {
+			first[sp.Level] = sp.Start
+		}
+		if end := sp.Start + sp.Wall; end > last[sp.Level] {
+			last[sp.Level] = end
+		}
+	}
+	for i := range pr.Levels {
+		if pr.Levels[i].Supernodes > 0 {
+			pr.Levels[i].Wall = last[i] - first[i]
+		}
+	}
 }
 
 // String renders the profile as a compact report.
@@ -48,18 +118,56 @@ func (pr *Profile) String() string {
 		time.Duration(pr.Panel.Load()).Round(time.Microsecond), 100*float64(pr.Panel.Load())/float64(total),
 		time.Duration(pr.Outer.Load()).Round(time.Microsecond), 100*float64(pr.Outer.Load())/float64(total))
 	if len(pr.Levels) > 0 {
-		b.WriteString("etree levels (leaves first):\n")
+		var sum time.Duration
+		b.WriteString("etree levels (leaves first, span = first start → last end):\n")
 		for _, l := range pr.Levels {
+			sum += l.Wall
 			fmt.Fprintf(&b, "  level %2d: %4d supernodes, %6d vertices, %10v\n",
 				l.Level, l.Supernodes, l.Vertices, l.Wall.Round(time.Microsecond))
 		}
+		if end := pr.phaseEnd(); end > 0 && sum > end {
+			// Overlapping level spans: the DAG schedule ran supernodes of
+			// different levels concurrently instead of idling at
+			// barriers.
+			fmt.Fprintf(&b, "  level spans sum to %v over a %v phase: %v of would-be barrier wait overlapped\n",
+				sum.Round(time.Microsecond), end.Round(time.Microsecond), (sum - end).Round(time.Microsecond))
+		}
+	}
+	if sp, ok := pr.slowestSupernode(); ok {
+		fmt.Fprintf(&b, "slowest supernode: #%d (level %d, %d vertices, %d workers) %v",
+			sp.Supernode, sp.Level, sp.Vertices, sp.Workers, sp.Wall.Round(time.Microsecond))
 	}
 	return strings.TrimRight(b.String(), "\n")
 }
 
-// SolveProfiled is SolveWith plus stage/level accounting. The accounting
-// adds two clock reads per update task; for realistic supernode sizes
-// the overhead is well under 1%.
+// phaseEnd returns the latest supernode end offset.
+func (pr *Profile) phaseEnd() time.Duration {
+	var end time.Duration
+	for _, sp := range pr.Supernodes {
+		if e := sp.Start + sp.Wall; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// slowestSupernode returns the span with the largest wall time.
+func (pr *Profile) slowestSupernode() (SupernodeProfile, bool) {
+	if len(pr.Supernodes) == 0 {
+		return SupernodeProfile{}, false
+	}
+	best := pr.Supernodes[0]
+	for _, sp := range pr.Supernodes[1:] {
+		if sp.Wall > best.Wall {
+			best = sp
+		}
+	}
+	return best, true
+}
+
+// SolveProfiled is SolveWith plus stage/supernode accounting. The
+// accounting adds two clock reads per update task; for realistic
+// supernode sizes the overhead is well under 1%.
 func (p *Plan) SolveProfiled(threads int, etreeParallel bool) (*Result, *Profile, error) {
 	K := p.Opts.Semiring
 	D := p.PG.ToDenseWith(K.Zero, K.One)
@@ -77,54 +185,61 @@ func (p *Plan) SolveProfiled(threads int, etreeParallel bool) (*Result, *Profile
 	return res, st.prof, nil
 }
 
-// eliminateProfiled mirrors eliminate but wraps each level in wall-time
-// accounting (the per-stage accounting lives in eliminateSupernode via
-// state.prof).
+// eliminateProfiled mirrors eliminate but wraps every supernode
+// elimination in span accounting (the per-stage accounting lives in
+// eliminateSupernode via state.prof).
 func (p *Plan) eliminateProfiled(st *state, threads int, etreeParallel bool) {
 	threads = par.DefaultThreads(threads)
 	sn := p.Sn
-	record := func(level int, nodes []int, fn func()) {
-		verts := 0
-		for _, k := range nodes {
-			verts += sn.Ranges[k].Size()
-		}
-		t0 := time.Now()
-		fn()
-		st.prof.Levels = append(st.prof.Levels, LevelProfile{
-			Level: level, Supernodes: len(nodes), Vertices: verts, Wall: time.Since(t0),
+	levelOf := sn.LevelOf()
+	t0 := time.Now()
+	run := func(k, inner int, locks *par.StripedMutex) {
+		start := time.Since(t0)
+		p.eliminateSupernode(st, k, inner, locks)
+		st.prof.record(SupernodeProfile{
+			Supernode: k,
+			Level:     levelOf[k],
+			Vertices:  sn.Ranges[k].Size(),
+			Workers:   inner,
+			Start:     start,
+			Wall:      time.Since(t0) - start,
 		})
 	}
-	if threads <= 1 || !etreeParallel {
-		for lvl, nodes := range sn.Levels {
-			nodes := nodes
-			record(lvl, nodes, func() {
-				for _, k := range nodes {
-					p.eliminateSupernode(st, k, threads, nil)
-				}
+	switch {
+	case threads <= 1 || !etreeParallel:
+		// Sequential mode iterates levels (not raw postorder) so the
+		// per-level accounting is comparable across modes; level order is
+		// also a valid elimination order (children precede parents).
+		for _, nodes := range sn.Levels {
+			for _, k := range nodes {
+				run(k, threads, nil)
+			}
+		}
+	case p.Opts.Schedule == ScheduleLevel:
+		locks := par.NewStripedMutex(1024)
+		for _, level := range sn.Levels {
+			level := level
+			width := len(level)
+			inner := threads / width
+			if inner < 1 {
+				inner = 1
+			}
+			lk := locks
+			if width == 1 {
+				lk = nil
+			}
+			par.For(width, threads, 1, func(i int) {
+				run(level[i], inner, lk)
 			})
 		}
-		return
-	}
-	locks := par.NewStripedMutex(1024)
-	for lvl, level := range sn.Levels {
-		level := level
-		width := len(level)
-		inner := threads / width
-		if inner < 1 {
-			inner = 1
-		}
-		lk := locks
-		if width == 1 {
+	default:
+		lk := par.NewStripedMutex(1024)
+		if sn.NumSupernodes() == 1 {
 			lk = nil
 		}
-		record(lvl, level, func() {
-			par.For(width, threads, 1, func(i int) {
-				p.eliminateSupernode(st, level[i], inner, lk)
-			})
+		par.RunDAG(sn.Parent, threads, func(k, inner int) {
+			run(k, inner, lk)
 		})
 	}
+	st.prof.finish(len(sn.Levels))
 }
-
-// Note: sequential profiled mode iterates levels (not raw postorder) so
-// per-level accounting is comparable across modes. Level order is also a
-// valid elimination order (children always precede parents).

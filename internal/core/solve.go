@@ -113,25 +113,43 @@ func (p *Plan) eliminate(st *state, threads int, etreeParallel bool) {
 		}
 		return
 	}
-	// Etree level scheduling: supernodes within a level are cousins and
-	// are eliminated concurrently; only their A(k)×A(k) outer updates can
-	// collide, serialized by tile-keyed striped locks. A barrier between
-	// levels enforces child-before-parent ordering.
-	locks := par.NewStripedMutex(1024)
-	for _, level := range sn.Levels {
-		width := len(level)
-		inner := threads / width
-		if inner < 1 {
-			inner = 1
+	if p.Opts.Schedule == ScheduleLevel {
+		// Etree level scheduling: supernodes within a level are cousins
+		// and are eliminated concurrently; only their A(k)×A(k) outer
+		// updates can collide, serialized by tile-keyed striped locks. A
+		// barrier between levels enforces child-before-parent ordering.
+		locks := par.NewStripedMutex(1024)
+		for _, level := range sn.Levels {
+			width := len(level)
+			inner := threads / width
+			if inner < 1 {
+				inner = 1
+			}
+			lk := locks
+			if width == 1 {
+				lk = nil // single supernode in the level: no collisions
+			}
+			par.For(width, threads, 1, func(i int) {
+				p.eliminateSupernode(st, level[i], inner, lk)
+			})
 		}
-		lk := locks
-		if width == 1 {
-			lk = nil // single supernode in the level: no collisions
-		}
-		par.For(width, threads, 1, func(i int) {
-			p.eliminateSupernode(st, level[i], inner, lk)
-		})
+		return
 	}
+	// Dependency-driven DAG scheduling: a supernode is eliminated as soon
+	// as its last child completes, with no inter-level barriers. Any two
+	// concurrently running supernodes are mutually non-ancestral (an
+	// ancestor's pending count transitively waits on every descendant),
+	// i.e. cousins — so exactly as in the level schedule, only their
+	// A(k)×A(k) outer updates can collide, and the same tile-keyed
+	// striped locks serialize them. Tiles are anchored at supernode range
+	// starts, so cousins derive identical ancestor tiles.
+	lk := par.NewStripedMutex(1024)
+	if sn.NumSupernodes() == 1 {
+		lk = nil
+	}
+	par.RunDAG(sn.Parent, threads, func(k, inner int) {
+		p.eliminateSupernode(st, k, inner, lk)
+	})
 }
 
 // tile is a contiguous index range plus whether it belongs to an ancestor

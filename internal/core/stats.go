@@ -13,6 +13,8 @@ type PlanStats struct {
 	MaxBlock      int   // largest supernode
 	MedianBlock   int   // median supernode size
 	EtreeLevels   int   // height of the level schedule
+	EtreeLeaves   int   // childless supernodes: initial DAG ready-set width
+	MaxLevelWidth int   // widest level: peak cousin parallelism
 	TopSep        int   // top-level separator size (0 if not dissection)
 	FillCount     int64 // symbolic fill (-1 if not computed)
 	PlannedOps    int64
@@ -48,20 +50,28 @@ func (p *Plan) Stats() PlanStats {
 			}
 		}
 	}
+	maxWidth := 0
+	for _, level := range p.Sn.Levels {
+		if len(level) > maxWidth {
+			maxWidth = len(level)
+		}
+	}
 	n := int64(p.G.N)
 	ops := p.PlannedOps()
 	st := PlanStats{
-		N:            p.G.N,
-		M:            p.G.M(),
-		Supernodes:   p.Sn.NumSupernodes(),
-		MaxBlock:     maxB,
-		MedianBlock:  med,
-		EtreeLevels:  len(p.Sn.Levels),
-		TopSep:       p.TopSep,
-		FillCount:    p.FillCount,
-		PlannedOps:   ops,
-		CriticalPath: p.CriticalPathOps(),
-		DenseOps:     n * n * n,
+		N:             p.G.N,
+		M:             p.G.M(),
+		Supernodes:    p.Sn.NumSupernodes(),
+		MaxBlock:      maxB,
+		MedianBlock:   med,
+		EtreeLevels:   len(p.Sn.Levels),
+		EtreeLeaves:   p.Sn.NumLeaves(),
+		MaxLevelWidth: maxWidth,
+		TopSep:        p.TopSep,
+		FillCount:     p.FillCount,
+		PlannedOps:    ops,
+		CriticalPath:  p.CriticalPathOps(),
+		DenseOps:      n * n * n,
 	}
 	if ops > 0 {
 		st.WorkReduction = float64(st.DenseOps) / float64(ops)
@@ -74,6 +84,8 @@ func (s PlanStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d m=%d supernodes=%d (max %d, median %d) etree-levels=%d\n",
 		s.N, s.M, s.Supernodes, s.MaxBlock, s.MedianBlock, s.EtreeLevels)
+	fmt.Fprintf(&b, "etree leaves=%d max-level-width=%d (DAG ready-set width: initial / peak)\n",
+		s.EtreeLeaves, s.MaxLevelWidth)
 	if s.TopSep > 0 {
 		fmt.Fprintf(&b, "top separator |S|=%d (n/|S| = %.1f)\n", s.TopSep, float64(s.N)/float64(s.TopSep))
 	}

@@ -1,0 +1,133 @@
+package par
+
+import "sync"
+
+// RunDAG executes fn(node, workers) once for every node of the forest
+// described by parents (parents[k] is node k's parent, or < 0 for roots),
+// guaranteeing child-before-parent order but imposing no other
+// synchronization: a node becomes runnable the moment its last child
+// completes, regardless of what the rest of the tree is doing. This is
+// the dependency-driven alternative to level-synchronous scheduling —
+// on imbalanced trees it keeps workers busy where a per-level barrier
+// would idle them behind the level's slowest node.
+//
+// A pool of threads workers pulls runnable nodes from a shared ready
+// queue. The workers argument passed to fn is the intra-node parallelism
+// budget: when the ready set (running + queued nodes) is at least as wide
+// as the pool it is 1, and as the DAG narrows toward its roots the
+// leftover threads are handed to the surviving nodes so fn can parallelize
+// internally. Budgets always satisfy width·workers ≤ threads.
+//
+// Completion counts are derived from parents alone, so any forest is
+// accepted; RunDAG panics if parents contains a cycle or an out-of-range
+// index (other than the negative root markers).
+func RunDAG(parents []int, threads int, fn func(node, workers int)) {
+	n := len(parents)
+	if n == 0 {
+		return
+	}
+	threads = DefaultThreads(threads)
+	pending := make([]int32, n)
+	for k, p := range parents {
+		if p >= 0 {
+			if p >= n || p == k {
+				panic("par: RunDAG parent index out of range")
+			}
+			pending[p]++
+		}
+	}
+	// Seed the ready queue with the leaves. The queue is used as a LIFO
+	// stack and seeded in descending order, so the sequential path visits
+	// nodes in ascending index order (a postorder when parents is one).
+	queue := make([]int, 0, n)
+	for k := n - 1; k >= 0; k-- {
+		if pending[k] == 0 {
+			queue = append(queue, k)
+		}
+	}
+	if len(queue) == 0 {
+		panic("par: RunDAG parents contain a cycle")
+	}
+
+	if threads == 1 {
+		done := 0
+		for len(queue) > 0 {
+			k := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			fn(k, 1)
+			done++
+			if p := parents[k]; p >= 0 {
+				pending[p]--
+				if pending[p] == 0 {
+					queue = append(queue, p)
+				}
+			}
+		}
+		if done != n {
+			panic("par: RunDAG parents contain a cycle")
+		}
+		return
+	}
+
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		running int
+		done    int
+	)
+	worker := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for {
+			for len(queue) == 0 && running > 0 {
+				cond.Wait()
+			}
+			if len(queue) == 0 {
+				// Nothing queued and nothing running: either all nodes
+				// completed or the remainder is unreachable (cycle).
+				return
+			}
+			k := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			running++
+			// The ready set is everything runnable right now: nodes being
+			// executed (including this one) plus nodes still queued. Split
+			// the pool across it; the remainder stays 1 so width·inner
+			// never exceeds threads.
+			width := running + len(queue)
+			inner := 1
+			if width < threads {
+				inner = threads / width
+			}
+			mu.Unlock()
+			fn(k, inner)
+			mu.Lock()
+			running--
+			done++
+			if p := parents[k]; p >= 0 {
+				pending[p]--
+				if pending[p] == 0 {
+					queue = append(queue, p)
+				}
+			}
+			cond.Broadcast()
+		}
+	}
+	workers := threads
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker() // the caller participates
+	wg.Wait()
+	if done != n {
+		panic("par: RunDAG parents contain a cycle")
+	}
+}

@@ -1,0 +1,188 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// chainParents builds a single path 0 → 1 → … → n-1 (each node's parent
+// is the next index).
+func chainParents(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i + 1
+	}
+	if n > 0 {
+		p[n-1] = -1
+	}
+	return p
+}
+
+// starParents builds n-1 leaves all pointing at root n-1.
+func starParents(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = n - 1
+	}
+	p[n-1] = -1
+	return p
+}
+
+// combParents builds a spine 0→2→4→… where every spine node also has a
+// leaf child (odd indices), ending in a single root.
+func combParents(n int) []int {
+	p := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 1 {
+			p[i] = i + 1 // leaf → next spine node
+		} else {
+			p[i] = i + 2 // spine → next spine node
+		}
+		if p[i] >= n {
+			p[i] = -1
+		}
+	}
+	return p
+}
+
+func TestRunDAGChildBeforeParent(t *testing.T) {
+	shapes := map[string][]int{
+		"empty":   {},
+		"single":  {-1},
+		"chain":   chainParents(17),
+		"star":    starParents(33),
+		"comb":    combParents(20),
+		"forest":  {-1, -1, 0, 0, 1, 4, -1},
+		"negroot": {-2, 0, 1}, // any negative value marks a root
+	}
+	for name, parents := range shapes {
+		for _, threads := range []int{1, 2, 8} {
+			n := len(parents)
+			doneAt := make([]int64, n) // completion order, 1-based
+			var clock int64
+			RunDAG(parents, threads, func(k, workers int) {
+				if workers < 1 {
+					t.Errorf("%s: node %d got %d workers", name, k, workers)
+				}
+				atomic.StoreInt64(&doneAt[k], atomic.AddInt64(&clock, 1))
+			})
+			for k, p := range parents {
+				if doneAt[k] == 0 {
+					t.Fatalf("%s threads=%d: node %d never ran", name, threads, k)
+				}
+				if p >= 0 && doneAt[p] <= doneAt[k] {
+					t.Fatalf("%s threads=%d: parent %d completed at %d, before/with child %d at %d",
+						name, threads, p, doneAt[p], k, doneAt[k])
+				}
+			}
+		}
+	}
+}
+
+func TestRunDAGRunsEachNodeOnce(t *testing.T) {
+	parents := combParents(101)
+	counts := make([]int64, len(parents))
+	RunDAG(parents, 8, func(k, workers int) {
+		atomic.AddInt64(&counts[k], 1)
+	})
+	for k, c := range counts {
+		if c != 1 {
+			t.Fatalf("node %d ran %d times", k, c)
+		}
+	}
+}
+
+func TestRunDAGSequentialOrder(t *testing.T) {
+	// threads=1 visits nodes in ascending index order when parents is a
+	// postorder (children precede parents), on the caller's goroutine.
+	parents := []int{2, 2, 6, 5, 5, 6, -1}
+	var order []int
+	RunDAG(parents, 1, func(k, workers int) {
+		if workers != 1 {
+			t.Errorf("sequential mode handed node %d workers=%d", k, workers)
+		}
+		order = append(order, k)
+	})
+	for i, k := range order {
+		if i != k {
+			t.Fatalf("sequential visit order %v, want ascending", order)
+		}
+	}
+}
+
+func TestRunDAGConcurrencyBounded(t *testing.T) {
+	const threads = 4
+	parents := starParents(64)
+	var active, maxActive int64
+	RunDAG(parents, threads, func(k, workers int) {
+		cur := atomic.AddInt64(&active, 1)
+		for {
+			m := atomic.LoadInt64(&maxActive)
+			if cur <= m || atomic.CompareAndSwapInt64(&maxActive, m, cur) {
+				break
+			}
+		}
+		atomic.AddInt64(&active, -1)
+	})
+	if maxActive > threads {
+		t.Fatalf("observed %d concurrent nodes, pool is %d", maxActive, threads)
+	}
+}
+
+func TestRunDAGInnerWorkersWidenOnNarrowDAG(t *testing.T) {
+	const threads = 8
+	// A pure chain has ready-set width 1 throughout: every node should
+	// receive the whole pool.
+	RunDAG(chainParents(12), threads, func(k, workers int) {
+		if workers != threads {
+			t.Errorf("chain node %d got %d workers, want %d", k, workers, threads)
+		}
+	})
+	// Width·workers ≤ threads must hold at all times on any shape.
+	var active int64
+	RunDAG(starParents(100), threads, func(k, workers int) {
+		w := atomic.AddInt64(&active, int64(workers))
+		if w > threads {
+			t.Errorf("concurrent worker budgets reached %d > pool %d", w, threads)
+		}
+		atomic.AddInt64(&active, -int64(workers))
+	})
+}
+
+func TestRunDAGPanicsOnCycle(t *testing.T) {
+	for _, parents := range [][]int{
+		{1, 0},           // pure 2-cycle: no leaves at all
+		{1, 2, 1, -1, 3}, // cycle 1↔2 plus a live branch
+		{5, 0},           // parent out of range
+		{0},              // self-parent
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("parents=%v: expected panic", parents)
+				}
+			}()
+			RunDAG(parents, 4, func(k, workers int) {})
+		}()
+	}
+}
+
+// TestRunDAGHasNoLevelBarriers pins the property the scheduler exists
+// for: work deep in the tree may run (and complete) before shallow work
+// elsewhere has finished. Chain 0→1→2 sits at levels 0,1,2; node 3 is an
+// independent level-0 root that blocks until the level-2 chain head has
+// run. A level-synchronous schedule can never finish level 0 (node 3
+// waits on level-2 work, which waits on the barrier) — a
+// dependency-driven one runs the chain past the blocked root.
+func TestRunDAGHasNoLevelBarriers(t *testing.T) {
+	parents := []int{1, 2, -1, -1}
+	release := make(chan struct{})
+	RunDAG(parents, 2, func(k, workers int) {
+		switch k {
+		case 2:
+			close(release)
+		case 3:
+			<-release
+		}
+	})
+}

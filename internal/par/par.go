@@ -24,16 +24,13 @@ func DefaultThreads(threads int) int {
 // For executes fn(i) for i in [0, n) using at most threads workers.
 // Iterations are handed out in contiguous chunks of the given grain to
 // amortize scheduling; grain <= 0 selects a grain that yields roughly 4
-// chunks per worker.
+// chunks per worker. The worker count never exceeds the number of chunks,
+// so tiny loops (n < threads, or grain ≥ n) degrade to fewer goroutines —
+// down to plain sequential execution on the caller's goroutine when a
+// single chunk covers the whole range.
 func For(n, threads, grain int, fn func(i int)) {
 	threads = DefaultThreads(threads)
 	if n <= 0 {
-		return
-	}
-	if threads == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
 		return
 	}
 	if grain <= 0 {
@@ -41,6 +38,20 @@ func For(n, threads, grain int, fn func(i int)) {
 		if grain < 1 {
 			grain = 1
 		}
+	}
+	// One goroutine per chunk is the most parallelism the chunking can
+	// feed; spawning beyond that only creates workers that find the queue
+	// already drained.
+	nchunks := (n + grain - 1) / grain
+	workers := threads
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
 	var next int
 	var mu sync.Mutex
@@ -59,10 +70,6 @@ func For(n, threads, grain int, fn func(i int)) {
 		return lo, hi, true
 	}
 	var wg sync.WaitGroup
-	workers := threads
-	if workers > n {
-		workers = n
-	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {

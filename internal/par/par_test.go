@@ -53,6 +53,99 @@ func TestForRanges(t *testing.T) {
 	}
 }
 
+func TestForEdgeCases(t *testing.T) {
+	// Tiny iteration spaces must not fan out wider than their chunk
+	// count: with n < threads or grain ≥ n the worker count collapses,
+	// down to pure sequential execution for a single chunk.
+	cases := []struct {
+		name              string
+		n, threads, grain int
+		wantMaxActive     int // upper bound on concurrently running fn
+	}{
+		{"n=0", 0, 8, 1, 0},
+		{"n=1 many threads", 1, 8, 1, 1},
+		{"grain covers all", 5, 8, 10, 1},
+		{"grain equals n", 7, 8, 7, 1},
+		{"threads over n", 3, 16, 1, 3},
+		{"two chunks", 10, 8, 5, 2},
+		{"auto grain tiny n", 2, 8, 0, 2}, // n < threads*4 → grain 1
+		{"negative grain", 6, 4, -1, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hits sync.Map
+			var count, active, maxActive int64
+			For(tc.n, tc.threads, tc.grain, func(i int) {
+				cur := atomic.AddInt64(&active, 1)
+				for {
+					m := atomic.LoadInt64(&maxActive)
+					if cur <= m || atomic.CompareAndSwapInt64(&maxActive, m, cur) {
+						break
+					}
+				}
+				if _, dup := hits.LoadOrStore(i, true); dup {
+					t.Errorf("index %d executed twice", i)
+				}
+				atomic.AddInt64(&count, 1)
+				atomic.AddInt64(&active, -1)
+			})
+			if int(count) != tc.n {
+				t.Fatalf("executed %d of %d iterations", count, tc.n)
+			}
+			if int(maxActive) > tc.wantMaxActive {
+				t.Fatalf("observed %d concurrent iterations, chunk bound is %d", maxActive, tc.wantMaxActive)
+			}
+		})
+	}
+}
+
+func TestForSingleChunkStaysSequential(t *testing.T) {
+	// grain ≥ n means one chunk: even with many threads the loop must run
+	// in order on the caller's goroutine (observable as ordered appends
+	// to an unsynchronized slice — the race detector seconds this).
+	var order []int
+	For(6, 8, 100, func(i int) { order = append(order, i) })
+	if len(order) != 6 {
+		t.Fatalf("ran %d iterations, want 6", len(order))
+	}
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("single-chunk loop out of order: %v", order)
+		}
+	}
+}
+
+func TestForRangesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name              string
+		n, threads, grain int
+	}{
+		{"n=0", 0, 8, 4},
+		{"n=1", 1, 8, 4},
+		{"grain over n", 5, 4, 64},
+		{"threads over n", 3, 16, 1},
+		{"auto grain tiny n", 2, 8, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			covered := make([]int32, tc.n)
+			ForRanges(tc.n, tc.threads, tc.grain, func(lo, hi int) {
+				if lo >= hi {
+					t.Error("empty range delivered")
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("index %d covered %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
 func TestGroup(t *testing.T) {
 	g := NewGroup(3)
 	var active, maxActive int64

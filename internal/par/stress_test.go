@@ -1,0 +1,95 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStripedMutexMinReduction hammers a shared min-reduction through the
+// striped locks, the exact access pattern the elimination uses for
+// A(k)×A(k) tiles: many workers race to fold candidate values into a
+// small set of cells, each cell guarded by its key's stripe. If striping
+// were broken — two lockers of the same key landing on different stripes
+// — the unsynchronized read-modify-write below would lose updates (and
+// the race detector would flag it under -race).
+func TestStripedMutexMinReduction(t *testing.T) {
+	const (
+		cells   = 37 // intentionally not a power of two
+		workers = 8
+		rounds  = 5000
+	)
+	sm := NewStripedMutex(64)
+	best := make([]float64, cells)
+	for i := range best {
+		best[i] = 1e18
+	}
+	// Every worker proposes a deterministic value stream; the true
+	// minimum per cell is known in advance.
+	want := make([]float64, cells)
+	for i := range want {
+		want[i] = 1e18
+	}
+	streams := make([][]float64, workers)
+	for w := range streams {
+		rng := rand.New(rand.NewSource(int64(w + 1)))
+		streams[w] = make([]float64, rounds)
+		for r := range streams[w] {
+			v := rng.Float64() * 1000
+			streams[w][r] = v
+			cell := (w*rounds + r) % cells
+			if v < want[cell] {
+				want[cell] = v
+			}
+		}
+	}
+	g := NewGroup(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		g.Go(func() {
+			for r, v := range streams[w] {
+				cell := (w*rounds + r) % cells
+				key := uint64(cell)
+				sm.Lock(key)
+				if v < best[cell] {
+					best[cell] = v
+				}
+				sm.Unlock(key)
+			}
+		})
+	}
+	g.Wait()
+	for i := range best {
+		if best[i] != want[i] {
+			t.Fatalf("cell %d: reduced min %v, want %v (lost update ⇒ striping broken)", i, best[i], want[i])
+		}
+	}
+}
+
+// TestGroupStress drives Group far past its concurrency bound with tasks
+// that contend on shared state under -race.
+func TestGroupStress(t *testing.T) {
+	const bound = 4
+	g := NewGroup(bound)
+	var active, maxActive, done int64
+	for i := 0; i < 500; i++ {
+		g.Go(func() {
+			cur := atomic.AddInt64(&active, 1)
+			for {
+				m := atomic.LoadInt64(&maxActive)
+				if cur <= m || atomic.CompareAndSwapInt64(&maxActive, m, cur) {
+					break
+				}
+			}
+			atomic.AddInt64(&done, 1)
+			atomic.AddInt64(&active, -1)
+		})
+	}
+	g.Wait()
+	if done != 500 {
+		t.Fatalf("ran %d of 500 tasks", done)
+	}
+	if maxActive > bound {
+		t.Fatalf("concurrency %d exceeded bound %d", maxActive, bound)
+	}
+}

@@ -223,6 +223,44 @@ func (s *Supernodes) Ancestors(k int) []int {
 	return out
 }
 
+// ChildCounts returns, for every supernode, its number of etree children.
+// These are the initial pending counts of a dependency-driven (DAG)
+// schedule: a supernode becomes runnable when its count reaches zero,
+// leaves (count 0) seed the ready queue.
+func (s *Supernodes) ChildCounts() []int {
+	counts := make([]int, len(s.Parent))
+	for _, p := range s.Parent {
+		if p >= 0 {
+			counts[p]++
+		}
+	}
+	return counts
+}
+
+// NumLeaves returns the number of childless supernodes — the width of the
+// initial ready set under dependency-driven scheduling.
+func (s *Supernodes) NumLeaves() int {
+	leaves := 0
+	for _, c := range s.ChildCounts() {
+		if c == 0 {
+			leaves++
+		}
+	}
+	return leaves
+}
+
+// LevelOf returns each supernode's etree level (the inverse of Levels):
+// 0 for leaves, 1+max(children) otherwise.
+func (s *Supernodes) LevelOf() []int {
+	level := make([]int, len(s.Ranges))
+	for lvl, nodes := range s.Levels {
+		for _, k := range nodes {
+			level[k] = lvl
+		}
+	}
+	return level
+}
+
 // computeLevels fills Levels from Parent: level(k) = 1+max(level(children)).
 func (s *Supernodes) computeLevels() {
 	ns := len(s.Ranges)

@@ -404,3 +404,46 @@ func TestSupernodalStructExactness(t *testing.T) {
 		}
 	}
 }
+
+func TestSupernodeChildCountsLeavesLevels(t *testing.T) {
+	g := gen.GeometricKNN(300, 2, 4, gen.WeightUnit, 12)
+	ord := order.NestedDissection(g, order.NDOptions{LeafSize: 20})
+	sn := FromTree(ord.Tree, g.N, 24)
+	counts := sn.ChildCounts()
+	if len(counts) != sn.NumSupernodes() {
+		t.Fatalf("ChildCounts length %d, want %d", len(counts), sn.NumSupernodes())
+	}
+	want := make([]int, sn.NumSupernodes())
+	leaves := 0
+	for _, p := range sn.Parent {
+		if p >= 0 {
+			want[p]++
+		}
+	}
+	for k, c := range counts {
+		if c != want[k] {
+			t.Fatalf("supernode %d: ChildCounts %d, want %d", k, c, want[k])
+		}
+		if c == 0 {
+			leaves++
+		}
+	}
+	if got := sn.NumLeaves(); got != leaves {
+		t.Fatalf("NumLeaves %d, want %d", got, leaves)
+	}
+	// LevelOf must invert Levels, and children must sit strictly below
+	// their parents.
+	lo := sn.LevelOf()
+	for li, level := range sn.Levels {
+		for _, k := range level {
+			if lo[k] != li {
+				t.Fatalf("supernode %d: LevelOf %d, want %d", k, lo[k], li)
+			}
+		}
+	}
+	for k, p := range sn.Parent {
+		if p >= 0 && lo[k] >= lo[p] {
+			t.Fatalf("child %d at level %d, parent %d at level %d", k, lo[k], p, lo[p])
+		}
+	}
+}
