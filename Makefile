@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS := ./internal/par ./internal/core ./internal/serve
 
-.PHONY: all build test race lint bench-smoke
+.PHONY: all build test race lint bench-smoke queryload-smoke
 
 all: build test
 
@@ -24,3 +24,9 @@ lint:
 # no longer build or crash without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Exercise the query-serving load generator end to end on a small graph:
+# factor build, Zipf workload, cached-vs-uncached comparison, hit-rate
+# accounting. Keeps the serving stack's headline numbers runnable in CI.
+queryload-smoke:
+	$(GO) run ./cmd/queryload -graph powergrid_s -quick -queries 5000

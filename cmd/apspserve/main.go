@@ -10,19 +10,29 @@
 //
 // Endpoints:
 //
-//	GET /health
-//	GET /dist?u=U&v=V     point-to-point distance (2-hop labels)
-//	GET /sssp?src=S       full distance row (etree sweeps)
-//	GET /route?u=U&v=V    vertex path (needs -routes)
+//	GET  /health
+//	GET  /dist?u=U&v=V     point-to-point distance (cached 2-hop labels)
+//	POST /dist/batch       many pairs per request: {"pairs":[[u,v],...]}
+//	GET  /sssp?src=S       full distance row (etree sweeps, streamed)
+//	GET  /route?u=U&v=V    vertex path (needs -routes)
+//	GET  /metrics          per-endpoint counters + label-cache stats
+//
+// The server is configured for production traffic: request timeouts,
+// graceful shutdown on SIGINT/SIGTERM that drains in-flight requests,
+// a bounded label cache, and an optional in-flight concurrency limit.
 package main
 
 import (
+	"context"
 	"flag"
-
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -37,6 +47,12 @@ func main() {
 		routes     = flag.Bool("routes", false, "also solve densely with path tracking to enable /route")
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
 		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "build parallelism")
+		cacheSize  = flag.Int("cache", 0, "label-cache capacity in labels (0 = min(n, 4096))")
+		maxFlight  = flag.Int("maxinflight", 0, "max concurrent requests, excess shed with 503 (0 = unlimited)")
+		readTO     = flag.Duration("read-timeout", 15*time.Second, "HTTP read timeout")
+		writeTO    = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout (bounds one streamed /sssp row)")
+		idleTO     = flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle timeout")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "in-flight drain window on shutdown")
 	)
 	flag.Parse()
 
@@ -89,9 +105,29 @@ func main() {
 		log.Fatal("need -graph or -loadfactor")
 	}
 
-	srv := serve.New(factor, result, n)
-	log.Printf("serving on http://%s (try /dist?u=0&v=%d)", *addr, n-1)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	srv := serve.New(factor, result, n, serve.Options{
+		CacheSize:   *cacheSize,
+		MaxInFlight: *maxFlight,
+	})
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTO,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+		MaxHeaderBytes:    1 << 20,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving on http://%s (try /dist?u=0&v=%d); SIGINT/SIGTERM drains and exits", ln.Addr(), n-1)
+	if err := serve.RunServer(ctx, hs, ln, *drainTO); err != nil {
+		log.Fatal(err)
+	}
+	m := srv.Metrics()
+	log.Printf("drained cleanly: %d cache hits / %d misses (%.1f%% hit rate)",
+		m.CacheHits, m.CacheMisses, 100*m.CacheHitRate)
 }

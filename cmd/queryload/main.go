@@ -1,0 +1,148 @@
+// Command queryload generates skewed (Zipf) point-query load against
+// the serving stack and reports throughput, p50/p99 latency, and label
+// cache hit rate — the numbers that decide whether the factor can serve
+// production traffic.
+//
+// Two modes:
+//
+//	queryload -graph road_l                 # in-process: cached vs uncached engine
+//	queryload -url http://host:8080         # HTTP: hammer a running apspserve
+//
+// In-process mode builds the factor and runs the same pair sequence
+// through the seed query path (two fresh 2-hop labels per query) and
+// through the bounded label cache, printing the speedup. HTTP mode
+// measures end-to-end client latency against /dist and scrapes the
+// server's /metrics for its cache hit rate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		graphName = flag.String("graph", "", "catalog graph for in-process mode")
+		url       = flag.String("url", "", "base URL of a running apspserve (HTTP mode)")
+		quick     = flag.Bool("quick", false, "reduced graph sizes")
+		queries   = flag.Int("queries", 50000, "number of point queries")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent query workers")
+		zipfS     = flag.Float64("zipf", 1.2, "Zipf exponent (> 1; larger = more skew)")
+		cacheSize = flag.Int("cache", 0, "label-cache capacity for in-process mode (0 = default)")
+		seed      = flag.Int64("seed", 1234, "workload seed")
+		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "factor build parallelism")
+	)
+	flag.Parse()
+	switch {
+	case *url != "":
+		runHTTP(*url, *queries, *workers, *zipfS, *seed)
+	case *graphName != "":
+		runInProcess(*graphName, *quick, *queries, *workers, *zipfS, *cacheSize, *seed, *threads)
+	default:
+		log.Fatal("need -graph (in-process) or -url (HTTP)")
+	}
+}
+
+func runInProcess(graphName string, quick bool, queries, workers int, zipfS float64, cacheSize int, seed int64, threads int) {
+	e, ok := bench.Find(graphName)
+	if !ok {
+		log.Fatalf("unknown catalog graph %q", graphName)
+	}
+	g := e.Build(quick)
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	f, err := core.NewFactor(plan, threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("factor for %s: n=%d, %.1f MB, built in %s", graphName, g.N, float64(f.Memory())/1e6, time.Since(t0).Round(time.Millisecond))
+
+	pairs := bench.ZipfPairs(g.N, queries, zipfS, seed)
+	uncached := bench.MeasureQueryLoad(f.Dist, pairs, workers)
+	cache := core.NewLabelCache(f, cacheSize)
+	cached := bench.MeasureQueryLoad(cache.Dist, pairs, workers)
+	st := cache.Stats()
+
+	fmt.Printf("workload: %d Zipf(s=%.2f) point queries, %d workers\n", queries, zipfS, uncached.Workers)
+	printResult("uncached (seed path)", uncached)
+	printResult("label cache", cached)
+	fmt.Printf("%-22s %.1f%% hit rate (%d hits / %d misses, %d/%d labels resident)\n",
+		"cache:", 100*st.HitRate(), st.Hits, st.Misses, st.Size, st.Cap)
+	fmt.Printf("%-22s %.1fx throughput\n", "speedup:", cached.QPS/uncached.QPS)
+}
+
+func runHTTP(base string, queries, workers int, zipfS float64, seed int64) {
+	n := serverVertices(base)
+	pairs := bench.ZipfPairs(n, queries, zipfS, seed)
+	client := &http.Client{Timeout: 30 * time.Second}
+	dist := func(u, v int) float64 {
+		resp, err := client.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", base, u, v))
+		if err != nil {
+			log.Fatalf("query failed: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("query status %d", resp.StatusCode)
+		}
+		return 0
+	}
+	res := bench.MeasureQueryLoad(dist, pairs, workers)
+	fmt.Printf("workload: %d Zipf(s=%.2f) point queries against %s, %d workers\n", queries, zipfS, base, res.Workers)
+	printResult("end-to-end HTTP", res)
+	var m struct {
+		CacheHitRate float64 `json:"cache_hit_rate"`
+		CacheHits    uint64  `json:"cache_hits"`
+		CacheMisses  uint64  `json:"cache_misses"`
+	}
+	if err := getJSON(client, base+"/metrics", &m); err != nil {
+		log.Printf("metrics scrape failed: %v", err)
+		return
+	}
+	fmt.Printf("%-22s %.1f%% hit rate (%d hits / %d misses, server-side)\n",
+		"cache:", 100*m.CacheHitRate, m.CacheHits, m.CacheMisses)
+}
+
+func serverVertices(base string) int {
+	client := &http.Client{Timeout: 10 * time.Second}
+	var h struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := getJSON(client, base+"/health", &h); err != nil {
+		log.Fatalf("health check failed: %v", err)
+	}
+	if h.Vertices <= 0 {
+		log.Fatalf("server reports %d vertices", h.Vertices)
+	}
+	return h.Vertices
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func printResult(name string, r bench.QueryLoadResult) {
+	fmt.Printf("%-22s %8.0f qps   p50 %-10s p99 %-10s (%d queries in %s)\n",
+		name+":", r.QPS, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.Queries, r.Elapsed.Round(time.Millisecond))
+}

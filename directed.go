@@ -27,8 +27,9 @@ type Arc struct {
 
 // SolveDirected computes all-pairs shortest paths for a directed graph
 // given as an arc list. Duplicate arcs keep the minimum weight;
-// self-loops are ignored. Negative arc weights are allowed as long as no
-// directed cycle is negative. threads ≤ 0 uses GOMAXPROCS.
+// nonnegative self-loops are ignored while negative self-loops (one-vertex
+// negative cycles) are rejected. Negative arc weights are allowed as long
+// as no directed cycle is negative. threads ≤ 0 uses GOMAXPROCS.
 func SolveDirected(n int, arcs []Arc, threads int) (*Result, error) {
 	plan, init, err := planDirected(n, arcs)
 	if err != nil {
@@ -43,14 +44,20 @@ func planDirected(n int, arcs []Arc) (*Plan, Mat, error) {
 	if n <= 0 {
 		return nil, Mat{}, fmt.Errorf("superfw: need at least one vertex")
 	}
-	// Pattern: the undirected union of all arcs.
+	// Pattern: the undirected union of all arcs. Validate weights before
+	// the self-loop skip so a NaN or negative self-loop arc is rejected
+	// like any other bad input instead of slipping through: a negative
+	// self-loop is a one-vertex negative cycle.
 	edges := make([]graph.Edge, 0, len(arcs))
 	for _, a := range arcs {
-		if a.U == a.V {
-			continue
-		}
 		if math.IsNaN(a.W) {
 			return nil, Mat{}, fmt.Errorf("superfw: arc (%d,%d) has NaN weight", a.U, a.V)
+		}
+		if a.U == a.V {
+			if a.W < 0 {
+				return nil, Mat{}, fmt.Errorf("superfw: negative self-loop at vertex %d is a negative-weight cycle", a.U)
+			}
+			continue
 		}
 		edges = append(edges, graph.Edge{U: a.U, V: a.V, W: 1})
 	}

@@ -110,3 +110,16 @@ func TestSolveDirectedErrors(t *testing.T) {
 		t.Fatal("out-of-range arc must error")
 	}
 }
+
+func TestSolveDirectedSelfLoopValidation(t *testing.T) {
+	// Regression: the NaN check must run before the self-loop skip — a
+	// NaN-weight self-loop used to pass silently while every other path
+	// rejected NaN.
+	if _, err := SolveDirected(2, []Arc{{1, 1, math.NaN()}}, 1); err == nil {
+		t.Fatal("NaN self-loop arc must error")
+	}
+	// A negative self-loop is a one-vertex negative cycle.
+	if _, err := SolveDirected(2, []Arc{{0, 1, 1}, {0, 0, -1}}, 1); err == nil {
+		t.Fatal("negative self-loop arc must error")
+	}
+}

@@ -471,7 +471,7 @@ func Preproc(quick bool) *Report {
 // Experiments lists every experiment id in run order: one per paper
 // table/figure plus the "factor" extension study.
 func Experiments() []string {
-	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "preproc", "factor", "crossover", "comm"}
+	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "preproc", "factor", "queryload", "crossover", "comm"}
 }
 
 // Run executes the named experiment.
@@ -497,6 +497,8 @@ func Run(id string, quick bool, threads int) (*Report, error) {
 		return Preproc(quick), nil
 	case "factor":
 		return Factor(quick), nil
+	case "queryload":
+		return QueryLoad(quick, threads), nil
 	case "crossover":
 		return Crossover(quick, threads), nil
 	case "comm":

@@ -36,6 +36,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/par"
@@ -62,6 +63,11 @@ type Factor struct {
 	// down[k]); ancOff[k][len] is the total ancestor width.
 	ancIDs [][]int
 	ancOff [][]int
+
+	// sweep pools n-length scratch vectors for the SSSP etree sweeps so
+	// steady-state query serving does not allocate per query. Entries are
+	// *[]float64 reset to K.Zero before reuse. Not serialized.
+	sweep sync.Pool
 
 	// FactorTime is the wall time of the numeric factorization.
 	FactorTime time.Duration
@@ -296,23 +302,47 @@ func (f *Factor) eliminate(k, threads int, locks *par.StripedMutex) {
 // returned indexed by original ids, using the up/down etree sweeps in
 // O(fill) time and O(n) extra space.
 func (f *Factor) SSSP(src int) []float64 {
-	K := f.K
-	n := f.n
-	d := make([]float64, n) // permuted index space until the end
-	for i := range d {
-		d[i] = K.Zero
+	return f.SSSPInto(src, make([]float64, f.n))
+}
+
+// SSSPInto is SSSP writing the row into out (which must have length n)
+// and returning it. The sweep scratch comes from an internal pool, so a
+// caller that also reuses out pays no per-query allocation — the shape
+// query serving wants.
+func (f *Factor) SSSPInto(src int, out []float64) []float64 {
+	if len(out) != f.n {
+		panic(fmt.Sprintf("core: SSSPInto row length %d, want %d", len(out), f.n))
 	}
+	d := f.getSweep() // permuted index space until the end
 	ps := f.iperm[src]
-	d[ps] = K.One
+	d[ps] = f.K.One
 	f.upSweep(d, f.snodeOf(ps))
 	f.downSweep(d)
 	// Relabel to original ids.
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < f.n; i++ {
 		out[f.perm[i]] = d[i]
 	}
+	f.putSweep(d)
 	return out
 }
+
+// getSweep returns an n-length scratch vector filled with K.Zero.
+func (f *Factor) getSweep() []float64 {
+	if v := f.sweep.Get(); v != nil {
+		d := *(v.(*[]float64))
+		for i := range d {
+			d[i] = f.K.Zero
+		}
+		return d
+	}
+	d := make([]float64, f.n)
+	for i := range d {
+		d[i] = f.K.Zero
+	}
+	return d
+}
+
+func (f *Factor) putSweep(d []float64) { f.sweep.Put(&d) }
 
 // upSweep relaxes d along the root path of supernode k0.
 func (f *Factor) upSweep(d []float64, k0 int) {
@@ -467,11 +497,18 @@ func (f *Factor) ComputeLabel(u int) *Label {
 
 // Dist answers a point-to-point query by meeting the labels of u and v
 // on their shared hubs: dist(u,v) = ⊕ over common hubs h of
-// To_u[h] ⊗ From_v[h]. Costs two label computations plus the meet.
+// To_u[h] ⊗ From_v[h]. Costs two label computations plus the meet; use a
+// LabelCache to amortize the label computations across queries.
 func (f *Factor) Dist(u, v int) float64 {
+	return f.MeetLabels(f.ComputeLabel(u), f.ComputeLabel(v))
+}
+
+// MeetLabels evaluates the 2-hop meet of a source label lu and a target
+// label lv: ⊕ over common hubs h of To_u[h] ⊗ From_v[h]. Labels are
+// immutable once computed, so the meet is safe to run concurrently over
+// shared labels, and it performs no allocations.
+func (f *Factor) MeetLabels(lu, lv *Label) float64 {
 	K := f.K
-	lu := f.ComputeLabel(u)
-	lv := f.ComputeLabel(v)
 	best := K.Zero
 	// Walk both range lists; ranges are ascending and chains share their
 	// suffix, so matching ranges are exactly the common hubs.

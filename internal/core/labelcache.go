@@ -1,0 +1,174 @@
+package core
+
+// LabelCache: the serving-side complement of the supernodal factor. A
+// point query Dist(u, v) costs two 2-hop label computations plus a cheap
+// meet; real query traffic is heavily skewed (a few hot vertices appear
+// in most pairs), so caching labels turns the common case into two map
+// hits and an allocation-free meet. The cache is a bounded LRU keyed by
+// original vertex id. Labels are immutable once computed, which makes
+// sharing them across concurrent readers safe without copying.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LabelCache is a concurrency-safe bounded LRU cache of 2-hop labels for
+// one factor. The zero value is not usable; construct with NewLabelCache.
+type LabelCache struct {
+	f   *Factor
+	cap int
+
+	mu   sync.Mutex
+	m    map[int]*cacheEntry
+	head *cacheEntry // most recently used
+	tail *cacheEntry // least recently used
+
+	hits, misses atomic.Uint64
+}
+
+// cacheEntry is an intrusive doubly-linked LRU node: hits move entries
+// with pointer surgery only, so the hit path performs zero allocations.
+type cacheEntry struct {
+	key        int
+	lbl        *Label
+	prev, next *cacheEntry
+}
+
+// DefaultCacheSize bounds the default label-cache capacity. Labels cost
+// O(root-path fill) memory each, so an unbounded cache on a large graph
+// would silently regrow the dense-matrix memory wall the factor exists
+// to avoid.
+const DefaultCacheSize = 4096
+
+// NewLabelCache builds a cache over f holding at most capacity labels.
+// capacity <= 0 selects min(n, DefaultCacheSize).
+func NewLabelCache(f *Factor, capacity int) *LabelCache {
+	if capacity <= 0 {
+		capacity = f.n
+		if capacity > DefaultCacheSize {
+			capacity = DefaultCacheSize
+		}
+	}
+	return &LabelCache{
+		f:   f,
+		cap: capacity,
+		m:   make(map[int]*cacheEntry, capacity),
+	}
+}
+
+// Factor returns the factor the cache serves.
+func (c *LabelCache) Factor() *Factor { return c.f }
+
+// Label returns the 2-hop label of original vertex u, computing and
+// inserting it on a miss. The returned label is shared and must be
+// treated as read-only.
+func (c *LabelCache) Label(u int) *Label {
+	c.mu.Lock()
+	if e, ok := c.m[u]; ok {
+		c.moveToFront(e)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.lbl
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	// Compute outside the lock: concurrent misses on different vertices
+	// proceed in parallel. A duplicate compute for the same vertex is
+	// idempotent; the first insert wins.
+	lbl := c.f.ComputeLabel(u)
+	c.mu.Lock()
+	if e, ok := c.m[u]; ok {
+		c.moveToFront(e)
+		lbl = e.lbl
+	} else {
+		e := &cacheEntry{key: u, lbl: lbl}
+		c.m[u] = e
+		c.pushFront(e)
+		if len(c.m) > c.cap {
+			c.evictOldest()
+		}
+	}
+	c.mu.Unlock()
+	return lbl
+}
+
+// Dist answers a point-to-point distance query from cached labels. When
+// both labels are cached the query allocates nothing.
+func (c *LabelCache) Dist(u, v int) float64 {
+	return c.f.MeetLabels(c.Label(u), c.Label(v))
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses uint64
+	Size, Cap    int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *LabelCache) Stats() CacheStats {
+	c.mu.Lock()
+	size := len(c.m)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Size:   size,
+		Cap:    c.cap,
+	}
+}
+
+// The list helpers below run under c.mu.
+
+func (c *LabelCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *LabelCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	// Unlink (e is not the head, so e.prev != nil).
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev = nil
+	e.next = c.head
+	c.head.prev = e
+	c.head = e
+}
+
+func (c *LabelCache) evictOldest() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	c.tail = e.prev
+	if c.tail != nil {
+		c.tail.next = nil
+	} else {
+		c.head = nil
+	}
+	e.prev, e.next = nil, nil
+	delete(c.m, e.key)
+}

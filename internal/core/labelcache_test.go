@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/semiring"
+)
+
+func cacheFixture(t testing.TB) (*Factor, *LabelCache, semiring.Mat) {
+	t.Helper()
+	g := gen.RoadNetwork(12, 12, 0.3, 91)
+	want := Closure(g.ToDense())
+	plan, err := NewPlan(g, Options{Ordering: OrderND, MaxBlock: 16, LeafSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactor(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, NewLabelCache(f, 0), want
+}
+
+func TestLabelCacheDistMatchesDense(t *testing.T) {
+	f, c, want := cacheFixture(t)
+	n := f.N()
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 500; q++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		got := c.Dist(u, v)
+		if w := want.At(u, v); math.Abs(got-w) > 1e-9 {
+			t.Fatalf("cached Dist(%d,%d) = %g, want %g", u, v, got, w)
+		}
+		if direct := f.Dist(u, v); got != direct {
+			t.Fatalf("cached Dist(%d,%d) = %g, uncached = %g", u, v, got, direct)
+		}
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses on 500 random queries: %+v", st)
+	}
+	if st.Size > st.Cap {
+		t.Fatalf("cache size %d exceeds capacity %d", st.Size, st.Cap)
+	}
+}
+
+func TestLabelCacheLRUEviction(t *testing.T) {
+	f, _, _ := cacheFixture(t)
+	c := NewLabelCache(f, 3)
+	for _, u := range []int{0, 1, 2} {
+		c.Label(u)
+	}
+	c.Label(0)          // 0 is now most recent; LRU order is 0, 2, 1
+	c.Label(3)          // evicts 1
+	before := c.Stats() // 1 hit (the re-touch of 0), 4 misses
+	c.Label(0)          // still cached
+	c.Label(2)          // still cached
+	c.Label(1)          // evicted: miss again
+	after := c.Stats()
+	if after.Hits-before.Hits != 2 || after.Misses-before.Misses != 1 {
+		t.Fatalf("LRU order wrong: before %+v after %+v", before, after)
+	}
+	if after.Size != 3 || after.Cap != 3 {
+		t.Fatalf("size/cap wrong: %+v", after)
+	}
+}
+
+func TestLabelCacheSharedLabelIdentity(t *testing.T) {
+	_, c, _ := cacheFixture(t)
+	a := c.Label(5)
+	b := c.Label(5)
+	if a != b {
+		t.Fatal("repeated lookups must return the shared cached label")
+	}
+}
+
+// TestLabelCacheConcurrent hammers the cache from many goroutines with a
+// deliberately small capacity so hits, misses, insert races, and
+// evictions all interleave; run under -race via the core race job.
+func TestLabelCacheConcurrent(t *testing.T) {
+	f, _, want := cacheFixture(t)
+	c := NewLabelCache(f, 16)
+	n := f.N()
+	workers := runtime.GOMAXPROCS(0) * 2
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < 300; q++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				got := c.Dist(u, v)
+				if wv := want.At(u, v); math.Abs(got-wv) > 1e-9 {
+					select {
+					case errs <- "concurrent Dist mismatch":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+	if st := c.Stats(); st.Size > st.Cap {
+		t.Fatalf("cache overflow under concurrency: %+v", st)
+	}
+}
+
+// TestLabelCacheDistHitZeroAlloc pins the acceptance criterion: once both
+// labels are cached, a point query allocates nothing.
+func TestLabelCacheDistHitZeroAlloc(t *testing.T) {
+	_, c, _ := cacheFixture(t)
+	c.Dist(3, 77) // warm both labels
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Dist(3, 77)
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Dist allocates %.1f objects per query, want 0", allocs)
+	}
+}
+
+func TestSSSPIntoReusesRow(t *testing.T) {
+	f, _, want := cacheFixture(t)
+	n := f.N()
+	row := make([]float64, n)
+	for src := 0; src < n; src += 13 {
+		f.SSSPInto(src, row)
+		for v := 0; v < n; v++ {
+			if x, y := row[v], want.At(src, v); math.Abs(x-y) > 1e-9 {
+				t.Fatalf("SSSPInto(%d)[%d] = %g, want %g", src, v, x, y)
+			}
+		}
+	}
+	// Steady state: the sweep scratch comes from the pool, so only the
+	// pool's pointer box remains; a reused row must stay allocation-light.
+	f.SSSPInto(0, row)
+	allocs := testing.AllocsPerRun(50, func() {
+		f.SSSPInto(1, row)
+	})
+	if allocs > 2 {
+		t.Fatalf("SSSPInto allocates %.1f objects per query with a reused row, want <= 2", allocs)
+	}
+}
+
+func BenchmarkLabelCacheDistHit(b *testing.B) {
+	_, c, _ := cacheFixture(b)
+	c.Dist(3, 77)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Dist(3, 77)
+	}
+}
+
+// BenchmarkDistUncached is the seed query path: two fresh label
+// computations per query. The ratio against BenchmarkLabelCacheDistHit
+// is the per-query speedup the serving layer banks on.
+func BenchmarkDistUncached(b *testing.B) {
+	f, _, _ := cacheFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Dist(3, 77)
+	}
+}

@@ -30,9 +30,11 @@ type Graph struct {
 	Wgt []float64 // weights parallel to Adj
 }
 
-// NewFromEdges builds a graph on n vertices from an edge list. Self-loops
-// are dropped; duplicate edges keep the minimum weight. The input slice is
-// not modified.
+// NewFromEdges builds a graph on n vertices from an edge list.
+// Nonnegative self-loops are dropped (they can never shorten a path);
+// a negative self-loop is a one-vertex negative cycle and is rejected.
+// Duplicate edges keep the minimum weight. The input slice is not
+// modified.
 func NewFromEdges(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
@@ -50,6 +52,9 @@ func NewFromEdges(n int, edges []Edge) (*Graph, error) {
 			return nil, fmt.Errorf("graph: edge (%d,%d) has NaN weight", e.U, e.V)
 		}
 		if e.U == e.V {
+			if e.W < 0 {
+				return nil, fmt.Errorf("graph: negative self-loop at vertex %d is a negative-weight cycle", e.U)
+			}
 			continue
 		}
 		arcs = append(arcs, arc{e.U, e.V, e.W}, arc{e.V, e.U, e.W})

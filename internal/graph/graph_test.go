@@ -60,6 +60,26 @@ func TestNewFromEdgesErrors(t *testing.T) {
 	}
 }
 
+func TestNewFromEdgesNegativeSelfLoop(t *testing.T) {
+	// A negative self-loop is a one-vertex negative cycle; dropping it
+	// silently would turn a negative-cycle instance into a clean solve.
+	if _, err := NewFromEdges(3, []Edge{{0, 1, 1}, {2, 2, -0.5}}); err == nil {
+		t.Error("negative self-loop should error")
+	}
+	// Zero- and positive-weight self-loops stay droppable.
+	g, err := NewFromEdges(3, []Edge{{0, 1, 1}, {2, 2, 0}, {1, 1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m=%d, want 1", g.M())
+	}
+	// NaN on a self-loop is still a NaN error, not silently dropped.
+	if _, err := NewFromEdges(2, []Edge{{1, 1, math.NaN()}}); err == nil {
+		t.Error("NaN self-loop should error")
+	}
+}
+
 func TestEdgesRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	var edges []Edge

@@ -1,0 +1,99 @@
+package serve
+
+// Per-endpoint serving metrics, exposed at GET /metrics as JSON. The
+// counters are plain atomics updated on every request by the instrument
+// middleware — cheap enough to stay on even under full query load — and
+// the endpoint set is fixed at construction, so reads need no locking.
+
+import (
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics counts one route's traffic.
+type endpointMetrics struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64 // responses with status >= 400
+	latencyNS atomic.Uint64 // summed wall time
+}
+
+type metrics struct {
+	endpoints map[string]*endpointMetrics
+	rejected  atomic.Uint64 // requests shed by the in-flight limiter
+	started   time.Time
+}
+
+func newMetrics() *metrics {
+	m := &metrics{endpoints: map[string]*endpointMetrics{}, started: time.Now()}
+	for _, name := range []string{"health", "dist", "dist_batch", "sssp", "route"} {
+		m.endpoints[name] = &endpointMetrics{}
+	}
+	return m
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	e, ok := m.endpoints[name]
+	if !ok {
+		panic("serve: unregistered endpoint " + name)
+	}
+	return e
+}
+
+// EndpointSnapshot is one endpoint's counters at a point in time.
+type EndpointSnapshot struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	AvgLatencyUS float64 `json:"avg_latency_us"`
+}
+
+// MetricsSnapshot is the full /metrics payload.
+type MetricsSnapshot struct {
+	UptimeSec        float64                     `json:"uptime_sec"`
+	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
+	InflightRejected uint64                      `json:"inflight_rejected"`
+	CacheHits        uint64                      `json:"cache_hits"`
+	CacheMisses      uint64                      `json:"cache_misses"`
+	CacheHitRate     float64                     `json:"cache_hit_rate"`
+	CacheSize        int                         `json:"cache_size"`
+	CacheCap         int                         `json:"cache_cap"`
+}
+
+// Metrics returns a snapshot of every serving counter; /metrics encodes
+// exactly this value, and tests and load generators read it directly.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSec:        time.Since(s.metrics.started).Seconds(),
+		Endpoints:        make(map[string]EndpointSnapshot, len(s.metrics.endpoints)),
+		InflightRejected: s.metrics.rejected.Load(),
+	}
+	names := make([]string, 0, len(s.metrics.endpoints))
+	for name := range s.metrics.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := s.metrics.endpoints[name]
+		reqs := e.requests.Load()
+		es := EndpointSnapshot{Requests: reqs, Errors: e.errors.Load()}
+		if reqs > 0 {
+			es.AvgLatencyUS = float64(e.latencyNS.Load()) / float64(reqs) / 1e3
+		}
+		snap.Endpoints[name] = es
+	}
+	st := s.cache.Stats()
+	snap.CacheHits = st.Hits
+	snap.CacheMisses = st.Misses
+	snap.CacheHitRate = st.HitRate()
+	snap.CacheSize = st.Size
+	snap.CacheCap = st.Cap
+	return snap
+}
+
+// metricsEndpoint serves GET /metrics. It is deliberately outside the
+// instrument middleware: scrapes must keep working while the in-flight
+// limiter is saturated, and they should not distort the query counters.
+func (s *Server) metricsEndpoint(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,39 @@
+package serve
+
+// Graceful serving loop shared by cmd/apspserve and the shutdown tests:
+// serve until the context is cancelled (e.g. by SIGINT/SIGTERM via
+// signal.NotifyContext), then drain in-flight requests before returning.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// RunServer serves hs on ln until ctx is cancelled, then shuts the
+// server down gracefully, letting in-flight requests finish for up to
+// drain before forcing connections closed. It returns nil on a clean
+// drained shutdown, the Serve error if the listener fails first, and
+// the Shutdown error (context.DeadlineExceeded) when the drain window
+// expires with requests still running.
+func RunServer(ctx context.Context, hs *http.Server, ln net.Listener, drain time.Duration) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,102 +1,271 @@
 // Package serve exposes a solved APSP factor over HTTP: point-to-point
-// distance queries, single-source rows, and shortest routes. It is the
-// deployment shape a downstream user of this library ends up building —
-// precompute the supernodal factor offline (cmd/superfw -factor
-// -savefactor), then serve queries from its O(fill) representation.
+// distance queries, batched pair queries, single-source rows, and
+// shortest routes. It is the deployment shape a downstream user of this
+// library ends up building — precompute the supernodal factor offline
+// (cmd/superfw -factor -savefactor), then serve queries from its O(fill)
+// representation.
+//
+// The query path is built for sustained traffic: point queries go
+// through a bounded LRU cache of 2-hop labels (a cache hit answers with
+// zero allocations), /sssp rows are streamed straight from pooled
+// buffers without boxing every float, per-endpoint request/error/latency
+// counters are exported at /metrics, and an optional in-flight limiter
+// sheds load with 503s instead of collapsing under it.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 )
 
+// MaxBatchPairs bounds a single /dist/batch request; larger workloads
+// should be split client-side so one request cannot hold a worker (and
+// its response buffer) for an unbounded time.
+const MaxBatchPairs = 65536
+
+// maxBatchBody bounds the /dist/batch request body.
+const maxBatchBody = 8 << 20
+
+// Options configure the serving layer.
+type Options struct {
+	// CacheSize is the label-cache capacity in labels; <= 0 selects the
+	// core default (min(n, core.DefaultCacheSize)).
+	CacheSize int
+	// MaxInFlight caps concurrently served requests; excess requests are
+	// rejected with 503. <= 0 means unlimited.
+	MaxInFlight int
+	// Logger receives encode/stream failures; nil uses log.Default().
+	Logger *log.Logger
+}
+
 // Server answers distance queries from a supernodal factor and,
 // optionally, route queries from a path-tracked dense result.
 type Server struct {
-	factor *core.Factor
-	result *core.Result // optional: enables /route
-	n      int
+	factor   *core.Factor
+	cache    *core.LabelCache
+	result   *core.Result // optional: enables /route
+	n        int
+	log      *log.Logger
+	metrics  *metrics
+	inflight chan struct{} // nil when unlimited
+
+	rowPool sync.Pool // *[]float64 length n, for /sssp rows
+	bufPool sync.Pool // *[]byte, for streamed JSON encoding
 }
 
 // New builds a Server from a factor and an optional path-tracked result.
-func New(f *core.Factor, res *core.Result, n int) *Server {
-	return &Server{factor: f, result: res, n: n}
+func New(f *core.Factor, res *core.Result, n int, opts Options) *Server {
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{
+		factor:  f,
+		cache:   core.NewLabelCache(f, opts.CacheSize),
+		result:  res,
+		n:       n,
+		log:     logger,
+		metrics: newMetrics(),
+	}
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
+	return s
 }
+
+// Cache exposes the server's label cache (for stats and warmup).
+func (s *Server) Cache() *core.LabelCache { return s.cache }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /health", s.health)
-	mux.HandleFunc("GET /dist", s.dist)
-	mux.HandleFunc("GET /sssp", s.sssp)
-	mux.HandleFunc("GET /route", s.route)
+	mux.HandleFunc("GET /health", s.instrument("health", s.health))
+	mux.HandleFunc("GET /dist", s.instrument("dist", s.dist))
+	mux.HandleFunc("POST /dist/batch", s.instrument("dist_batch", s.distBatch))
+	mux.HandleFunc("GET /sssp", s.instrument("sssp", s.sssp))
+	mux.HandleFunc("GET /route", s.instrument("route", s.route))
+	mux.HandleFunc("GET /metrics", s.metricsEndpoint)
 	return mux
 }
 
+// instrument wraps an endpoint with the in-flight limiter and the
+// request/error/latency counters surfaced at /metrics.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.metrics.rejected.Add(1)
+				m.requests.Add(1)
+				m.errors.Add(1)
+				s.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server at in-flight capacity"))
+				return
+			}
+		}
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		m.requests.Add(1)
+		m.latencyNS.Add(uint64(time.Since(t0)))
+		if sw.code >= 400 {
+			m.errors.Add(1)
+		}
+	}
+}
+
+// statusWriter captures the committed status code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
 func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"vertices": s.n,
-		"memoryMB": float64(s.factor.Memory()) / 1e6,
-		"routes":   s.result != nil,
+	st := s.cache.Stats()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"vertices":  s.n,
+		"memoryMB":  float64(s.factor.Memory()) / 1e6,
+		"routes":    s.result != nil,
+		"cacheSize": st.Size,
 	})
 }
 
-// dist answers GET /dist?u=U&v=V with the shortest distance.
+// dist answers GET /dist?u=U&v=V with the shortest distance. Labels come
+// from the LRU cache, so repeated queries against hot vertices skip the
+// label computation entirely.
 func (s *Server) dist(w http.ResponseWriter, r *http.Request) {
 	u, err1 := s.vertex(r, "u")
 	v, err2 := s.vertex(r, "v")
 	if err1 != nil || err2 != nil {
-		writeErr(w, http.StatusBadRequest, firstErr(err1, err2))
+		s.writeErr(w, http.StatusBadRequest, firstErr(err1, err2))
 		return
 	}
-	d := s.factor.Dist(u, v)
-	writeJSON(w, http.StatusOK, map[string]any{
+	d := s.cache.Dist(u, v)
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"u": u, "v": v,
 		"dist":      jsonFloat(d),
-		"reachable": !math.IsInf(d, 1) && !math.IsInf(d, -1),
+		"reachable": reachable(d),
 	})
 }
 
-// sssp answers GET /sssp?src=S with the full distance row.
+// distBatchRequest is the POST /dist/batch body: {"pairs": [[u,v], ...]}.
+type distBatchRequest struct {
+	Pairs [][2]int `json:"pairs"`
+}
+
+// distBatch answers POST /dist/batch, resolving every pair against the
+// shared label cache — a batch touching k distinct vertices computes at
+// most k labels regardless of pair count. The response streams
+// {"count":N,"dists":[...],"reachable":[...]} without per-value boxing.
+func (s *Server) distBatch(w http.ResponseWriter, r *http.Request) {
+	var req distBatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("batch needs at least one pair"))
+		return
+	}
+	if len(req.Pairs) > MaxBatchPairs {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(req.Pairs), MaxBatchPairs))
+		return
+	}
+	for _, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= s.n || p[1] < 0 || p[1] >= s.n {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("pair (%d,%d) out of range [0,%d)", p[0], p[1], s.n))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	sw := s.newStreamWriter(w)
+	sw.literal(`{"count":`)
+	sw.int(len(req.Pairs))
+	sw.literal(`,"dists":[`)
+	for i, p := range req.Pairs {
+		if i > 0 {
+			sw.literal(",")
+		}
+		sw.float(s.cache.Dist(p[0], p[1]))
+	}
+	sw.literal(`],"reachable":[`)
+	for i, p := range req.Pairs {
+		if i > 0 {
+			sw.literal(",")
+		}
+		sw.bool(reachable(s.cache.Dist(p[0], p[1])))
+	}
+	sw.literal("]}\n")
+	sw.close("dist/batch")
+}
+
+// sssp answers GET /sssp?src=S with the full distance row, streamed as
+// {"src":S,"n":N,"dist":[...]} from a pooled row buffer — no []any
+// boxing, no per-request row allocation.
 func (s *Server) sssp(w http.ResponseWriter, r *http.Request) {
 	src, err := s.vertex(r, "src")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	row := s.factor.SSSP(src)
-	out := make([]any, len(row))
+	row := s.getRow()
+	defer s.putRow(row)
+	s.factor.SSSPInto(src, row)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	sw := s.newStreamWriter(w)
+	sw.literal(`{"src":`)
+	sw.int(src)
+	sw.literal(`,"n":`)
+	sw.int(s.n)
+	sw.literal(`,"dist":[`)
 	for i, d := range row {
-		out[i] = jsonFloat(d)
+		if i > 0 {
+			sw.literal(",")
+		}
+		sw.float(d)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"src": src, "dist": out})
+	sw.literal("]}\n")
+	sw.close("sssp")
 }
 
 // route answers GET /route?u=U&v=V with the vertex sequence of a
 // shortest path (requires a path-tracked result).
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	if s.result == nil {
-		writeErr(w, http.StatusNotImplemented, fmt.Errorf("server was started without route support"))
+		s.writeErr(w, http.StatusNotImplemented, fmt.Errorf("server was started without route support"))
 		return
 	}
 	u, err1 := s.vertex(r, "u")
 	v, err2 := s.vertex(r, "v")
 	if err1 != nil || err2 != nil {
-		writeErr(w, http.StatusBadRequest, firstErr(err1, err2))
+		s.writeErr(w, http.StatusBadRequest, firstErr(err1, err2))
 		return
 	}
 	path, ok := s.result.Path(u, v)
 	if !ok {
-		writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "reachable": false})
+		s.writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "reachable": false})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"u": u, "v": v, "reachable": true,
 		"dist": jsonFloat(s.result.At(u, v)),
 		"path": path,
@@ -115,26 +284,47 @@ func (s *Server) vertex(r *http.Request, key string) (int, error) {
 	return v, nil
 }
 
-// jsonFloat renders ±Inf as strings (JSON has no infinities).
+func (s *Server) getRow() []float64 {
+	if v := s.rowPool.Get(); v != nil {
+		return *(v.(*[]float64))
+	}
+	return make([]float64, s.n)
+}
+
+func (s *Server) putRow(row []float64) { s.rowPool.Put(&row) }
+
+func reachable(d float64) bool {
+	return !math.IsInf(d, 1) && !math.IsInf(d, -1) && !math.IsNaN(d)
+}
+
+// jsonFloat renders ±Inf and NaN as strings — JSON has none of them, and
+// a bare NaN would abort encoding mid-response.
 func jsonFloat(d float64) any {
 	switch {
 	case math.IsInf(d, 1):
 		return "inf"
 	case math.IsInf(d, -1):
 		return "-inf"
+	case math.IsNaN(d):
+		return "nan"
 	default:
 		return d
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON encodes v with the status committed first. Encode failures
+// cannot be turned into an error status anymore, so they are logged
+// instead of silently producing a truncated 200.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Printf("serve: response encode failed: %v", err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 func firstErr(errs ...error) error {

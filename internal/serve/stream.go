@@ -1,0 +1,95 @@
+package serve
+
+// Streamed JSON encoding for the row- and batch-shaped responses. The
+// seed implementation boxed every float64 into a []any before handing
+// the slice to encoding/json — one interface allocation per vertex, per
+// request. Here values are appended to a pooled byte buffer with
+// strconv and flushed in chunks, so a /sssp response costs O(1)
+// allocations regardless of row length.
+
+import (
+	"io"
+	"math"
+	"strconv"
+)
+
+// streamFlushSize is the buffered-bytes threshold that triggers a flush
+// to the underlying writer.
+const streamFlushSize = 16 << 10
+
+// streamWriter appends JSON fragments to a pooled buffer and writes it
+// out in chunks. The first write error is retained; once writing fails
+// the remaining fragments are dropped (the status line is already
+// committed, so all the handler can do is stop and log).
+type streamWriter struct {
+	s   *Server
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func (s *Server) newStreamWriter(w io.Writer) *streamWriter {
+	var buf []byte
+	if v := s.bufPool.Get(); v != nil {
+		buf = (*(v.(*[]byte)))[:0]
+	} else {
+		buf = make([]byte, 0, streamFlushSize)
+	}
+	return &streamWriter{s: s, w: w, buf: buf}
+}
+
+func (sw *streamWriter) literal(lit string) {
+	sw.buf = append(sw.buf, lit...)
+	sw.maybeFlush()
+}
+
+func (sw *streamWriter) int(v int) {
+	sw.buf = strconv.AppendInt(sw.buf, int64(v), 10)
+	sw.maybeFlush()
+}
+
+func (sw *streamWriter) bool(v bool) {
+	sw.buf = strconv.AppendBool(sw.buf, v)
+	sw.maybeFlush()
+}
+
+// float appends a JSON value for d, rendering ±Inf and NaN as the same
+// strings jsonFloat uses (JSON numbers cannot express them).
+func (sw *streamWriter) float(d float64) {
+	switch {
+	case math.IsInf(d, 1):
+		sw.buf = append(sw.buf, `"inf"`...)
+	case math.IsInf(d, -1):
+		sw.buf = append(sw.buf, `"-inf"`...)
+	case math.IsNaN(d):
+		sw.buf = append(sw.buf, `"nan"`...)
+	default:
+		sw.buf = strconv.AppendFloat(sw.buf, d, 'g', -1, 64)
+	}
+	sw.maybeFlush()
+}
+
+func (sw *streamWriter) maybeFlush() {
+	if len(sw.buf) >= streamFlushSize {
+		sw.flush()
+	}
+}
+
+func (sw *streamWriter) flush() {
+	if sw.err == nil && len(sw.buf) > 0 {
+		_, sw.err = sw.w.Write(sw.buf)
+	}
+	sw.buf = sw.buf[:0]
+}
+
+// close flushes the tail, returns the buffer to the pool, and logs the
+// first stream error (typically a client that went away mid-response).
+func (sw *streamWriter) close(endpoint string) {
+	sw.flush()
+	buf := sw.buf
+	sw.s.bufPool.Put(&buf)
+	sw.buf = nil
+	if sw.err != nil {
+		sw.s.log.Printf("serve: %s stream aborted: %v", endpoint, sw.err)
+	}
+}

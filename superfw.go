@@ -71,8 +71,9 @@ const (
 // Inf is the distance reported between disconnected vertices.
 var Inf = semiring.Inf
 
-// NewGraph builds a graph on n vertices from an edge list. Self-loops are
-// dropped and duplicate edges keep the minimum weight.
+// NewGraph builds a graph on n vertices from an edge list. Nonnegative
+// self-loops are dropped, negative self-loops (one-vertex negative
+// cycles) are rejected, and duplicate edges keep the minimum weight.
 func NewGraph(n int, edges []Edge) (*Graph, error) {
 	return graph.NewFromEdges(n, edges)
 }

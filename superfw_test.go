@@ -113,3 +113,29 @@ func TestDisconnectedInf(t *testing.T) {
 		t.Error("exported Inf wrong")
 	}
 }
+
+func TestNegativeSelfLoopRejected(t *testing.T) {
+	// Regression: a negative self-loop is a one-vertex negative cycle.
+	// Before the fix both graph constructors dropped self-loops before
+	// looking at the weight, so Solve returned a clean result with
+	// dist(1,1)=0 instead of a negative-cycle error.
+	_, err := NewGraph(3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 1, W: -2}})
+	if err == nil {
+		t.Fatal("undirected negative self-loop must be rejected")
+	}
+	// The directed entry point must reject it too.
+	if _, err := SolveDirected(3, []Arc{{0, 1, 1}, {1, 1, -2}}, 1); err == nil {
+		t.Fatal("directed negative self-loop must be rejected")
+	}
+	// Nonnegative self-loops remain harmless on both paths.
+	g, err := NewGraph(3, []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 1, W: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := Solve(g); err != nil || res.At(1, 1) != 0 {
+		t.Fatalf("positive self-loop should be dropped: err=%v", err)
+	}
+	if res, err := SolveDirected(3, []Arc{{0, 1, 1}, {1, 1, 0}}, 1); err != nil || res.At(1, 1) != 0 {
+		t.Fatalf("zero self-loop arc should be dropped: err=%v", err)
+	}
+}
