@@ -2,7 +2,7 @@ GO ?= go
 
 RACE_PKGS := ./internal/par ./internal/core ./internal/serve
 
-.PHONY: all build test race lint bench-smoke queryload-smoke
+.PHONY: all build test race lint bench-smoke queryload-smoke chaos checkpoint-smoke
 
 all: build test
 
@@ -30,3 +30,21 @@ bench-smoke:
 # accounting. Keeps the serving stack's headline numbers runnable in CI.
 queryload-smoke:
 	$(GO) run ./cmd/queryload -graph powergrid_s -quick -queries 5000
+
+# Fault-injection suite under the race detector: cancellation
+# mid-factorization, worker panics with task attribution, corrupt
+# checkpoint rejection, shutdown during streamed responses.
+chaos:
+	$(GO) test -race -run 'TestChaos' $(RACE_PKGS)
+
+# Checkpoint round trip through the CLI: factor a graph, save it, answer
+# the same route query from the saved file, and require byte-identical
+# distance output. Guards the on-disk format end to end.
+checkpoint-smoke:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/superfw -graph powergrid_s -quick -factor \
+		-savefactor "$$tmp/f.sfwf" -route 0,100 | grep 'dist(' > "$$tmp/built.txt"; \
+	$(GO) run ./cmd/superfw -loadfactor "$$tmp/f.sfwf" -route 0,100 \
+		| grep 'dist(' > "$$tmp/restored.txt"; \
+	diff "$$tmp/built.txt" "$$tmp/restored.txt" \
+		&& echo "checkpoint round trip OK: $$(cat "$$tmp/restored.txt")"

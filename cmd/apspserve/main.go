@@ -7,23 +7,31 @@
 //	apspserve -graph road_l -addr :8080            # build in-process
 //	apspserve -loadfactor road.sfwf -addr :8080    # serve a saved factor
 //	apspserve -graph road_m -routes -addr :8080    # also enable /route
+//	apspserve -graph road_l -factorcache road.sfwf # checkpoint-backed boot
 //
 // Endpoints:
 //
-//	GET  /health
-//	GET  /dist?u=U&v=V     point-to-point distance (cached 2-hop labels)
-//	POST /dist/batch       many pairs per request: {"pairs":[[u,v],...]}
-//	GET  /sssp?src=S       full distance row (etree sweeps, streamed)
-//	GET  /route?u=U&v=V    vertex path (needs -routes)
-//	GET  /metrics          per-endpoint counters + label-cache stats
+//	GET  /health, /healthz  liveness + factor stats
+//	GET  /readyz            readiness (503 while a reload is in progress)
+//	GET  /dist?u=U&v=V      point-to-point distance (cached 2-hop labels)
+//	POST /dist/batch        many pairs per request: {"pairs":[[u,v],...]}
+//	GET  /sssp?src=S        full distance row (etree sweeps, streamed)
+//	GET  /route?u=U&v=V     vertex path (needs -routes)
+//	POST /admin/reload      rebuild/restore the factor and swap it in
+//	GET  /metrics           per-endpoint counters + label-cache stats
 //
 // The server is configured for production traffic: request timeouts,
-// graceful shutdown on SIGINT/SIGTERM that drains in-flight requests,
-// a bounded label cache, and an optional in-flight concurrency limit.
+// graceful shutdown on SIGINT/SIGTERM that drains in-flight requests
+// (and cancels a factorization still running at boot), a bounded label
+// cache, an optional in-flight concurrency limit with Retry-After on
+// sheds, and an optional factor cache so a restart restores the
+// checkpointed factor instead of refactorizing. A corrupt checkpoint is
+// detected by checksum, logged, and rebuilt from the graph.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
@@ -41,73 +49,66 @@ import (
 
 func main() {
 	var (
-		graphName  = flag.String("graph", "", "catalog graph to build and serve")
-		loadFactor = flag.String("loadfactor", "", "serve a factor saved by superfw -savefactor")
-		quick      = flag.Bool("quick", false, "reduced graph sizes")
-		routes     = flag.Bool("routes", false, "also solve densely with path tracking to enable /route")
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "build parallelism")
-		cacheSize  = flag.Int("cache", 0, "label-cache capacity in labels (0 = min(n, 4096))")
-		maxFlight  = flag.Int("maxinflight", 0, "max concurrent requests, excess shed with 503 (0 = unlimited)")
-		readTO     = flag.Duration("read-timeout", 15*time.Second, "HTTP read timeout")
-		writeTO    = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout (bounds one streamed /sssp row)")
-		idleTO     = flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle timeout")
-		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "in-flight drain window on shutdown")
+		graphName   = flag.String("graph", "", "catalog graph to build and serve")
+		loadFactor  = flag.String("loadfactor", "", "serve a factor saved by superfw -savefactor")
+		factorCache = flag.String("factorcache", "", "checkpoint path: restore the factor from it on boot if valid, save after (re)building (needs -graph)")
+		quick       = flag.Bool("quick", false, "reduced graph sizes")
+		routes      = flag.Bool("routes", false, "also solve densely with path tracking to enable /route")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		threads     = flag.Int("threads", runtime.GOMAXPROCS(0), "build parallelism")
+		cacheSize   = flag.Int("cache", 0, "label-cache capacity in labels (0 = min(n, 4096))")
+		maxFlight   = flag.Int("maxinflight", 0, "max concurrent requests, excess shed with 503 (0 = unlimited)")
+		readTO      = flag.Duration("read-timeout", 15*time.Second, "HTTP read timeout")
+		writeTO     = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout (bounds one streamed /sssp row)")
+		idleTO      = flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle timeout")
+		drainTO     = flag.Duration("drain-timeout", 30*time.Second, "in-flight drain window on shutdown")
 	)
 	flag.Parse()
 
+	// The signal context exists before any factorization so that SIGINT
+	// during a long boot build cancels it promptly instead of waiting the
+	// build out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var factor *core.Factor
 	var result *core.Result
-	var n int
+	var reload func(ctx context.Context) (*core.Factor, *core.Result, error)
+	var err error
 	switch {
 	case *loadFactor != "":
-		fh, err := os.Open(*loadFactor)
+		factor, err = core.LoadFactorFile(*loadFactor)
 		if err != nil {
 			log.Fatal(err)
 		}
-		factor, err = core.ReadFactor(fh)
-		fh.Close()
-		if err != nil {
-			log.Fatal(err)
+		log.Printf("loaded factor %s (%.1f MB, %d vertices)",
+			*loadFactor, float64(factor.Memory())/1e6, factor.N())
+		// Reload re-reads the same file, so an operator can drop a new
+		// checkpoint in place and swap it in without a restart.
+		path := *loadFactor
+		reload = func(context.Context) (*core.Factor, *core.Result, error) {
+			f, err := core.LoadFactorFile(path)
+			return f, nil, err
 		}
-		n = factor.N()
-		log.Printf("loaded factor %s (%.1f MB, %d vertices)", *loadFactor, float64(factor.Memory())/1e6, n)
 	case *graphName != "":
-		e, ok := bench.Find(*graphName)
-		if !ok {
-			log.Fatalf("unknown catalog graph %q", *graphName)
-		}
-		g := e.Build(*quick)
-		n = g.N
-		plan, err := core.NewPlan(g, core.DefaultOptions())
+		build := newBuilder(*graphName, *quick, *routes, *threads, *factorCache)
+		factor, result, err = build(ctx)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatal("interrupted during boot factorization")
+			}
 			log.Fatal(err)
 		}
-		factor, err = core.NewFactor(plan, *threads)
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("built factor for %s: n=%d, %.1f MB", *graphName, n, float64(factor.Memory())/1e6)
-		if *routes {
-			opts := core.DefaultOptions()
-			opts.TrackPaths = true
-			plan2, err := core.NewPlan(g, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			result, err = plan2.Solve()
-			if err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("dense path-tracked solve ready (/route enabled)")
-		}
+		reload = build
 	default:
 		log.Fatal("need -graph or -loadfactor")
 	}
+	n := factor.N()
 
 	srv := serve.New(factor, result, n, serve.Options{
 		CacheSize:   *cacheSize,
 		MaxInFlight: *maxFlight,
+		Reload:      reload,
 	})
 	hs := &http.Server{
 		Handler:           srv.Handler(),
@@ -121,8 +122,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	log.Printf("serving on http://%s (try /dist?u=0&v=%d); SIGINT/SIGTERM drains and exits", ln.Addr(), n-1)
 	if err := serve.RunServer(ctx, hs, ln, *drainTO); err != nil {
 		log.Fatal(err)
@@ -130,4 +129,65 @@ func main() {
 	m := srv.Metrics()
 	log.Printf("drained cleanly: %d cache hits / %d misses (%.1f%% hit rate)",
 		m.CacheHits, m.CacheMisses, 100*m.CacheHitRate)
+}
+
+// newBuilder returns the factor source for -graph mode, shared by boot
+// and /admin/reload: restore from the factor cache when it holds a valid
+// checkpoint, otherwise build from the catalog graph and checkpoint the
+// result. Restore and build both honor ctx cancellation.
+func newBuilder(graphName string, quick, routes bool, threads int, cachePath string) func(ctx context.Context) (*core.Factor, *core.Result, error) {
+	return func(ctx context.Context) (*core.Factor, *core.Result, error) {
+		e, ok := bench.Find(graphName)
+		if !ok {
+			return nil, nil, errors.New("unknown catalog graph " + graphName)
+		}
+		g := e.Build(quick)
+
+		var factor *core.Factor
+		if cachePath != "" {
+			if f, err := core.LoadFactorFile(cachePath); err == nil && f.N() == g.N {
+				log.Printf("restored factor from cache %s (%.1f MB, %d vertices)",
+					cachePath, float64(f.Memory())/1e6, f.N())
+				factor = f
+			} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+				// Corrupt or stale checkpoint: the checksum caught it; fall
+				// through to a clean rebuild.
+				log.Printf("factor cache %s unusable (%v), rebuilding", cachePath, err)
+			}
+		}
+		if factor == nil {
+			plan, err := core.NewPlan(g, core.DefaultOptions())
+			if err != nil {
+				return nil, nil, err
+			}
+			factor, err = core.NewFactorCtx(ctx, plan, threads)
+			if err != nil {
+				return nil, nil, err
+			}
+			log.Printf("built factor for %s: n=%d, %.1f MB", graphName, g.N, float64(factor.Memory())/1e6)
+			if cachePath != "" {
+				if err := core.SaveFactorFile(cachePath, factor); err != nil {
+					log.Printf("warning: could not checkpoint factor to %s: %v", cachePath, err)
+				} else {
+					log.Printf("checkpointed factor to %s", cachePath)
+				}
+			}
+		}
+
+		var result *core.Result
+		if routes {
+			opts := core.DefaultOptions()
+			opts.TrackPaths = true
+			plan2, err := core.NewPlan(g, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			result, err = plan2.SolveCtx(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			log.Printf("dense path-tracked solve ready (/route enabled)")
+		}
+		return factor, result, nil
+	}
 }

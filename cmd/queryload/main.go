@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -40,11 +42,12 @@ func main() {
 		cacheSize = flag.Int("cache", 0, "label-cache capacity for in-process mode (0 = default)")
 		seed      = flag.Int64("seed", 1234, "workload seed")
 		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "factor build parallelism")
+		maxRetry  = flag.Int("max-retries", 5, "retries per query after a 503 shed (HTTP mode; 0 = fail fast)")
 	)
 	flag.Parse()
 	switch {
 	case *url != "":
-		runHTTP(*url, *queries, *workers, *zipfS, *seed)
+		runHTTP(*url, *queries, *workers, *zipfS, *seed, *maxRetry)
 	case *graphName != "":
 		runInProcess(*graphName, *quick, *queries, *workers, *zipfS, *cacheSize, *seed, *threads)
 	default:
@@ -83,25 +86,58 @@ func runInProcess(graphName string, quick bool, queries, workers int, zipfS floa
 	fmt.Printf("%-22s %.1fx throughput\n", "speedup:", cached.QPS/uncached.QPS)
 }
 
-func runHTTP(base string, queries, workers int, zipfS float64, seed int64) {
+// retryBaseDelay and retryMaxDelay bound the exponential backoff taken
+// after a 503 shed: base·2^attempt with full jitter, capped at max. The
+// cap keeps a long shed from parking workers for seconds at a time.
+const (
+	retryBaseDelay = 5 * time.Millisecond
+	retryMaxDelay  = 250 * time.Millisecond
+)
+
+func runHTTP(base string, queries, workers int, zipfS float64, seed int64, maxRetry int) {
 	n := serverVertices(base)
 	pairs := bench.ZipfPairs(n, queries, zipfS, seed)
 	client := &http.Client{Timeout: 30 * time.Second}
+	// A shed (503) is the server protecting itself, not a failure: back
+	// off and retry instead of aborting the run, counting retries and
+	// exhausted queries separately so shedding stays visible in the
+	// report rather than inflating the latency numbers silently.
+	var retries, dropped atomic.Uint64
 	dist := func(u, v int) float64 {
-		resp, err := client.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", base, u, v))
-		if err != nil {
-			log.Fatalf("query failed: %v", err)
+		for attempt := 0; ; attempt++ {
+			resp, err := client.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", base, u, v))
+			if err != nil {
+				log.Fatalf("query failed: %v", err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				return 0
+			case resp.StatusCode == http.StatusServiceUnavailable && attempt < maxRetry:
+				retries.Add(1)
+				d := retryBaseDelay << attempt
+				if d > retryMaxDelay {
+					d = retryMaxDelay
+				}
+				// Full jitter decorrelates the retry wave that a burst of
+				// simultaneous sheds would otherwise synchronize.
+				time.Sleep(time.Duration(rand.Int63n(int64(d)) + 1))
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				dropped.Add(1)
+				return 0
+			default:
+				log.Fatalf("query status %d", resp.StatusCode)
+			}
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			log.Fatalf("query status %d", resp.StatusCode)
-		}
-		return 0
 	}
 	res := bench.MeasureQueryLoad(dist, pairs, workers)
 	fmt.Printf("workload: %d Zipf(s=%.2f) point queries against %s, %d workers\n", queries, zipfS, base, res.Workers)
 	printResult("end-to-end HTTP", res)
+	if r, d := retries.Load(), dropped.Load(); r > 0 || d > 0 {
+		fmt.Printf("%-22s %d retries after 503 sheds, %d queries dropped after %d attempts\n",
+			"shedding:", r, d, maxRetry+1)
+	}
 	var m struct {
 		CacheHitRate float64 `json:"cache_hit_rate"`
 		CacheHits    uint64  `json:"cache_hits"`

@@ -11,6 +11,7 @@ package superfw
 // the undirected case.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,11 +32,18 @@ type Arc struct {
 // negative cycles) are rejected. Negative arc weights are allowed as long
 // as no directed cycle is negative. threads ≤ 0 uses GOMAXPROCS.
 func SolveDirected(n int, arcs []Arc, threads int) (*Result, error) {
+	return SolveDirectedCtx(context.Background(), n, arcs, threads)
+}
+
+// SolveDirectedCtx is SolveDirected with cooperative cancellation,
+// checked at supernode granularity during elimination; a cancelled
+// context returns ctx.Err() and discards the partial matrix.
+func SolveDirectedCtx(ctx context.Context, n int, arcs []Arc, threads int) (*Result, error) {
 	plan, init, err := planDirected(n, arcs)
 	if err != nil {
 		return nil, err
 	}
-	return plan.SolveInitMatrix(init, threads, true)
+	return plan.SolveInitMatrixCtx(ctx, init, threads, true)
 }
 
 // planDirected builds the symmetrized-pattern plan and the directed

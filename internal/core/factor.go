@@ -35,10 +35,12 @@ package core
 // path) meets the reverse label of v on the shared ancestor suffix.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/par"
 	"repro/internal/semiring"
 	"repro/internal/symbolic"
@@ -105,9 +107,36 @@ func (f *Factor) Memory() int64 {
 	return total * 8
 }
 
+// Validate performs cheap sanity checks on a factor before it is put in
+// front of traffic — the last line of defense when restoring from a
+// checkpoint or swapping a freshly built factor into a server. It
+// verifies the supernode structure and probes one query invariant: the
+// self-distance of vertex 0 must be the semiring identity (0 for
+// min-plus, +Inf for max-min).
+func (f *Factor) Validate() error {
+	if f.n <= 0 || len(f.perm) != f.n || len(f.iperm) != f.n {
+		return fmt.Errorf("core: factor covers %d vertices with %d-entry permutation", f.n, len(f.perm))
+	}
+	if msg := f.sn.Check(); msg != "" {
+		return fmt.Errorf("core: factor supernode structure: %s", msg)
+	}
+	if d := f.Dist(0, 0); d != f.K.One {
+		return fmt.Errorf("core: factor self-distance at vertex 0 is %v, want %v", d, f.K.One)
+	}
+	return nil
+}
+
 // NewFactor runs the factor-only elimination for the plan's graph over
-// the plan's semiring. threads ≤ 0 uses GOMAXPROCS.
+// the plan's semiring. threads ≤ 0 uses GOMAXPROCS. When
+// Options.Context is set it is honored as the cancellation context.
 func NewFactor(p *Plan, threads int) (*Factor, error) {
+	return NewFactorCtx(p.Opts.context(), p, threads)
+}
+
+// NewFactorCtx is NewFactor with an explicit cancellation context,
+// checked cooperatively at supernode granularity: a cancelled or expired
+// context aborts the factorization promptly and returns ctx.Err().
+func NewFactorCtx(ctx context.Context, p *Plan, threads int) (*Factor, error) {
 	if p.Opts.TrackPaths {
 		return nil, fmt.Errorf("core: factor solves do not support path tracking")
 	}
@@ -179,7 +208,9 @@ func NewFactor(p *Plan, threads int) (*Factor, error) {
 	}
 
 	t0 := time.Now()
-	f.factorize(threads, p.Opts.Schedule)
+	if err := f.factorize(ctx, threads, p.Opts.Schedule); err != nil {
+		return nil, err
+	}
 	f.FactorTime = time.Since(t0)
 
 	if K.DetectNegCycle {
@@ -206,14 +237,22 @@ func (f *Factor) ancColumn(k, a, v int) (int, bool) {
 // factorize runs the factor-only elimination, parallel over cousins with
 // target-block locks on shared ancestor updates. schedule follows the
 // same DAG/level split as Plan.eliminate: dependency-driven by default,
-// level-synchronous barriers on request.
-func (f *Factor) factorize(threads int, schedule ScheduleKind) {
+// level-synchronous barriers on request. It returns ctx.Err() when the
+// context is cancelled mid-elimination; the partial factor must then be
+// discarded.
+func (f *Factor) factorize(ctx context.Context, threads int, schedule ScheduleKind) error {
 	sn := f.sn
 	if threads <= 1 {
+		cancellable := ctx.Done() != nil
 		for k := range sn.Ranges {
-			f.eliminate(k, 1, nil)
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			par.Do("factorize", k, 1, func(k, w int) { f.eliminate(k, w, nil) })
 		}
-		return
+		return nil
 	}
 	locks := par.NewStripedMutex(1024)
 	if schedule == ScheduleLevel {
@@ -227,11 +266,13 @@ func (f *Factor) factorize(threads int, schedule ScheduleKind) {
 			if width == 1 {
 				lk = nil
 			}
-			par.For(width, threads, 1, func(i int) {
+			if err := par.ForCtx(ctx, width, threads, 1, func(i int) {
 				f.eliminate(level[i], inner, lk)
-			})
+			}); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	// DAG schedule: concurrently running supernodes are always cousins
 	// (a parent's pending count transitively waits on its whole subtree),
@@ -241,7 +282,7 @@ func (f *Factor) factorize(threads int, schedule ScheduleKind) {
 	if sn.NumSupernodes() == 1 {
 		lk = nil
 	}
-	par.RunDAG(sn.Parent, threads, func(k, inner int) {
+	return par.RunDAGCtx(ctx, sn.Parent, threads, func(k, inner int) {
 		f.eliminate(k, inner, lk)
 	})
 }
@@ -250,6 +291,7 @@ func (f *Factor) factorize(threads int, schedule ScheduleKind) {
 // panels, and scatter the ancestor×ancestor outer products into the
 // ancestors' own factor blocks.
 func (f *Factor) eliminate(k, threads int, locks *par.StripedMutex) {
+	fault.Inject("core.factor.eliminate")
 	K := f.K
 	sn := f.sn
 	s := sn.Ranges[k].Size()

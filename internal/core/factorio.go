@@ -2,35 +2,50 @@ package core
 
 // Binary serialization for the supernodal factor. A factor computed once
 // for a large graph (e.g. a road network) can be written to disk and
-// later memory-mapped cheaply for query serving, without the graph, the
-// ordering pipeline, or the partitioner.
+// later restored cheaply for query serving, without the graph, the
+// ordering pipeline, or the partitioner — the checkpoint that makes the
+// expensive factorization a durable, recoverable artifact.
 //
-// Format (little-endian):
+// Format v2 (little-endian):
 //
 //	magic "SFWF", u32 version
+//	-- checksummed body starts here --
 //	u8 semiring id (0 = min-plus, 1 = max-min)
 //	u64 n, u64 #supernodes
 //	perm:  n × u64
 //	per supernode: u64 lo, hi, subLo, parent+1
 //	per supernode: diag (s×s f64), up (s×anc f64), down (anc×s f64)
+//	-- checksummed body ends here --
+//	u64 CRC64/ECMA of the body
 //
 // Matrix dimensions are reconstructed from the supernode structure, so
-// only raw payloads are stored.
+// only raw payloads are stored. The trailing checksum covers every body
+// byte: a truncated file fails with an io error before the trailer is
+// reached, and a bit flip anywhere in the body fails the CRC compare —
+// either way ReadFactor rejects the checkpoint instead of serving
+// corrupt distances.
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/semiring"
 	"repro/internal/symbolic"
 )
 
 const factorMagic = "SFWF"
-const factorVersion = 1
+const factorVersion = 2
+
+// factorCRCTable is the CRC64 polynomial used by the checkpoint trailer.
+var factorCRCTable = crc64.MakeTable(crc64.ECMA)
 
 func semiringID(K *semiring.Kernels) (uint8, error) {
 	switch K {
@@ -52,9 +67,11 @@ func semiringByID(id uint8) (*semiring.Kernels, error) {
 	return nil, fmt.Errorf("core: unknown semiring id %d", id)
 }
 
-// WriteTo serializes the factor. It implements io.WriterTo.
+// WriteTo serializes the factor with a trailing CRC64 checksum. It
+// implements io.WriterTo. The "core.factorio.write" failpoint sits under
+// the buffering so chaos tests can tear checkpoints mid-write.
 func (f *Factor) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	bw := bufio.NewWriterSize(fault.Writer("core.factorio.write", w), 1<<20)
 	cw := &countWriter{w: bw}
 	sid, err := semiringID(f.K)
 	if err != nil {
@@ -66,30 +83,38 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 	if err := writeU32(cw, factorVersion); err != nil {
 		return cw.n, err
 	}
-	if _, err := cw.Write([]byte{sid}); err != nil {
+	// Everything after the 8-byte header is checksummed: tee body writes
+	// into the CRC as they stream out.
+	h := crc64.New(factorCRCTable)
+	hw := io.MultiWriter(cw, h)
+	if _, err := hw.Write([]byte{sid}); err != nil {
 		return cw.n, err
 	}
 	ns := f.sn.NumSupernodes()
-	if err := writeU64s(cw, uint64(f.n), uint64(ns)); err != nil {
+	if err := writeU64s(hw, uint64(f.n), uint64(ns)); err != nil {
 		return cw.n, err
 	}
 	for _, p := range f.perm {
-		if err := writeU64s(cw, uint64(p)); err != nil {
+		if err := writeU64s(hw, uint64(p)); err != nil {
 			return cw.n, err
 		}
 	}
 	for k := 0; k < ns; k++ {
 		r := f.sn.Ranges[k]
-		if err := writeU64s(cw, uint64(r.Lo), uint64(r.Hi), uint64(f.sn.SubLo[k]), uint64(f.sn.Parent[k]+1)); err != nil {
+		if err := writeU64s(hw, uint64(r.Lo), uint64(r.Hi), uint64(f.sn.SubLo[k]), uint64(f.sn.Parent[k]+1)); err != nil {
 			return cw.n, err
 		}
 	}
 	for k := 0; k < ns; k++ {
 		for _, m := range []semiring.Mat{f.diag[k], f.up[k], f.down[k]} {
-			if err := writeFloats(cw, m.Data); err != nil {
+			if err := writeFloats(hw, m.Data); err != nil {
 				return cw.n, err
 			}
 		}
+	}
+	// Trailer: the body checksum itself, outside the checksummed range.
+	if err := writeU64s(cw, h.Sum64()); err != nil {
+		return cw.n, err
 	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
@@ -97,7 +122,9 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadFactor deserializes a factor written by WriteTo.
+// ReadFactor deserializes a factor written by WriteTo, verifying the
+// trailing checksum: truncated or bit-flipped checkpoints are rejected
+// with an error rather than restored into a silently corrupt factor.
 func ReadFactor(r io.Reader) (*Factor, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head := make([]byte, 4)
@@ -112,21 +139,25 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 		return nil, err
 	}
 	if ver != factorVersion {
-		return nil, fmt.Errorf("core: unsupported factor version %d", ver)
+		return nil, fmt.Errorf("core: unsupported factor version %d (this build reads and writes the checksummed v%d format)", ver, factorVersion)
 	}
+	// Mirror the writer: every body byte flows through the CRC so the
+	// trailer can be verified once parsing succeeds.
+	h := crc64.New(factorCRCTable)
+	hr := io.TeeReader(br, h)
 	sidBuf := make([]byte, 1)
-	if _, err := io.ReadFull(br, sidBuf); err != nil {
+	if _, err := io.ReadFull(hr, sidBuf); err != nil {
 		return nil, err
 	}
 	K, err := semiringByID(sidBuf[0])
 	if err != nil {
 		return nil, err
 	}
-	n64, err := readU64(br)
+	n64, err := readU64(hr)
 	if err != nil {
 		return nil, err
 	}
-	ns64, err := readU64(br)
+	ns64, err := readU64(hr)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +170,7 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 	}
 	perm := make([]int, n)
 	for i := range perm {
-		v, err := readU64(br)
+		v, err := readU64(hr)
 		if err != nil {
 			return nil, err
 		}
@@ -152,10 +183,10 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 	parent := make([]int, ns)
 	subLo := make([]int, ns)
 	for k := 0; k < ns; k++ {
-		lo, err1 := readU64(br)
-		hi, err2 := readU64(br)
-		sl, err3 := readU64(br)
-		pp, err4 := readU64(br)
+		lo, err1 := readU64(hr)
+		hi, err2 := readU64(hr)
+		sl, err3 := readU64(hr)
+		pp, err4 := readU64(hr)
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return nil, fmt.Errorf("core: truncated supernode table")
 		}
@@ -196,10 +227,62 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 		f.up[k] = semiring.Mat{Data: make([]float64, s*total), Stride: total, Rows: s, Cols: total}
 		f.down[k] = semiring.Mat{Data: make([]float64, total*s), Stride: s, Rows: total, Cols: s}
 		for _, m := range []semiring.Mat{f.diag[k], f.up[k], f.down[k]} {
-			if err := readFloats(br, m.Data); err != nil {
+			if err := readFloats(hr, m.Data); err != nil {
 				return nil, fmt.Errorf("core: truncated factor payload: %w", err)
 			}
 		}
+	}
+	want := h.Sum64()
+	got, err := readU64(br) // trailer is outside the checksummed range
+	if err != nil {
+		return nil, fmt.Errorf("core: truncated factor checkpoint (missing checksum): %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("core: factor checkpoint checksum mismatch (stored %016x, computed %016x) — file is corrupt", got, want)
+	}
+	return f, nil
+}
+
+// SaveFactorFile atomically checkpoints f to path: the factor is written
+// to a temporary file in the same directory, synced, and renamed into
+// place, so a crash mid-save never leaves a torn checkpoint behind under
+// the final name.
+func SaveFactorFile(path string, f *Factor) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := f.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFactorFile restores a factor from a checkpoint written by
+// SaveFactorFile (or any WriteTo output), verifying its checksum and
+// running Validate before handing it back.
+func LoadFactorFile(path string) (*Factor, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := ReadFactor(fh)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring factor from %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("core: restored factor from %s failed validation: %w", path, err)
 	}
 	return f, nil
 }

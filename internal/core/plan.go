@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -149,6 +150,13 @@ type Options struct {
 	// pattern — so the same plan solves shortest paths and, with
 	// semiring.MaxMinKernels, widest (maximum-bottleneck) paths.
 	Semiring *semiring.Kernels
+	// Context, when non-nil, is the default cancellation context of the
+	// numeric phase: Solve, SolveInitMatrix, and NewFactor check it
+	// cooperatively at supernode granularity and return ctx.Err() when
+	// it is cancelled or past its deadline. The *Ctx entry points
+	// (SolveCtx, NewFactorCtx) override it per call. nil means no
+	// cancellation (context.Background()).
+	Context context.Context
 	// ExactReach refines the ancestor side of Algorithm 3's reach set:
 	// R(k) = D(k) ∪ struct(k) instead of D(k) ∪ A(k), where struct(k)
 	// is the exact supernodal block structure from symbolic
@@ -160,6 +168,14 @@ type Options struct {
 	// updates legitimately create finite entries outside the symbolic
 	// fill.)
 	ExactReach bool
+}
+
+// context resolves the options' cancellation context.
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {

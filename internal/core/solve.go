@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/par"
 	"repro/internal/semiring"
 	"repro/internal/symbolic"
@@ -22,16 +24,29 @@ const tileSize = 256
 const diagParallelCutoff = 192
 
 // Solve runs the numeric phase using the plan's default options and the
-// graph's own edge weights.
+// graph's own edge weights. When Options.Context is set it is honored as
+// the cancellation context.
 func (p *Plan) Solve() (*Result, error) {
-	return p.SolveWith(p.Opts.Threads, p.Opts.EtreeParallel)
+	return p.SolveCtx(p.Opts.context())
+}
+
+// SolveCtx is Solve with an explicit cancellation context: ctx is
+// checked cooperatively at supernode granularity during the numeric
+// phase, so a cancelled or expired context aborts the elimination
+// promptly and returns ctx.Err().
+func (p *Plan) SolveCtx(ctx context.Context) (*Result, error) {
+	return p.solveWithCtx(ctx, p.Opts.Threads, p.Opts.EtreeParallel)
 }
 
 // SolveWith runs the numeric phase with explicit parallelism controls.
 func (p *Plan) SolveWith(threads int, etreeParallel bool) (*Result, error) {
+	return p.solveWithCtx(p.Opts.context(), threads, etreeParallel)
+}
+
+func (p *Plan) solveWithCtx(ctx context.Context, threads int, etreeParallel bool) (*Result, error) {
 	K := p.Opts.Semiring
 	D := p.PG.ToDenseWith(K.Zero, K.One)
-	return p.finish(D, threads, etreeParallel)
+	return p.finish(ctx, D, threads, etreeParallel)
 }
 
 // SolveInitMatrix runs the numeric phase on a caller-supplied initial
@@ -41,13 +56,19 @@ func (p *Plan) SolveWith(threads int, etreeParallel bool) (*Result, error) {
 // negative — e.g. a potential-reweighted instance. Negative cycles are
 // reported via the error and flagged on the result.
 func (p *Plan) SolveInitMatrix(init semiring.Mat, threads int, etreeParallel bool) (*Result, error) {
+	return p.SolveInitMatrixCtx(p.Opts.context(), init, threads, etreeParallel)
+}
+
+// SolveInitMatrixCtx is SolveInitMatrix with cooperative cancellation at
+// supernode granularity.
+func (p *Plan) SolveInitMatrixCtx(ctx context.Context, init semiring.Mat, threads int, etreeParallel bool) (*Result, error) {
 	n := p.G.N
 	if init.Rows != n || init.Cols != n {
 		return nil, fmt.Errorf("core: init matrix is %d×%d, want %d×%d", init.Rows, init.Cols, n, n)
 	}
 	D := semiring.NewMat(n, n)
 	semiring.Permute(D, init, p.Perm)
-	return p.finish(D, threads, etreeParallel)
+	return p.finish(ctx, D, threads, etreeParallel)
 }
 
 // state bundles the matrices a numeric solve operates on and the
@@ -86,14 +107,16 @@ func (s *state) mul(C, A, B semiring.Mat, nc, na semiring.IntMat) {
 	}
 }
 
-func (p *Plan) finish(D semiring.Mat, threads int, etreeParallel bool) (*Result, error) {
+func (p *Plan) finish(ctx context.Context, D semiring.Mat, threads int, etreeParallel bool) (*Result, error) {
 	st := &state{D: D, track: p.Opts.TrackPaths, K: p.Opts.Semiring}
 	if st.track {
 		st.next = semiring.NewIntMat(D.Rows, D.Cols)
 		semiring.InitNextHops(D, st.next)
 	}
 	t0 := time.Now()
-	p.eliminate(st, par.DefaultThreads(threads), etreeParallel)
+	if err := p.eliminate(ctx, st, par.DefaultThreads(threads), etreeParallel); err != nil {
+		return nil, err
+	}
 	res := &Result{D: D, Next: st.next, Perm: p.Perm, IPerm: p.IPerm, NumericTime: time.Since(t0)}
 	if st.K.DetectNegCycle && res.HasNegativeCycle() {
 		return res, fmt.Errorf("core: graph contains a negative-weight cycle")
@@ -102,16 +125,23 @@ func (p *Plan) finish(D semiring.Mat, threads int, etreeParallel bool) (*Result,
 }
 
 // eliminate runs the supernodal elimination (Algorithm 3) on the permuted
-// dense matrix.
-func (p *Plan) eliminate(st *state, threads int, etreeParallel bool) {
+// dense matrix. It returns ctx.Err() when the context is cancelled
+// mid-elimination; the partially relaxed matrix must then be discarded.
+func (p *Plan) eliminate(ctx context.Context, st *state, threads int, etreeParallel bool) error {
 	sn := p.Sn
+	cancellable := ctx.Done() != nil
 	if threads <= 1 || !etreeParallel {
 		// Sequential supernode traversal in ascending (postorder) index
 		// order; intra-supernode updates may still run in parallel.
 		for k := range sn.Ranges {
-			p.eliminateSupernode(st, k, threads, nil)
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			par.Do("eliminate", k, threads, func(k, w int) { p.eliminateSupernode(st, k, w, nil) })
 		}
-		return
+		return nil
 	}
 	if p.Opts.Schedule == ScheduleLevel {
 		// Etree level scheduling: supernodes within a level are cousins
@@ -129,11 +159,13 @@ func (p *Plan) eliminate(st *state, threads int, etreeParallel bool) {
 			if width == 1 {
 				lk = nil // single supernode in the level: no collisions
 			}
-			par.For(width, threads, 1, func(i int) {
+			if err := par.ForCtx(ctx, width, threads, 1, func(i int) {
 				p.eliminateSupernode(st, level[i], inner, lk)
-			})
+			}); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	// Dependency-driven DAG scheduling: a supernode is eliminated as soon
 	// as its last child completes, with no inter-level barriers. Any two
@@ -147,7 +179,7 @@ func (p *Plan) eliminate(st *state, threads int, etreeParallel bool) {
 	if sn.NumSupernodes() == 1 {
 		lk = nil
 	}
-	par.RunDAG(sn.Parent, threads, func(k, inner int) {
+	return par.RunDAGCtx(ctx, sn.Parent, threads, func(k, inner int) {
 		p.eliminateSupernode(st, k, inner, lk)
 	})
 }
@@ -206,6 +238,7 @@ func (p *Plan) reachTiles(k int) []tile {
 // with operand values ≤ the textbook's, so the result is exactly the
 // textbook result. The same argument covers the blocked FW kernels.
 func (p *Plan) eliminateSupernode(st *state, k, threads int, locks *par.StripedMutex) {
+	fault.Inject("core.eliminate")
 	sn := p.Sn
 	r := sn.Ranges[k]
 	s := r.Size()

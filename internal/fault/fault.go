@@ -1,0 +1,268 @@
+// Package fault is a tiny failpoint registry for chaos testing. Code
+// under test places named injection sites (fault.Inject, fault.InjectErr,
+// fault.Writer) on interesting paths — worker loops, checkpoint writers,
+// streaming handlers — and tests (or the SUPERFW_FAULTPOINTS environment
+// variable) arm them with a behavior: panic, sleep, error, or short
+// write. Disarmed sites cost one atomic load, so the hooks stay compiled
+// into production paths permanently.
+//
+// Specs have the form KIND[=ARG][@HIT]:
+//
+//	panic          panic on every visit
+//	panic@3        panic on the 3rd visit only
+//	sleep=5ms      sleep 5ms on every visit
+//	sleep=5ms@2    sleep on the 2nd visit only
+//	error          InjectErr returns an error on every visit
+//	shortwrite=16  Writer truncates each write to 16 bytes and errors
+//
+// Environment activation arms points for whole-process chaos runs:
+//
+//	SUPERFW_FAULTPOINTS="core.eliminate=panic@3,core.factorio.write=shortwrite=64"
+//
+// (the first '=' separates name from spec; later '=' belong to the spec).
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable parsed at process start to arm
+// failpoints without touching test code.
+const EnvVar = "SUPERFW_FAULTPOINTS"
+
+// kind enumerates what an armed failpoint does when it fires.
+type kind int
+
+const (
+	kindPanic kind = iota
+	kindSleep
+	kindError
+	kindShortWrite
+)
+
+type point struct {
+	kind  kind
+	arg   time.Duration // sleep duration
+	limit int           // shortwrite byte cap
+	hit   int           // fire only on this visit (1-based); 0 = every visit
+
+	visits atomic.Int64
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+	// armed is the fast-path gate: the number of armed points. Injection
+	// sites bail out on armed == 0 without taking the lock.
+	armed atomic.Int32
+)
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := EnableAll(spec); err != nil {
+			panic(fmt.Sprintf("fault: bad %s: %v", EnvVar, err))
+		}
+	}
+}
+
+// Enable arms the named failpoint with the given spec. It replaces any
+// existing arming of the same name.
+func Enable(name, spec string) error {
+	p, err := parseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("fault: point %q: %w", name, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = p
+	return nil
+}
+
+// EnableAll arms a comma-separated list of name=spec pairs (the EnvVar
+// format).
+func EnableAll(list string) error {
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("fault: entry %q is not name=spec", entry)
+		}
+		if err := Enable(name, spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Disable disarms one failpoint.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; exists {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint (test cleanup).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = map[string]*point{}
+}
+
+// Visits reports how many times the named point has been visited since
+// it was armed (0 for unarmed points).
+func Visits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.visits.Load()
+	}
+	return 0
+}
+
+func parseSpec(spec string) (*point, error) {
+	spec = strings.TrimSpace(spec)
+	// Split the optional @HIT trigger off the end.
+	hit := 0
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		h, err := strconv.Atoi(spec[at+1:])
+		if err != nil || h < 1 {
+			return nil, fmt.Errorf("bad hit trigger %q", spec[at:])
+		}
+		hit = h
+		spec = spec[:at]
+	}
+	name, arg, _ := strings.Cut(spec, "=")
+	p := &point{hit: hit}
+	switch name {
+	case "panic":
+		p.kind = kindPanic
+	case "sleep":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("bad sleep duration %q", arg)
+		}
+		p.kind, p.arg = kindSleep, d
+	case "error":
+		p.kind = kindError
+	case "shortwrite":
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad shortwrite limit %q", arg)
+		}
+		p.kind, p.limit = kindShortWrite, n
+	default:
+		return nil, fmt.Errorf("unknown fault kind %q", name)
+	}
+	return p, nil
+}
+
+// lookup returns the armed point and whether this visit fires.
+func lookup(name string) (*point, bool) {
+	mu.Lock()
+	p, ok := points[name]
+	mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	v := p.visits.Add(1)
+	if p.hit != 0 && v != int64(p.hit) {
+		return p, false
+	}
+	return p, true
+}
+
+// Inject is a failpoint that can panic or sleep. It is a no-op unless a
+// point of this name is armed with a panic or sleep spec.
+func Inject(name string) {
+	if armed.Load() == 0 {
+		return
+	}
+	p, fire := lookup(name)
+	if !fire {
+		return
+	}
+	switch p.kind {
+	case kindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %q (visit %d)", name, p.visits.Load()))
+	case kindSleep:
+		d := p.arg
+		// Sleep in small slices so goroutines parked on an injected delay
+		// still yield promptly to the scheduler under -race.
+		for d > 0 {
+			step := d
+			if step > time.Millisecond {
+				step = time.Millisecond
+			}
+			time.Sleep(step)
+			d -= step
+			runtime.Gosched()
+		}
+	}
+}
+
+// InjectErr is a failpoint that can return an injected error (spec
+// "error") in addition to the Inject behaviors.
+func InjectErr(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	p, fire := lookup(name)
+	if !fire {
+		return nil
+	}
+	if p.kind == kindError {
+		return fmt.Errorf("fault: injected error at %q", name)
+	}
+	switch p.kind {
+	case kindPanic:
+		panic(fmt.Sprintf("fault: injected panic at %q (visit %d)", name, p.visits.Load()))
+	case kindSleep:
+		time.Sleep(p.arg)
+	}
+	return nil
+}
+
+// Writer wraps w with the named failpoint: when armed with
+// "shortwrite=N", the first firing visit truncates its write to N bytes
+// and returns an error, simulating a torn checkpoint (disk full, crash
+// mid-write). Unarmed, it returns w unchanged.
+func Writer(name string, w io.Writer) io.Writer {
+	return &faultWriter{name: name, w: w}
+}
+
+type faultWriter struct {
+	name string
+	w    io.Writer
+}
+
+func (f *faultWriter) Write(b []byte) (int, error) {
+	if armed.Load() != 0 {
+		if p, fire := lookup(f.name); fire && p.kind == kindShortWrite {
+			n := p.limit
+			if n > len(b) {
+				n = len(b)
+			}
+			wrote, _ := f.w.Write(b[:n])
+			return wrote, fmt.Errorf("fault: injected short write at %q (%d of %d bytes)", f.name, wrote, len(b))
+		}
+	}
+	return f.w.Write(b)
+}

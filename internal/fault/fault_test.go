@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInjectPanicOnNthVisit(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "panic@3"); err != nil {
+		t.Fatal(err)
+	}
+	Inject("p") // visit 1
+	Inject("p") // visit 2
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("visit 3 should panic")
+		}
+		if !strings.Contains(r.(string), `injected panic at "p"`) {
+			t.Fatalf("panic value %v lacks point name", r)
+		}
+	}()
+	Inject("p") // visit 3: fires
+}
+
+func TestInjectSleep(t *testing.T) {
+	defer Reset()
+	if err := Enable("s", "sleep=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	Inject("s")
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("sleep failpoint only slept %v", d)
+	}
+}
+
+func TestInjectErr(t *testing.T) {
+	defer Reset()
+	if err := Enable("e", "error@2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := InjectErr("e"); err != nil {
+		t.Fatalf("visit 1 should pass, got %v", err)
+	}
+	if err := InjectErr("e"); err == nil {
+		t.Fatal("visit 2 should return the injected error")
+	}
+	if err := InjectErr("e"); err != nil {
+		t.Fatalf("visit 3 should pass again, got %v", err)
+	}
+}
+
+func TestWriterShortWrite(t *testing.T) {
+	defer Reset()
+	if err := Enable("w", "shortwrite=4"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := Writer("w", &buf)
+	n, err := w.Write([]byte("0123456789"))
+	if err == nil || n != 4 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "0123" {
+		t.Fatalf("buffer holds %q", buf.String())
+	}
+}
+
+func TestWriterPassthroughWhenDisarmed(t *testing.T) {
+	Reset()
+	var buf bytes.Buffer
+	w := Writer("none", &buf)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("passthrough write: n=%d err=%v", n, err)
+	}
+}
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	Inject("ghost")
+	if err := InjectErr("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if Visits("ghost") != 0 {
+		t.Fatal("disarmed point should not count visits")
+	}
+}
+
+func TestEnableAllSpecList(t *testing.T) {
+	defer Reset()
+	if err := EnableAll("a=panic@9, b=sleep=1ms, c=shortwrite=8"); err != nil {
+		t.Fatal(err)
+	}
+	Inject("a")
+	if Visits("a") != 1 {
+		t.Fatalf("visits(a) = %d", Visits("a"))
+	}
+	if err := EnableAll("bad"); err == nil {
+		t.Fatal("malformed list must error")
+	}
+	if err := Enable("x", "explode"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}

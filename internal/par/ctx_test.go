@@ -1,0 +1,193 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosRunDAGCancel cancels a context mid-run and checks that the
+// scheduler stops at node granularity and reports ctx.Err() instead of
+// finishing the DAG.
+func TestChaosRunDAGCancel(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		const n = 200
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := RunDAGCtx(ctx, chainParents(n), threads, func(k, workers int) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("threads=%d: all %d nodes ran despite cancellation", threads, got)
+		}
+	}
+}
+
+// TestChaosRunDAGDeadline drives cancellation through a deadline instead
+// of an explicit cancel.
+func TestChaosRunDAGDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := RunDAGCtx(ctx, chainParents(500), 2, func(k, workers int) {
+		time.Sleep(time.Millisecond)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestChaosRunDAGWorkerPanic checks the panic-containment contract: a
+// worker panic surfaces exactly once on the caller's goroutine as a
+// *TaskPanic naming the failing node — instead of crashing the process
+// from an anonymous goroutine or wedging the other workers.
+func TestChaosRunDAGWorkerPanic(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				tp, ok := r.(*TaskPanic)
+				if !ok {
+					t.Fatalf("threads=%d: recovered %T %v, want *TaskPanic", threads, r, r)
+				}
+				if tp.Op != "RunDAG" || tp.Node != 7 {
+					t.Fatalf("threads=%d: panic attributed to %s task %d, want RunDAG task 7", threads, tp.Op, tp.Node)
+				}
+				if tp.Value != "boom" {
+					t.Fatalf("threads=%d: original panic value lost: %v", threads, tp.Value)
+				}
+				if len(tp.Stack) == 0 || !strings.Contains(tp.Error(), "task 7") {
+					t.Fatalf("threads=%d: stack or message missing: %v", threads, tp)
+				}
+			}()
+			RunDAGCtx(context.Background(), starParents(32), threads, func(k, workers int) {
+				if k == 7 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("threads=%d: expected panic", threads)
+		}()
+	}
+}
+
+// TestChaosRunDAGPanicDoesNotWedge floods a wide DAG with concurrent
+// workers, panics one node, and requires the call to return (with the
+// panic) rather than deadlock — run under a timeout to catch wedging.
+func TestChaosRunDAGPanicDoesNotWedge(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		RunDAG(starParents(512), 8, func(k, workers int) {
+			if k == 100 {
+				panic("mid-flight failure")
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunDAG wedged after a worker panic")
+	}
+}
+
+// TestRunDAGCycleReachableFromLeaves is the regression test for cycle
+// handling: leaves exist (so the no-leaves panic does not fire) but feed
+// into a cycle, leaving done < n after the queue drains. Both the
+// sequential and concurrent paths must end with a clear panic, never a
+// silent partial run or a wedge.
+func TestRunDAGCycleReachableFromLeaves(t *testing.T) {
+	parents := []int{1, 2, 1} // leaf 0 → cycle 1 ↔ 2
+	for _, threads := range []int{1, 4} {
+		done := make(chan any, 1)
+		go func() {
+			defer func() { done <- recover() }()
+			RunDAG(parents, threads, func(k, workers int) {})
+		}()
+		select {
+		case r := <-done:
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "cycle") {
+				t.Fatalf("threads=%d: panic %v, want a cycle message", threads, r)
+			}
+			if !strings.Contains(msg, "1 of 3") {
+				t.Fatalf("threads=%d: message %q should name completed/total counts", threads, msg)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("threads=%d: cycle wedged RunDAG instead of panicking", threads)
+		}
+	}
+}
+
+// TestChaosForCancel checks chunk-granularity cancellation of ForCtx.
+func TestChaosForCancel(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForCtx(ctx, 10000, threads, 1, func(i int) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+		if got := ran.Load(); got >= 10000 {
+			t.Fatalf("threads=%d: all iterations ran despite cancellation", threads)
+		}
+	}
+}
+
+// TestChaosForWorkerPanic checks that For names the exact failing
+// iteration when a worker panics.
+func TestChaosForWorkerPanic(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		func() {
+			defer func() {
+				tp, ok := recover().(*TaskPanic)
+				if !ok || tp.Op != "For" || tp.Node != 13 {
+					t.Fatalf("threads=%d: recovered %v, want For task 13", threads, tp)
+				}
+			}()
+			For(100, threads, 1, func(i int) {
+				if i == 13 {
+					panic("iteration failure")
+				}
+			})
+			t.Fatalf("threads=%d: expected panic", threads)
+		}()
+	}
+}
+
+// TestChaosNestedPanicAttribution runs a par.For inside a RunDAG node —
+// the shape of an intra-supernode update inside an elimination — and
+// checks the innermost attribution survives: the re-raised TaskPanic
+// names the For iteration, not the enclosing DAG node.
+func TestChaosNestedPanicAttribution(t *testing.T) {
+	defer func() {
+		tp, ok := recover().(*TaskPanic)
+		if !ok || tp.Op != "For" || tp.Node != 3 {
+			t.Fatalf("recovered %v, want For task 3", tp)
+		}
+	}()
+	RunDAG(chainParents(4), 2, func(k, workers int) {
+		if k == 2 {
+			For(8, 2, 1, func(i int) {
+				if i == 3 {
+					panic("inner kernel failure")
+				}
+			})
+		}
+	})
+	t.Fatal("expected panic")
+}

@@ -1,6 +1,10 @@
 package par
 
-import "sync"
+import (
+	"context"
+	"fmt"
+	"sync"
+)
 
 // RunDAG executes fn(node, workers) once for every node of the forest
 // described by parents (parents[k] is node k's parent, or < 0 for roots),
@@ -20,11 +24,24 @@ import "sync"
 //
 // Completion counts are derived from parents alone, so any forest is
 // accepted; RunDAG panics if parents contains a cycle or an out-of-range
-// index (other than the negative root markers).
+// index (other than the negative root markers). A panic inside fn is
+// captured with the node identity and re-raised once on the caller's
+// goroutine as a *TaskPanic — never a silent deadlock, never an
+// unattributed worker crash.
 func RunDAG(parents []int, threads int, fn func(node, workers int)) {
+	// Background context: the only non-panic outcome is nil.
+	_ = RunDAGCtx(context.Background(), parents, threads, fn)
+}
+
+// RunDAGCtx is RunDAG with cooperative cancellation: ctx is checked each
+// time a worker is about to start a node, so a cancelled context stops
+// the run at node granularity and returns ctx.Err(). Nodes already
+// executing are allowed to finish (fn is never interrupted mid-node);
+// nodes not yet started are abandoned.
+func RunDAGCtx(ctx context.Context, parents []int, threads int, fn func(node, workers int)) error {
 	n := len(parents)
 	if n == 0 {
-		return
+		return nil
 	}
 	threads = DefaultThreads(threads)
 	pending := make([]int32, n)
@@ -46,15 +63,25 @@ func RunDAG(parents []int, threads int, fn func(node, workers int)) {
 		}
 	}
 	if len(queue) == 0 {
-		panic("par: RunDAG parents contain a cycle")
+		panic("par: RunDAG parents contain a cycle (no leaves)")
 	}
+	// cancellable gates the per-node ctx polls so a background context
+	// costs nothing on the hot path.
+	cancellable := ctx.Done() != nil
 
 	if threads == 1 {
 		done := 0
 		for len(queue) > 0 {
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			k := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			fn(k, 1)
+			if tp := capture("RunDAG", k, 1, fn); tp != nil {
+				panic(tp)
+			}
 			done++
 			if p := parents[k]; p >= 0 {
 				pending[p]--
@@ -64,9 +91,9 @@ func RunDAG(parents []int, threads int, fn func(node, workers int)) {
 			}
 		}
 		if done != n {
-			panic("par: RunDAG parents contain a cycle")
+			panic(cycleMessage(done, n))
 		}
-		return
+		return nil
 	}
 
 	var (
@@ -74,18 +101,28 @@ func RunDAG(parents []int, threads int, fn func(node, workers int)) {
 		cond    = sync.NewCond(&mu)
 		running int
 		done    int
+		caught  *TaskPanic // first worker panic, re-raised on the caller
+		ctxErr  error      // first observed cancellation
 	)
 	worker := func() {
 		mu.Lock()
 		defer mu.Unlock()
 		for {
-			for len(queue) == 0 && running > 0 {
+			for len(queue) == 0 && running > 0 && caught == nil && ctxErr == nil {
 				cond.Wait()
 			}
-			if len(queue) == 0 {
-				// Nothing queued and nothing running: either all nodes
-				// completed or the remainder is unreachable (cycle).
+			if caught != nil || ctxErr != nil || len(queue) == 0 {
+				// Failure, cancellation, or nothing queued with nothing
+				// running (all nodes completed, or the remainder is
+				// unreachable — a cycle, detected after the join).
 				return
+			}
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					cond.Broadcast()
+					return
+				}
 			}
 			k := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
@@ -100,9 +137,16 @@ func RunDAG(parents []int, threads int, fn func(node, workers int)) {
 				inner = threads / width
 			}
 			mu.Unlock()
-			fn(k, inner)
+			tp := capture("RunDAG", k, inner, fn)
 			mu.Lock()
 			running--
+			if tp != nil {
+				if caught == nil {
+					caught = tp
+				}
+				cond.Broadcast()
+				return
+			}
 			done++
 			if p := parents[k]; p >= 0 {
 				pending[p]--
@@ -127,7 +171,21 @@ func RunDAG(parents []int, threads int, fn func(node, workers int)) {
 	}
 	worker() // the caller participates
 	wg.Wait()
-	if done != n {
-		panic("par: RunDAG parents contain a cycle")
+	if caught != nil {
+		panic(caught)
 	}
+	if ctxErr != nil {
+		return ctxErr
+	}
+	if done != n {
+		panic(cycleMessage(done, n))
+	}
+	return nil
+}
+
+// cycleMessage names the failure precisely: the run drained the ready
+// queue with nodes still pending, which is only possible when parents
+// contains a cycle reachable from the leaves' ancestor closure.
+func cycleMessage(done, n int) string {
+	return fmt.Sprintf("par: RunDAG completed %d of %d nodes — parents contain a cycle", done, n)
 }

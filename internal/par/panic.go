@@ -1,0 +1,78 @@
+package par
+
+// Panic containment for the parallel primitives. A panic inside a worker
+// goroutine would normally kill the whole process with a stack that
+// names no task — or, worse, leave sibling workers blocked on a
+// condition variable forever. Every fn invocation in RunDAG and For is
+// therefore wrapped: the first panic is captured together with the task
+// identity and the worker's stack, the schedulers wind down cleanly, and
+// the panic is re-raised exactly once on the caller's goroutine as a
+// *TaskPanic.
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// TaskPanic is the value re-panicked on the caller when a task passed to
+// RunDAG or For panics on a worker goroutine. It records which task
+// failed and the worker stack at the point of the original panic, so a
+// crash in a parallel factorization names its supernode instead of dying
+// as an anonymous goroutine.
+type TaskPanic struct {
+	// Op is the primitive that ran the task: "RunDAG" or "For".
+	Op string
+	// Node is the task identity: the DAG node index (RunDAG) or the loop
+	// iteration index (For).
+	Node int
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack captured at recovery time.
+	Stack []byte
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("par: panic in %s task %d: %v", p.Op, p.Node, p.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As chains.
+func (p *TaskPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// String includes the captured worker stack, which the short Error form
+// omits.
+func (p *TaskPanic) String() string {
+	return fmt.Sprintf("%s\n%s", p.Error(), p.Stack)
+}
+
+// Do runs fn(node, workers) inline and re-raises any panic as a
+// *TaskPanic attributed to (op, node). Sequential code paths use it so a
+// crash carries the same task identity it would have under the pooled
+// schedulers.
+func Do(op string, node, workers int, fn func(node, workers int)) {
+	if tp := capture(op, node, workers, fn); tp != nil {
+		panic(tp)
+	}
+}
+
+// capture runs fn(node, workers) and converts a panic into a returned
+// *TaskPanic. A *TaskPanic arriving from a nested primitive (a par.For
+// inside a RunDAG task) is passed through unchanged so the innermost
+// attribution wins.
+func capture(op string, node, workers int, fn func(node, workers int)) (tp *TaskPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			if inner, ok := r.(*TaskPanic); ok {
+				tp = inner
+				return
+			}
+			tp = &TaskPanic{Op: op, Node: node, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(node, workers)
+	return nil
+}

@@ -8,8 +8,11 @@
 package par
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultThreads returns the parallelism used when a caller passes
@@ -28,16 +31,47 @@ func DefaultThreads(threads int) int {
 // so tiny loops (n < threads, or grain ≥ n) degrade to fewer goroutines —
 // down to plain sequential execution on the caller's goroutine when a
 // single chunk covers the whole range.
+//
+// A panic inside fn is captured with the iteration index and re-raised
+// once on the caller's goroutine as a *TaskPanic; remaining chunks are
+// abandoned.
 func For(n, threads, grain int, fn func(i int)) {
+	// Background context: the only non-panic outcome is nil.
+	_ = ForCtx(context.Background(), n, threads, grain, fn)
+}
+
+// ForCtx is For with cooperative cancellation: ctx is checked at chunk
+// boundaries, so a cancelled context stops the loop without interrupting
+// an iteration mid-flight and returns ctx.Err().
+func ForCtx(ctx context.Context, n, threads, grain int, fn func(i int)) error {
 	threads = DefaultThreads(threads)
 	if n <= 0 {
-		return
+		return nil
 	}
 	if grain <= 0 {
 		grain = n / (threads * 4)
 		if grain < 1 {
 			grain = 1
 		}
+	}
+	cancellable := ctx.Done() != nil
+	// runChunk executes one contiguous chunk, converting a panic into a
+	// *TaskPanic that names the exact failing iteration.
+	runChunk := func(lo, hi int) (tp *TaskPanic) {
+		i := lo
+		defer func() {
+			if r := recover(); r != nil {
+				if inner, ok := r.(*TaskPanic); ok {
+					tp = inner
+					return
+				}
+				tp = &TaskPanic{Op: "For", Node: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		for ; i < hi; i++ {
+			fn(i)
+		}
+		return nil
 	}
 	// One goroutine per chunk is the most parallelism the chunking can
 	// feed; spawning beyond that only creates workers that find the queue
@@ -48,16 +82,44 @@ func For(n, threads, grain int, fn func(i int)) {
 		workers = nchunks
 	}
 	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
+		for lo := 0; lo < n; lo += grain {
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			if tp := runChunk(lo, hi); tp != nil {
+				panic(tp)
+			}
 		}
-		return
+		return nil
 	}
-	var next int
-	var mu sync.Mutex
+	var (
+		mu      sync.Mutex
+		next    int
+		caught  *TaskPanic // first worker panic (guarded by mu)
+		ctxErr  error      // first observed cancellation (guarded by mu)
+		stopped atomic.Bool
+	)
 	take := func() (int, int, bool) {
+		if stopped.Load() {
+			return 0, 0, false
+		}
 		mu.Lock()
 		defer mu.Unlock()
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				if ctxErr == nil {
+					ctxErr = err
+				}
+				stopped.Store(true)
+				return 0, 0, false
+			}
+		}
 		if next >= n {
 			return 0, 0, false
 		}
@@ -79,13 +141,23 @@ func For(n, threads, grain int, fn func(i int)) {
 				if !ok {
 					return
 				}
-				for i := lo; i < hi; i++ {
-					fn(i)
+				if tp := runChunk(lo, hi); tp != nil {
+					mu.Lock()
+					if caught == nil {
+						caught = tp
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if caught != nil {
+		panic(caught)
+	}
+	return ctxErr
 }
 
 // ForRanges executes fn(lo, hi) over contiguous ranges covering [0, n).

@@ -27,7 +27,7 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	m := &metrics{endpoints: map[string]*endpointMetrics{}, started: time.Now()}
-	for _, name := range []string{"health", "dist", "dist_batch", "sssp", "route"} {
+	for _, name := range []string{"health", "readyz", "dist", "dist_batch", "sssp", "route", "reload"} {
 		m.endpoints[name] = &endpointMetrics{}
 	}
 	return m
@@ -82,7 +82,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		}
 		snap.Endpoints[name] = es
 	}
-	st := s.cache.Stats()
+	st := s.eng.Load().cache.Stats()
 	snap.CacheHits = st.Hits
 	snap.CacheMisses = st.Misses
 	snap.CacheHitRate = st.HitRate()

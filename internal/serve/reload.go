@@ -1,0 +1,79 @@
+package serve
+
+// Factor reload and readiness. A running server can swap in a freshly
+// rebuilt or checkpoint-restored factor without dropping queries: the
+// engine (factor + label cache + row pool + vertex count) sits behind an
+// atomic pointer, handlers pin it once per request, and POST
+// /admin/reload publishes a new engine only after the incoming factor
+// validates. A reload that fails — build error, corrupt checkpoint,
+// validation failure — leaves the old engine serving untouched; the
+// rollback is simply never performing the swap.
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// retryAfterSeconds is sent on every 503 (load shed or not-ready) and
+// 409 so well-behaved clients back off instead of hammering the server.
+const retryAfterSeconds = "1"
+
+// readyz reports whether the server should receive traffic. Unlike
+// /health and /healthz (liveness: the process is up and answering),
+// readiness goes false for the duration of a factor reload, steering
+// load balancers away from the node while it is busy rebuilding. The
+// old factor keeps answering queries that do arrive during the window.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	if s.notReady.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		s.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("factor reload in progress"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"ready":    true,
+		"vertices": s.eng.Load().n,
+	})
+}
+
+// adminReload serves POST /admin/reload: invoke the configured reload
+// source, validate what it returns, and atomically swap it in. Exactly
+// one reload runs at a time (concurrent requests get 409); queries keep
+// being answered from the old factor until the instant of the swap, and
+// any failure keeps the old factor in place.
+func (s *Server) adminReload(w http.ResponseWriter, r *http.Request) {
+	if s.reload == nil {
+		s.writeErr(w, http.StatusNotImplemented, fmt.Errorf("server was started without a reload source"))
+		return
+	}
+	if !s.reloading.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("a reload is already in progress"))
+		return
+	}
+	defer s.reloading.Store(false)
+	s.notReady.Store(true)
+	defer s.notReady.Store(false)
+
+	old := s.eng.Load()
+	f, res, err := s.reload(r.Context())
+	if err != nil {
+		s.log.Printf("serve: reload failed, keeping current factor: %v", err)
+		s.writeErr(w, http.StatusInternalServerError,
+			fmt.Errorf("reload failed (still serving previous factor): %w", err))
+		return
+	}
+	if err := f.Validate(); err != nil {
+		s.log.Printf("serve: reloaded factor rejected, keeping current factor: %v", err)
+		s.writeErr(w, http.StatusInternalServerError,
+			fmt.Errorf("reloaded factor rejected (still serving previous factor): %w", err))
+		return
+	}
+	s.eng.Store(newEngine(f, res, f.N(), s.cacheSize))
+	s.log.Printf("serve: factor reloaded (%d vertices, routes=%v)", f.N(), res != nil)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"reloaded":     true,
+		"vertices":     f.N(),
+		"routes":       res != nil,
+		"prevVertices": old.n,
+	})
+}

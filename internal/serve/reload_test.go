@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+)
+
+// reloadFactor builds a second, different factor (another graph size) so
+// a successful swap is observable through /health's vertex count.
+func reloadFactor(t *testing.T) (*core.Factor, int) {
+	t.Helper()
+	g := gen.RoadNetwork(12, 12, 0.3, 11)
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFactor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, g.N
+}
+
+func postEmpty(t *testing.T, client *http.Client, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d, want %d (body %s)", url, resp.StatusCode, wantCode, raw)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReadyz(t *testing.T) {
+	_, srv, n := testServerOpts(t, false, Options{})
+	m := getJSON(t, srv.URL+"/readyz", http.StatusOK)
+	if m["ready"] != true {
+		t.Errorf("readyz = %v, want ready:true", m)
+	}
+	if int(m["vertices"].(float64)) != n {
+		t.Errorf("readyz vertices = %v, want %d", m["vertices"], n)
+	}
+	// /healthz must answer as the /health alias.
+	if m := getJSON(t, srv.URL+"/healthz", http.StatusOK); m["status"] != "ok" {
+		t.Errorf("healthz = %v", m)
+	}
+}
+
+func TestReadyzNotReadyDuringReload(t *testing.T) {
+	inReload := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s, srv, _ := testServerOpts(t, false, Options{
+		Reload: func(ctx context.Context) (*core.Factor, *core.Result, error) {
+			once.Do(func() { close(inReload) })
+			<-release
+			f, _ := reloadFactor(t)
+			return f, nil, nil
+		},
+	})
+	reloadDone := make(chan struct{})
+	go func() {
+		defer close(reloadDone)
+		postEmpty(t, srv.Client(), srv.URL+"/admin/reload", http.StatusOK)
+	}()
+	<-inReload
+
+	// Mid-reload: not ready, with Retry-After; liveness still answers.
+	resp, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during reload = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("readyz 503 missing Retry-After")
+	}
+	if m := getJSON(t, srv.URL+"/health", http.StatusOK); m["ready"] != false {
+		t.Errorf("health during reload reports ready=%v, want false", m["ready"])
+	}
+	// A second reload while one is running is refused, not queued.
+	postEmpty(t, srv.Client(), srv.URL+"/admin/reload", http.StatusConflict)
+
+	close(release)
+	<-reloadDone
+	if m := getJSON(t, srv.URL+"/readyz", http.StatusOK); m["ready"] != true {
+		t.Errorf("readyz after reload = %v, want ready:true", m)
+	}
+	if s.notReady.Load() {
+		t.Error("notReady still set after reload completed")
+	}
+}
+
+func TestAdminReloadSwapsFactor(t *testing.T) {
+	nf, nn := reloadFactor(t)
+	_, srv, oldN := testServerOpts(t, false, Options{
+		Reload: func(ctx context.Context) (*core.Factor, *core.Result, error) {
+			return nf, nil, nil
+		},
+	})
+	if nn == oldN {
+		t.Fatal("test graphs must differ in size for the swap to be observable")
+	}
+	m := postEmpty(t, srv.Client(), srv.URL+"/admin/reload", http.StatusOK)
+	if m["reloaded"] != true || int(m["vertices"].(float64)) != nn {
+		t.Fatalf("reload response %v, want reloaded:true vertices:%d", m, nn)
+	}
+	if m := getJSON(t, srv.URL+"/health", http.StatusOK); int(m["vertices"].(float64)) != nn {
+		t.Errorf("health after reload reports %v vertices, want %d", m["vertices"], nn)
+	}
+	// Queries answer against the new factor's vertex range.
+	getJSON(t, srv.URL+fmt.Sprintf("/dist?u=0&v=%d", nn-1), http.StatusOK)
+}
+
+func TestAdminReloadRollsBackOnError(t *testing.T) {
+	_, srv, n := testServerOpts(t, false, Options{
+		Reload: func(ctx context.Context) (*core.Factor, *core.Result, error) {
+			return nil, nil, fmt.Errorf("checkpoint corrupt")
+		},
+	})
+	m := postEmpty(t, srv.Client(), srv.URL+"/admin/reload", http.StatusInternalServerError)
+	if !strings.Contains(m["error"].(string), "previous factor") {
+		t.Errorf("reload error %q does not say the old factor is still serving", m["error"])
+	}
+	// The old factor must keep answering.
+	if m := getJSON(t, srv.URL+"/health", http.StatusOK); int(m["vertices"].(float64)) != n {
+		t.Errorf("vertices %v after failed reload, want %d", m["vertices"], n)
+	}
+	getJSON(t, srv.URL+"/dist?u=0&v=1", http.StatusOK)
+	if m := getJSON(t, srv.URL+"/readyz", http.StatusOK); m["ready"] != true {
+		t.Errorf("server not ready after failed reload: %v", m)
+	}
+}
+
+func TestAdminReloadWithoutSource(t *testing.T) {
+	_, srv, _ := testServerOpts(t, false, Options{})
+	postEmpty(t, srv.Client(), srv.URL+"/admin/reload", http.StatusNotImplemented)
+}
+
+func TestShedCarriesRetryAfter(t *testing.T) {
+	f, res, n, _ := testFactor(t)
+	s := New(f, res, n, Options{MaxInFlight: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /slow", s.instrument("dist", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	mux.Handle("/", s.Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := srv.Client().Get(srv.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	defer func() { close(release); <-done }()
+
+	resp, err := srv.Client().Get(srv.URL + "/dist?u=0&v=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed 503 missing Retry-After header")
+	}
+	// Readiness and admin endpoints bypass the limiter: they must answer
+	// even while query capacity is exhausted.
+	if m := getJSON(t, srv.URL+"/readyz", http.StatusOK); m["ready"] != true {
+		t.Errorf("readyz shed by the limiter: %v", m)
+	}
+}
+
+// TestChaosShutdownDuringSSSPStream parks a streamed /sssp response on a
+// failpoint, begins graceful shutdown mid-stream, and asserts the client
+// still receives the complete, parseable row.
+func TestChaosShutdownDuringSSSPStream(t *testing.T) {
+	defer fault.Reset()
+	if err := fault.Enable("serve.sssp", "sleep=300ms"); err != nil {
+		t.Fatal(err)
+	}
+	f, res, n, _ := testFactor(t)
+	s := New(f, res, n, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- RunServer(ctx, hs, ln, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	type ssspResp struct {
+		Src  int       `json:"src"`
+		N    int       `json:"n"`
+		Dist []float64 `json:"dist"`
+	}
+	bodyc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(url + "/sssp?src=0")
+		if err != nil {
+			bodyc <- err
+			return
+		}
+		defer resp.Body.Close()
+		var out ssspResp
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			bodyc <- fmt.Errorf("stream cut mid-response: %w", err)
+			return
+		}
+		if out.N != n || len(out.Dist) != n {
+			bodyc <- fmt.Errorf("short row: n=%d len=%d want %d", out.N, len(out.Dist), n)
+			return
+		}
+		bodyc <- nil
+	}()
+
+	// Let the handler commit the status and park on the failpoint, then
+	// start the shutdown while the stream is in flight.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	if err := <-bodyc; err != nil {
+		t.Fatalf("in-flight /sssp stream not drained: %v", err)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("RunServer returned %v, want nil after drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunServer did not return after shutdown")
+	}
+}
+
+// TestChaosShutdownCancelsFactorization models the apspserve boot path:
+// a factorization launched under the serving context must abort with
+// context.Canceled promptly when shutdown begins, rather than finishing
+// a build nobody will serve.
+func TestChaosShutdownCancelsFactorization(t *testing.T) {
+	defer fault.Reset()
+	if err := fault.Enable("core.factor.eliminate", "sleep=20ms"); err != nil {
+		t.Fatal(err)
+	}
+	g := gen.RoadNetwork(20, 20, 0.3, 13)
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := core.NewFactorCtx(ctx, plan, 2)
+		errc <- err
+	}()
+	time.Sleep(40 * time.Millisecond)
+	cancel() // shutdown signal arrives mid-build
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("factorization returned %v, want context.Canceled", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("factorization did not abort after cancellation")
+	}
+}

@@ -10,10 +10,17 @@
 // zero allocations), /sssp rows are streamed straight from pooled
 // buffers without boxing every float, per-endpoint request/error/latency
 // counters are exported at /metrics, and an optional in-flight limiter
-// sheds load with 503s instead of collapsing under it.
+// sheds load with 503s (carrying Retry-After) instead of collapsing
+// under it.
+//
+// The factor itself is replaceable at runtime: everything derived from
+// it lives in an engine behind an atomic pointer, and POST /admin/reload
+// swaps in a rebuilt or checkpoint-restored factor without dropping
+// in-flight queries (see reload.go).
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -21,9 +28,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // MaxBatchPairs bounds a single /dist/batch request; larger workloads
@@ -44,20 +53,70 @@ type Options struct {
 	MaxInFlight int
 	// Logger receives encode/stream failures; nil uses log.Default().
 	Logger *log.Logger
+	// Reload produces a replacement factor (and optional path-tracked
+	// result) for POST /admin/reload — typically by restoring a
+	// checkpoint or re-running the factorization. When nil the endpoint
+	// answers 501. The context is the reload request's context, so an
+	// abandoned request cancels the rebuild.
+	Reload func(ctx context.Context) (*core.Factor, *core.Result, error)
+}
+
+// engine bundles everything that must swap together when a new factor is
+// loaded: the factor, its label cache, the optional path-tracked result,
+// the vertex count, and the n-sized row pool. Handlers pin the engine
+// once per request, so a concurrent swap can never hand them a cache
+// from one factor and a row length from another.
+type engine struct {
+	factor  *core.Factor
+	cache   *core.LabelCache
+	result  *core.Result // optional: enables /route
+	n       int
+	rowPool sync.Pool // *[]float64 length n, for /sssp rows
+}
+
+func newEngine(f *core.Factor, res *core.Result, n, cacheSize int) *engine {
+	return &engine{
+		factor: f,
+		cache:  core.NewLabelCache(f, cacheSize),
+		result: res,
+		n:      n,
+	}
+}
+
+func (e *engine) getRow() []float64 {
+	if v := e.rowPool.Get(); v != nil {
+		return *(v.(*[]float64))
+	}
+	return make([]float64, e.n)
+}
+
+func (e *engine) putRow(row []float64) { e.rowPool.Put(&row) }
+
+func (e *engine) vertex(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 || v >= e.n {
+		return 0, fmt.Errorf("parameter %q must be a vertex id in [0,%d)", key, e.n)
+	}
+	return v, nil
 }
 
 // Server answers distance queries from a supernodal factor and,
 // optionally, route queries from a path-tracked dense result.
 type Server struct {
-	factor   *core.Factor
-	cache    *core.LabelCache
-	result   *core.Result // optional: enables /route
-	n        int
-	log      *log.Logger
-	metrics  *metrics
-	inflight chan struct{} // nil when unlimited
+	eng       atomic.Pointer[engine]
+	cacheSize int
+	log       *log.Logger
+	metrics   *metrics
+	inflight  chan struct{} // nil when unlimited
 
-	rowPool sync.Pool // *[]float64 length n, for /sssp rows
+	reload    func(ctx context.Context) (*core.Factor, *core.Result, error)
+	reloading atomic.Bool // serializes /admin/reload
+	notReady  atomic.Bool // true while a reload rebuilds the factor
+
 	bufPool sync.Pool // *[]byte, for streamed JSON encoding
 }
 
@@ -68,30 +127,33 @@ func New(f *core.Factor, res *core.Result, n int, opts Options) *Server {
 		logger = log.Default()
 	}
 	s := &Server{
-		factor:  f,
-		cache:   core.NewLabelCache(f, opts.CacheSize),
-		result:  res,
-		n:       n,
-		log:     logger,
-		metrics: newMetrics(),
+		cacheSize: opts.CacheSize,
+		log:       logger,
+		metrics:   newMetrics(),
+		reload:    opts.Reload,
 	}
+	s.eng.Store(newEngine(f, res, n, opts.CacheSize))
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
 	return s
 }
 
-// Cache exposes the server's label cache (for stats and warmup).
-func (s *Server) Cache() *core.LabelCache { return s.cache }
+// Cache exposes the current engine's label cache (for stats and warmup).
+// A reload replaces the cache; callers must not hold this across swaps.
+func (s *Server) Cache() *core.LabelCache { return s.eng.Load().cache }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /health", s.instrument("health", s.health))
+	mux.HandleFunc("GET /healthz", s.instrument("health", s.health))
+	mux.HandleFunc("GET /readyz", s.counted("readyz", s.readyz))
 	mux.HandleFunc("GET /dist", s.instrument("dist", s.dist))
 	mux.HandleFunc("POST /dist/batch", s.instrument("dist_batch", s.distBatch))
 	mux.HandleFunc("GET /sssp", s.instrument("sssp", s.sssp))
 	mux.HandleFunc("GET /route", s.instrument("route", s.route))
+	mux.HandleFunc("POST /admin/reload", s.counted("reload", s.adminReload))
 	mux.HandleFunc("GET /metrics", s.metricsEndpoint)
 	return mux
 }
@@ -99,9 +161,20 @@ func (s *Server) Handler() http.Handler {
 // instrument wraps an endpoint with the in-flight limiter and the
 // request/error/latency counters surfaced at /metrics.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return s.wrap(name, true, h)
+}
+
+// counted records the same counters but bypasses the in-flight limiter:
+// readiness probes and admin actions must keep working while query
+// traffic is being shed.
+func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return s.wrap(name, false, h)
+}
+
+func (s *Server) wrap(name string, limited bool, h http.HandlerFunc) http.HandlerFunc {
 	m := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.inflight != nil {
+		if limited && s.inflight != nil {
 			select {
 			case s.inflight <- struct{}{}:
 				defer func() { <-s.inflight }()
@@ -109,6 +182,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 				s.metrics.rejected.Add(1)
 				m.requests.Add(1)
 				m.errors.Add(1)
+				w.Header().Set("Retry-After", retryAfterSeconds)
 				s.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server at in-flight capacity"))
 				return
 			}
@@ -136,12 +210,14 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
-	st := s.cache.Stats()
+	e := s.eng.Load()
+	st := e.cache.Stats()
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
-		"vertices":  s.n,
-		"memoryMB":  float64(s.factor.Memory()) / 1e6,
-		"routes":    s.result != nil,
+		"ready":     !s.notReady.Load(),
+		"vertices":  e.n,
+		"memoryMB":  float64(e.factor.Memory()) / 1e6,
+		"routes":    e.result != nil,
 		"cacheSize": st.Size,
 	})
 }
@@ -150,13 +226,14 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 // from the LRU cache, so repeated queries against hot vertices skip the
 // label computation entirely.
 func (s *Server) dist(w http.ResponseWriter, r *http.Request) {
-	u, err1 := s.vertex(r, "u")
-	v, err2 := s.vertex(r, "v")
+	e := s.eng.Load()
+	u, err1 := e.vertex(r, "u")
+	v, err2 := e.vertex(r, "v")
 	if err1 != nil || err2 != nil {
 		s.writeErr(w, http.StatusBadRequest, firstErr(err1, err2))
 		return
 	}
-	d := s.cache.Dist(u, v)
+	d := e.cache.Dist(u, v)
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"u": u, "v": v,
 		"dist":      jsonFloat(d),
@@ -174,6 +251,7 @@ type distBatchRequest struct {
 // most k labels regardless of pair count. The response streams
 // {"count":N,"dists":[...],"reachable":[...]} without per-value boxing.
 func (s *Server) distBatch(w http.ResponseWriter, r *http.Request) {
+	e := s.eng.Load()
 	var req distBatchRequest
 	body := http.MaxBytesReader(w, r.Body, maxBatchBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -189,8 +267,8 @@ func (s *Server) distBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, p := range req.Pairs {
-		if p[0] < 0 || p[0] >= s.n || p[1] < 0 || p[1] >= s.n {
-			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("pair (%d,%d) out of range [0,%d)", p[0], p[1], s.n))
+		if p[0] < 0 || p[0] >= e.n || p[1] < 0 || p[1] >= e.n {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("pair (%d,%d) out of range [0,%d)", p[0], p[1], e.n))
 			return
 		}
 	}
@@ -204,14 +282,14 @@ func (s *Server) distBatch(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			sw.literal(",")
 		}
-		sw.float(s.cache.Dist(p[0], p[1]))
+		sw.float(e.cache.Dist(p[0], p[1]))
 	}
 	sw.literal(`],"reachable":[`)
 	for i, p := range req.Pairs {
 		if i > 0 {
 			sw.literal(",")
 		}
-		sw.bool(reachable(s.cache.Dist(p[0], p[1])))
+		sw.bool(reachable(e.cache.Dist(p[0], p[1])))
 	}
 	sw.literal("]}\n")
 	sw.close("dist/batch")
@@ -221,21 +299,26 @@ func (s *Server) distBatch(w http.ResponseWriter, r *http.Request) {
 // {"src":S,"n":N,"dist":[...]} from a pooled row buffer — no []any
 // boxing, no per-request row allocation.
 func (s *Server) sssp(w http.ResponseWriter, r *http.Request) {
-	src, err := s.vertex(r, "src")
+	e := s.eng.Load()
+	src, err := e.vertex(r, "src")
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	row := s.getRow()
-	defer s.putRow(row)
-	s.factor.SSSPInto(src, row)
+	row := e.getRow()
+	defer e.putRow(row)
+	e.factor.SSSPInto(src, row)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
+	// Failpoint between committing the status and streaming the row: a
+	// sleep here holds a genuinely in-flight response open for the
+	// graceful-shutdown chaos tests.
+	fault.Inject("serve.sssp")
 	sw := s.newStreamWriter(w)
 	sw.literal(`{"src":`)
 	sw.int(src)
 	sw.literal(`,"n":`)
-	sw.int(s.n)
+	sw.int(e.n)
 	sw.literal(`,"dist":[`)
 	for i, d := range row {
 		if i > 0 {
@@ -250,48 +333,28 @@ func (s *Server) sssp(w http.ResponseWriter, r *http.Request) {
 // route answers GET /route?u=U&v=V with the vertex sequence of a
 // shortest path (requires a path-tracked result).
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
-	if s.result == nil {
+	e := s.eng.Load()
+	if e.result == nil {
 		s.writeErr(w, http.StatusNotImplemented, fmt.Errorf("server was started without route support"))
 		return
 	}
-	u, err1 := s.vertex(r, "u")
-	v, err2 := s.vertex(r, "v")
+	u, err1 := e.vertex(r, "u")
+	v, err2 := e.vertex(r, "v")
 	if err1 != nil || err2 != nil {
 		s.writeErr(w, http.StatusBadRequest, firstErr(err1, err2))
 		return
 	}
-	path, ok := s.result.Path(u, v)
+	path, ok := e.result.Path(u, v)
 	if !ok {
 		s.writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "reachable": false})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"u": u, "v": v, "reachable": true,
-		"dist": jsonFloat(s.result.At(u, v)),
+		"dist": jsonFloat(e.result.At(u, v)),
 		"path": path,
 	})
 }
-
-func (s *Server) vertex(r *http.Request, key string) (int, error) {
-	raw := r.URL.Query().Get(key)
-	if raw == "" {
-		return 0, fmt.Errorf("missing query parameter %q", key)
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil || v < 0 || v >= s.n {
-		return 0, fmt.Errorf("parameter %q must be a vertex id in [0,%d)", key, s.n)
-	}
-	return v, nil
-}
-
-func (s *Server) getRow() []float64 {
-	if v := s.rowPool.Get(); v != nil {
-		return *(v.(*[]float64))
-	}
-	return make([]float64, s.n)
-}
-
-func (s *Server) putRow(row []float64) { s.rowPool.Put(&row) }
 
 func reachable(d float64) bool {
 	return !math.IsInf(d, 1) && !math.IsInf(d, -1) && !math.IsNaN(d)

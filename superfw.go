@@ -32,11 +32,13 @@
 package superfw
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/apsp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/semiring"
 )
 
@@ -90,11 +92,20 @@ func NewPlan(g *Graph, opts Options) (*Plan, error) { return core.NewPlan(g, opt
 // Solve computes all-pairs shortest paths for g with default options.
 // It returns an error if g contains a negative-weight cycle.
 func Solve(g *Graph) (*Result, error) {
+	return SolveCtx(context.Background(), g)
+}
+
+// SolveCtx is Solve with cooperative cancellation: ctx is polled at
+// supernode granularity during elimination, so a cancelled context
+// aborts the numeric phase promptly and returns ctx.Err(). The partially
+// relaxed state is discarded. Plans also accept a context directly via
+// Plan.SolveCtx or Options.Context.
+func SolveCtx(ctx context.Context, g *Graph) (*Result, error) {
 	plan, err := core.NewPlan(g, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	return plan.Solve()
+	return plan.SolveCtx(ctx)
 }
 
 // SolveWithPaths is Solve with next-hop tracking enabled, so the result
@@ -146,9 +157,32 @@ func NewFactor(plan *Plan, threads int) (*Factor, error) {
 	return core.NewFactor(plan, threads)
 }
 
-// ReadFactor deserializes a factor previously saved with Factor.WriteTo;
-// the restored factor answers queries without the graph or the plan.
+// NewFactorCtx is NewFactor with cooperative cancellation, checked at
+// supernode granularity; a cancelled context returns ctx.Err() and the
+// partial factor is discarded.
+func NewFactorCtx(ctx context.Context, plan *Plan, threads int) (*Factor, error) {
+	return core.NewFactorCtx(ctx, plan, threads)
+}
+
+// ReadFactor deserializes a factor previously saved with Factor.WriteTo,
+// verifying its checksum; the restored factor answers queries without
+// the graph or the plan. Truncated or bit-flipped inputs are rejected
+// with an error rather than yielding a silently wrong factor.
 func ReadFactor(r io.Reader) (*Factor, error) { return core.ReadFactor(r) }
+
+// SaveFactorFile atomically checkpoints a factor to path (temp file +
+// rename); a crash mid-save never leaves a torn file under path.
+func SaveFactorFile(path string, f *Factor) error { return core.SaveFactorFile(path, f) }
+
+// LoadFactorFile restores a checkpoint written by SaveFactorFile,
+// verifying both the checksum and the factor's internal invariants.
+func LoadFactorFile(path string) (*Factor, error) { return core.LoadFactorFile(path) }
+
+// TaskPanic is the panic value re-raised on the caller when a worker
+// goroutine panics inside a parallel solve or factorization. It names
+// the failing task (supernode or loop iteration) and carries the worker
+// stack, so crashes in parallel sections are attributable.
+type TaskPanic = par.TaskPanic
 
 // Baseline runs one of the paper's baseline algorithms by name
 // ("blockedfw", "dijkstra", "boostdijkstra", "deltastep", "johnson",
