@@ -1,8 +1,8 @@
 GO ?= go
 
-RACE_PKGS := ./internal/par ./internal/core ./internal/serve
+RACE_PKGS := ./internal/par ./internal/core ./internal/serve ./internal/semiring
 
-.PHONY: all build test race lint bench-smoke queryload-smoke chaos checkpoint-smoke
+.PHONY: all build test race lint bench-smoke queryload-smoke chaos checkpoint-smoke gemm-smoke bench-gemm
 
 all: build test
 
@@ -48,3 +48,17 @@ checkpoint-smoke:
 		| grep 'dist(' > "$$tmp/restored.txt"; \
 	diff "$$tmp/built.txt" "$$tmp/restored.txt" \
 		&& echo "checkpoint round trip OK: $$(cat "$$tmp/restored.txt")"
+
+# Exercise the adaptive GEMM engine end to end: the differential suite
+# (every dispatch path vs the naive kernel, under the race detector) plus
+# one quick pass of the gemm density × size sweep.
+gemm-smoke:
+	$(GO) test -race -run 'TestGemmDifferential|TestKernelCounters' ./internal/semiring
+	$(GO) run ./cmd/apspbench -exp gemm -quick
+
+# Full density × size sweep of the adaptive GEMM engine vs the frozen
+# seed kernel. Writes BENCH_gemm.md (table) and BENCH_gemm.json (raw
+# measurements incl. dispatch counters).
+bench-gemm:
+	$(GO) run ./cmd/apspbench -exp gemm -out BENCH_gemm.md
+	@echo "wrote BENCH_gemm.md and BENCH_gemm.json"

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -55,6 +56,8 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments take a few seconds even in quick mode")
 	}
+	// Keep the gemm experiment's JSON artifact out of the package dir.
+	t.Setenv("BENCH_GEMM_OUT", filepath.Join(t.TempDir(), "BENCH_gemm.json"))
 	for _, id := range Experiments() {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -471,7 +471,7 @@ func Preproc(quick bool) *Report {
 // Experiments lists every experiment id in run order: one per paper
 // table/figure plus the "factor" extension study.
 func Experiments() []string {
-	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "preproc", "factor", "queryload", "crossover", "comm"}
+	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "gemm", "preproc", "factor", "queryload", "crossover", "comm"}
 }
 
 // Run executes the named experiment.
@@ -493,6 +493,8 @@ func Run(id string, quick bool, threads int) (*Report, error) {
 		return Fig8(quick), nil
 	case "kernel":
 		return Kernel(quick), nil
+	case "gemm":
+		return Gemm(quick), nil
 	case "preproc":
 		return Preproc(quick), nil
 	case "factor":

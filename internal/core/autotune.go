@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/semiring"
 )
 
 // AutotuneMaxBlock picks the supernode block cap empirically: it builds
@@ -66,6 +67,44 @@ func AutotuneSchedule(g *graph.Graph, opts Options) (ScheduleKind, error) {
 			best = sched
 		}
 	}
+	return best, nil
+}
+
+// AutotuneGemm picks the GEMM-engine tuning empirically, mirroring
+// AutotuneSchedule: it installs each candidate tuning, times a numeric
+// solve on the graph (or a sampled subgraph) and keeps the fastest,
+// leaving the winner installed process-wide via semiring.SetGemmTuning.
+// The knobs it sweeps — pack-tile shape, the small-GEMM cutoff and the
+// dense-dispatch density threshold — are exactly the machine- and
+// workload-dependent parameters of the adaptive kernel engine.
+//
+// Candidates defaults to semiring.GemmTuningCandidates() when nil. On
+// error the previously installed tuning is restored.
+func AutotuneGemm(g *graph.Graph, opts Options, candidates []semiring.GemmTuning) (semiring.GemmTuning, error) {
+	if candidates == nil {
+		candidates = semiring.GemmTuningCandidates()
+	}
+	sample := autotuneSample(g)
+	prev := semiring.CurrentGemmTuning()
+	best, bestTime := prev, time.Duration(1<<62-1)
+	for _, cand := range candidates {
+		semiring.SetGemmTuning(cand)
+		plan, perr := NewPlan(sample, opts)
+		if perr != nil {
+			semiring.SetGemmTuning(prev)
+			return prev, perr
+		}
+		res, serr := plan.Solve()
+		if serr != nil {
+			semiring.SetGemmTuning(prev)
+			return prev, serr
+		}
+		if res.NumericTime < bestTime {
+			bestTime = res.NumericTime
+			best = cand
+		}
+	}
+	semiring.SetGemmTuning(best)
 	return best, nil
 }
 

@@ -366,6 +366,12 @@ type Result struct {
 	Perm, IPerm []int
 	// NumericTime is the wall time of the numeric phase.
 	NumericTime time.Duration
+	// Kernel holds the GEMM-engine counter deltas spanning this solve's
+	// numeric phase: call counts, dense-vs-stream dispatch split, fused
+	// element updates and packed bytes (see semiring.KernelCounters).
+	// The counters are process-global, so solves running concurrently in
+	// the same process fold into each other's deltas.
+	Kernel semiring.KernelCounters
 }
 
 // At returns the shortest-path distance from original vertex u to v

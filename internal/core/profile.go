@@ -39,6 +39,9 @@ type Profile struct {
 	Supernodes []SupernodeProfile
 	// Levels summarizes the supernode spans per etree level.
 	Levels []LevelProfile
+	// Kernel is the GEMM-engine counter delta spanning the profiled
+	// numeric phase (see Result.Kernel for the concurrency caveat).
+	Kernel semiring.KernelCounters
 
 	mu sync.Mutex // guards Supernodes during the solve
 }
@@ -134,10 +137,27 @@ func (pr *Profile) String() string {
 		}
 	}
 	if sp, ok := pr.slowestSupernode(); ok {
-		fmt.Fprintf(&b, "slowest supernode: #%d (level %d, %d vertices, %d workers) %v",
+		fmt.Fprintf(&b, "slowest supernode: #%d (level %d, %d vertices, %d workers) %v\n",
 			sp.Supernode, sp.Level, sp.Vertices, sp.Workers, sp.Wall.Round(time.Microsecond))
 	}
+	if k := pr.Kernel; k.Calls > 0 {
+		fmt.Fprintf(&b, "gemm kernels: %d calls (%.0f%% dense, %d shards), %d fused ops, %s packed",
+			k.Calls, 100*k.DenseRatio(), k.ParallelShards, k.FusedOps, fmtBytes(k.PackedBytes))
+	}
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// fmtBytes renders a byte count with a binary-prefix unit.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 // phaseEnd returns the latest supernode end offset.
@@ -176,9 +196,12 @@ func (p *Plan) SolveProfiled(threads int, etreeParallel bool) (*Result, *Profile
 		st.next = semiring.NewIntMat(D.Rows, D.Cols)
 		semiring.InitNextHops(D, st.next)
 	}
+	k0 := semiring.ReadKernelCounters()
 	t0 := time.Now()
 	p.eliminateProfiled(st, threads, etreeParallel)
-	res := &Result{D: D, Next: st.next, Perm: p.Perm, IPerm: p.IPerm, NumericTime: time.Since(t0)}
+	st.prof.Kernel = semiring.ReadKernelCounters().Sub(k0)
+	res := &Result{D: D, Next: st.next, Perm: p.Perm, IPerm: p.IPerm,
+		NumericTime: time.Since(t0), Kernel: st.prof.Kernel}
 	if K.DetectNegCycle && res.HasNegativeCycle() {
 		return res, st.prof, fmt.Errorf("core: graph contains a negative-weight cycle")
 	}

@@ -113,11 +113,13 @@ func (p *Plan) finish(ctx context.Context, D semiring.Mat, threads int, etreePar
 		st.next = semiring.NewIntMat(D.Rows, D.Cols)
 		semiring.InitNextHops(D, st.next)
 	}
+	k0 := semiring.ReadKernelCounters()
 	t0 := time.Now()
 	if err := p.eliminate(ctx, st, par.DefaultThreads(threads), etreeParallel); err != nil {
 		return nil, err
 	}
-	res := &Result{D: D, Next: st.next, Perm: p.Perm, IPerm: p.IPerm, NumericTime: time.Since(t0)}
+	res := &Result{D: D, Next: st.next, Perm: p.Perm, IPerm: p.IPerm,
+		NumericTime: time.Since(t0), Kernel: semiring.ReadKernelCounters().Sub(k0)}
 	if st.K.DetectNegCycle && res.HasNegativeCycle() {
 		return res, fmt.Errorf("core: graph contains a negative-weight cycle")
 	}

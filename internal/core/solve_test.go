@@ -268,6 +268,42 @@ func TestAutotuneMaxBlock(t *testing.T) {
 	}
 }
 
+func TestAutotuneGemm(t *testing.T) {
+	prev := semiring.CurrentGemmTuning()
+	defer semiring.SetGemmTuning(prev)
+	g := gen.GeometricKNN(400, 2, 3, gen.WeightUniform, 103)
+	cands := []semiring.GemmTuning{
+		semiring.DefaultGemmTuning(),
+		{KTile: 32, JTile: 256, GemmSmall: 512, DenseMinFinite: 0.7,
+			DenseMinOps: 1 << 20, ParMinRows: 192, ParMinOps: 1 << 24},
+	}
+	best, err := AutotuneGemm(g, DefaultOptions(), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != cands[0] && best != cands[1] {
+		t.Fatalf("autotune returned non-candidate %+v", best)
+	}
+	if got := semiring.CurrentGemmTuning(); got != best {
+		t.Fatalf("winner %+v not installed (current %+v)", best, got)
+	}
+	// Correctness with the winner installed.
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Dense().EqualTol(Closure(g.ToDense()), 1e-9) {
+		t.Fatal("solve wrong under autotuned gemm tuning")
+	}
+	if res.Kernel.Calls == 0 || res.Kernel.DenseCalls+res.Kernel.StreamCalls != res.Kernel.Calls {
+		t.Fatalf("kernel counter delta inconsistent: %+v", res.Kernel)
+	}
+}
+
 func TestSolveProfiled(t *testing.T) {
 	g := gen.GeometricKNN(300, 2, 3, gen.WeightUniform, 101)
 	plan, err := NewPlan(g, DefaultOptions())
@@ -298,6 +334,10 @@ func TestSolveProfiled(t *testing.T) {
 		}
 		if prof.String() == "" {
 			t.Error("profile rendering empty")
+		}
+		if prof.Kernel.Calls == 0 || prof.Kernel != res.Kernel {
+			t.Errorf("profile kernel counters %+v should be non-zero and match result %+v",
+				prof.Kernel, res.Kernel)
 		}
 	}
 }

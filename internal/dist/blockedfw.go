@@ -228,7 +228,10 @@ func (p *process) run() {
 		// Panel updates, then broadcast each updated panel block to the
 		// processes that need it for the outer product: block (k, J)
 		// goes down process column J%pc; block (I, k) across process
-		// row I%pr.
+		// row I%pr. The Serial kernel variants keep each multiply pinned
+		// to this rank's goroutine — the simulated processes ARE the
+		// parallelism here, so the engine's i-range sharding would only
+		// oversubscribe the host.
 		if inRowK {
 			for J := 0; J < g.nb; J++ {
 				if J == k {
@@ -236,7 +239,7 @@ func (p *process) run() {
 				}
 				id := blockID{k, J}
 				if m, ok := p.local[id]; ok {
-					semiring.MinPlusMulAdd(m, Akk, m)
+					semiring.MinPlusMulAddSerial(m, Akk, m)
 					for r := 0; r < g.pr; r++ {
 						p.send(r*g.pc+g.procCol(p.id), k, id, m)
 					}
@@ -250,7 +253,7 @@ func (p *process) run() {
 				}
 				id := blockID{I, k}
 				if m, ok := p.local[id]; ok {
-					semiring.MinPlusMulAdd(m, m, Akk)
+					semiring.MinPlusMulAddSerial(m, m, Akk)
 					for c := 0; c < g.pc; c++ {
 						p.send(g.procRow(p.id)*g.pc+c, k, id, m)
 					}
@@ -284,7 +287,7 @@ func (p *process) run() {
 				}
 				rowCache[id.J] = Akj
 			}
-			semiring.MinPlusMulAdd(m, Aik, Akj)
+			semiring.MinPlusMulAddSerial(m, Aik, Akj)
 		}
 		// Drain panel packets addressed to this iteration that we did
 		// not end up consuming (broadcasts are unconditional): they are

@@ -1,0 +1,382 @@
+package semiring
+
+// Differential tests of the adaptive GEMM engine: every dispatch path
+// (stream, packed dense, tile remainders, i-sharding, serial pinning)
+// must agree exactly with a naive triple-loop reference, across
+// densities from all-Inf to fully dense, with mixed-sign weights, for
+// both semirings and the path-tracking variants. The tunings are forced
+// through SetGemmTuning so no path is left to the dispatch heuristic's
+// mercy.
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// diffShapes covers degenerate, odd (tile/unroll remainders), and
+// quad-blocked sizes. Rows ≥ 8 are required for the dense path, so
+// several shapes cross that line in both directions.
+var diffShapes = [][3]int{
+	{1, 1, 1}, {2, 3, 4}, {7, 5, 3}, {8, 5, 7}, {9, 2, 11},
+	{16, 16, 16}, {33, 65, 29}, {34, 7, 66},
+}
+
+var diffDensities = []float64{0, 0.05, 0.3, 0.7, 1.0}
+
+// diffMat fills a matrix at the given density with mixed-sign weights.
+func diffMat(rng *rand.Rand, rows, cols int, density, zero float64) Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = rng.Float64()*10 - 3
+		} else {
+			m.Data[i] = zero
+		}
+	}
+	return m
+}
+
+// diffHops fills a next-hop matrix with arbitrary non-negative ids.
+func diffHops(rng *rand.Rand, rows, cols int) IntMat {
+	m := NewIntMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = int32(rng.Intn(64))
+	}
+	return m
+}
+
+// naiveMinPlusPaths is the canonical k-ascending strict-improvement
+// reference for MinPlusMulAddPaths.
+func naiveMinPlusPaths(C, A, B Mat, nextC, nextA IntMat) {
+	for i := 0; i < C.Rows; i++ {
+		for k := 0; k < A.Cols; k++ {
+			a := A.At(i, k)
+			if a == Inf {
+				continue
+			}
+			for j := 0; j < C.Cols; j++ {
+				if v := a + B.At(k, j); v < C.At(i, j) {
+					C.Set(i, j, v)
+					nextC.Set(i, j, nextA.At(i, k))
+				}
+			}
+		}
+	}
+}
+
+// naiveMaxMin lives in maxmin_test.go.
+
+// naiveMaxMinPaths is the reference for MaxMinMulAddPaths.
+func naiveMaxMinPaths(C, A, B Mat, nextC, nextA IntMat) {
+	for i := 0; i < C.Rows; i++ {
+		for k := 0; k < A.Cols; k++ {
+			a := A.At(i, k)
+			if a == -Inf {
+				continue
+			}
+			for j := 0; j < C.Cols; j++ {
+				v := a
+				if b := B.At(k, j); b < v {
+					v = b
+				}
+				if v > C.At(i, j) {
+					C.Set(i, j, v)
+					nextC.Set(i, j, nextA.At(i, k))
+				}
+			}
+		}
+	}
+}
+
+// diffTunings forces each engine path in turn. ParMinRows is at its
+// clamp floor so mid-size shapes shard.
+func diffTunings() map[string]GemmTuning {
+	base := DefaultGemmTuning()
+	stream := base
+	stream.DenseMinFinite = 2 // unreachable: always stream
+	dense := base
+	dense.DenseMinFinite = 0 // always dense (rows permitting)
+	dense.DenseMinOps = 1
+	tiny := dense
+	tiny.KTile, tiny.JTile = 5, 9 // odd tiles: k-unroll and j remainders
+	tiny.GemmSmall = 8            // stream path goes tiled too
+	par := dense
+	par.ParMinRows, par.ParMinOps = 8, 1
+	parStream := stream
+	parStream.ParMinRows, parStream.ParMinOps = 8, 1
+	return map[string]GemmTuning{
+		"stream": stream, "dense": dense, "tinytiles": tiny,
+		"parallel-dense": par, "parallel-stream": parStream,
+	}
+}
+
+// withTuning installs tn for the duration of the test. Tunings that
+// force i-sharding also raise GOMAXPROCS so the shard path is reachable
+// on single-core CI runners (wantShard checks worker availability).
+func withTuning(t *testing.T, tn GemmTuning) {
+	t.Helper()
+	prev := SetGemmTuning(tn)
+	t.Cleanup(func() { SetGemmTuning(prev) })
+	if tn.ParMinOps == 1 {
+		prevProcs := runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prevProcs) })
+	}
+}
+
+func checkNoNaN(t *testing.T, m Mat, ctx string) {
+	t.Helper()
+	for _, v := range m.Data {
+		if math.IsNaN(v) {
+			t.Fatalf("%s: NaN in result", ctx)
+		}
+	}
+}
+
+func TestGemmDifferentialMinPlus(t *testing.T) {
+	for name, tn := range diffTunings() {
+		t.Run(name, func(t *testing.T) {
+			withTuning(t, tn)
+			rng := rand.New(rand.NewSource(11))
+			for _, s := range diffShapes {
+				for _, d := range diffDensities {
+					A := diffMat(rng, s[0], s[1], d, Inf)
+					B := diffMat(rng, s[1], s[2], d, Inf)
+					C := diffMat(rng, s[0], s[2], 0.5, Inf)
+					want := C.Clone()
+					naiveMinPlus(want, A, B)
+					got := C.Clone()
+					MinPlusMulAdd(got, A, B)
+					if !got.Equal(want) {
+						t.Fatalf("MinPlusMulAdd(%v, d=%.2f) differs from naive", s, d)
+					}
+					checkNoNaN(t, got, "MinPlusMulAdd")
+					gotSerial := C.Clone()
+					MinPlusMulAddSerial(gotSerial, A, B)
+					if !gotSerial.Equal(want) {
+						t.Fatalf("MinPlusMulAddSerial(%v, d=%.2f) differs from naive", s, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGemmDifferentialMaxMin(t *testing.T) {
+	for name, tn := range diffTunings() {
+		t.Run(name, func(t *testing.T) {
+			withTuning(t, tn)
+			rng := rand.New(rand.NewSource(13))
+			for _, s := range diffShapes {
+				for _, d := range diffDensities {
+					A := diffMat(rng, s[0], s[1], d, -Inf)
+					B := diffMat(rng, s[1], s[2], d, -Inf)
+					C := diffMat(rng, s[0], s[2], 0.5, -Inf)
+					want := C.Clone()
+					naiveMaxMin(want, A, B)
+					got := C.Clone()
+					MaxMinMulAdd(got, A, B)
+					if !got.Equal(want) {
+						t.Fatalf("MaxMinMulAdd(%v, d=%.2f) differs from naive", s, d)
+					}
+					checkNoNaN(t, got, "MaxMinMulAdd")
+					gotSerial := C.Clone()
+					MaxMinMulAddSerial(gotSerial, A, B)
+					if !gotSerial.Equal(want) {
+						t.Fatalf("MaxMinMulAddSerial(%v, d=%.2f) differs from naive", s, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+func intMatEqual(a, b IntMat) bool {
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGemmDifferentialMinPlusPaths(t *testing.T) {
+	for name, tn := range diffTunings() {
+		t.Run(name, func(t *testing.T) {
+			withTuning(t, tn)
+			rng := rand.New(rand.NewSource(17))
+			for _, s := range diffShapes {
+				for _, d := range diffDensities {
+					A := diffMat(rng, s[0], s[1], d, Inf)
+					B := diffMat(rng, s[1], s[2], d, Inf)
+					C := diffMat(rng, s[0], s[2], 0.5, Inf)
+					nextA := diffHops(rng, s[0], s[1])
+					nextC0 := diffHops(rng, s[0], s[2])
+					wantC, wantN := C.Clone(), cloneIntMat(nextC0)
+					naiveMinPlusPaths(wantC, A, B, wantN, nextA)
+					gotC, gotN := C.Clone(), cloneIntMat(nextC0)
+					MinPlusMulAddPaths(gotC, A, B, gotN, nextA)
+					if !gotC.Equal(wantC) {
+						t.Fatalf("MinPlusMulAddPaths(%v, d=%.2f) distances differ", s, d)
+					}
+					if !intMatEqual(gotN, wantN) {
+						t.Fatalf("MinPlusMulAddPaths(%v, d=%.2f) hops differ", s, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGemmDifferentialMaxMinPaths(t *testing.T) {
+	for name, tn := range diffTunings() {
+		t.Run(name, func(t *testing.T) {
+			withTuning(t, tn)
+			rng := rand.New(rand.NewSource(19))
+			for _, s := range diffShapes {
+				for _, d := range diffDensities {
+					A := diffMat(rng, s[0], s[1], d, -Inf)
+					B := diffMat(rng, s[1], s[2], d, -Inf)
+					C := diffMat(rng, s[0], s[2], 0.5, -Inf)
+					nextA := diffHops(rng, s[0], s[1])
+					nextC0 := diffHops(rng, s[0], s[2])
+					wantC, wantN := C.Clone(), cloneIntMat(nextC0)
+					naiveMaxMinPaths(wantC, A, B, wantN, nextA)
+					gotC, gotN := C.Clone(), cloneIntMat(nextC0)
+					MaxMinMulAddPaths(gotC, A, B, gotN, nextA)
+					if !gotC.Equal(wantC) {
+						t.Fatalf("MaxMinMulAddPaths(%v, d=%.2f) distances differ", s, d)
+					}
+					if !intMatEqual(gotN, wantN) {
+						t.Fatalf("MaxMinMulAddPaths(%v, d=%.2f) hops differ", s, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+func cloneIntMat(m IntMat) IntMat {
+	out := NewIntMat(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// TestGemmDifferentialAliased locks in the in-place panel-update
+// contract on the packed and sharded paths: with the non-aliased
+// operand closed (zero diagonal), the aliased call must land on exactly
+// the single-pass fixpoint — packing snapshots make the intermediate
+// reads differ from the streaming kernel's, but monotone relaxation
+// over real path lengths gives the same result.
+func TestGemmDifferentialAliased(t *testing.T) {
+	for _, name := range []string{"dense", "tinytiles", "parallel-dense"} {
+		tn := diffTunings()[name]
+		t.Run(name, func(t *testing.T) {
+			withTuning(t, tn)
+			rng := rand.New(rand.NewSource(23))
+			n, m := 24, 40
+			D := randomDist(rng, n, 0.6)
+			FloydWarshall(D) // close it
+			P := randomMat(rng, n, m, 0.9)
+			want := P.Clone()
+			tmp := MinPlusMul(D, P)
+			EwiseMinInto(want, tmp)
+			got := P.Clone()
+			MinPlusMulAdd(got, D, got) // C aliases B
+			if !got.EqualTol(want, 1e-12) {
+				t.Fatal("aliased C=B packed update differs from fixpoint")
+			}
+			Q := randomMat(rng, m, n, 0.9)
+			wantQ := Q.Clone()
+			tmpQ := MinPlusMul(Q, D)
+			EwiseMinInto(wantQ, tmpQ)
+			gotQ := Q.Clone()
+			MinPlusMulAdd(gotQ, gotQ, D) // C aliases A
+			if !gotQ.EqualTol(wantQ, 1e-12) {
+				t.Fatal("aliased C=A packed update differs from fixpoint")
+			}
+		})
+	}
+}
+
+// TestKernelCounters sanity-checks the observability layer: calls split
+// exactly into dense + stream, forced paths land where they claim, and
+// the dense path reports packed bytes.
+func TestKernelCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	A := diffMat(rng, 16, 16, 1, Inf)
+	B := diffMat(rng, 16, 16, 1, Inf)
+	C := diffMat(rng, 16, 16, 0.5, Inf)
+
+	withTuning(t, diffTunings()["dense"])
+	before := ReadKernelCounters()
+	MinPlusMulAdd(C.Clone(), A, B)
+	d := ReadKernelCounters().Sub(before)
+	if d.Calls != 1 || d.DenseCalls != 1 || d.StreamCalls != 0 {
+		t.Fatalf("forced dense counted %+v", d)
+	}
+	if d.PackedBytes == 0 || d.FusedOps != 16*16*16 {
+		t.Fatalf("dense call packed %d bytes, %d fused ops", d.PackedBytes, d.FusedOps)
+	}
+	if d.DenseRatio() != 1 {
+		t.Fatalf("dense ratio %v, want 1", d.DenseRatio())
+	}
+
+	SetGemmTuning(diffTunings()["stream"])
+	before = ReadKernelCounters()
+	MinPlusMulAdd(C.Clone(), A, B)
+	d = ReadKernelCounters().Sub(before)
+	if d.Calls != 1 || d.StreamCalls != 1 || d.DenseCalls != 0 {
+		t.Fatalf("forced stream counted %+v", d)
+	}
+	if d.PackedBytes != 0 {
+		t.Fatalf("stream call packed %d bytes", d.PackedBytes)
+	}
+}
+
+// TestSetGemmTuningClamps checks that hostile tunings are clamped, not
+// trusted.
+func TestSetGemmTuningClamps(t *testing.T) {
+	prev := SetGemmTuning(GemmTuning{KTile: -1, JTile: 0, GemmSmall: -5})
+	defer SetGemmTuning(prev)
+	got := CurrentGemmTuning()
+	def := DefaultGemmTuning()
+	if got.KTile != def.KTile || got.JTile != def.JTile || got.GemmSmall != def.GemmSmall {
+		t.Fatalf("clamping failed: %+v", got)
+	}
+}
+
+// FuzzGemmDifferential fuzzes operand shapes, densities, and weights
+// through the forced-dense and forced-stream engines against the naive
+// reference.
+func FuzzGemmDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(9), uint8(10), uint8(128))
+	f.Add(int64(2), uint8(1), uint8(1), uint8(1), uint8(0))
+	f.Add(int64(3), uint8(33), uint8(5), uint8(17), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, r, m, c, dens uint8) {
+		rows, mid, cols := int(r%40)+1, int(m%40)+1, int(c%40)+1
+		d := float64(dens) / 255
+		rng := rand.New(rand.NewSource(seed))
+		A := diffMat(rng, rows, mid, d, Inf)
+		B := diffMat(rng, mid, cols, d, Inf)
+		C := diffMat(rng, rows, cols, 0.5, Inf)
+		want := C.Clone()
+		naiveMinPlus(want, A, B)
+		for name, tn := range diffTunings() {
+			prev := SetGemmTuning(tn)
+			got := C.Clone()
+			MinPlusMulAdd(got, A, B)
+			SetGemmTuning(prev)
+			if !got.Equal(want) {
+				t.Fatalf("tuning %s: adaptive differs from naive (%d×%d×%d, d=%.2f)",
+					name, rows, mid, cols, d)
+			}
+		}
+	})
+}

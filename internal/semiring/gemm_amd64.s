@@ -1,0 +1,73 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidAVX2() bool
+//
+// AVX2 is usable when CPUID.1:ECX reports OSXSAVE and AVX, XCR0 has the
+// SSE and AVX state bits enabled by the OS, and CPUID.7.0:EBX reports
+// AVX2.
+TEXT ·cpuidAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX  // OSXSAVE | AVX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX                // XCR0: XMM | YMM state
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX           // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func minPlusKPairAVX2(c, bv, bw []float64, x, y float64)
+//
+// c[j] = min(c[j], x+bv[j], y+bw[j]) for j < len(c); len(c) must be a
+// multiple of 8. Two YMM vectors per iteration keep eight independent
+// add-min chains in flight; the store is unconditional (a blended min),
+// which in vector form is cheaper than any masked-store dance. No NaNs
+// can occur (finite or +Inf inputs, never opposite infinities), so
+// MINPD operand-order semantics don't matter.
+TEXT ·minPlusKPairAVX2(SB), NOSPLIT, $0-88
+	MOVQ c_base+0(FP), DI
+	MOVQ c_len+8(FP), CX
+	MOVQ bv_base+24(FP), SI
+	MOVQ bw_base+48(FP), DX
+	VBROADCASTSD x+72(FP), Y0
+	VBROADCASTSD y+80(FP), Y1
+	XORQ BX, BX
+loop8:
+	CMPQ BX, CX
+	JGE  done
+	VMOVUPD (SI)(BX*8), Y2
+	VMOVUPD 32(SI)(BX*8), Y3
+	VADDPD  Y0, Y2, Y2
+	VADDPD  Y0, Y3, Y3
+	VMOVUPD (DX)(BX*8), Y4
+	VMOVUPD 32(DX)(BX*8), Y5
+	VADDPD  Y1, Y4, Y4
+	VADDPD  Y1, Y5, Y5
+	VMINPD  Y4, Y2, Y2
+	VMINPD  Y5, Y3, Y3
+	VMOVUPD (DI)(BX*8), Y6
+	VMOVUPD 32(DI)(BX*8), Y7
+	VMINPD  Y6, Y2, Y2
+	VMINPD  Y7, Y3, Y3
+	VMOVUPD Y2, (DI)(BX*8)
+	VMOVUPD Y3, 32(DI)(BX*8)
+	ADDQ $8, BX
+	JMP  loop8
+done:
+	VZEROUPPER
+	RET

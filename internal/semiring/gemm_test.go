@@ -37,18 +37,18 @@ func TestMinPlusMulAddMatchesNaive(t *testing.T) {
 }
 
 func TestMinPlusMulAddTiledPath(t *testing.T) {
-	// Force the tiled path (dims > gemmSmall) and compare against the
-	// direct kernel on the same operands.
+	// Force the tiled stream path (dims > GemmSmall, sparse operands)
+	// and compare against the frozen reference kernel.
 	rng := rand.New(rand.NewSource(4))
-	n := gemmSmall + 37
+	n := DefaultGemmTuning().GemmSmall + 37
 	A := randomMat(rng, 40, n, 0.3)
 	B := randomMat(rng, n, n, 0.3)
 	C1 := randomMat(rng, 40, n, 0.6)
 	C2 := C1.Clone()
 	MinPlusMulAdd(C1, A, B)
-	minPlusDirect(C2, A, B)
+	MinPlusMulAddReference(C2, A, B)
 	if !C1.Equal(C2) {
-		t.Fatal("tiled and direct kernels disagree")
+		t.Fatal("adaptive and reference kernels disagree")
 	}
 }
 

@@ -19,8 +19,15 @@ type Kernels struct {
 	FW func(Mat)
 	// FWPaths is FW with next-hop maintenance.
 	FWPaths func(Mat, IntMat)
-	// MulAdd computes C = C ⊕ A⊗B.
+	// MulAdd computes C = C ⊕ A⊗B. Both semirings route it through the
+	// adaptive GEMM engine (dense packed vs Inf-skip streaming dispatch,
+	// see gemm.go), so any algebra plugged in here gets the blocked
+	// kernels for free.
 	MulAdd func(C, A, B Mat)
+	// MulAddSerial is MulAdd pinned to the calling goroutine (no
+	// i-range sharding). For callers that manage their own worker
+	// placement, e.g. the dist simulation's per-rank goroutines.
+	MulAddSerial func(C, A, B Mat)
 	// MulAddPaths is MulAdd with next-hop maintenance.
 	MulAddPaths func(C, A, B Mat, nextC, nextA IntMat)
 	// AddScalar is the scalar ⊕ (min for min-plus, max for max-min).
@@ -40,6 +47,7 @@ var MinPlusKernels = &Kernels{
 	FW:             FloydWarshall,
 	FWPaths:        FloydWarshallPaths,
 	MulAdd:         MinPlusMulAdd,
+	MulAddSerial:   MinPlusMulAddSerial,
 	MulAddPaths:    MinPlusMulAddPaths,
 	AddScalar:      Plus,
 	MulScalar:      Times,
@@ -48,13 +56,14 @@ var MinPlusKernels = &Kernels{
 
 // MaxMinKernels is the bottleneck (max, min) semiring: widest paths.
 var MaxMinKernels = &Kernels{
-	Name:        "max-min",
-	Zero:        -Inf,
-	One:         Inf,
-	FW:          MaxMinFloydWarshall,
-	FWPaths:     MaxMinFloydWarshallPaths,
-	MulAdd:      MaxMinMulAdd,
-	MulAddPaths: MaxMinMulAddPaths,
+	Name:         "max-min",
+	Zero:         -Inf,
+	One:          Inf,
+	FW:           MaxMinFloydWarshall,
+	FWPaths:      MaxMinFloydWarshallPaths,
+	MulAdd:       MaxMinMulAdd,
+	MulAddSerial: MaxMinMulAddSerial,
+	MulAddPaths:  MaxMinMulAddPaths,
 	AddScalar: func(x, y float64) float64 {
 		if x > y {
 			return x

@@ -17,13 +17,77 @@ package semiring
 // (sparsity is a property of the pattern, not of the algebra), which is
 // exactly the generality §2 and §7 of the paper argue for.
 
+import "repro/internal/par"
+
 // MaxMinMulAdd computes C[i][j] = max(C[i][j], max_k min(A[i][k], B[k][j])).
+// It shares the adaptive dense/stream dispatch and i-sharding of
+// MinPlusMulAdd, with -Inf as the "no path" value the density sampler
+// and the streaming skip key on.
 func MaxMinMulAdd(C, A, B Mat) {
 	if A.Rows != C.Rows || B.Cols != C.Cols || A.Cols != B.Rows {
 		panic("semiring: MaxMinMulAdd shape mismatch")
 	}
+	maxMinAdaptive(C, A, B, true)
+}
+
+// MaxMinMulAddSerial is MaxMinMulAdd pinned to the calling goroutine
+// (see MinPlusMulAddSerial).
+func MaxMinMulAddSerial(C, A, B Mat) {
+	if A.Rows != C.Rows || B.Cols != C.Cols || A.Cols != B.Rows {
+		panic("semiring: MaxMinMulAdd shape mismatch")
+	}
+	maxMinAdaptive(C, A, B, false)
+}
+
+func maxMinAdaptive(C, A, B Mat, allowShard bool) {
+	kernelStats.calls.Add(1)
+	t := CurrentGemmTuning()
+	dense := wantDense(t, A, C.Cols, -Inf)
+	if dense {
+		kernelStats.dense.Add(1)
+	} else {
+		kernelStats.stream.Add(1)
+	}
+	run := func(C, A Mat) {
+		if dense {
+			maxMinDense(C, A, B, t)
+		} else {
+			maxMinStream(C, A, B)
+		}
+	}
+	if allowShard && wantShard(t, C.Rows, A.Cols, C.Cols) &&
+		!matOverlaps(C, A) && !matOverlaps(C, B) {
+		par.ForRanges(C.Rows, 0, t.ParMinRows, func(lo, hi int) {
+			kernelStats.parShards.Add(1)
+			run(C.View(lo, 0, hi-lo, C.Cols), A.View(lo, 0, hi-lo, A.Cols))
+		})
+		return
+	}
+	run(C, A)
+}
+
+// maxMinDense is the packed register-blocked path over the bottleneck
+// semiring.
+func maxMinDense(C, A, B Mat, t GemmTuning) {
+	kt, jt := t.KTile, t.JTile
+	buf := getPackBuf(kt * jt)
+	for k0 := 0; k0 < A.Cols; k0 += kt {
+		kh := min(kt, A.Cols-k0)
+		for j0 := 0; j0 < C.Cols; j0 += jt {
+			jh := min(jt, C.Cols-j0)
+			packTile(buf, B, k0, kh, j0, jh)
+			maxMinTile(C, A, buf[:kh*jh], k0, kh, j0, jh)
+		}
+	}
+	putPackBuf(buf)
+	kernelStats.fusedOps.Add(uint64(A.Rows) * uint64(A.Cols) * uint64(C.Cols))
+}
+
+// maxMinStream is the -Inf-skip streaming path.
+func maxMinStream(C, A, B Mat) {
 	m := A.Cols
 	negInf := -Inf
+	var touched uint64
 	for i := 0; i < A.Rows; i++ {
 		crow := C.Row(i)
 		arow := A.Row(i)
@@ -34,6 +98,7 @@ func MaxMinMulAdd(C, A, B Mat) {
 			}
 			brow := B.Row(k)
 			cr := crow[:len(brow)]
+			touched += uint64(len(brow))
 			for j, b := range brow {
 				v := b
 				if aik < b {
@@ -45,6 +110,7 @@ func MaxMinMulAdd(C, A, B Mat) {
 			}
 		}
 	}
+	kernelStats.fusedOps.Add(touched)
 }
 
 // MaxMinMulAddPaths is MaxMinMulAdd with next-hop maintenance (see
@@ -53,8 +119,59 @@ func MaxMinMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
 	if A.Rows != C.Rows || B.Cols != C.Cols || A.Cols != B.Rows {
 		panic("semiring: MaxMinMulAddPaths shape mismatch")
 	}
+	if nextC.Rows != C.Rows || nextC.Cols != C.Cols || nextA.Rows != A.Rows || nextA.Cols != A.Cols {
+		panic("semiring: MaxMinMulAddPaths next-hop shape mismatch")
+	}
+	kernelStats.calls.Add(1)
+	t := CurrentGemmTuning()
+	dense := wantDense(t, A, C.Cols, -Inf)
+	if dense {
+		kernelStats.dense.Add(1)
+	} else {
+		kernelStats.stream.Add(1)
+	}
+	run := func(C, A Mat, nc, na IntMat) {
+		if dense {
+			maxMinPathsDense(C, A, B, nc, na, t)
+		} else {
+			maxMinPathsStream(C, A, B, nc, na)
+		}
+	}
+	if wantShard(t, C.Rows, A.Cols, C.Cols) &&
+		!matOverlaps(C, A) && !matOverlaps(C, B) && !overlapsInt(nextC.Data, nextA.Data) {
+		par.ForRanges(C.Rows, 0, t.ParMinRows, func(lo, hi int) {
+			kernelStats.parShards.Add(1)
+			run(C.View(lo, 0, hi-lo, C.Cols), A.View(lo, 0, hi-lo, A.Cols),
+				nextC.View(lo, 0, hi-lo, nextC.Cols), nextA.View(lo, 0, hi-lo, nextA.Cols))
+		})
+		return
+	}
+	run(C, A, nextC, nextA)
+}
+
+// maxMinPathsDense is the packed register-blocked path with next-hop
+// maintenance.
+func maxMinPathsDense(C, A, B Mat, nextC, nextA IntMat, t GemmTuning) {
+	kt, jt := t.KTile, t.JTile
+	buf := getPackBuf(kt * jt)
+	for k0 := 0; k0 < A.Cols; k0 += kt {
+		kh := min(kt, A.Cols-k0)
+		for j0 := 0; j0 < C.Cols; j0 += jt {
+			jh := min(jt, C.Cols-j0)
+			packTile(buf, B, k0, kh, j0, jh)
+			maxMinPathsTile(C, A, nextC, nextA, buf[:kh*jh], k0, kh, j0, jh)
+		}
+	}
+	putPackBuf(buf)
+	kernelStats.fusedOps.Add(uint64(A.Rows) * uint64(A.Cols) * uint64(C.Cols))
+}
+
+// maxMinPathsStream is the -Inf-skip streaming path with next-hop
+// maintenance.
+func maxMinPathsStream(C, A, B Mat, nextC, nextA IntMat) {
 	m := A.Cols
 	negInf := -Inf
+	var touched uint64
 	for i := 0; i < A.Rows; i++ {
 		crow := C.Row(i)
 		arow := A.Row(i)
@@ -69,6 +186,7 @@ func MaxMinMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
 			brow := B.Row(k)
 			cr := crow[:len(brow)]
 			nr := ncrow[:len(brow)]
+			touched += uint64(len(brow))
 			for j, b := range brow {
 				v := b
 				if aik < b {
@@ -81,6 +199,7 @@ func MaxMinMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
 			}
 		}
 	}
+	kernelStats.fusedOps.Add(touched)
 }
 
 // MaxMinFloydWarshall computes the max-min closure in place.

@@ -1,0 +1,376 @@
+package semiring
+
+// Register-blocked micro-kernels of the dense GEMM path. Each function
+// sweeps every row of A over one packed B tile (pk: kh×jh, row-major,
+// stride jh, packed by packTile from B at (k0, j0)) and updates the
+// matching C columns [j0, j0+jh).
+//
+// The blocking is 4 C rows per pass with a 2-way k-unroll: eight A
+// scalars live in registers, two packed B rows stream through the inner
+// loop, and each output element first takes a branchless min across the
+// k pair before the conditional store. Relative to the streaming kernel
+// this amortizes every B-row load over four C rows and halves the store
+// branches per relaxation; the conditional store (rather than an
+// unconditional min) keeps the common path load-only, which measures
+// consistently faster than always-store variants because stores are
+// rare once C tightens. Wider row blocks (8) and deeper k-unrolls (4)
+// both measured slower on the tested hosts — more live registers than
+// the allocator can keep, for min-plus's 2-op bodies.
+//
+// k advances in ascending order everywhere (k-pair order inside the
+// unroll, tile order outside), and improvements are strict (<, or > for
+// max-min), so the path-tracking variants record exactly the hop the
+// canonical k-ascending reference records: the first k achieving the
+// minimal value wins, ties never overwrite.
+
+// minPlusTile sweeps C[0:r, j0:j0+jh] ⊕= A[0:r, k0:k0+kh] ⊗ pk.
+// On amd64 with AVX2 the sweep runs in the vector kernel (simd_amd64.go)
+// instead — same ascending-k order, same results.
+func minPlusTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
+	if minPlusTileVec(C, A, pk, k0, kh, j0, jh) {
+		return
+	}
+	r := A.Rows
+	i := 0
+	for ; i+4 <= r; i += 4 {
+		a0 := A.Row(i)[k0 : k0+kh]
+		a1 := A.Row(i + 1)[k0 : k0+kh]
+		a2 := A.Row(i + 2)[k0 : k0+kh]
+		a3 := A.Row(i + 3)[k0 : k0+kh]
+		c0 := C.Row(i)[j0 : j0+jh]
+		c1 := C.Row(i + 1)[j0 : j0+jh]
+		c2 := C.Row(i + 2)[j0 : j0+jh]
+		c3 := C.Row(i + 3)[j0 : j0+jh]
+		k := 0
+		for ; k+2 <= kh; k += 2 {
+			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
+			y0, y1, y2, y3 := a0[k+1], a1[k+1], a2[k+1], a3[k+1]
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			bq := pk[(k+1)*jh : (k+1)*jh+jh : (k+1)*jh+jh]
+			for j, bv := range bp {
+				bw := bq[j]
+				if v := min(x0+bv, y0+bw); v < c0[j] {
+					c0[j] = v
+				}
+				if v := min(x1+bv, y1+bw); v < c1[j] {
+					c1[j] = v
+				}
+				if v := min(x2+bv, y2+bw); v < c2[j] {
+					c2[j] = v
+				}
+				if v := min(x3+bv, y3+bw); v < c3[j] {
+					c3[j] = v
+				}
+			}
+		}
+		for ; k < kh; k++ {
+			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			for j, bv := range bp {
+				if v := x0 + bv; v < c0[j] {
+					c0[j] = v
+				}
+				if v := x1 + bv; v < c1[j] {
+					c1[j] = v
+				}
+				if v := x2 + bv; v < c2[j] {
+					c2[j] = v
+				}
+				if v := x3 + bv; v < c3[j] {
+					c3[j] = v
+				}
+			}
+		}
+	}
+	// Remainder rows: stream over the packed tile, keeping the Inf skip.
+	for ; i < r; i++ {
+		arow := A.Row(i)[k0 : k0+kh]
+		crow := C.Row(i)[j0 : j0+jh]
+		for k, a := range arow {
+			if a == Inf {
+				continue
+			}
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			for j, bv := range bp {
+				if v := a + bv; v < crow[j] {
+					crow[j] = v
+				}
+			}
+		}
+	}
+}
+
+// minPlusPathsTile is minPlusTile with next-hop maintenance: an
+// improvement via intermediate k0+k records nextA[i][k0+k].
+func minPlusPathsTile(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh int) {
+	r := A.Rows
+	i := 0
+	for ; i+4 <= r; i += 4 {
+		a0 := A.Row(i)[k0 : k0+kh]
+		a1 := A.Row(i + 1)[k0 : k0+kh]
+		a2 := A.Row(i + 2)[k0 : k0+kh]
+		a3 := A.Row(i + 3)[k0 : k0+kh]
+		na0 := nextA.Row(i)[k0 : k0+kh]
+		na1 := nextA.Row(i + 1)[k0 : k0+kh]
+		na2 := nextA.Row(i + 2)[k0 : k0+kh]
+		na3 := nextA.Row(i + 3)[k0 : k0+kh]
+		c0 := C.Row(i)[j0 : j0+jh]
+		c1 := C.Row(i + 1)[j0 : j0+jh]
+		c2 := C.Row(i + 2)[j0 : j0+jh]
+		c3 := C.Row(i + 3)[j0 : j0+jh]
+		n0 := nextC.Row(i)[j0 : j0+jh]
+		n1 := nextC.Row(i + 1)[j0 : j0+jh]
+		n2 := nextC.Row(i + 2)[j0 : j0+jh]
+		n3 := nextC.Row(i + 3)[j0 : j0+jh]
+		k := 0
+		for ; k+2 <= kh; k += 2 {
+			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
+			y0, y1, y2, y3 := a0[k+1], a1[k+1], a2[k+1], a3[k+1]
+			h0, h1, h2, h3 := na0[k], na1[k], na2[k], na3[k]
+			g0, g1, g2, g3 := na0[k+1], na1[k+1], na2[k+1], na3[k+1]
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			bq := pk[(k+1)*jh : (k+1)*jh+jh : (k+1)*jh+jh]
+			for j, bv := range bp {
+				bw := bq[j]
+				// On a tie inside the k pair the earlier k's hop wins,
+				// matching the canonical k-ascending order.
+				v, h := x0+bv, h0
+				if w := y0 + bw; w < v {
+					v, h = w, g0
+				}
+				if v < c0[j] {
+					c0[j], n0[j] = v, h
+				}
+				v, h = x1+bv, h1
+				if w := y1 + bw; w < v {
+					v, h = w, g1
+				}
+				if v < c1[j] {
+					c1[j], n1[j] = v, h
+				}
+				v, h = x2+bv, h2
+				if w := y2 + bw; w < v {
+					v, h = w, g2
+				}
+				if v < c2[j] {
+					c2[j], n2[j] = v, h
+				}
+				v, h = x3+bv, h3
+				if w := y3 + bw; w < v {
+					v, h = w, g3
+				}
+				if v < c3[j] {
+					c3[j], n3[j] = v, h
+				}
+			}
+		}
+		for ; k < kh; k++ {
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			for q := 0; q < 4; q++ {
+				a := A.Row(i + q)[k0+k]
+				if a == Inf {
+					continue
+				}
+				hop := nextA.Row(i + q)[k0+k]
+				crow := C.Row(i + q)[j0 : j0+jh]
+				nrow := nextC.Row(i + q)[j0 : j0+jh]
+				for j, bv := range bp {
+					if v := a + bv; v < crow[j] {
+						crow[j], nrow[j] = v, hop
+					}
+				}
+			}
+		}
+	}
+	for ; i < r; i++ {
+		arow := A.Row(i)[k0 : k0+kh]
+		narow := nextA.Row(i)[k0 : k0+kh]
+		crow := C.Row(i)[j0 : j0+jh]
+		nrow := nextC.Row(i)[j0 : j0+jh]
+		for k, a := range arow {
+			if a == Inf {
+				continue
+			}
+			hop := narow[k]
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			for j, bv := range bp {
+				if v := a + bv; v < crow[j] {
+					crow[j], nrow[j] = v, hop
+				}
+			}
+		}
+	}
+}
+
+// maxMinTile is minPlusTile over the bottleneck semiring:
+// C[i][j] = max(C[i][j], max_k min(A[i][k], pk[k][j])).
+func maxMinTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
+	r := A.Rows
+	negInf := -Inf
+	i := 0
+	for ; i+4 <= r; i += 4 {
+		a0 := A.Row(i)[k0 : k0+kh]
+		a1 := A.Row(i + 1)[k0 : k0+kh]
+		a2 := A.Row(i + 2)[k0 : k0+kh]
+		a3 := A.Row(i + 3)[k0 : k0+kh]
+		c0 := C.Row(i)[j0 : j0+jh]
+		c1 := C.Row(i + 1)[j0 : j0+jh]
+		c2 := C.Row(i + 2)[j0 : j0+jh]
+		c3 := C.Row(i + 3)[j0 : j0+jh]
+		k := 0
+		for ; k+2 <= kh; k += 2 {
+			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
+			y0, y1, y2, y3 := a0[k+1], a1[k+1], a2[k+1], a3[k+1]
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			bq := pk[(k+1)*jh : (k+1)*jh+jh : (k+1)*jh+jh]
+			for j, bv := range bp {
+				bw := bq[j]
+				if v := max(min(x0, bv), min(y0, bw)); v > c0[j] {
+					c0[j] = v
+				}
+				if v := max(min(x1, bv), min(y1, bw)); v > c1[j] {
+					c1[j] = v
+				}
+				if v := max(min(x2, bv), min(y2, bw)); v > c2[j] {
+					c2[j] = v
+				}
+				if v := max(min(x3, bv), min(y3, bw)); v > c3[j] {
+					c3[j] = v
+				}
+			}
+		}
+		for ; k < kh; k++ {
+			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			for j, bv := range bp {
+				if v := min(x0, bv); v > c0[j] {
+					c0[j] = v
+				}
+				if v := min(x1, bv); v > c1[j] {
+					c1[j] = v
+				}
+				if v := min(x2, bv); v > c2[j] {
+					c2[j] = v
+				}
+				if v := min(x3, bv); v > c3[j] {
+					c3[j] = v
+				}
+			}
+		}
+	}
+	for ; i < r; i++ {
+		arow := A.Row(i)[k0 : k0+kh]
+		crow := C.Row(i)[j0 : j0+jh]
+		for k, a := range arow {
+			if a == negInf {
+				continue
+			}
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			for j, bv := range bp {
+				if v := min(a, bv); v > crow[j] {
+					crow[j] = v
+				}
+			}
+		}
+	}
+}
+
+// maxMinPathsTile is maxMinTile with next-hop maintenance.
+func maxMinPathsTile(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh int) {
+	r := A.Rows
+	negInf := -Inf
+	i := 0
+	for ; i+4 <= r; i += 4 {
+		a0 := A.Row(i)[k0 : k0+kh]
+		a1 := A.Row(i + 1)[k0 : k0+kh]
+		a2 := A.Row(i + 2)[k0 : k0+kh]
+		a3 := A.Row(i + 3)[k0 : k0+kh]
+		na0 := nextA.Row(i)[k0 : k0+kh]
+		na1 := nextA.Row(i + 1)[k0 : k0+kh]
+		na2 := nextA.Row(i + 2)[k0 : k0+kh]
+		na3 := nextA.Row(i + 3)[k0 : k0+kh]
+		c0 := C.Row(i)[j0 : j0+jh]
+		c1 := C.Row(i + 1)[j0 : j0+jh]
+		c2 := C.Row(i + 2)[j0 : j0+jh]
+		c3 := C.Row(i + 3)[j0 : j0+jh]
+		n0 := nextC.Row(i)[j0 : j0+jh]
+		n1 := nextC.Row(i + 1)[j0 : j0+jh]
+		n2 := nextC.Row(i + 2)[j0 : j0+jh]
+		n3 := nextC.Row(i + 3)[j0 : j0+jh]
+		k := 0
+		for ; k+2 <= kh; k += 2 {
+			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
+			y0, y1, y2, y3 := a0[k+1], a1[k+1], a2[k+1], a3[k+1]
+			h0, h1, h2, h3 := na0[k], na1[k], na2[k], na3[k]
+			g0, g1, g2, g3 := na0[k+1], na1[k+1], na2[k+1], na3[k+1]
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			bq := pk[(k+1)*jh : (k+1)*jh+jh : (k+1)*jh+jh]
+			for j, bv := range bp {
+				bw := bq[j]
+				v, h := min(x0, bv), h0
+				if w := min(y0, bw); w > v {
+					v, h = w, g0
+				}
+				if v > c0[j] {
+					c0[j], n0[j] = v, h
+				}
+				v, h = min(x1, bv), h1
+				if w := min(y1, bw); w > v {
+					v, h = w, g1
+				}
+				if v > c1[j] {
+					c1[j], n1[j] = v, h
+				}
+				v, h = min(x2, bv), h2
+				if w := min(y2, bw); w > v {
+					v, h = w, g2
+				}
+				if v > c2[j] {
+					c2[j], n2[j] = v, h
+				}
+				v, h = min(x3, bv), h3
+				if w := min(y3, bw); w > v {
+					v, h = w, g3
+				}
+				if v > c3[j] {
+					c3[j], n3[j] = v, h
+				}
+			}
+		}
+		for ; k < kh; k++ {
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			for q := 0; q < 4; q++ {
+				a := A.Row(i + q)[k0+k]
+				if a == negInf {
+					continue
+				}
+				hop := nextA.Row(i + q)[k0+k]
+				crow := C.Row(i + q)[j0 : j0+jh]
+				nrow := nextC.Row(i + q)[j0 : j0+jh]
+				for j, bv := range bp {
+					if v := min(a, bv); v > crow[j] {
+						crow[j], nrow[j] = v, hop
+					}
+				}
+			}
+		}
+	}
+	for ; i < r; i++ {
+		arow := A.Row(i)[k0 : k0+kh]
+		narow := nextA.Row(i)[k0 : k0+kh]
+		crow := C.Row(i)[j0 : j0+jh]
+		nrow := nextC.Row(i)[j0 : j0+jh]
+		for k, a := range arow {
+			if a == negInf {
+				continue
+			}
+			hop := narow[k]
+			bp := pk[k*jh : k*jh+jh : k*jh+jh]
+			for j, bv := range bp {
+				if v := min(a, bv); v > crow[j] {
+					crow[j], nrow[j] = v, hop
+				}
+			}
+		}
+	}
+}

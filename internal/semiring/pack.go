@@ -1,0 +1,213 @@
+package semiring
+
+// Panel packing and tuning knobs for the adaptive GEMM engine (see
+// gemm.go for the dispatch itself).
+//
+// The dense path copies each kTile×jTile tile of B into contiguous,
+// cache-line-aligned scratch before the i-sweep, so the register-blocked
+// micro-kernel streams B rows at unit stride regardless of B's parent
+// stride, and one packed tile is reused across every row quad of A.
+// Scratch buffers are pooled: a solve issues thousands of panel updates
+// and the pool reduces that to a handful of live buffers per worker.
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// GemmTuning is the machine-dependent knob set of the adaptive GEMM
+// engine. The zero value is invalid; start from DefaultGemmTuning.
+// Process-wide — install with SetGemmTuning (see AutotuneGemm in core
+// for picking values empirically).
+type GemmTuning struct {
+	// KTile×JTile is the packed B tile shape of the dense path. The
+	// tile plus a few C-row segments should fit L1 (64×512 doubles =
+	// 32 KiB).
+	KTile int `json:"k_tile"`
+	JTile int `json:"j_tile"`
+	// GemmSmall is the operand dimension below which the streaming path
+	// runs untiled (matching the seed kernel's threshold).
+	GemmSmall int `json:"gemm_small"`
+	// DenseMinFinite is the sampled finite fraction of A at or above
+	// which a call dispatches to the packed register-blocked path.
+	// Below it the Inf-skip streaming kernel wins: skipped B-row passes
+	// beat better blocking (measured crossover ≈0.7–0.9 finite).
+	DenseMinFinite float64 `json:"dense_min_finite"`
+	// DenseMinOps is the r·m·c floor for the dense path: below it the
+	// packing overhead cannot amortize and sampling is skipped.
+	DenseMinOps int `json:"dense_min_ops"`
+	// ParMinRows and ParMinOps gate i-range sharding of one large GEMM
+	// across workers: both must be met, and the shards must not alias
+	// (see overlaps in gemm.go).
+	ParMinRows int `json:"par_min_rows"`
+	ParMinOps  int `json:"par_min_ops"`
+}
+
+// DefaultGemmTuning is the shipped configuration: a 64×512 packed tile
+// (32 KiB, one L1 way set), dense dispatch at ≥85% sampled finite, and
+// i-sharding only for GEMMs big enough to amortize fork/join.
+func DefaultGemmTuning() GemmTuning {
+	return GemmTuning{
+		KTile:          64,
+		JTile:          512,
+		GemmSmall:      768,
+		DenseMinFinite: 0.85,
+		DenseMinOps:    1 << 21, // ≈128³ fused ops
+		ParMinRows:     192,
+		ParMinOps:      1 << 24,
+	}
+}
+
+// GemmTuningCandidates is the default candidate set AutotuneGemm times:
+// the shipped default plus tile-shape and threshold variations that won
+// on at least one tested host.
+func GemmTuningCandidates() []GemmTuning {
+	base := DefaultGemmTuning()
+	mk := func(kt, jt int, thresh float64, small int) GemmTuning {
+		t := base
+		t.KTile, t.JTile, t.DenseMinFinite, t.GemmSmall = kt, jt, thresh, small
+		return t
+	}
+	return []GemmTuning{
+		base,
+		mk(64, 512, 0.70, 768),
+		mk(64, 256, 0.85, 768),
+		mk(96, 384, 0.85, 768),
+		mk(48, 512, 0.95, 512),
+		mk(64, 512, 0.85, 1024),
+	}
+}
+
+// valid clamps nonsensical values instead of panicking: tuning is a
+// perf knob and must never take correctness down with it.
+func (t GemmTuning) valid() GemmTuning {
+	d := DefaultGemmTuning()
+	if t.KTile < 4 {
+		t.KTile = d.KTile
+	}
+	if t.JTile < 8 {
+		t.JTile = d.JTile
+	}
+	if t.GemmSmall < 1 {
+		t.GemmSmall = d.GemmSmall
+	}
+	if t.DenseMinOps < 1 {
+		t.DenseMinOps = d.DenseMinOps
+	}
+	if t.ParMinRows < 8 {
+		t.ParMinRows = 8
+	}
+	if t.ParMinOps < 1 {
+		t.ParMinOps = d.ParMinOps
+	}
+	return t
+}
+
+var gemmTuning atomic.Pointer[GemmTuning]
+
+func init() {
+	t := DefaultGemmTuning()
+	gemmTuning.Store(&t)
+}
+
+// CurrentGemmTuning returns the active tuning.
+func CurrentGemmTuning() GemmTuning { return *gemmTuning.Load() }
+
+// SetGemmTuning installs a new process-wide tuning (with invalid fields
+// clamped to defaults) and returns the previous one. Safe to call
+// concurrently with running kernels: each call reads the pointer once.
+func SetGemmTuning(t GemmTuning) GemmTuning {
+	t = t.valid()
+	return *gemmTuning.Swap(&t)
+}
+
+// packPool recycles packed-tile scratch. Buffers are stored pre-aligned
+// so Get never re-slices a warm buffer.
+var packPool = sync.Pool{}
+
+// getPackBuf returns a cache-line-aligned scratch slice of length n.
+func getPackBuf(n int) []float64 {
+	if v := packPool.Get(); v != nil {
+		if buf := *(v.(*[]float64)); cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	// Over-allocate by one cache line and slide to a 64-byte boundary;
+	// the aligned sub-slice keeps the backing array alive in the pool.
+	raw := make([]float64, n+8)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(unsafe.SliceData(raw))) & 63; rem != 0 {
+		off = int((64 - rem) / 8)
+	}
+	return raw[off : off+n]
+}
+
+// putPackBuf returns a scratch slice to the pool.
+func putPackBuf(buf []float64) {
+	buf = buf[:cap(buf)]
+	packPool.Put(&buf)
+}
+
+// overlaps reports whether two float64 slices share backing memory.
+// The dispatch uses it to refuse i-range sharding for aliased calls
+// (panel updates legitimately pass C aliasing A or B); pointer
+// comparison is exact because Go slices never move independently of
+// their backing array.
+func overlaps(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	pa := uintptr(unsafe.Pointer(unsafe.SliceData(a)))
+	pb := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	return pa < pb+8*uintptr(len(b)) && pb < pa+8*uintptr(len(a))
+}
+
+// overlapsInt is overlaps for next-hop storage.
+func overlapsInt(a, b []int32) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	pa := uintptr(unsafe.Pointer(unsafe.SliceData(a)))
+	pb := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	return pa < pb+4*uintptr(len(b)) && pb < pa+4*uintptr(len(a))
+}
+
+// matOverlaps reports whether two matrix views share backing memory.
+func matOverlaps(a, b Mat) bool { return overlaps(a.Data, b.Data) }
+
+// sampleFinite estimates the finite fraction of A (entries ≠ zero, the
+// semiring's "no path" value) from a strided grid of at most 16×16
+// probes — a few hundred loads against the ≥DenseMinOps fused ops the
+// answer steers, so the sampling cost is noise even when the verdict is
+// "stream".
+func sampleFinite(A Mat, zero float64) float64 {
+	ri := A.Rows/16 + 1
+	ci := A.Cols/16 + 1
+	finite, total := 0, 0
+	for i := 0; i < A.Rows; i += ri {
+		row := A.Row(i)
+		for j := 0; j < len(row); j += ci {
+			if row[j] != zero {
+				finite++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(finite) / float64(total)
+}
+
+// packTile copies the kh×jh tile of B at (k0, j0) into buf (row-major,
+// stride jh) and bumps the packed-bytes counter. The copy is a snapshot:
+// when C aliases B (panel updates), later writes to C are deliberately
+// not observed by the rest of the tile's i-sweep — see the aliasing
+// argument in gemm.go.
+func packTile(buf []float64, B Mat, k0, kh, j0, jh int) {
+	for k := 0; k < kh; k++ {
+		copy(buf[k*jh:(k+1)*jh], B.Row(k0 + k)[j0:j0+jh])
+	}
+	kernelStats.packedBytes.Add(uint64(kh * jh * 8))
+}

@@ -12,7 +12,11 @@ package semiring
 // extraction terminates; extraction guards against the pathological
 // zero-weight-cycle case with a hop budget.
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
 
 // IntMat is a dense row-major int32 matrix view (see Mat).
 type IntMat struct {
@@ -89,7 +93,10 @@ func FloydWarshallPaths(A Mat, next IntMat) {
 // when C[i][j] improves via intermediate k, nextC[i][j] ← nextA[i][k].
 // nextC must be shaped like C and nextA like A. The same in-place
 // aliasing rules as MinPlusMulAdd apply (C may alias A or B when the
-// non-aliased operand is closed with a zero diagonal).
+// non-aliased operand is closed with a zero diagonal), and it shares
+// the adaptive dense/stream dispatch and i-sharding of MinPlusMulAdd:
+// every kernel path applies k in ascending order with strict
+// improvement, so recorded hops match the canonical reference exactly.
 func MinPlusMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
 	if A.Rows != C.Rows || B.Cols != C.Cols || A.Cols != B.Rows {
 		panic("semiring: MinPlusMulAddPaths shape mismatch")
@@ -97,7 +104,55 @@ func MinPlusMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
 	if nextC.Rows != C.Rows || nextC.Cols != C.Cols || nextA.Rows != A.Rows || nextA.Cols != A.Cols {
 		panic("semiring: MinPlusMulAddPaths next-hop shape mismatch")
 	}
+	kernelStats.calls.Add(1)
+	t := CurrentGemmTuning()
+	dense := wantDense(t, A, C.Cols, Inf)
+	if dense {
+		kernelStats.dense.Add(1)
+	} else {
+		kernelStats.stream.Add(1)
+	}
+	run := func(C, A Mat, nc, na IntMat) {
+		if dense {
+			minPlusPathsDense(C, A, B, nc, na, t)
+		} else {
+			minPlusPathsStream(C, A, B, nc, na)
+		}
+	}
+	if wantShard(t, C.Rows, A.Cols, C.Cols) &&
+		!matOverlaps(C, A) && !matOverlaps(C, B) && !overlapsInt(nextC.Data, nextA.Data) {
+		par.ForRanges(C.Rows, 0, t.ParMinRows, func(lo, hi int) {
+			kernelStats.parShards.Add(1)
+			run(C.View(lo, 0, hi-lo, C.Cols), A.View(lo, 0, hi-lo, A.Cols),
+				nextC.View(lo, 0, hi-lo, nextC.Cols), nextA.View(lo, 0, hi-lo, nextA.Cols))
+		})
+		return
+	}
+	run(C, A, nextC, nextA)
+}
+
+// minPlusPathsDense is the packed register-blocked path with next-hop
+// maintenance.
+func minPlusPathsDense(C, A, B Mat, nextC, nextA IntMat, t GemmTuning) {
+	kt, jt := t.KTile, t.JTile
+	buf := getPackBuf(kt * jt)
+	for k0 := 0; k0 < A.Cols; k0 += kt {
+		kh := min(kt, A.Cols-k0)
+		for j0 := 0; j0 < C.Cols; j0 += jt {
+			jh := min(jt, C.Cols-j0)
+			packTile(buf, B, k0, kh, j0, jh)
+			minPlusPathsTile(C, A, nextC, nextA, buf[:kh*jh], k0, kh, j0, jh)
+		}
+	}
+	putPackBuf(buf)
+	kernelStats.fusedOps.Add(uint64(A.Rows) * uint64(A.Cols) * uint64(C.Cols))
+}
+
+// minPlusPathsStream is the Inf-skip streaming path with next-hop
+// maintenance.
+func minPlusPathsStream(C, A, B Mat, nextC, nextA IntMat) {
 	m := A.Cols
+	var touched uint64
 	for i := 0; i < A.Rows; i++ {
 		crow := C.Row(i)
 		arow := A.Row(i)
@@ -112,6 +167,7 @@ func MinPlusMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
 			brow := B.Row(k)
 			cr := crow[:len(brow)]
 			nr := ncrow[:len(brow)]
+			touched += uint64(len(brow))
 			for j, b := range brow {
 				if v := aik + b; v < cr[j] {
 					cr[j] = v
@@ -120,6 +176,7 @@ func MinPlusMulAddPaths(C, A, B Mat, nextC, nextA IntMat) {
 			}
 		}
 	}
+	kernelStats.fusedOps.Add(touched)
 }
 
 // InitNextHops fills next for an initial distance matrix D (in the same

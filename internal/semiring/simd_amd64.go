@@ -1,0 +1,74 @@
+//go:build amd64
+
+package semiring
+
+// AVX2 acceleration of the dense min-plus tile sweep. The paper's
+// SemiringGemm is hand-tuned AVX2 (§5.1.2: 10.2 Gflop/s per core, 28%
+// of machine peak); pure scalar Go saturates the FP ports at roughly
+// one fused add-min per cycle, so matching the paper's kernel-bound
+// shape requires vectorizing the inner loop the same way. The assembly
+// kernel (gemm_amd64.s) processes one C row against a packed k-pair of
+// B rows, 8 lanes per iteration (2 YMM vectors), with an unconditional
+// blended store: min(c, x+bv, y+bw). There is no NaN hazard — operands
+// are finite or +Inf and never opposite infinities, so MINPD's operand
+// ordering is immaterial.
+//
+// useAVX2 is set once at init via CPUID (checking OSXSAVE + AVX + AVX2
+// and XCR0 state enablement); on older machines the scalar
+// register-blocked quad kernel in microkernel.go runs instead.
+
+var useAVX2 = cpuidAVX2()
+
+// cpuidAVX2 reports whether the CPU and OS support AVX2 (implemented in
+// gemm_amd64.s).
+func cpuidAVX2() bool
+
+// minPlusKPairAVX2 computes c[j] = min(c[j], x+bv[j], y+bw[j]) for
+// j < len(c). len(bv) and len(bw) must be ≥ len(c); len(c) must be a
+// multiple of 8 (the Go caller peels the tail). Implemented in
+// gemm_amd64.s.
+func minPlusKPairAVX2(c, bv, bw []float64, x, y float64)
+
+// minPlusTileVec is the vectorized form of minPlusTile. It returns
+// false when the hardware lacks AVX2 or the tile is too narrow to be
+// worth the call overhead, leaving the scalar kernel to run.
+func minPlusTileVec(C, A Mat, pk []float64, k0, kh, j0, jh int) bool {
+	if !useAVX2 || jh < 16 {
+		return false
+	}
+	j8 := jh &^ 7
+	for i := 0; i < A.Rows; i++ {
+		arow := A.Row(i)[k0 : k0+kh]
+		crow := C.Row(i)[j0 : j0+jh]
+		for k := 0; k+1 < kh; k += 2 {
+			x, y := arow[k], arow[k+1]
+			if x == Inf && y == Inf {
+				continue // neither k can improve any c
+			}
+			bv := pk[k*jh : k*jh+jh]
+			bw := pk[(k+1)*jh : (k+1)*jh+jh]
+			minPlusKPairAVX2(crow[:j8], bv, bw, x, y)
+			for j := j8; j < jh; j++ {
+				if v := min(x+bv[j], y+bw[j]); v < crow[j] {
+					crow[j] = v
+				}
+			}
+		}
+		if kh&1 == 1 {
+			x := arow[kh-1]
+			if x == Inf {
+				continue
+			}
+			bv := pk[(kh-1)*jh : (kh-1)*jh+jh]
+			// Reuse the pair kernel with a +Inf second lane: Inf+bw
+			// never improves c, so the result is the single-k update.
+			minPlusKPairAVX2(crow[:j8], bv, bv, x, Inf)
+			for j := j8; j < jh; j++ {
+				if v := x + bv[j]; v < crow[j] {
+					crow[j] = v
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package semiring
+
+// Non-amd64 fallback: no vector kernel; the scalar register-blocked
+// quad kernel in microkernel.go handles every tile.
+
+var useAVX2 = false
+
+func minPlusTileVec(C, A Mat, pk []float64, k0, kh, j0, jh int) bool {
+	return false
+}

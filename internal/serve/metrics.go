@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/semiring"
 )
 
 // endpointMetrics counts one route's traffic.
@@ -58,6 +60,11 @@ type MetricsSnapshot struct {
 	CacheHitRate     float64                     `json:"cache_hit_rate"`
 	CacheSize        int                         `json:"cache_size"`
 	CacheCap         int                         `json:"cache_cap"`
+	// Kernel exposes the process-wide GEMM-engine counters (cumulative
+	// since process start): dispatch split, fused element updates and
+	// packed bytes. Reloads re-run the numeric solve in-process, so these
+	// move on reload and on any server that solves at startup.
+	Kernel semiring.KernelCounters `json:"kernel"`
 }
 
 // Metrics returns a snapshot of every serving counter; /metrics encodes
@@ -88,6 +95,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.CacheHitRate = st.HitRate()
 	snap.CacheSize = st.Size
 	snap.CacheCap = st.Cap
+	snap.Kernel = semiring.ReadKernelCounters()
 	return snap
 }
 
