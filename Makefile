@@ -2,7 +2,14 @@ GO ?= go
 
 RACE_PKGS := ./internal/par ./internal/core ./internal/serve ./internal/semiring
 
-.PHONY: all build test race lint bench-smoke queryload-smoke chaos checkpoint-smoke gemm-smoke bench-gemm
+# Sources the apspvet vettool is built from; the bin/apspvet rule
+# rebuilds only when one of these changes, so repeated `make lint` /
+# `make check` runs reuse the cached binary.
+APSPVET := bin/apspvet
+APSPVET_SRC := $(wildcard cmd/apspvet/*.go internal/analysis/*.go \
+	internal/analysis/analysistest/*.go internal/analyzers/*.go)
+
+.PHONY: all build test race lint apspvet staticcheck check bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke bench-gemm
 
 all: build test
 
@@ -15,10 +22,34 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-lint:
+$(APSPVET): $(APSPVET_SRC)
+	$(GO) build -o $@ ./cmd/apspvet
+
+# The repo-specific analyzer suite (DESIGN.md §11) run through the real
+# `go vet -vettool` driver — the same invocation CI uses.
+apspvet: $(APSPVET)
+	$(GO) vet -vettool=$(APSPVET) ./...
+
+lint: apspvet
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# staticcheck is an external tool: run it when installed, and skip with a
+# note otherwise (the offline dev container has no network to install it;
+# the CI job installs a pinned version).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs the pinned version)"; \
+	fi
+
+# The pre-merge umbrella: everything that must hold statically before
+# tests even matter. Build, stock vet + gofmt, the apspvet invariant
+# suite, and staticcheck when available.
+check: build lint staticcheck
+	@echo "check OK"
 
 # Compile and run every benchmark exactly once — catches benchmarks that
 # no longer build or crash without paying for a full measurement run.
@@ -34,8 +65,32 @@ queryload-smoke:
 # Fault-injection suite under the race detector: cancellation
 # mid-factorization, worker panics with task attribution, corrupt
 # checkpoint rejection, shutdown during streamed responses.
-chaos:
+chaos: chaos-checkpoint
 	$(GO) test -race -run 'TestChaos' $(RACE_PKGS)
+
+# Whole-process fault injection via SUPERFW_FAULTPOINTS through a full
+# checkpoint-restore cycle: a save with a short-write fault armed must
+# fail loudly and must not leave a loadable file behind; a clean save
+# followed by a restore in a fresh process (env-armed with a fault the
+# query path never visits) must answer the same route bit-for-bit.
+chaos-checkpoint:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; set -e; \
+	echo "chaos-checkpoint: save under injected short write must fail"; \
+	if SUPERFW_FAULTPOINTS='core.factorio.write=shortwrite=64' \
+		$(GO) run ./cmd/superfw -graph powergrid_s -quick -factor \
+		-savefactor "$$tmp/torn.sfwf" >/dev/null 2>&1; then \
+		echo "FAIL: faulted save exited 0"; exit 1; fi; \
+	if [ -f "$$tmp/torn.sfwf" ] && $(GO) run ./cmd/superfw \
+		-loadfactor "$$tmp/torn.sfwf" -route 0,100 >/dev/null 2>&1; then \
+		echo "FAIL: torn checkpoint loaded"; exit 1; fi; \
+	echo "chaos-checkpoint: clean save, then env-armed restore"; \
+	$(GO) run ./cmd/superfw -graph powergrid_s -quick -factor \
+		-savefactor "$$tmp/f.sfwf" -route 0,100 | grep 'dist(' > "$$tmp/built.txt"; \
+	SUPERFW_FAULTPOINTS='core.factor.eliminate=sleep=1ms' \
+	$(GO) run ./cmd/superfw -loadfactor "$$tmp/f.sfwf" -route 0,100 \
+		| grep 'dist(' > "$$tmp/restored.txt"; \
+	diff "$$tmp/built.txt" "$$tmp/restored.txt" \
+		&& echo "chaos-checkpoint OK: $$(cat "$$tmp/restored.txt")"
 
 # Checkpoint round trip through the CLI: factor a graph, save it, answer
 # the same route query from the saved file, and require byte-identical
@@ -53,7 +108,7 @@ checkpoint-smoke:
 # (every dispatch path vs the naive kernel, under the race detector) plus
 # one quick pass of the gemm density × size sweep.
 gemm-smoke:
-	$(GO) test -race -run 'TestGemmDifferential|TestKernelCounters' ./internal/semiring
+	$(GO) test -race -run 'TestGemmDifferential|TestKernelCounters|FuzzGemmDifferential' ./internal/semiring
 	$(GO) run ./cmd/apspbench -exp gemm -quick
 
 # Full density × size sweep of the adaptive GEMM engine vs the frozen

@@ -1,0 +1,25 @@
+// Command apspvet is the repo's static-invariant checker: a vet-style
+// multichecker over the analyzers in internal/analyzers.
+//
+// It speaks the `go vet -vettool` protocol, which is how the Makefile
+// and CI run it (type-checked against the exact per-package build
+// configuration, with cmd/go caching results):
+//
+//	go build -o bin/apspvet ./cmd/apspvet
+//	go vet -vettool=bin/apspvet ./...
+//
+// Invoked with package patterns (or no arguments, meaning ./...) it
+// loads and checks packages itself, which is convenient for one-off
+// local runs:
+//
+//	go run ./cmd/apspvet ./internal/core
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analyzers"
+)
+
+func main() {
+	analysis.Main(analyzers.Suite...)
+}

@@ -1,0 +1,206 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis driver surface, built on the
+// standard library's go/ast and go/types. The container this repo is
+// grown in has no module proxy access, so the usual x/tools framework
+// cannot be fetched; the subset implemented here — Analyzer, Pass,
+// per-package running with //lint:ignore suppression, a go-list-based
+// standalone loader (load.go), and the `go vet -vettool` unitchecker
+// protocol (unitchecker.go) — is exactly what the apspvet suite in
+// internal/analyzers needs. Analyzer Run functions are written against
+// the same shapes as their x/tools counterparts, so they port to the
+// real framework mechanically if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and why
+	// it is load-bearing for this repo.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// findings through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding against the current package.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Most apspvet
+// analyzers enforce production invariants and skip test code (tests
+// deliberately compare floats bitwise, spawn helper goroutines, etc.).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Finding is a resolved diagnostic: analyzer name plus file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers rely
+// on populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// RunAnalyzers applies each analyzer to pkg, resolves positions, drops
+// findings suppressed by //lint:ignore directives, and returns the
+// survivors sorted by position. Malformed directives are themselves
+// reported under the pseudo-analyzer name "lintdirective".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	sup, bad := collectSuppressions(pkg)
+	var out []Finding
+	out = append(out, bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if sup.suppressed(name, pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// suppressions maps file -> line -> set of analyzer names ignored on
+// that line. A directive suppresses findings on its own line and on the
+// line immediately below, so both trailing and standalone placements
+// work:
+//
+//	foo()            //lint:ignore nakedgo reason
+//	//lint:ignore nakedgo reason
+//	foo()
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment for //lint:ignore directives.
+// The format is staticcheck's:
+//
+//	//lint:ignore name1,name2 reason text
+//
+// A directive with no analyzer list or no reason is reported as a
+// finding instead of silently ignored — an undocumented suppression is
+// exactly the convention-rot this suite exists to prevent.
+func collectSuppressions(pkg *Package) (suppressions, []Finding) {
+	sup := suppressions{}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore analyzer[,analyzer] reason\"",
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				for _, n := range strings.Split(fields[0], ",") {
+					names[n] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}

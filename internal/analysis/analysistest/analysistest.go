@@ -1,0 +1,186 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := 1.0 == y // want `float equality`
+//
+// Each `// want` carries one or more quoted regular expressions; every
+// expectation must be matched by exactly one diagnostic on that line
+// and vice versa. Fixtures import only the standard library, which is
+// type-checked from GOROOT source, so the runner needs no network and
+// no pre-built export data.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies a to each fixture package (a path under testdata/src,
+// e.g. "nakedgo" or "nakedgo/internal/par") and reports mismatches
+// between diagnostics and // want expectations on t.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fixture := range fixtures {
+		runOne(t, a, fixture)
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(fixture))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", fixture, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", fixture, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", fixture, dir)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(fixture, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: type-checking fixture: %v", fixture, err)
+	}
+	pkg := &analysis.Package{Fset: fset, Files: files, Types: tpkg, Info: info}
+	findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", fixture, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, perr := parseWant(c.Text[idx+len("// want "):])
+				if perr != "" {
+					t.Errorf("%s:%d: %s", pos.Filename, pos.Line, perr)
+					continue
+				}
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], patterns...)
+			}
+		}
+	}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx != nil && rx.MatchString(f.Message) {
+				wants[k][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fixture, f)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, rx := range wants[k] {
+			if rx != nil {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", fixture, k.file, k.line, rx)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from the text after "// want".
+// Both `backquoted` and "double-quoted" forms are accepted.
+func parseWant(s string) ([]*regexp.Regexp, string) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, "unterminated ` in // want"
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		case '"':
+			rest := s[1:]
+			var b strings.Builder
+			for {
+				i := strings.IndexAny(rest, `"\`)
+				if i < 0 {
+					return nil, `unterminated " in // want`
+				}
+				if rest[i] == '\\' {
+					if i+1 >= len(rest) {
+						return nil, `bad escape in // want`
+					}
+					q, err := strconv.Unquote(`"` + rest[:i+2] + `"`)
+					if err != nil {
+						return nil, "bad escape in // want: " + err.Error()
+					}
+					b.WriteString(q)
+					rest = rest[i+2:]
+					continue
+				}
+				b.WriteString(rest[:i])
+				rest = rest[i+1:]
+				break
+			}
+			lit = b.String()
+			s = rest
+		default:
+			return nil, "// want expects quoted regexps, got " + strconv.Quote(s)
+		}
+		rx, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, "bad regexp in // want: " + err.Error()
+		}
+		out = append(out, rx)
+		s = strings.TrimSpace(s)
+	}
+	if len(out) == 0 {
+		return nil, "// want with no expectations"
+	}
+	return out, ""
+}

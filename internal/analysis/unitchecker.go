@@ -1,0 +1,172 @@
+package analysis
+
+// The `go vet -vettool` protocol. cmd/go drives a vet tool as follows:
+//
+//  1. `tool -V=full` — print a version line ending in a content hash;
+//     cmd/go folds it into its action cache key, so rebuilding the tool
+//     invalidates cached vet results.
+//  2. `tool -flags` — print a JSON array describing supported flags
+//     (empty for apspvet: the suite always runs whole).
+//  3. `tool <pkg>.cfg` — analyze one package. The cfg file is JSON
+//     naming the source files, the import map, and the export-data file
+//     of every dependency (already built by cmd/go). Facts output
+//     (VetxOutput) must be written even though this suite is factless,
+//     because cmd/go caches and feeds it to dependents.
+//
+// Diagnostics go to stderr as "file:line:col: message" and the exit
+// status is 2 when any were reported — the same contract as
+// x/tools/go/analysis/unitchecker, so `go vet -vettool=bin/apspvet`
+// behaves exactly like the stock vet suite from the Makefile and CI.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON schema of the .cfg files cmd/go hands to
+// vet tools (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point shared by vettool and standalone invocations:
+//
+//	apspvet -V=full | -flags | pkg.cfg     (driven by go vet)
+//	apspvet [dir-relative patterns...]     (standalone; default ./...)
+//
+// It does not return.
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(unitcheck(args[0], analyzers))
+	default:
+		if len(args) == 0 {
+			args = []string{"./..."}
+		}
+		os.Exit(standalone(args, analyzers))
+	}
+}
+
+// printVersion emits the -V=full line. The hash is over the tool binary
+// itself, matching x/tools unitchecker, so vet caching keys on the
+// exact build of the suite.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		f, err2 := os.Open(exe)
+		if err2 == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+func unitcheck(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "apspvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// cmd/go requires the facts file regardless; the suite carries none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	// Dependencies are visited for facts only — nothing to do.
+	if cfg.VetxOnly {
+		return 0
+	}
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := CheckFiles(cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
+		return 1
+	}
+	findings, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func standalone(patterns []string, analyzers []*Analyzer) int {
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			exit = 1
+		}
+	}
+	return exit
+}

@@ -1,0 +1,24 @@
+// Package analyzers is the apspvet suite: repo-specific static checks
+// that promote invariants previously enforced only at runtime (or by
+// convention) into build-time guarantees. The paper's correctness
+// argument rests on an ahead-of-time structural fact — only the A(k,k)
+// diagonal block is shared between concurrent updates — established by
+// symbolic analysis before any numeric work runs; these analyzers apply
+// the same philosophy to the implementation itself: goroutine panic
+// containment (nakedgo), GEMM aliasing (aliascheck), context plumbing
+// (ctxplumb), NaN/Inf discipline (nanguard), and atomic counter access
+// (atomiccheck) are all checked before the code ever executes.
+//
+// DESIGN.md section 11 documents each invariant and its provenance.
+package analyzers
+
+import "repro/internal/analysis"
+
+// Suite is every analyzer apspvet runs, in reporting order.
+var Suite = []*analysis.Analyzer{
+	AliasCheck,
+	AtomicCheck,
+	CtxPlumb,
+	NakedGo,
+	NanGuard,
+}

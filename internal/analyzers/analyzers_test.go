@@ -1,0 +1,28 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers"
+)
+
+func TestNakedGo(t *testing.T) {
+	analysistest.Run(t, analyzers.NakedGo, "nakedgo", "nakedgo/internal/par")
+}
+
+func TestAliasCheck(t *testing.T) {
+	analysistest.Run(t, analyzers.AliasCheck, "aliascheck")
+}
+
+func TestCtxPlumb(t *testing.T) {
+	analysistest.Run(t, analyzers.CtxPlumb, "ctxplumb")
+}
+
+func TestNanGuard(t *testing.T) {
+	analysistest.Run(t, analyzers.NanGuard, "nanguard")
+}
+
+func TestAtomicCheck(t *testing.T) {
+	analysistest.Run(t, analyzers.AtomicCheck, "atomiccheck")
+}

@@ -1,0 +1,189 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// AtomicCheck guards the observability counters: the kernel stats block
+// in internal/semiring/stats.go and the serve metrics are plain structs
+// of sync/atomic typed fields updated concurrently by every worker and
+// scraped by /metrics, so a single plain load or store anywhere tears
+// the whole scheme (and is a data race the race detector only sees on
+// paths that execute). The analyzer enforces, in every package:
+//
+//   - a value of a sync/atomic type (atomic.Uint64, atomic.Pointer[T],
+//     ...) may only be used as the receiver of its own methods or have
+//     its address taken; copying or comparing it bypasses the atomic
+//     API (and copies internal state non-atomically).
+//   - a field or variable that is accessed through the function-style
+//     API (atomic.AddUint64(&x.n, 1), ...) anywhere in the package must
+//     be accessed that way everywhere: mixing atomic and plain access
+//     to the same location is the race the typed API was introduced to
+//     make unrepresentable.
+//
+// Unlike most of the suite this analyzer includes _test.go files: test
+// goroutines race against production counters exactly like any other
+// reader.
+var AtomicCheck = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc:  "flags plain or mixed access to atomic counter fields (kernel stats, serve metrics)",
+	Run:  runAtomicCheck,
+}
+
+func runAtomicCheck(pass *analysis.Pass) error {
+	// Pass 1: collect every location targeted by a function-style
+	// sync/atomic call, remembering the exact AST nodes so pass 2 can
+	// tell sanctioned uses from plain ones.
+	atomicTarget := map[types.Object]string{} // object -> atomic func name
+	sanctioned := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := calleeFunc(pass, call)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-API method, handled below
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(un.X)
+			if obj := referencedObject(pass, target); obj != nil {
+				if _, seen := atomicTarget[obj]; !seen {
+					atomicTarget[obj] = fn.Name()
+				}
+				sanctioned[target] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag typed-atomic misuse and plain access to pass-1
+	// targets. A parent stack distinguishes method-receiver and
+	// address-of positions from value copies.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.TypesInfo.Selections[x]
+				if ok && sel.Kind() == types.FieldVal && isAtomicType(sel.Type()) && !allowedAtomicUse(pass, stack) {
+					pass.Reportf(x.Pos(), "atomic field %s used as a plain value; all access must go through its atomic methods (Load/Store/Add/Swap/CompareAndSwap) or take its address", types.ExprString(x))
+				}
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[x]
+				if obj == nil {
+					return true
+				}
+				if _, isVar := obj.(*types.Var); isVar && isAtomicType(obj.Type()) && !isFieldIdent(stack) && !allowedAtomicUse(pass, stack) {
+					pass.Reportf(x.Pos(), "atomic variable %s used as a plain value; all access must go through its atomic methods", x.Name)
+				}
+			}
+			// Mixed function-style/plain access.
+			if obj := referencedObject(pass, n); obj != nil {
+				if fn, tracked := atomicTarget[obj]; tracked && !sanctioned[n] && !addrTaken(stack) {
+					pass.Reportf(n.Pos(), "plain access to %s, which is accessed with sync/atomic.%s elsewhere in this package; mixed atomic/plain access races — use the atomic API everywhere (or migrate the field to a sync/atomic type)", types.ExprString(n.(ast.Expr)), fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// referencedObject resolves an lvalue-ish expression (Ident or field
+// SelectorExpr) to its object.
+func referencedObject(pass *analysis.Pass, n ast.Node) types.Object {
+	switch x := n.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[x].(*types.Var); ok && !obj.IsField() {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// allowedAtomicUse inspects the parent chain of the current node (the
+// last stack element) and reports whether the atomic value is used in a
+// sanctioned position: receiver of a method selection, or operand of &.
+func allowedAtomicUse(pass *analysis.Pass, stack []ast.Node) bool {
+	self := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			self = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X != self {
+				return false // we are the .Sel of a parent selection; keep it
+			}
+			sel, ok := pass.TypesInfo.Selections[p]
+			return ok && sel.Kind() == types.MethodVal
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isFieldIdent reports whether the ident at the top of the stack is the
+// .Sel of a SelectorExpr (handled by the SelectorExpr case) rather than
+// a standalone reference.
+func isFieldIdent(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	p, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	return ok && p.Sel == stack[len(stack)-1]
+}
+
+// addrTaken reports whether the current node (last stack element) is
+// the operand of &. Taking the address is not itself an access —
+// &x.n handed to a helper is how the function-style API composes — so
+// only reads and writes of the location are flagged.
+func addrTaken(stack []ast.Node) bool {
+	self := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			self = p
+			continue
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && p.X == self
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// CtxPlumb enforces the context-plumbing discipline from PR 3: once a
+// caller has handed a function a context (SolveCtx, NewFactorCtx, ...),
+// that context must flow through every cancellable call below it.
+// Two patterns break the chain and are flagged inside any library
+// function that has a context.Context parameter in scope:
+//
+//  1. Calling context.Background() or context.TODO(), which silently
+//     detaches the subtree from cancellation. Where detaching is the
+//     point (e.g. a graceful-drain window that must outlive the
+//     cancelled serving context), context.WithoutCancel(ctx) says so
+//     explicitly and keeps the values.
+//  2. Calling Foo(...) when the callee's package also exports
+//     FooCtx(ctx, ...): the ctx-less convenience wrapper is for leaf
+//     callers without a context, not for code that has one to give.
+//
+// Adapters that introduce a fresh background context at the API
+// boundary (superfw.Solve -> SolveCtx) have no ctx parameter and are
+// not flagged.
+var CtxPlumb = &analysis.Analyzer{
+	Name: "ctxplumb",
+	Doc:  "flags dropped contexts: Background()/TODO() or ctx-less sibling calls inside functions that hold a ctx",
+	Run:  runCtxPlumb,
+}
+
+func runCtxPlumb(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // entry points legitimately mint root contexts
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCtxCall(pass, call)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCtxCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	var obj types.Object
+	if ok {
+		obj = pass.TypesInfo.Uses[sel.Sel]
+	} else if id, ok2 := ast.Unparen(call.Fun).(*ast.Ident); ok2 {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+		pass.Reportf(call.Pos(), "context.%s() inside a function that has a ctx in scope detaches this subtree from cancellation; pass ctx, or use context.WithoutCancel(ctx) to detach deliberately", fn.Name())
+		return
+	}
+	// Ctx-less sibling: pkg exports fn.Name()+"Ctx" taking a context
+	// first. Methods are resolved through their receiver's package scope
+	// only when declared at package level, which covers this repo.
+	if strings.HasSuffix(fn.Name(), "Ctx") {
+		return
+	}
+	sibling, ok := fn.Pkg().Scope().Lookup(fn.Name() + "Ctx").(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := sibling.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s.%s drops the ctx in scope; call %sCtx(ctx, ...) so cancellation reaches this subtree", fn.Pkg().Name(), fn.Name(), fn.Name())
+}
+
+// hasCtxParam reports whether fd declares a parameter (or receiver) of
+// type context.Context.
+func hasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,44 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// NakedGo enforces the panic-containment contract from PR 3: every
+// worker goroutine must be spawned through internal/par (par.For,
+// par.RunDAG, par.Group, or par.Do for sequential attribution), whose
+// schedulers capture worker panics as *par.TaskPanic with task identity
+// and re-raise them once on the caller. A raw `go` statement anywhere
+// else creates a goroutine whose panic kills the process with an
+// anonymous stack — exactly the failure mode the fault-tolerance work
+// eliminated. Long-lived service goroutines that outlive their caller
+// (e.g. an http.Server accept loop) are the documented exception and
+// carry a //lint:ignore nakedgo annotation explaining why containment
+// does not apply.
+var NakedGo = &analysis.Analyzer{
+	Name: "nakedgo",
+	Doc:  "flags raw go statements outside internal/par, which bypass TaskPanic containment",
+	Run:  runNakedGo,
+}
+
+func runNakedGo(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if path == "repro/internal/par" || strings.HasSuffix(path, "internal/par") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Go, "naked go statement outside internal/par: a panic in this goroutine escapes TaskPanic containment; use par.For/par.RunDAG/par.Group, or annotate a long-lived service goroutine with //lint:ignore nakedgo <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// NanGuard enforces NaN/Inf discipline on distance arithmetic. Distances
+// use math.Inf(1) as the semiring zero ("no path"), and NaN must never
+// enter the lattice — PR 2's negative-self-loop bug was a NaN-ordering
+// mistake where a comparison silently evaluated false and skipped a
+// rejection. In the distance-carrying packages (core, graph, semiring,
+// dist) the analyzer flags:
+//
+//   - ==/!= between two computed float expressions. Comparing against
+//     the Inf sentinel or a float constant is NaN-safe by construction
+//     (NaN == Inf is false and takes the conservative branch); equality
+//     between two computed distances is not, and usually wants either a
+//     tolerance or an explicit bitwise-equality annotation. Sentinels
+//     are recognized by the repo's naming convention: identifiers and
+//     selectors named Inf/negInf, the semiring identities Zero/One
+//     (always ±Inf or 0 by construction, see semiring.Kernels), and
+//     math.Inf(...) calls.
+//   - any ordered comparison with math.NaN(), which is always false;
+//     use math.IsNaN.
+//   - x == x / x != x self-comparison; use math.IsNaN, which names the
+//     intent.
+var NanGuard = &analysis.Analyzer{
+	Name: "nanguard",
+	Doc:  "flags NaN-hostile float comparisons on distance values; require math.IsNaN/IsInf or Inf-sentinel compares",
+	Run:  runNanGuard,
+}
+
+// nanGuardPkgs are the packages that carry distance values.
+var nanGuardPkgs = map[string]bool{
+	"core":     true,
+	"graph":    true,
+	"semiring": true,
+	"dist":     true,
+}
+
+func runNanGuard(pass *analysis.Pass) error {
+	if !nanGuardPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) {
+				return true
+			}
+			if isNaNCall(pass, be.X) || isNaNCall(pass, be.Y) {
+				pass.Reportf(be.OpPos, "comparison with math.NaN() is always false; use math.IsNaN")
+				return true
+			}
+			if be.Op != token.EQL && be.Op != token.NEQ {
+				return true
+			}
+			if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				pass.Reportf(be.OpPos, "float self-comparison %s %s %s: use math.IsNaN to name the intent", types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+				return true
+			}
+			if nanSafe(pass, be.X) || nanSafe(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "float %s between two computed distance values is NaN-hostile; compare against the Inf sentinel, use math.IsNaN/IsInf or a tolerance, or annotate deliberate bitwise equality with //lint:ignore nanguard <reason>", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// nanSafe reports whether comparing against e with == / != cannot be a
+// NaN-ordering trap: constants (including literals and named consts)
+// and the Inf sentinel in its various spellings.
+func nanSafe(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true // constant expression
+	}
+	switch x := e.(type) {
+	case *ast.UnaryExpr: // -Inf
+		return nanSafe(pass, x.X)
+	case *ast.Ident:
+		return sentinelName(x.Name)
+	case *ast.SelectorExpr: // semiring.Inf, K.Zero, f.K.One
+		return sentinelName(x.Sel.Name)
+	case *ast.CallExpr: // math.Inf(1)
+		if fn, ok := calleeFunc(pass, x); ok {
+			return fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Inf"
+		}
+	}
+	return false
+}
+
+// sentinelName matches the repo's sentinel spellings: Inf/negInf
+// locals hoisted out of hot loops, and the semiring identity values
+// Zero/One, which are ±Inf or 0 for every algebra in the tree.
+func sentinelName(name string) bool {
+	switch strings.ToLower(name) {
+	case "inf", "neginf", "zero", "one":
+		return true
+	}
+	return false
+}
+
+func isNaNCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := calleeFunc(pass, call)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "NaN"
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	return fn, ok
+}

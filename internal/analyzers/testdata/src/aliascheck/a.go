@@ -1,0 +1,31 @@
+package a
+
+type Mat struct {
+	Data []float64
+}
+
+func (m Mat) View(i, j, r, c int) Mat { return m }
+
+func MinPlusMulAdd(C, A, B Mat)               {}
+func MinPlusMulAddSerial(C, A, B Mat)         {}
+func MaxMinMulAddPaths(C, A, B Mat, n, m int) {}
+func UnrelatedThreeArg(C, A, B Mat)           {}
+
+type Kernels struct {
+	MulAdd func(C, A, B Mat)
+}
+
+func update(K *Kernels, up, diag, down Mat) {
+	MinPlusMulAdd(up, diag, up)           // want `C argument up aliases B`
+	MinPlusMulAdd(down, down, diag)       // want `C argument down aliases A`
+	MinPlusMulAddSerial(up, up, up)       // want `aliases A` `aliases B`
+	K.MulAdd(up, diag, up)                // want `C argument up aliases B`
+	MaxMinMulAddPaths(up, up, diag, 0, 0) // want `aliases A`
+
+	//lint:ignore aliascheck diag is a closed zero-diagonal block (panel update)
+	MinPlusMulAdd(up, diag, up)
+
+	MinPlusMulAdd(up, diag, down)                            // clean: three distinct operands
+	UnrelatedThreeArg(up, up, up)                            // clean: not in the gemm family
+	K.MulAdd(up.View(0, 0, 1, 1), up.View(1, 1, 1, 1), diag) // clean: different views are not syntactic aliases
+}

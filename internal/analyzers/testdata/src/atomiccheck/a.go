@@ -1,0 +1,53 @@
+package a
+
+import "sync/atomic"
+
+// Typed atomics: the kernel-stats shape.
+type stats struct {
+	calls atomic.Uint64
+	dense atomic.Uint64
+}
+
+var kernelStats stats
+
+func typedUse() uint64 {
+	kernelStats.calls.Add(1)       // clean: method call
+	v := kernelStats.calls.Load()  // clean: method call
+	p := &kernelStats.dense        // clean: address taken
+	p.Store(2)                     // clean: method via pointer
+	load := kernelStats.calls.Load // clean: method value binds the receiver
+	_ = kernelStats.calls          // want `atomic field kernelStats.calls used as a plain value`
+	return v + load()
+}
+
+// Function-style API: mixed atomic/plain access.
+type counters struct {
+	hits uint64
+	miss uint64
+}
+
+var c counters
+
+func mixed() uint64 {
+	atomic.AddUint64(&c.hits, 1) // clean: the sanctioned form
+	c.hits++                     // want `plain access to c.hits, which is accessed with sync/atomic.AddUint64`
+	if c.hits > 10 {             // want `plain access to c.hits`
+		return atomic.LoadUint64(&c.hits) // clean
+	}
+	bump(&c.hits) // clean: address handed off, not an access
+
+	c.miss++ // clean: miss is never touched atomically
+	return c.miss
+}
+
+func bump(p *uint64) { atomic.AddUint64(p, 1) }
+
+var free atomic.Int64
+
+func vars() int64 {
+	free.Add(3) // clean
+	_ = free    // want `atomic variable free used as a plain value`
+	//lint:ignore atomiccheck snapshotting a quiesced counter block
+	y := free
+	return y.Load() + free.Load()
+}

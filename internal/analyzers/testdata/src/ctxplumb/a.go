@@ -1,0 +1,39 @@
+package a
+
+import "context"
+
+func SolveCtx(ctx context.Context, n int) error { return ctx.Err() }
+
+func Solve(n int) error {
+	// clean: no ctx in scope, this is the blessed adapter pattern
+	return SolveCtx(context.Background(), n)
+}
+
+func FactorCtx(ctx context.Context, n int) error {
+	if err := SolveCtx(ctx, n); err != nil { // clean: ctx flows through
+		return err
+	}
+	if err := SolveCtx(context.Background(), n); err != nil { // want `context.Background\(\) inside a function that has a ctx in scope`
+		return err
+	}
+	if err := SolveCtx(context.TODO(), n); err != nil { // want `context.TODO\(\) inside a function that has a ctx in scope`
+		return err
+	}
+	if err := Solve(n); err != nil { // want `Solve drops the ctx in scope; call SolveCtx`
+		return err
+	}
+	//lint:ignore ctxplumb drain window must outlive the cancelled serving ctx
+	dctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_ = dctx
+
+	detached := context.WithoutCancel(ctx) // clean: explicit, keeps values
+	return SolveCtx(detached, n)
+}
+
+func helper(ctx context.Context, n int) error {
+	run := func() error {
+		return SolveCtx(context.Background(), n) // want `context.Background\(\)`
+	}
+	return run()
+}

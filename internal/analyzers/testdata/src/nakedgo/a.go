@@ -1,0 +1,23 @@
+package a
+
+import "sync"
+
+func worker(f func()) {
+	go f() // want `naked go statement outside internal/par`
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `naked go statement outside internal/par`
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+
+	//lint:ignore nakedgo long-lived service goroutine; lifetime managed by close(ch)
+	go f()
+
+	go f() //lint:ignore nakedgo suppressed on the same line
+
+	defer f() // clean: not a go statement
+	f()       // clean: synchronous call
+}

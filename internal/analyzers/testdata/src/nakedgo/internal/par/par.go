@@ -1,0 +1,13 @@
+// Package par is the sanctioned home of goroutine spawning: the
+// fixture mirrors repro/internal/par, where raw go statements implement
+// the contained schedulers themselves and must not be flagged.
+package par
+
+func spawn(f func()) {
+	done := make(chan struct{})
+	go func() { // clean: inside internal/par
+		defer close(done)
+		f()
+	}()
+	<-done
+}

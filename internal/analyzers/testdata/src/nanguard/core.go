@@ -1,0 +1,74 @@
+// Fixture package named "core" so NanGuard treats it as a
+// distance-carrying package.
+package core
+
+import "math"
+
+var Inf = math.Inf(1)
+
+func relax(d, alt, weight float64, data []float64) bool {
+	if d == alt { // want `float == between two computed distance values is NaN-hostile`
+		return false
+	}
+	if d != data[0] { // want `float != between two computed distance values is NaN-hostile`
+		return false
+	}
+	if d != d { // want `float self-comparison d != d: use math.IsNaN`
+		return false
+	}
+	if d == math.NaN() { // want `comparison with math.NaN\(\) is always false; use math.IsNaN`
+		return false
+	}
+	if weight < math.NaN() { // want `comparison with math.NaN\(\) is always false; use math.IsNaN`
+		return false
+	}
+
+	//lint:ignore nanguard bitwise equality is the contract of the differential suite
+	if d == alt {
+		return false
+	}
+
+	if d == Inf { // clean: Inf sentinel compare
+		return false
+	}
+	if alt != math.Inf(1) { // clean: Inf sentinel compare
+		return false
+	}
+	if d == -Inf { // clean: negated sentinel
+		return false
+	}
+	negInf := -Inf
+	if alt == negInf { // clean: hoisted sentinel local
+		return false
+	}
+	if d == 0 { // clean: constant compare
+		return false
+	}
+	if math.IsNaN(d) || math.IsInf(alt, 1) { // clean: the blessed forms
+		return false
+	}
+	if d < alt { // clean: ordered compare of distances is the algorithm
+		return true
+	}
+	return alt <= weight // clean
+}
+
+func ints(a, b int) bool { return a == b } // clean: not floats
+
+type kernels struct {
+	Zero float64
+	One  float64
+}
+
+// sentinel identities of the semiring are ±Inf/0 by construction.
+func identities(K *kernels, v []float64, zero float64) bool {
+	for _, x := range v {
+		if x != zero { // clean: semiring zero parameter
+			return false
+		}
+		if x == K.One { // clean: semiring identity field
+			return true
+		}
+	}
+	return false
+}

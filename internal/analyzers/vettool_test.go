@@ -1,0 +1,153 @@
+package analyzers_test
+
+// End-to-end vettool test: build cmd/apspvet once, seed a scratch module
+// with one deliberate violation of every analyzer in the suite, and
+// assert that `go vet -vettool=apspvet ./...` fails and names each one.
+// This is the acceptance test for the CI wiring — it exercises the real
+// unitchecker protocol (cfg files, export-data importing, exit codes)
+// rather than the in-process analysistest harness.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedFiles is the scratch module: each file trips exactly one analyzer,
+// with a distinctive message fragment to assert on.
+var seedFiles = map[string]string{
+	"go.mod": "module seeded\n\ngo 1.22\n",
+	// nakedgo: a bare go statement outside internal/par.
+	"spawn/spawn.go": `package spawn
+
+func Spawn() {
+	go func() {}()
+}
+`,
+	// aliascheck: C aliases B in a gemm-family call.
+	"gemm/gemm.go": `package gemm
+
+type Mat struct{ Data []float64 }
+
+func MinPlusMulAdd(C, A, B Mat) {}
+
+func Update(panel, diag Mat) {
+	MinPlusMulAdd(panel, diag, panel)
+}
+`,
+	// ctxplumb: context.Background() inside a function that has a ctx.
+	"plumb/plumb.go": `package plumb
+
+import "context"
+
+func Solve(ctx context.Context) {
+	_ = context.Background()
+}
+`,
+	// nanguard: computed float equality in a package named core.
+	"core/core.go": `package core
+
+func Relax(d, alt float64) bool {
+	return d == alt
+}
+`,
+	// atomiccheck: plain read of an atomic-typed counter.
+	"stats/stats.go": `package stats
+
+import "sync/atomic"
+
+var calls atomic.Uint64
+
+func Snapshot() atomic.Uint64 {
+	return calls
+}
+`,
+}
+
+func TestVettoolFlagsSeededViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "apspvet")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/apspvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building apspvet: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	for name, src := range seedFiles {
+		path := filepath.Join(mod, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a module seeded with violations:\n%s", out)
+	}
+	got := string(out)
+	for analyzer, fragment := range map[string]string{
+		"nakedgo":     "naked go statement outside internal/par",
+		"aliascheck":  "aliases",
+		"ctxplumb":    "context.Background",
+		"nanguard":    "NaN-hostile",
+		"atomiccheck": "atomic",
+	} {
+		if !strings.Contains(got, fragment) {
+			t.Errorf("%s: seeded violation not reported (want output containing %q)\nfull output:\n%s", analyzer, fragment, got)
+		}
+	}
+}
+
+// TestVettoolCleanModule is the other half of the contract: the tool must
+// exit 0 (so `make check` passes) on code that honors the invariants.
+func TestVettoolCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "apspvet")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/apspvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building apspvet: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module clean\n\ngo 1.22\n",
+		"core/core.go": `package core
+
+import "math"
+
+var Inf = math.Inf(1)
+
+func Relax(d, alt float64) bool {
+	if math.IsNaN(d) || d == Inf {
+		return false
+	}
+	return alt < d
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(mod, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed on a clean module: %v\n%s", err, out)
+	}
+}

@@ -15,11 +15,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/par"
 )
 
 // ZipfPairs generates a skewed point-query workload on n vertices:
@@ -54,12 +54,14 @@ func MeasureQueryLoad(dist func(u, v int) float64, pairs [][2]int, workers int) 
 	}
 	lat := make([]time.Duration, len(pairs))
 	var next atomic.Int64
-	var wg sync.WaitGroup
 	start := time.Now()
+	// Self-scheduling workers keep the per-query cost at one atomic add
+	// (a mutex here would distort the cached-hit latencies this harness
+	// exists to measure); par.Group supplies the panic containment a raw
+	// go statement would lose.
+	grp := par.NewGroup(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		grp.Go(func() {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(pairs) {
@@ -69,9 +71,9 @@ func MeasureQueryLoad(dist func(u, v int) float64, pairs [][2]int, workers int) 
 				dist(pairs[i][0], pairs[i][1])
 				lat[i] = time.Since(t0)
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	grp.Wait()
 	elapsed := time.Since(start)
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	res := QueryLoadResult{

@@ -300,8 +300,8 @@ func (f *Factor) eliminate(k, threads int, locks *par.StripedMutex) {
 		return
 	}
 	// Panels (in place; diagonal closed).
-	K.MulAdd(f.up[k], f.diag[k], f.up[k])
-	K.MulAdd(f.down[k], f.down[k], f.diag[k])
+	K.MulAdd(f.up[k], f.diag[k], f.up[k])     //lint:ignore aliascheck in-place panel update is closed under min-plus: diag is closed with zero diagonal, so C=A is the algorithm
+	K.MulAdd(f.down[k], f.down[k], f.diag[k]) //lint:ignore aliascheck symmetric in-place panel update against the closed zero-diagonal block
 
 	// Outer products onto ancestor blocks. Target for (ai, aj):
 	//   ai == aj → diag[ai]

@@ -21,9 +21,9 @@ package dist
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/par"
 	"repro/internal/semiring"
 )
 
@@ -79,16 +79,15 @@ func BlockedFW(A semiring.Mat, b, pr, pc int) (semiring.Mat, CommStats, error) {
 			procs[owner].local[blockID{I, J}] = m
 		}
 	}
-	// Run.
-	var wg sync.WaitGroup
-	wg.Add(len(procs))
+	// Run. Every rank must execute concurrently (they exchange blocks
+	// through their inboxes mid-superstep), so the group is sized to the
+	// process grid; Group containment turns a rank panic into a
+	// *TaskPanic naming the rank instead of an anonymous process crash.
+	grp := par.NewGroup(len(procs))
 	for _, p := range procs {
-		go func(p *process) {
-			defer wg.Done()
-			p.run()
-		}(p)
+		grp.Go(p.run)
 	}
-	wg.Wait()
+	grp.Wait()
 	// Gather.
 	out := semiring.NewMat(n, n)
 	for _, p := range procs {
@@ -239,6 +238,7 @@ func (p *process) run() {
 				}
 				id := blockID{k, J}
 				if m, ok := p.local[id]; ok {
+					//lint:ignore aliascheck in-place panel update against the closed zero-diagonal A(k,k) is the blocked-FW algorithm
 					semiring.MinPlusMulAddSerial(m, Akk, m)
 					for r := 0; r < g.pr; r++ {
 						p.send(r*g.pc+g.procCol(p.id), k, id, m)
@@ -253,6 +253,7 @@ func (p *process) run() {
 				}
 				id := blockID{I, k}
 				if m, ok := p.local[id]; ok {
+					//lint:ignore aliascheck symmetric in-place column-panel update against the closed zero-diagonal block
 					semiring.MinPlusMulAddSerial(m, m, Akk)
 					for c := 0; c < g.pc; c++ {
 						p.send(g.procRow(p.id)*g.pc+c, k, id, m)

@@ -149,19 +149,26 @@ func parseSpec(spec string) (*point, error) {
 		hit = h
 		spec = spec[:at]
 	}
-	name, arg, _ := strings.Cut(spec, "=")
+	name, arg, hasArg := strings.Cut(spec, "=")
 	p := &point{hit: hit}
 	switch name {
-	case "panic":
-		p.kind = kindPanic
+	case "panic", "error":
+		// Argument-free kinds: tolerating a stray "=..." would let a typo
+		// in the env var arm something other than what was meant.
+		if hasArg {
+			return nil, fmt.Errorf("fault kind %q takes no argument (got %q)", name, arg)
+		}
+		if name == "panic" {
+			p.kind = kindPanic
+		} else {
+			p.kind = kindError
+		}
 	case "sleep":
 		d, err := time.ParseDuration(arg)
 		if err != nil {
 			return nil, fmt.Errorf("bad sleep duration %q", arg)
 		}
 		p.kind, p.arg = kindSleep, d
-	case "error":
-		p.kind = kindError
 	case "shortwrite":
 		n, err := strconv.Atoi(arg)
 		if err != nil || n < 0 {

@@ -1,0 +1,167 @@
+package fault
+
+// Parsing-focused coverage for the KIND[=ARG][@HIT] failpoint grammar:
+// the SUPERFW_FAULTPOINTS env var is parsed by init() at process start,
+// where a bad spec is fatal — so every malformed shape must be rejected
+// by parseSpec/EnableAll with a diagnosable error, and every accepted
+// shape must arm exactly what it says.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseSpecAccepts(t *testing.T) {
+	cases := []struct {
+		spec  string
+		kind  kind
+		arg   time.Duration
+		limit int
+		hit   int
+	}{
+		{"panic", kindPanic, 0, 0, 0},
+		{"panic@1", kindPanic, 0, 0, 1},
+		{"panic@3", kindPanic, 0, 0, 3},
+		{"  panic@3  ", kindPanic, 0, 0, 3}, // surrounding space is trimmed
+		{"sleep=5ms", kindSleep, 5 * time.Millisecond, 0, 0},
+		{"sleep=1h2m@7", kindSleep, time.Hour + 2*time.Minute, 0, 7},
+		{"error", kindError, 0, 0, 0},
+		{"error@2", kindError, 0, 0, 2},
+		{"shortwrite=0", kindShortWrite, 0, 0, 0}, // zero-byte writes are a valid torn-write model
+		{"shortwrite=64@2", kindShortWrite, 0, 64, 2},
+	}
+	for _, tc := range cases {
+		p, err := parseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("parseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if p.kind != tc.kind || p.arg != tc.arg || p.limit != tc.limit || p.hit != tc.hit {
+			t.Errorf("parseSpec(%q) = kind=%d arg=%v limit=%d hit=%d, want kind=%d arg=%v limit=%d hit=%d",
+				tc.spec, p.kind, p.arg, p.limit, p.hit, tc.kind, tc.arg, tc.limit, tc.hit)
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, spec := range []string{
+		"",              // empty spec
+		"explode",       // unknown kind
+		"panic@",        // missing hit count
+		"panic@0",       // hit counts are 1-based
+		"panic@-2",      // negative hit
+		"panic@two",     // non-numeric hit
+		"sleep",         // missing duration
+		"sleep=",        // empty duration
+		"sleep=fast",    // unparseable duration
+		"shortwrite",    // missing limit
+		"shortwrite=",   // empty limit
+		"shortwrite=-1", // negative limit
+		"shortwrite=4k", // non-numeric limit
+		"panic=now",     // panic takes no argument
+		"error=oops",    // error takes no argument
+		"error=oops@@3", // argument-free kind with junk arg and doubled trigger
+	} {
+		if p, err := parseSpec(spec); err == nil {
+			t.Errorf("parseSpec(%q) accepted as %+v, want error", spec, p)
+		}
+	}
+}
+
+func TestEnableAllEmptyAndBlankEntries(t *testing.T) {
+	defer Reset()
+	// An unset env var means EnableAll never runs, but an explicitly empty
+	// or comma-only value must be a no-op, not an error.
+	for _, list := range []string{"", " ", ",", " , ,, "} {
+		if err := EnableAll(list); err != nil {
+			t.Errorf("EnableAll(%q): %v", list, err)
+		}
+		if n := armed.Load(); n != 0 {
+			t.Errorf("EnableAll(%q) armed %d points", list, n)
+		}
+	}
+	// Blank entries mixed into a valid list are skipped.
+	if err := EnableAll(" , a=panic , "); err != nil {
+		t.Fatal(err)
+	}
+	if n := armed.Load(); n != 1 {
+		t.Fatalf("armed %d points, want 1", n)
+	}
+}
+
+func TestEnableAllBadEntryShapes(t *testing.T) {
+	defer Reset()
+	for _, list := range []string{
+		"panic",             // bare spec with no point name
+		"a=panic,b",         // second entry lacks '=' separator
+		"a=panic,b=explode", // second entry has unknown kind
+	} {
+		if err := EnableAll(list); err == nil {
+			t.Errorf("EnableAll(%q) succeeded, want error", list)
+		}
+	}
+}
+
+func TestEnableDuplicatePointReplaces(t *testing.T) {
+	defer Reset()
+	if err := Enable("dup", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := InjectErr("dup"); err == nil {
+		t.Fatal("first arming should fire")
+	}
+	// Re-arming the same name must replace the spec (sleep, not error),
+	// reset the visit counter, and leave the armed count at 1 — the
+	// fast-path gate must not drift when a test re-arms a point.
+	if err := Enable("dup", "sleep=1ms"); err != nil {
+		t.Fatal(err)
+	}
+	if n := armed.Load(); n != 1 {
+		t.Fatalf("armed count %d after duplicate Enable, want 1", n)
+	}
+	if v := Visits("dup"); v != 0 {
+		t.Fatalf("replacement arming inherited %d visits, want 0", v)
+	}
+	if err := InjectErr("dup"); err != nil {
+		t.Fatalf("replaced spec still returns the old error: %v", err)
+	}
+	// Disable must fully disarm despite the double Enable.
+	Disable("dup")
+	if n := armed.Load(); n != 0 {
+		t.Fatalf("armed count %d after Disable, want 0", n)
+	}
+}
+
+func TestEnableAllDuplicateNamesLastWins(t *testing.T) {
+	defer Reset()
+	// The env format allows the same point twice; later entries replace
+	// earlier ones, matching Enable's documented semantics.
+	if err := EnableAll("p=error,p=sleep=1ms"); err != nil {
+		t.Fatal(err)
+	}
+	if n := armed.Load(); n != 1 {
+		t.Fatalf("armed count %d, want 1", n)
+	}
+	if err := InjectErr("p"); err != nil {
+		t.Fatalf("last-wins spec should be sleep, got error %v", err)
+	}
+}
+
+func TestHitTriggerFiresExactlyOnce(t *testing.T) {
+	defer Reset()
+	if err := Enable("h", "error@3"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 6; i++ {
+		if InjectErr("h") != nil {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("@3 trigger fired %d times over 6 visits, want exactly 1", fired)
+	}
+	if v := Visits("h"); v != 6 {
+		t.Fatalf("visit counter %d, want 6 (non-firing visits still count)", v)
+	}
+}

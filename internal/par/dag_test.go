@@ -113,19 +113,19 @@ func TestRunDAGSequentialOrder(t *testing.T) {
 func TestRunDAGConcurrencyBounded(t *testing.T) {
 	const threads = 4
 	parents := starParents(64)
-	var active, maxActive int64
+	var active, maxActive atomic.Int64
 	RunDAG(parents, threads, func(k, workers int) {
-		cur := atomic.AddInt64(&active, 1)
+		cur := active.Add(1)
 		for {
-			m := atomic.LoadInt64(&maxActive)
-			if cur <= m || atomic.CompareAndSwapInt64(&maxActive, m, cur) {
+			m := maxActive.Load()
+			if cur <= m || maxActive.CompareAndSwap(m, cur) {
 				break
 			}
 		}
-		atomic.AddInt64(&active, -1)
+		active.Add(-1)
 	})
-	if maxActive > threads {
-		t.Fatalf("observed %d concurrent nodes, pool is %d", maxActive, threads)
+	if maxActive.Load() > threads {
+		t.Fatalf("observed %d concurrent nodes, pool is %d", maxActive.Load(), threads)
 	}
 }
 

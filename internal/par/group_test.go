@@ -1,0 +1,102 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsAllTasks(t *testing.T) {
+	g := NewGroup(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		g.Go(func() { n.Add(1) })
+	}
+	g.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", n.Load())
+	}
+}
+
+func TestGroupPanicBecomesTaskPanic(t *testing.T) {
+	g := NewGroup(4)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(func() {
+			if i == 3 {
+				panic("rank 3 died")
+			}
+			ran.Add(1)
+		})
+	}
+	defer func() {
+		r := recover()
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *TaskPanic", r, r)
+		}
+		if tp.Op != "Group" || tp.Node != 3 {
+			t.Errorf("TaskPanic = op %q node %d, want Group/3", tp.Op, tp.Node)
+		}
+		if tp.Value != "rank 3 died" {
+			t.Errorf("panic value = %v", tp.Value)
+		}
+		if !strings.Contains(string(tp.Stack), "group_test") {
+			t.Errorf("stack does not name the failing task site:\n%s", tp.Stack)
+		}
+	}()
+	g.Wait()
+	t.Fatal("Wait returned without re-raising the task panic")
+}
+
+// TestGroupWaitFailsFast is the deadlock scenario containment must not
+// convert a crash into: one task panics while a sibling is blocked on a
+// channel the dead task would have serviced. Wait must re-raise the
+// panic promptly instead of waiting for the blocked sibling.
+func TestGroupWaitFailsFast(t *testing.T) {
+	g := NewGroup(2)
+	blocked := make(chan struct{})
+	g.Go(func() { <-blocked }) // partner that will never be serviced
+	g.Go(func() { panic("protocol torn") })
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		g.Wait()
+		done <- nil
+	}()
+	select {
+	case r := <-done:
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *TaskPanic", r, r)
+		}
+		if tp.Op != "Group" || tp.Node != 1 {
+			t.Errorf("TaskPanic = op %q node %d, want Group/1", tp.Op, tp.Node)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not fail fast while a sibling task was blocked")
+	}
+	close(blocked) // release the straggler before the test exits
+}
+
+func TestGroupNestedTaskPanicPassesThrough(t *testing.T) {
+	g := NewGroup(2)
+	g.Go(func() {
+		// A nested primitive's attribution must win, matching For/RunDAG.
+		For(4, 2, 1, func(i int) {
+			if i == 2 {
+				panic("inner")
+			}
+		})
+	})
+	defer func() {
+		tp, ok := recover().(*TaskPanic)
+		if !ok || tp.Op != "For" || tp.Node != 2 {
+			t.Fatalf("recovered %+v, want inner For/2 attribution", tp)
+		}
+	}()
+	g.Wait()
+	t.Fatal("Wait returned without re-raising")
+}

@@ -187,32 +187,76 @@ func ForRanges(n, threads, grain int, fn func(lo, hi int)) {
 
 // Group runs tasks with bounded parallelism. Zero value is not usable;
 // construct with NewGroup.
+//
+// Like For and RunDAG, the Group contains worker panics: the first task
+// panic is captured as a *TaskPanic (Op "Group", Node = the task's
+// scheduling index) and re-raised on the goroutine that calls Wait.
+// Wait fails fast: it returns as soon as a panic is recorded, without
+// waiting for sibling tasks — tasks may be blocked on channels the dead
+// task will never service again (the dist simulation's ranks are), and
+// trading a guaranteed deadlock for a bounded goroutine leak on an
+// already-fatal path is the right side of that bargain. A Group is
+// one-shot: call Wait once, after all Go calls.
 type Group struct {
-	sem chan struct{}
-	wg  sync.WaitGroup
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	failed chan struct{} // closed when the first task panic is recorded
+
+	mu     sync.Mutex
+	caught *TaskPanic
+	tasks  int
 }
 
 // NewGroup returns a Group that runs at most threads tasks concurrently.
 func NewGroup(threads int) *Group {
 	threads = DefaultThreads(threads)
-	return &Group{sem: make(chan struct{}, threads)}
+	return &Group{sem: make(chan struct{}, threads), failed: make(chan struct{})}
 }
 
 // Go schedules fn on the group, blocking while the group is saturated.
 func (g *Group) Go(fn func()) {
 	g.sem <- struct{}{}
 	g.wg.Add(1)
+	g.mu.Lock()
+	node := g.tasks
+	g.tasks++
+	g.mu.Unlock()
 	go func() {
 		defer func() {
 			<-g.sem
 			g.wg.Done()
 		}()
-		fn()
+		if tp := capture("Group", node, 1, func(int, int) { fn() }); tp != nil {
+			g.mu.Lock()
+			first := g.caught == nil
+			if first {
+				g.caught = tp
+			}
+			g.mu.Unlock()
+			if first {
+				close(g.failed)
+			}
+		}
 	}()
 }
 
-// Wait blocks until all scheduled tasks have finished.
-func (g *Group) Wait() { g.wg.Wait() }
+// Wait blocks until all scheduled tasks have finished or one has
+// panicked, then re-raises the first captured panic, if any, as a
+// *TaskPanic on the caller.
+func (g *Group) Wait() {
+	done := make(chan struct{})
+	go func() { g.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-g.failed:
+	}
+	g.mu.Lock()
+	tp := g.caught
+	g.mu.Unlock()
+	if tp != nil {
+		panic(tp)
+	}
+}
 
 // StripedMutex is a fixed set of mutexes indexed by key hash, used to
 // serialize concurrent min-reductions into shared blocks without one lock

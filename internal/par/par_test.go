@@ -11,15 +11,15 @@ func TestForCoversAllIndices(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 100, 1000} {
 		for _, threads := range []int{1, 2, 8} {
 			var hits sync.Map
-			var count int64
+			var count atomic.Int64
 			For(n, threads, 3, func(i int) {
 				if _, dup := hits.LoadOrStore(i, true); dup {
 					t.Errorf("index %d executed twice", i)
 				}
-				atomic.AddInt64(&count, 1)
+				count.Add(1)
 			})
-			if int(count) != n {
-				t.Fatalf("n=%d threads=%d: executed %d", n, threads, count)
+			if int(count.Load()) != n {
+				t.Fatalf("n=%d threads=%d: executed %d", n, threads, count.Load())
 			}
 		}
 	}
@@ -74,26 +74,26 @@ func TestForEdgeCases(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var hits sync.Map
-			var count, active, maxActive int64
+			var count, active, maxActive atomic.Int64
 			For(tc.n, tc.threads, tc.grain, func(i int) {
-				cur := atomic.AddInt64(&active, 1)
+				cur := active.Add(1)
 				for {
-					m := atomic.LoadInt64(&maxActive)
-					if cur <= m || atomic.CompareAndSwapInt64(&maxActive, m, cur) {
+					m := maxActive.Load()
+					if cur <= m || maxActive.CompareAndSwap(m, cur) {
 						break
 					}
 				}
 				if _, dup := hits.LoadOrStore(i, true); dup {
 					t.Errorf("index %d executed twice", i)
 				}
-				atomic.AddInt64(&count, 1)
-				atomic.AddInt64(&active, -1)
+				count.Add(1)
+				active.Add(-1)
 			})
-			if int(count) != tc.n {
-				t.Fatalf("executed %d of %d iterations", count, tc.n)
+			if int(count.Load()) != tc.n {
+				t.Fatalf("executed %d of %d iterations", count.Load(), tc.n)
 			}
-			if int(maxActive) > tc.wantMaxActive {
-				t.Fatalf("observed %d concurrent iterations, chunk bound is %d", maxActive, tc.wantMaxActive)
+			if int(maxActive.Load()) > tc.wantMaxActive {
+				t.Fatalf("observed %d concurrent iterations, chunk bound is %d", maxActive.Load(), tc.wantMaxActive)
 			}
 		})
 	}
@@ -148,28 +148,28 @@ func TestForRangesEdgeCases(t *testing.T) {
 
 func TestGroup(t *testing.T) {
 	g := NewGroup(3)
-	var active, maxActive int64
-	var count int64
+	var active, maxActive atomic.Int64
+	var count atomic.Int64
 	for i := 0; i < 50; i++ {
 		g.Go(func() {
-			cur := atomic.AddInt64(&active, 1)
+			cur := active.Add(1)
 			for {
-				m := atomic.LoadInt64(&maxActive)
-				if cur <= m || atomic.CompareAndSwapInt64(&maxActive, m, cur) {
+				m := maxActive.Load()
+				if cur <= m || maxActive.CompareAndSwap(m, cur) {
 					break
 				}
 			}
 			runtime.Gosched()
-			atomic.AddInt64(&count, 1)
-			atomic.AddInt64(&active, -1)
+			count.Add(1)
+			active.Add(-1)
 		})
 	}
 	g.Wait()
-	if count != 50 {
-		t.Fatalf("ran %d of 50 tasks", count)
+	if count.Load() != 50 {
+		t.Fatalf("ran %d of 50 tasks", count.Load())
 	}
-	if maxActive > 3 {
-		t.Fatalf("concurrency %d exceeded bound 3", maxActive)
+	if maxActive.Load() > 3 {
+		t.Fatalf("concurrency %d exceeded bound 3", maxActive.Load())
 	}
 }
 

@@ -71,25 +71,25 @@ func TestStripedMutexMinReduction(t *testing.T) {
 func TestGroupStress(t *testing.T) {
 	const bound = 4
 	g := NewGroup(bound)
-	var active, maxActive, done int64
+	var active, maxActive, done atomic.Int64
 	for i := 0; i < 500; i++ {
 		g.Go(func() {
-			cur := atomic.AddInt64(&active, 1)
+			cur := active.Add(1)
 			for {
-				m := atomic.LoadInt64(&maxActive)
-				if cur <= m || atomic.CompareAndSwapInt64(&maxActive, m, cur) {
+				m := maxActive.Load()
+				if cur <= m || maxActive.CompareAndSwap(m, cur) {
 					break
 				}
 			}
-			atomic.AddInt64(&done, 1)
-			atomic.AddInt64(&active, -1)
+			done.Add(1)
+			active.Add(-1)
 		})
 	}
 	g.Wait()
-	if done != 500 {
-		t.Fatalf("ran %d of 500 tasks", done)
+	if done.Load() != 500 {
+		t.Fatalf("ran %d of 500 tasks", done.Load())
 	}
-	if maxActive > bound {
-		t.Fatalf("concurrency %d exceeded bound %d", maxActive, bound)
+	if maxActive.Load() > bound {
+		t.Fatalf("concurrency %d exceeded bound %d", maxActive.Load(), bound)
 	}
 }

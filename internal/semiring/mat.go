@@ -118,6 +118,7 @@ func (m Mat) Equal(b Mat) bool {
 	for i := 0; i < m.Rows; i++ {
 		ra, rb := m.Row(i), b.Row(i)
 		for j := range ra {
+			//lint:ignore nanguard Equal is deliberately bitwise: the differential tests demand exact agreement, and NaN-never-equal is the desired verdict
 			if ra[j] != rb[j] && !(math.IsInf(ra[j], 1) && math.IsInf(rb[j], 1)) {
 				return false
 			}
@@ -158,6 +159,7 @@ func (m Mat) IsSymmetric() bool {
 	for i := 0; i < m.Rows; i++ {
 		for j := i + 1; j < m.Cols; j++ {
 			x, y := m.At(i, j), m.At(j, i)
+			//lint:ignore nanguard symmetry is a bitwise structural check, same contract as Equal
 			if x != y && !(math.IsInf(x, 1) && math.IsInf(y, 1)) {
 				return false
 			}

@@ -20,13 +20,16 @@ import (
 // expires with requests still running.
 func RunServer(ctx context.Context, hs *http.Server, ln net.Listener, drain time.Duration) error {
 	serveErr := make(chan error, 1)
+	//lint:ignore nakedgo long-lived accept loop; Serve's error is joined below via serveErr, and Serve recovers per-connection handler panics itself
 	go func() { serveErr <- hs.Serve(ln) }()
 	select {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
 	}
-	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	// Drain on a timeout detached from the (already cancelled) ctx but
+	// preserving its values for request-scoped telemetry.
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drain)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		hs.Close()
