@@ -1,6 +1,6 @@
 GO ?= go
 
-RACE_PKGS := ./internal/par ./internal/core ./internal/serve ./internal/semiring
+RACE_PKGS := ./internal/par ./internal/core ./internal/serve ./internal/semiring ./internal/shard
 
 # Sources the apspvet vettool is built from; the bin/apspvet rule
 # rebuilds only when one of these changes, so repeated `make lint` /
@@ -9,7 +9,7 @@ APSPVET := bin/apspvet
 APSPVET_SRC := $(wildcard cmd/apspvet/*.go internal/analysis/*.go \
 	internal/analysis/analysistest/*.go internal/analyzers/*.go)
 
-.PHONY: all build test race lint apspvet staticcheck check bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke bench-gemm
+.PHONY: all build test race lint apspvet staticcheck check bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke bench-gemm
 
 all: build test
 
@@ -110,6 +110,14 @@ checkpoint-smoke:
 gemm-smoke:
 	$(GO) test -race -run 'TestGemmDifferential|TestKernelCounters|FuzzGemmDifferential' ./internal/semiring
 	$(GO) run ./cmd/apspbench -exp gemm -quick
+
+# Chaos smoke for the sharded serving stack: 3 checkpoint-warm workers
+# behind an apspshard coordinator, a queryload storm with a SIGKILL
+# mid-storm, and assertions that the replica absorbs the death (zero
+# dropped queries), the prober records exactly the failover, and the
+# restarted worker rejoins warm from the checkpoint.
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 # Full density × size sweep of the adaptive GEMM engine vs the frozen
 # seed kernel. Writes BENCH_gemm.md (table) and BENCH_gemm.json (raw

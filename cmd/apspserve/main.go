@@ -58,6 +58,8 @@ func main() {
 		threads     = flag.Int("threads", runtime.GOMAXPROCS(0), "build parallelism")
 		cacheSize   = flag.Int("cache", 0, "label-cache capacity in labels (0 = min(n, 4096))")
 		maxFlight   = flag.Int("maxinflight", 0, "max concurrent requests, excess shed with 503 (0 = unlimited)")
+		shardID     = flag.String("shard-id", "", "shard identity label for a worker behind apspshard (surfaced in /health and /metrics)")
+		shardRole   = flag.String("shard-role", "", "shard role label, e.g. worker (defaults to worker when -shard-id is set)")
 		readTO      = flag.Duration("read-timeout", 15*time.Second, "HTTP read timeout")
 		writeTO     = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout (bounds one streamed /sssp row)")
 		idleTO      = flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle timeout")
@@ -105,10 +107,21 @@ func main() {
 	}
 	n := factor.N()
 
+	var shardInfo *serve.ShardIdentity
+	if *shardID != "" || *shardRole != "" {
+		role := *shardRole
+		if role == "" {
+			role = "worker"
+		}
+		shardInfo = &serve.ShardIdentity{ID: *shardID, Role: role}
+		log.Printf("shard identity: id=%s role=%s", shardInfo.ID, shardInfo.Role)
+	}
+
 	srv := serve.New(factor, result, n, serve.Options{
 		CacheSize:   *cacheSize,
 		MaxInFlight: *maxFlight,
 		Reload:      reload,
+		Shard:       shardInfo,
 	})
 	hs := &http.Server{
 		Handler:           srv.Handler(),

@@ -1,0 +1,122 @@
+// Command apspshard fronts a set of apspserve workers as one sharded
+// APSP service: it consistent-hash partitions the vertex space into
+// slots, routes each single-vertex query to the worker owning its slot
+// (keeping every worker's label cache hot on its own vertex range),
+// scatter-gathers POST /dist/batch across shards with per-shard
+// deadlines, and fails a dead worker's slots over to their replicas.
+//
+// Usage:
+//
+//	apspserve -graph road_l -addr :8081 -factorcache f.sfwf -shard-id w1 -shard-role worker &
+//	apspserve -graph road_l -addr :8082 -factorcache f.sfwf -shard-id w2 -shard-role worker &
+//	apspserve -graph road_l -addr :8083 -factorcache f.sfwf -shard-id w3 -shard-role worker &
+//	apspshard -addr :8080 -workers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//
+// Endpoints (same query surface as one worker, so clients can point at
+// either):
+//
+//	GET  /dist?u=U&v=V     routed to the shard owning u, replica retry
+//	POST /dist/batch       scatter-gathered, all-or-nothing
+//	GET  /sssp?src=S       routed to the shard owning src
+//	GET  /route?u=U&v=V    routed to the shard owning u
+//	GET  /health, /healthz coordinator liveness + generation
+//	GET  /readyz           503 unless every vertex range has a live shard
+//	GET  /metrics          merged: per-shard health, routing counts, gather latency
+//
+// Failover: a worker is marked down after -fail-threshold consecutive
+// /readyz probe failures; its slots promote to their replicas and the
+// routing-table generation advances once. In-flight forwards to a
+// just-killed worker retry the replica inline, so a SIGKILL mid-storm
+// costs clients latency, not errors. A restarted worker (typically
+// booting warm from the shared -factorcache checkpoint) is re-admitted
+// once its probe is green and it reports the same vertex count.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = flag.String("workers", "", "comma-separated worker base URLs (required)")
+		slots      = flag.Int("slots", shard.DefaultSlots, "consistent-hash vertex slots")
+		probeIvl   = flag.Duration("probe-interval", 250*time.Millisecond, "worker health-probe period")
+		probeTO    = flag.Duration("probe-timeout", time.Second, "one /readyz probe deadline")
+		failThresh = flag.Int("fail-threshold", 2, "consecutive probe failures before failover")
+		forwardTO  = flag.Duration("forward-timeout", 10*time.Second, "forwarded single-vertex query deadline (incl. replica retry)")
+		gatherTO   = flag.Duration("gather-timeout", 10*time.Second, "per-shard /dist/batch sub-request deadline")
+		discoverTO = flag.Duration("discover-timeout", 30*time.Second, "boot-time wait for all workers to answer /health")
+		readTO     = flag.Duration("read-timeout", 15*time.Second, "HTTP read timeout")
+		writeTO    = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
+		idleTO     = flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle timeout")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "in-flight drain window on shutdown")
+	)
+	flag.Parse()
+	if *workers == "" {
+		log.Fatal("need -workers (comma-separated apspserve base URLs)")
+	}
+
+	var ws []shard.Worker
+	for i, url := range strings.Split(*workers, ",") {
+		url = strings.TrimRight(strings.TrimSpace(url), "/")
+		if url == "" {
+			continue
+		}
+		ws = append(ws, shard.Worker{ID: fmt.Sprintf("w%d", i+1), URL: url})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	coord, err := shard.New(shard.Options{
+		Workers:         ws,
+		Slots:           *slots,
+		ProbeInterval:   *probeIvl,
+		ProbeTimeout:    *probeTO,
+		FailThreshold:   *failThresh,
+		ForwardTimeout:  *forwardTO,
+		GatherTimeout:   *gatherTO,
+		DiscoverTimeout: *discoverTO,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("coordinator over %d workers, %d vertices, %d slots", len(ws), coord.N(), *slots)
+
+	//lint:ignore nakedgo long-lived probe loop; it exits with ctx at shutdown and touches the routing table only through its locked/atomic API
+	go coord.Run(ctx)
+
+	hs := &http.Server{
+		Handler:           coord.Handler(),
+		ReadTimeout:       *readTO,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+		MaxHeaderBytes:    1 << 20,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sharding on http://%s; SIGINT/SIGTERM drains and exits", ln.Addr())
+	if err := serve.RunServer(ctx, hs, ln, *drainTO); err != nil {
+		log.Fatal(err)
+	}
+	m := coord.Metrics()
+	log.Printf("drained cleanly: generation %d, %d failovers, %d readmissions, %d batches gathered",
+		m.Generation, m.Failovers, m.Readmissions, m.Gather.Batches)
+}

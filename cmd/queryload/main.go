@@ -3,16 +3,23 @@
 // cache hit rate — the numbers that decide whether the factor can serve
 // production traffic.
 //
-// Two modes:
+// Three modes:
 //
 //	queryload -graph road_l                 # in-process: cached vs uncached engine
 //	queryload -url http://host:8080         # HTTP: hammer a running apspserve
+//	queryload -targets http://c:8080,http://w1:8081
+//	                                        # HTTP: spread load across several
+//	                                        # servers (coordinator + workers)
 //
 // In-process mode builds the factor and runs the same pair sequence
 // through the seed query path (two fresh 2-hop labels per query) and
 // through the bounded label cache, printing the speedup. HTTP mode
 // measures end-to-end client latency against /dist and scrapes the
-// server's /metrics for its cache hit rate.
+// server's /metrics for its cache hit rate. Multi-target mode
+// round-robins queries across the listed base URLs and reports
+// per-target request/error/latency stats alongside the aggregate —
+// useful for hitting an apspshard coordinator and its workers directly
+// in the same run.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +43,7 @@ func main() {
 	var (
 		graphName = flag.String("graph", "", "catalog graph for in-process mode")
 		url       = flag.String("url", "", "base URL of a running apspserve (HTTP mode)")
+		targets   = flag.String("targets", "", "comma-separated base URLs; round-robin load with per-target stats")
 		quick     = flag.Bool("quick", false, "reduced graph sizes")
 		queries   = flag.Int("queries", 50000, "number of point queries")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent query workers")
@@ -46,13 +55,29 @@ func main() {
 	)
 	flag.Parse()
 	switch {
+	case *targets != "":
+		runHTTP(splitTargets(*targets), *queries, *workers, *zipfS, *seed, *maxRetry)
 	case *url != "":
-		runHTTP(*url, *queries, *workers, *zipfS, *seed, *maxRetry)
+		runHTTP([]string{strings.TrimRight(*url, "/")}, *queries, *workers, *zipfS, *seed, *maxRetry)
 	case *graphName != "":
 		runInProcess(*graphName, *quick, *queries, *workers, *zipfS, *cacheSize, *seed, *threads)
 	default:
-		log.Fatal("need -graph (in-process) or -url (HTTP)")
+		log.Fatal("need -graph (in-process), -url (HTTP), or -targets (multi-target HTTP)")
 	}
+}
+
+func splitTargets(list string) []string {
+	var out []string
+	for _, t := range strings.Split(list, ",") {
+		t = strings.TrimRight(strings.TrimSpace(t), "/")
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		log.Fatal("-targets given but no base URLs parsed")
+	}
+	return out
 }
 
 func runInProcess(graphName string, quick bool, queries, workers int, zipfS float64, cacheSize int, seed int64, threads int) {
@@ -94,28 +119,54 @@ const (
 	retryMaxDelay  = 250 * time.Millisecond
 )
 
-func runHTTP(base string, queries, workers int, zipfS float64, seed int64, maxRetry int) {
-	n := serverVertices(base)
+// targetStats accumulates one base URL's share of a multi-target run.
+type targetStats struct {
+	requests  atomic.Uint64
+	retries   atomic.Uint64
+	dropped   atomic.Uint64
+	latencyNS atomic.Uint64
+}
+
+func runHTTP(bases []string, queries, workers int, zipfS float64, seed int64, maxRetry int) {
+	// Every target must serve the same vertex space; a coordinator and
+	// its workers do by construction.
+	n := serverVertices(bases[0])
+	for _, b := range bases[1:] {
+		if bn := serverVertices(b); bn != n {
+			log.Fatalf("target %s serves %d vertices, %s serves %d — mixed shard sets?", b, bn, bases[0], n)
+		}
+	}
 	pairs := bench.ZipfPairs(n, queries, zipfS, seed)
 	client := &http.Client{Timeout: 30 * time.Second}
+	stats := make([]*targetStats, len(bases))
+	for i := range stats {
+		stats[i] = &targetStats{}
+	}
 	// A shed (503) is the server protecting itself, not a failure: back
 	// off and retry instead of aborting the run, counting retries and
 	// exhausted queries separately so shedding stays visible in the
 	// report rather than inflating the latency numbers silently.
-	var retries, dropped atomic.Uint64
+	// Retries stay on the same target: the point of per-target stats is
+	// seeing which server shed, not hiding it by hopping elsewhere.
+	var rr atomic.Uint64
 	dist := func(u, v int) float64 {
+		ti := int(rr.Add(1)-1) % len(bases)
+		st := stats[ti]
 		for attempt := 0; ; attempt++ {
-			resp, err := client.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", base, u, v))
+			st.requests.Add(1)
+			t0 := time.Now()
+			resp, err := client.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", bases[ti], u, v))
 			if err != nil {
-				log.Fatalf("query failed: %v", err)
+				log.Fatalf("query against %s failed: %v", bases[ti], err)
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			st.latencyNS.Add(uint64(time.Since(t0)))
 			switch {
 			case resp.StatusCode == http.StatusOK:
 				return 0
 			case resp.StatusCode == http.StatusServiceUnavailable && attempt < maxRetry:
-				retries.Add(1)
+				st.retries.Add(1)
 				d := retryBaseDelay << attempt
 				if d > retryMaxDelay {
 					d = retryMaxDelay
@@ -124,31 +175,58 @@ func runHTTP(base string, queries, workers int, zipfS float64, seed int64, maxRe
 				// simultaneous sheds would otherwise synchronize.
 				time.Sleep(time.Duration(rand.Int63n(int64(d)) + 1))
 			case resp.StatusCode == http.StatusServiceUnavailable:
-				dropped.Add(1)
+				st.dropped.Add(1)
 				return 0
 			default:
-				log.Fatalf("query status %d", resp.StatusCode)
+				log.Fatalf("query against %s: status %d", bases[ti], resp.StatusCode)
 			}
 		}
 	}
 	res := bench.MeasureQueryLoad(dist, pairs, workers)
-	fmt.Printf("workload: %d Zipf(s=%.2f) point queries against %s, %d workers\n", queries, zipfS, base, res.Workers)
+	fmt.Printf("workload: %d Zipf(s=%.2f) point queries against %d target(s), %d workers\n",
+		queries, zipfS, len(bases), res.Workers)
 	printResult("end-to-end HTTP", res)
-	if r, d := retries.Load(), dropped.Load(); r > 0 || d > 0 {
-		fmt.Printf("%-22s %d retries after 503 sheds, %d queries dropped after %d attempts\n",
-			"shedding:", r, d, maxRetry+1)
+	var retries, dropped uint64
+	for _, st := range stats {
+		retries += st.retries.Load()
+		dropped += st.dropped.Load()
 	}
+	if retries > 0 || dropped > 0 {
+		fmt.Printf("%-22s %d retries after 503 sheds, %d queries dropped after %d attempts\n",
+			"shedding:", retries, dropped, maxRetry+1)
+	}
+	for i, base := range bases {
+		st := stats[i]
+		reqs := st.requests.Load()
+		avg := time.Duration(0)
+		if reqs > 0 {
+			avg = time.Duration(st.latencyNS.Load() / reqs)
+		}
+		line := fmt.Sprintf("%-22s %8d reqs  avg %-10s %d retries, %d dropped",
+			base+":", reqs, avg.Round(time.Microsecond), st.retries.Load(), st.dropped.Load())
+		fmt.Println(line + scrapeSummary(client, base))
+	}
+}
+
+// scrapeSummary fetches one target's /metrics and summarizes whichever
+// shape it has: a worker reports its label-cache hit rate, an apspshard
+// coordinator its generation and failover counters.
+func scrapeSummary(client *http.Client, base string) string {
 	var m struct {
 		CacheHitRate float64 `json:"cache_hit_rate"`
 		CacheHits    uint64  `json:"cache_hits"`
 		CacheMisses  uint64  `json:"cache_misses"`
+		Generation   *uint64 `json:"generation"`
+		Failovers    uint64  `json:"failovers"`
 	}
 	if err := getJSON(client, base+"/metrics", &m); err != nil {
-		log.Printf("metrics scrape failed: %v", err)
-		return
+		return fmt.Sprintf("  (metrics scrape failed: %v)", err)
 	}
-	fmt.Printf("%-22s %.1f%% hit rate (%d hits / %d misses, server-side)\n",
-		"cache:", 100*m.CacheHitRate, m.CacheHits, m.CacheMisses)
+	if m.Generation != nil {
+		return fmt.Sprintf("  [coordinator: generation %d, %d failovers]", *m.Generation, m.Failovers)
+	}
+	return fmt.Sprintf("  [cache: %.1f%% hit rate, %d hits / %d misses]",
+		100*m.CacheHitRate, m.CacheHits, m.CacheMisses)
 }
 
 func serverVertices(base string) int {

@@ -14,6 +14,14 @@
 //	sleep=5ms@2    sleep on the 2nd visit only
 //	error          InjectErr returns an error on every visit
 //	shortwrite=16  Writer truncates each write to 16 bytes and errors
+//	exit=137       os.Exit(137) — a process kill at an exact code site
+//
+// exit is the process-kill failpoint the sharded-serving chaos tests
+// use: unlike panic (which defers run and par contains), os.Exit takes
+// the whole process down instantly with no cleanup, exactly like a
+// SIGKILL landing at that line — so a worker can be made to die
+// mid-request at a chosen point rather than whenever a signal happens
+// to arrive.
 //
 // Environment activation arms points for whole-process chaos runs:
 //
@@ -46,12 +54,13 @@ const (
 	kindSleep
 	kindError
 	kindShortWrite
+	kindExit
 )
 
 type point struct {
 	kind  kind
 	arg   time.Duration // sleep duration
-	limit int           // shortwrite byte cap
+	limit int           // shortwrite byte cap / exit code
 	hit   int           // fire only on this visit (1-based); 0 = every visit
 
 	visits atomic.Int64
@@ -175,6 +184,14 @@ func parseSpec(spec string) (*point, error) {
 			return nil, fmt.Errorf("bad shortwrite limit %q", arg)
 		}
 		p.kind, p.limit = kindShortWrite, n
+	case "exit":
+		// Exit codes are a byte; rejecting the rest catches env-var typos
+		// like exit=13s before they arm a point that never meant to.
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 || n > 255 {
+			return nil, fmt.Errorf("bad exit code %q (want 0..255)", arg)
+		}
+		p.kind, p.limit = kindExit, n
 	default:
 		return nil, fmt.Errorf("unknown fault kind %q", name)
 	}
@@ -209,6 +226,11 @@ func Inject(name string) {
 	switch p.kind {
 	case kindPanic:
 		panic(fmt.Sprintf("fault: injected panic at %q (visit %d)", name, p.visits.Load()))
+	case kindExit:
+		// Deliberately bypasses defers and containment: this simulates the
+		// process dying at this exact line.
+		fmt.Fprintf(os.Stderr, "fault: injected exit(%d) at %q (visit %d)\n", p.limit, name, p.visits.Load())
+		os.Exit(p.limit)
 	case kindSleep:
 		d := p.arg
 		// Sleep in small slices so goroutines parked on an injected delay
@@ -241,6 +263,9 @@ func InjectErr(name string) error {
 	switch p.kind {
 	case kindPanic:
 		panic(fmt.Sprintf("fault: injected panic at %q (visit %d)", name, p.visits.Load()))
+	case kindExit:
+		fmt.Fprintf(os.Stderr, "fault: injected exit(%d) at %q (visit %d)\n", p.limit, name, p.visits.Load())
+		os.Exit(p.limit)
 	case kindSleep:
 		time.Sleep(p.arg)
 	}

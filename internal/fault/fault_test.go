@@ -2,6 +2,10 @@ package fault
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
 	"strings"
 	"testing"
 	"time"
@@ -104,5 +108,39 @@ func TestEnableAllSpecList(t *testing.T) {
 	}
 	if err := Enable("x", "explode"); err == nil {
 		t.Fatal("unknown kind must error")
+	}
+}
+
+// TestExitFailpoint verifies the process-kill kind end to end: a child
+// test process armed via the env var must die with the injected code at
+// the instant it visits the point — no panic recovery, no defers, just
+// the process gone, exactly like a SIGKILL landing at that line. The
+// helper runs in a subprocess because os.Exit would take the test
+// binary down with it.
+func TestExitFailpoint(t *testing.T) {
+	if os.Getenv("FAULT_EXIT_HELPER") == "1" {
+		// Child: the env var armed test.exit.helper=exit=7 in init().
+		defer os.Exit(0) // deliberately skipped — exit fires first, defers never run
+		Inject("test.exit.helper")
+		fmt.Println("unreachable: exit failpoint did not fire")
+		os.Exit(3)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestExitFailpoint$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"FAULT_EXIT_HELPER=1",
+		EnvVar+"=test.exit.helper=exit=7")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("child did not die with an exit error (err=%v, out=%s)", err, out)
+	}
+	if code := ee.ExitCode(); code != 7 {
+		t.Fatalf("child exited %d, want injected code 7 (out=%s)", code, out)
+	}
+	if !bytes.Contains(out, []byte(`injected exit(7) at "test.exit.helper"`)) {
+		t.Fatalf("child output lacks exit diagnostic: %s", out)
+	}
+	if bytes.Contains(out, []byte("unreachable")) {
+		t.Fatalf("child survived the exit failpoint: %s", out)
 	}
 }

@@ -29,6 +29,9 @@ func TestParseSpecAccepts(t *testing.T) {
 		{"error@2", kindError, 0, 0, 2},
 		{"shortwrite=0", kindShortWrite, 0, 0, 0}, // zero-byte writes are a valid torn-write model
 		{"shortwrite=64@2", kindShortWrite, 0, 64, 2},
+		{"exit=0", kindExit, 0, 0, 0}, // a clean exit mid-flight is still a process death
+		{"exit=137", kindExit, 0, 137, 0},
+		{"exit=7@4", kindExit, 0, 7, 4},
 	}
 	for _, tc := range cases {
 		p, err := parseSpec(tc.spec)
@@ -61,6 +64,11 @@ func TestParseSpecRejects(t *testing.T) {
 		"panic=now",     // panic takes no argument
 		"error=oops",    // error takes no argument
 		"error=oops@@3", // argument-free kind with junk arg and doubled trigger
+		"exit",          // missing exit code
+		"exit=",         // empty exit code
+		"exit=-1",       // negative exit code
+		"exit=256",      // exit codes are a byte
+		"exit=13s",      // non-numeric exit code
 	} {
 		if p, err := parseSpec(spec); err == nil {
 			t.Errorf("parseSpec(%q) accepted as %+v, want error", spec, p)

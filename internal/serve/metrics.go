@@ -24,6 +24,7 @@ type endpointMetrics struct {
 type metrics struct {
 	endpoints map[string]*endpointMetrics
 	rejected  atomic.Uint64 // requests shed by the in-flight limiter
+	forwarded atomic.Uint64 // requests stamped by the shard coordinator
 	started   time.Time
 }
 
@@ -52,14 +53,19 @@ type EndpointSnapshot struct {
 
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
-	UptimeSec        float64                     `json:"uptime_sec"`
-	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
-	InflightRejected uint64                      `json:"inflight_rejected"`
-	CacheHits        uint64                      `json:"cache_hits"`
-	CacheMisses      uint64                      `json:"cache_misses"`
-	CacheHitRate     float64                     `json:"cache_hit_rate"`
-	CacheSize        int                         `json:"cache_size"`
-	CacheCap         int                         `json:"cache_cap"`
+	UptimeSec float64                     `json:"uptime_sec"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	// Shard is this server's place in a sharded deployment (nil when
+	// running standalone); ForwardedRequests counts requests that
+	// arrived through the coordinator rather than directly.
+	Shard             *ShardIdentity `json:"shard,omitempty"`
+	ForwardedRequests uint64         `json:"forwarded_requests"`
+	InflightRejected  uint64         `json:"inflight_rejected"`
+	CacheHits         uint64         `json:"cache_hits"`
+	CacheMisses       uint64         `json:"cache_misses"`
+	CacheHitRate      float64        `json:"cache_hit_rate"`
+	CacheSize         int            `json:"cache_size"`
+	CacheCap          int            `json:"cache_cap"`
 	// Kernel exposes the process-wide GEMM-engine counters (cumulative
 	// since process start): dispatch split, fused element updates and
 	// packed bytes. Reloads re-run the numeric solve in-process, so these
@@ -71,9 +77,11 @@ type MetricsSnapshot struct {
 // exactly this value, and tests and load generators read it directly.
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		UptimeSec:        time.Since(s.metrics.started).Seconds(),
-		Endpoints:        make(map[string]EndpointSnapshot, len(s.metrics.endpoints)),
-		InflightRejected: s.metrics.rejected.Load(),
+		UptimeSec:         time.Since(s.metrics.started).Seconds(),
+		Endpoints:         make(map[string]EndpointSnapshot, len(s.metrics.endpoints)),
+		Shard:             s.shard,
+		ForwardedRequests: s.metrics.forwarded.Load(),
+		InflightRejected:  s.metrics.rejected.Load(),
 	}
 	names := make([]string, 0, len(s.metrics.endpoints))
 	for name := range s.metrics.endpoints {

@@ -14,18 +14,15 @@ import (
 	"net/http"
 )
 
-// retryAfterSeconds is sent on every 503 (load shed or not-ready) and
-// 409 so well-behaved clients back off instead of hammering the server.
-const retryAfterSeconds = "1"
-
 // readyz reports whether the server should receive traffic. Unlike
 // /health and /healthz (liveness: the process is up and answering),
 // readiness goes false for the duration of a factor reload, steering
-// load balancers away from the node while it is busy rebuilding. The
-// old factor keeps answering queries that do arrive during the window.
+// load balancers (and the shard coordinator's health prober) away from
+// the node while it is busy rebuilding. The old factor keeps answering
+// queries that do arrive during the window.
 func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
 	if s.notReady.Load() {
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.Header().Set("Retry-After", RetryAfterDefault)
 		s.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("factor reload in progress"))
 		return
 	}
@@ -46,7 +43,7 @@ func (s *Server) adminReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.reloading.CompareAndSwap(false, true) {
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.Header().Set("Retry-After", RetryAfterDefault)
 		s.writeErr(w, http.StatusConflict, fmt.Errorf("a reload is already in progress"))
 		return
 	}

@@ -43,6 +43,32 @@ const MaxBatchPairs = 65536
 // maxBatchBody bounds the /dist/batch request body.
 const maxBatchBody = 8 << 20
 
+// Headers stamped by the shard coordinator (internal/shard) on requests
+// it forwards to workers. ForwardedHeader marks a request as routed
+// rather than direct (workers count these separately in /metrics);
+// GenerationHeader carries the routing-table generation the routing
+// decision was made under, so worker access logs can be correlated with
+// failover events.
+const (
+	ForwardedHeader  = "X-Apspshard-Forwarded"
+	GenerationHeader = "X-Apspshard-Generation"
+)
+
+// RetryAfterDefault is the Retry-After value (integer seconds) sent
+// with every locally originated 503/409. The shard coordinator uses the
+// same value only when it has no downstream Retry-After to propagate —
+// when a worker 503s through it, the coordinator forwards the max of
+// the downstream values so both layers speak the same semantics.
+const RetryAfterDefault = "1"
+
+// ShardIdentity labels a worker's place in a sharded deployment; it is
+// echoed in /health and /metrics so an operator (or the coordinator's
+// merged metrics view) can tell which process answered.
+type ShardIdentity struct {
+	ID   string `json:"id"`
+	Role string `json:"role"` // e.g. "worker", "standalone"
+}
+
 // Options configure the serving layer.
 type Options struct {
 	// CacheSize is the label-cache capacity in labels; <= 0 selects the
@@ -59,6 +85,9 @@ type Options struct {
 	// answers 501. The context is the reload request's context, so an
 	// abandoned request cancels the rebuild.
 	Reload func(ctx context.Context) (*core.Factor, *core.Result, error)
+	// Shard, when non-nil, labels this server's place in a sharded
+	// deployment (cmd/apspshard); surfaced in /health and /metrics.
+	Shard *ShardIdentity
 }
 
 // engine bundles everything that must swap together when a new factor is
@@ -111,6 +140,7 @@ type Server struct {
 	cacheSize int
 	log       *log.Logger
 	metrics   *metrics
+	shard     *ShardIdentity
 	inflight  chan struct{} // nil when unlimited
 
 	reload    func(ctx context.Context) (*core.Factor, *core.Result, error)
@@ -130,6 +160,7 @@ func New(f *core.Factor, res *core.Result, n int, opts Options) *Server {
 		cacheSize: opts.CacheSize,
 		log:       logger,
 		metrics:   newMetrics(),
+		shard:     opts.Shard,
 		reload:    opts.Reload,
 	}
 	s.eng.Store(newEngine(f, res, n, opts.CacheSize))
@@ -174,6 +205,9 @@ func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) wrap(name string, limited bool, h http.HandlerFunc) http.HandlerFunc {
 	m := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) != "" {
+			s.metrics.forwarded.Add(1)
+		}
 		if limited && s.inflight != nil {
 			select {
 			case s.inflight <- struct{}{}:
@@ -182,7 +216,7 @@ func (s *Server) wrap(name string, limited bool, h http.HandlerFunc) http.Handle
 				s.metrics.rejected.Add(1)
 				m.requests.Add(1)
 				m.errors.Add(1)
-				w.Header().Set("Retry-After", retryAfterSeconds)
+				w.Header().Set("Retry-After", RetryAfterDefault)
 				s.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server at in-flight capacity"))
 				return
 			}
@@ -212,14 +246,18 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 	e := s.eng.Load()
 	st := e.cache.Stats()
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
 		"ready":     !s.notReady.Load(),
 		"vertices":  e.n,
 		"memoryMB":  float64(e.factor.Memory()) / 1e6,
 		"routes":    e.result != nil,
 		"cacheSize": st.Size,
-	})
+	}
+	if s.shard != nil {
+		body["shard"] = s.shard
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // dist answers GET /dist?u=U&v=V with the shortest distance. Labels come

@@ -1,0 +1,499 @@
+package shard
+
+// The coordinator is the front door of a sharded deployment: it owns
+// the routing table, health-checks the workers, forwards single-vertex
+// queries to the owning shard (with one replica retry), scatter-gathers
+// /dist/batch (gather.go), and serves the merged /metrics view.
+//
+// Failover protocol: a worker is marked down after FailThreshold
+// consecutive /readyz probe failures, which promotes its replicas and
+// advances the table generation once. In the window between a crash and
+// the probe noticing, forwards to the dead primary fail fast
+// (connection refused) and retry the replica inline, so a mid-storm
+// SIGKILL costs clients latency, never errors. A restarted worker is
+// re-admitted — its ring slots return to it — only after a probe
+// succeeds AND /health reports the same vertex count, so a worker that
+// restored a different checkpoint can never rejoin the wrong ring.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/serve"
+)
+
+// Options configure a Coordinator.
+type Options struct {
+	// Workers is the shard set; at least one, and at least two for any
+	// replica/failover behavior.
+	Workers []Worker
+	// Slots is the number of consistent-hash vertex ranges (<= 0 uses
+	// DefaultSlots).
+	Slots int
+	// ProbeInterval is the health-check period (default 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz probe (default 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the number of consecutive probe failures before
+	// a worker is marked down and its slots fail over (default 2).
+	FailThreshold int
+	// ForwardTimeout bounds one forwarded single-vertex query,
+	// including the replica retry (default 10s).
+	ForwardTimeout time.Duration
+	// GatherTimeout is the per-shard deadline for one /dist/batch
+	// sub-request (default 10s); the replica retry gets a fresh one.
+	GatherTimeout time.Duration
+	// DiscoverTimeout bounds the boot-time wait for every worker to
+	// answer /health with a consistent vertex count (default 30s).
+	DiscoverTimeout time.Duration
+	// Logger receives routing-state transitions; nil uses log.Default().
+	Logger *log.Logger
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 250 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = time.Second
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 2
+	}
+	if opts.ForwardTimeout <= 0 {
+		opts.ForwardTimeout = 10 * time.Second
+	}
+	if opts.GatherTimeout <= 0 {
+		opts.GatherTimeout = 10 * time.Second
+	}
+	if opts.DiscoverTimeout <= 0 {
+		opts.DiscoverTimeout = 30 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.Default()
+	}
+	return opts
+}
+
+// workerState is the coordinator's per-worker mutable state. The probe
+// loop is the only writer of consecFails; the counters are atomics
+// shared with the request paths.
+type workerState struct {
+	w             Worker
+	consecFails   int
+	routed        atomic.Uint64
+	errors        atomic.Uint64
+	probeFailures atomic.Uint64
+}
+
+// Coordinator routes queries across a set of apspserve workers.
+type Coordinator struct {
+	opts    Options
+	table   *Table
+	workers []*workerState
+	n       int
+	client  *http.Client
+	log     *log.Logger
+	metrics *coordMetrics
+}
+
+// New discovers the workers (every one must answer /health with the
+// same vertex count within DiscoverTimeout — a shard set serving
+// different graphs is a deployment error, not something to route
+// around) and builds the ring and routing table with all workers live.
+func New(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(opts.Workers, opts.Slots)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		opts:    opts,
+		client:  &http.Client{},
+		log:     opts.Logger,
+		metrics: newCoordMetrics(),
+	}
+	for _, w := range ring.Workers() {
+		c.workers = append(c.workers, &workerState{w: w})
+	}
+	if err := c.discover(); err != nil {
+		return nil, err
+	}
+	c.table = NewTable(ring, c.n)
+	return c, nil
+}
+
+// discover polls every worker's /health until all report the same
+// vertex count or DiscoverTimeout elapses.
+func (c *Coordinator) discover() error {
+	deadline := time.Now().Add(c.opts.DiscoverTimeout)
+	seen := make([]int, len(c.workers))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for {
+		pending := 0
+		var lastErr error
+		for i, ws := range c.workers {
+			if seen[i] >= 0 {
+				continue
+			}
+			n, err := c.workerVertices(ws.w)
+			if err != nil {
+				pending++
+				lastErr = fmt.Errorf("worker %s (%s): %w", ws.w.ID, ws.w.URL, err)
+				continue
+			}
+			seen[i] = n
+		}
+		if pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shard: discovery timed out with %d worker(s) unreachable: %v", pending, lastErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	c.n = seen[0]
+	for i, n := range seen {
+		if n != c.n {
+			return fmt.Errorf("shard: vertex count mismatch: worker %s reports %d, worker %s reports %d",
+				c.workers[0].w.ID, c.n, c.workers[i].w.ID, n)
+		}
+	}
+	if c.n <= 0 {
+		return fmt.Errorf("shard: workers report %d vertices", c.n)
+	}
+	return nil
+}
+
+func (c *Coordinator) workerVertices(w Worker) (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL+"/health", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("health status %d", resp.StatusCode)
+	}
+	var h struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	return h.Vertices, nil
+}
+
+// N returns the vertex count the shard set serves.
+func (c *Coordinator) N() int { return c.n }
+
+// Table exposes the routing table (tests and cmd/apspshard logging).
+func (c *Coordinator) Table() *Table { return c.table }
+
+// Run drives the health-probe loop until ctx is cancelled. It owns all
+// liveness transitions: the request paths only retry, they never mark.
+func (c *Coordinator) Run(ctx context.Context) {
+	ticker := time.NewTicker(c.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			c.probeAll(ctx)
+		}
+	}
+}
+
+func (c *Coordinator) probeAll(ctx context.Context) {
+	for wi, ws := range c.workers {
+		fault.Inject("shard.probe")
+		if err := c.probe(ctx, ws.w); err != nil {
+			ws.probeFailures.Add(1)
+			ws.consecFails++
+			if ws.consecFails >= c.opts.FailThreshold && c.table.MarkDown(wi) {
+				c.log.Printf("shard: worker %s (%s) down after %d failed probes (%v); replicas promoted, generation %d",
+					ws.w.ID, ws.w.URL, ws.consecFails, err, c.table.Generation())
+			}
+			continue
+		}
+		ws.consecFails = 0
+		if !c.table.Alive(wi) {
+			// Probe is green again: verify the restarted worker restored
+			// a checkpoint for the same graph before giving its slots back.
+			n, err := c.workerVertices(ws.w)
+			if err != nil || n != c.n {
+				c.log.Printf("shard: worker %s ready but not re-admitted (vertices=%d err=%v, want %d)",
+					ws.w.ID, n, err, c.n)
+				continue
+			}
+			if c.table.MarkUp(wi) {
+				c.log.Printf("shard: worker %s (%s) re-admitted, slots restored, generation %d",
+					ws.w.ID, ws.w.URL, c.table.Generation())
+			}
+		}
+	}
+}
+
+func (c *Coordinator) probe(ctx context.Context, w Worker) error {
+	pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.URL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Handler returns the coordinator's HTTP routes — deliberately the same
+// query surface as one worker, so clients can point at either.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", c.instrument("health", c.health))
+	mux.HandleFunc("GET /healthz", c.instrument("health", c.health))
+	mux.HandleFunc("GET /readyz", c.instrument("readyz", c.readyz))
+	mux.HandleFunc("GET /dist", c.instrument("dist", func(w http.ResponseWriter, r *http.Request) {
+		c.forward(w, r, "u")
+	}))
+	mux.HandleFunc("GET /sssp", c.instrument("sssp", func(w http.ResponseWriter, r *http.Request) {
+		c.forward(w, r, "src")
+	}))
+	mux.HandleFunc("GET /route", c.instrument("route", func(w http.ResponseWriter, r *http.Request) {
+		c.forward(w, r, "u")
+	}))
+	mux.HandleFunc("POST /dist/batch", c.instrument("dist_batch", c.distBatch))
+	mux.HandleFunc("GET /metrics", c.metricsEndpoint)
+	return mux
+}
+
+func (c *Coordinator) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := c.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		m.requests.Add(1)
+		m.latencyNS.Add(uint64(time.Since(t0)))
+		if sw.code >= 400 {
+			m.errors.Add(1)
+		}
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (c *Coordinator) health(w http.ResponseWriter, _ *http.Request) {
+	c.writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"role":       "coordinator",
+		"vertices":   c.n,
+		"workers":    len(c.workers),
+		"generation": c.table.Generation(),
+	})
+}
+
+// readyz is green only while every vertex slot has a live owner; a slot
+// whose primary and replica are both down makes the whole coordinator
+// unready — shedding early beats serving a partial vertex space.
+func (c *Coordinator) readyz(w http.ResponseWriter, _ *http.Request) {
+	if !c.table.Ready() {
+		w.Header().Set("Retry-After", serve.RetryAfterDefault)
+		c.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("one or more vertex ranges have no live shard"))
+		return
+	}
+	c.writeJSON(w, http.StatusOK, map[string]any{
+		"ready":      true,
+		"vertices":   c.n,
+		"generation": c.table.Generation(),
+	})
+}
+
+// forward routes a single-vertex GET (dist/sssp/route) to the shard
+// owning the vertex named by key, retrying the replica on a failed or
+// 5xx primary. The first successful response streams through verbatim;
+// a double failure answers 503/502 with propagated Retry-After.
+func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, key string) {
+	v, err := c.vertexParam(r, key)
+	if err != nil {
+		c.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	route := c.table.Route(v)
+	if route.Primary == nil {
+		w.Header().Set("Retry-After", serve.RetryAfterDefault)
+		c.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("no live shard for vertex %d", v))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.opts.ForwardTimeout)
+	defer cancel()
+	fault.Inject("shard.forward")
+
+	var retryAfters []string
+	resp, err := c.send(ctx, route.Primary, route.Generation, r)
+	if err == nil && resp.StatusCode < 500 {
+		c.relay(w, resp)
+		return
+	}
+	retryAfters = appendRetryAfter(retryAfters, resp, err)
+	if route.Replica != nil {
+		resp, err = c.send(ctx, route.Replica, route.Generation, r)
+		if err == nil && resp.StatusCode < 500 {
+			c.relay(w, resp)
+			return
+		}
+		retryAfters = appendRetryAfter(retryAfters, resp, err)
+	}
+	c.shardsUnavailable(w, retryAfters, fmt.Errorf("shards for vertex %d unavailable", v))
+}
+
+// send issues one forwarded request to a worker, stamping the forwarded
+// and generation headers. On success the caller owns resp.Body.
+func (c *Coordinator) send(ctx context.Context, worker *Worker, gen uint64, r *http.Request) (*http.Response, error) {
+	ws := c.stateOf(worker)
+	url := worker.URL + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		url += "?" + q
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(serve.ForwardedHeader, "coordinator")
+	req.Header.Set(serve.GenerationHeader, strconv.FormatUint(gen, 10))
+	ws.routed.Add(1)
+	resp, err := c.client.Do(req)
+	if err != nil || resp.StatusCode >= 500 {
+		ws.errors.Add(1)
+	}
+	return resp, err
+}
+
+func (c *Coordinator) stateOf(worker *Worker) *workerState {
+	for _, ws := range c.workers {
+		if ws.w.ID == worker.ID {
+			return ws
+		}
+	}
+	panic("shard: route returned unknown worker " + worker.ID)
+}
+
+// relay streams a worker response through unchanged (status,
+// Content-Type, Retry-After, body) — the coordinator adds routing, not
+// response rewriting.
+func (c *Coordinator) relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		c.log.Printf("shard: relay copy failed: %v", err)
+	}
+}
+
+// appendRetryAfter collects the Retry-After value from a failed
+// downstream attempt (and closes its body). Only 503s carry one.
+func appendRetryAfter(vals []string, resp *http.Response, err error) []string {
+	if err != nil || resp == nil {
+		return vals
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			vals = append(vals, ra)
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return vals
+}
+
+// shardsUnavailable answers a request whose every candidate shard
+// failed. When the downstream failures were 503 sheds, the coordinator
+// must not invent its own backoff: it propagates the max of the
+// downstream Retry-After values, so a client behind the coordinator
+// backs off exactly as hard as the most loaded shard asked for. With no
+// downstream advice (connection failures), it falls back to the same
+// default the workers use.
+func (c *Coordinator) shardsUnavailable(w http.ResponseWriter, retryAfters []string, err error) {
+	w.Header().Set("Retry-After", maxRetryAfter(retryAfters))
+	c.writeErr(w, http.StatusServiceUnavailable, err)
+}
+
+// maxRetryAfter returns the maximum of the downstream Retry-After
+// values in integer seconds, or the serve default when none parsed.
+func maxRetryAfter(vals []string) string {
+	best := -1
+	for _, v := range vals {
+		if sec, err := strconv.Atoi(v); err == nil && sec > best {
+			best = sec
+		}
+	}
+	if best < 0 {
+		return serve.RetryAfterDefault
+	}
+	return strconv.Itoa(best)
+}
+
+func (c *Coordinator) vertexParam(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 || v >= c.n {
+		return 0, fmt.Errorf("parameter %q must be a vertex id in [0,%d)", key, c.n)
+	}
+	return v, nil
+}
+
+func (c *Coordinator) metricsEndpoint(w http.ResponseWriter, _ *http.Request) {
+	c.writeJSON(w, http.StatusOK, c.Metrics())
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		c.log.Printf("shard: response encode failed: %v", err)
+	}
+}
+
+func (c *Coordinator) writeErr(w http.ResponseWriter, code int, err error) {
+	c.writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,300 @@
+package shard
+
+// End-to-end failover over real workers: three serve.Server instances
+// answering from the same factor, fronted by a coordinator, with deaths
+// injected via internal/fault and a connection-killing wrapper. The
+// invariants under test are the ones the smoke suite relies on:
+//
+//   - a /dist/batch never returns partial results — it completes (via
+//     replica retry) or errors whole;
+//   - an injected gather timeout on one sub-batch is absorbed by the
+//     replica, bit-for-bit correct against the factor;
+//   - the routing-table generation advances exactly once per failover
+//     and exactly once per re-admission, never more;
+//   - queries keep answering 200 throughout a worker death.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/serve"
+)
+
+// killableWorker wraps a real serve handler; while dead, every request
+// (queries and probes alike) has its connection torn down mid-flight —
+// the client-visible signature of a SIGKILLed process.
+type killableWorker struct {
+	id    string
+	serve *serve.Server
+	inner http.Handler
+	srv   *httptest.Server
+	dead  atomic.Bool
+}
+
+func (k *killableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server does not support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+// testCluster builds a factor, three killable workers serving it, and a
+// coordinator over them (prober not running unless the test starts it).
+func testCluster(t *testing.T) (*core.Factor, []*killableWorker, *Coordinator, int) {
+	t.Helper()
+	g := gen.RoadNetwork(10, 10, 0.3, 7)
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFactor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kws []*killableWorker
+	var ws []Worker
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("w%d", i+1)
+		s := serve.New(f, nil, g.N, serve.Options{Shard: &serve.ShardIdentity{ID: id, Role: "worker"}})
+		kw := &killableWorker{id: id, serve: s, inner: s.Handler()}
+		kw.srv = httptest.NewServer(kw)
+		t.Cleanup(kw.srv.Close)
+		kws = append(kws, kw)
+		ws = append(ws, Worker{ID: id, URL: kw.srv.URL})
+	}
+	c, err := New(Options{
+		Workers:         ws,
+		Slots:           16,
+		ProbeInterval:   20 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+		FailThreshold:   2,
+		ForwardTimeout:  5 * time.Second,
+		GatherTimeout:   150 * time.Millisecond,
+		DiscoverTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, kws, c, g.N
+}
+
+// postBatch sends pairs through the coordinator front and returns the
+// response; callers assert status and contents.
+func postBatch(t *testing.T, front string, pairs [][2]int) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"pairs": pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(front+"/dist/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, out
+}
+
+// allPairs spans every slot so a batch always touches every worker.
+func allPairs(n int) [][2]int {
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{i, (i*7 + 3) % n}
+	}
+	return pairs
+}
+
+// checkBatchExact decodes a 200 batch response and compares every
+// distance bit-for-bit against the factor.
+func checkBatchExact(t *testing.T, f *core.Factor, pairs [][2]int, body []byte) {
+	t.Helper()
+	var got workerBatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("batch decode: %v (%s)", err, body)
+	}
+	if got.Count != len(pairs) || len(got.Dists) != len(pairs) || len(got.Reachable) != len(pairs) {
+		t.Fatalf("batch shape: count=%d dists=%d reachable=%d want %d — partial results are forbidden",
+			got.Count, len(got.Dists), len(got.Reachable), len(pairs))
+	}
+	for i, p := range pairs {
+		want := f.Dist(p[0], p[1])
+		if gd := parseDist(got.Dists[i]); gd != want && !(math.IsNaN(gd) && math.IsNaN(want)) {
+			t.Fatalf("pair %v: dist %v, want %v", p, gd, want)
+		}
+	}
+}
+
+func TestChaosGatherTimeoutFailsOverToReplica(t *testing.T) {
+	defer fault.Reset()
+	f, _, c, n := testCluster(t)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	pairs := allPairs(n)
+
+	// One sub-batch burns its whole per-shard deadline in the injected
+	// sleep; its primary send must time out and the replica absorb it.
+	if err := fault.Enable("shard.gather", "sleep=400ms@1"); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postBatch(t, front.URL, pairs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with injected gather timeout: status %d (%s) — should have completed via replica", resp.StatusCode, body)
+	}
+	checkBatchExact(t, f, pairs, body)
+	if r := c.Metrics().Gather.Retries; r < 1 {
+		t.Fatalf("gather retries %d, want >= 1 (timeout should have forced a replica retry)", r)
+	}
+	if fl := c.Metrics().Gather.Failures; fl != 0 {
+		t.Fatalf("gather failures %d, want 0", fl)
+	}
+}
+
+func TestChaosMidBatchShardDeathAllOrNothing(t *testing.T) {
+	f, kws, c, n := testCluster(t)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	pairs := allPairs(n)
+
+	// Baseline: healthy cluster answers exactly.
+	resp, body := postBatch(t, front.URL, pairs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy batch: status %d (%s)", resp.StatusCode, body)
+	}
+	checkBatchExact(t, f, pairs, body)
+
+	// One worker dies: its sub-batches fail at the connection level and
+	// must complete via replicas — same exact results, no partials.
+	kws[1].dead.Store(true)
+	resp, body = postBatch(t, front.URL, pairs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with one dead worker: status %d (%s) — replica should absorb the death", resp.StatusCode, body)
+	}
+	checkBatchExact(t, f, pairs, body)
+
+	// Two of three workers dead: some vertex range has lost both its
+	// owners, so the batch must error WHOLE — a 200 with holes would be
+	// a partial result, which is the one forbidden outcome.
+	kws[2].dead.Store(true)
+	resp, body = postBatch(t, front.URL, pairs)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("batch with two dead workers returned 200 (%s) — partial results are forbidden", body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("whole-batch failure lacks error body: %s", body)
+	}
+	if fl := c.Metrics().Gather.Failures; fl < 1 {
+		t.Fatalf("gather failures %d, want >= 1", fl)
+	}
+}
+
+func waitFor(t *testing.T, what string, deadline time.Duration, cond func() bool) {
+	t.Helper()
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestChaosProberFailoverGenerationExactlyOnce(t *testing.T) {
+	_, kws, c, n := testCluster(t)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	//lint:ignore nakedgo prober loop; joined via cancel + done before test exit
+	go func() { defer close(done); c.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	if g := c.Table().Generation(); g != 0 {
+		t.Fatalf("fresh generation %d, want 0", g)
+	}
+
+	// Kill worker 1 (index 0) and let the prober notice.
+	kws[0].dead.Store(true)
+	waitFor(t, "failover of w1", 5*time.Second, func() bool { return !c.Table().Alive(0) })
+	if g, fo := c.Table().Generation(), c.Table().Failovers(); g != 1 || fo != 1 {
+		t.Fatalf("after failover: generation %d failovers %d, want exactly 1 and 1", g, fo)
+	}
+	// More probe cycles must not re-bump the generation for the same death.
+	time.Sleep(100 * time.Millisecond)
+	if g := c.Table().Generation(); g != 1 {
+		t.Fatalf("generation drifted to %d while worker stayed dead, want 1", g)
+	}
+
+	// Queries keep answering through the whole window.
+	for v := 0; v < n; v += 7 {
+		resp, err := http.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", front.URL, v, (v+1)%n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("u=%d during failover: status %d, want 200", v, resp.StatusCode)
+		}
+	}
+
+	// Coordinator stays ready: every slot still has a live owner.
+	resp, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz during single-worker failover: %d, want 200", resp.StatusCode)
+	}
+
+	// Revive the worker: the prober must re-admit it, returning its ring
+	// slots, with exactly one more generation bump.
+	kws[0].dead.Store(false)
+	waitFor(t, "re-admission of w1", 5*time.Second, func() bool { return c.Table().Alive(0) })
+	if g, ra := c.Table().Generation(), c.Table().Readmissions(); g != 2 || ra != 1 {
+		t.Fatalf("after re-admission: generation %d readmissions %d, want exactly 2 and 1", g, ra)
+	}
+	p, _ := c.Table().SlotCounts(0)
+	if p == 0 {
+		t.Fatal("re-admitted worker serves no slots")
+	}
+
+	// The workers saw coordinator-stamped traffic, and their shard
+	// identity is on their metrics surface.
+	var forwarded uint64
+	for _, kw := range kws {
+		m := kw.serve.Metrics()
+		forwarded += m.ForwardedRequests
+		if m.Shard == nil || m.Shard.Role != "worker" {
+			t.Fatalf("worker %s metrics lack shard identity: %+v", kw.id, m.Shard)
+		}
+	}
+	if forwarded == 0 {
+		t.Fatal("no worker counted a forwarded request")
+	}
+}

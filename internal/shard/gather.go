@@ -1,0 +1,238 @@
+package shard
+
+// Scatter-gather for POST /dist/batch. Pairs are partitioned by the
+// slot owner of their source vertex, sub-batches go out in parallel
+// with a per-shard deadline, and each failed sub-batch gets exactly one
+// retry against the range's replica. The contract is all-or-nothing: a
+// batch either completes — every pair answered, order preserved — or
+// errors whole. Partial results are never returned, because a client
+// cannot tell a missing range from an unreachable one.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+// distBatchRequest mirrors the worker's /dist/batch body.
+type distBatchRequest struct {
+	Pairs [][2]int `json:"pairs"`
+}
+
+// workerBatchResponse decodes a worker's /dist/batch reply. Dists
+// elements are float64 or the strings "inf"/"-inf"/"nan" (the worker's
+// jsonFloat encoding), so they pass through as any.
+type workerBatchResponse struct {
+	Count     int    `json:"count"`
+	Dists     []any  `json:"dists"`
+	Reachable []bool `json:"reachable"`
+}
+
+// subBatch is the unit of scatter: all pairs whose source vertex is
+// served by the same (primary, replica) owner pair, with their original
+// positions so the gather can merge in request order.
+type subBatch struct {
+	primary *Worker
+	replica *Worker
+	pairs   [][2]int
+	indexes []int
+}
+
+func (c *Coordinator) distBatch(w http.ResponseWriter, r *http.Request) {
+	var req distBatchRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		c.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		return
+	}
+	if len(req.Pairs) == 0 {
+		c.writeErr(w, http.StatusBadRequest, fmt.Errorf("batch needs at least one pair"))
+		return
+	}
+	if len(req.Pairs) > serve.MaxBatchPairs {
+		c.writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d pairs exceeds limit %d", len(req.Pairs), serve.MaxBatchPairs))
+		return
+	}
+	for _, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= c.n || p[1] < 0 || p[1] >= c.n {
+			c.writeErr(w, http.StatusBadRequest, fmt.Errorf("pair (%d,%d) out of range [0,%d)", p[0], p[1], c.n))
+			return
+		}
+	}
+
+	gen := c.table.Generation()
+	groups := map[string]*subBatch{}
+	for i, p := range req.Pairs {
+		route := c.table.Route(p[0])
+		if route.Primary == nil {
+			w.Header().Set("Retry-After", serve.RetryAfterDefault)
+			c.metrics.gather.failures.Add(1)
+			c.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("no live shard for vertex %d", p[0]))
+			return
+		}
+		key := route.Primary.ID
+		if route.Replica != nil {
+			key += "|" + route.Replica.ID
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &subBatch{primary: route.Primary, replica: route.Replica}
+			groups[key] = g
+		}
+		g.pairs = append(g.pairs, p)
+		g.indexes = append(g.indexes, i)
+	}
+
+	t0 := time.Now()
+	c.metrics.gather.batches.Add(1)
+	dists := make([]any, len(req.Pairs))
+	reach := make([]bool, len(req.Pairs))
+	var mu sync.Mutex
+	var errs []error
+	var retryAfters []string
+
+	grp := par.NewGroup(len(groups))
+	for _, g := range groups {
+		g := g
+		grp.Go(func() {
+			res, ras, err := c.gatherOne(r.Context(), g, gen)
+			mu.Lock()
+			defer mu.Unlock()
+			retryAfters = append(retryAfters, ras...)
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			// Disjoint index sets per group, but the slices themselves are
+			// shared; the mutex also orders these writes with the read below.
+			for k, idx := range g.indexes {
+				dists[idx] = res.Dists[k]
+				reach[idx] = res.Reachable[k]
+			}
+		})
+	}
+	grp.Wait()
+	c.metrics.gather.latencyNS.Add(uint64(time.Since(t0)))
+
+	if len(errs) > 0 {
+		// All-or-nothing: one unrecoverable range fails the whole batch.
+		c.metrics.gather.failures.Add(1)
+		c.shardsUnavailable(w, retryAfters, fmt.Errorf("batch gather failed on %d of %d shard(s): %v", len(errs), len(groups), errs[0]))
+		return
+	}
+	c.writeJSON(w, http.StatusOK, map[string]any{
+		"count":     len(req.Pairs),
+		"dists":     dists,
+		"reachable": reach,
+	})
+}
+
+// gatherOne sends one sub-batch to its primary under the per-shard
+// deadline, retrying once on the replica (with a fresh deadline) if the
+// primary fails or times out. It returns collected Retry-After advice
+// from 503 responses either way.
+func (c *Coordinator) gatherOne(ctx context.Context, g *subBatch, gen uint64) (*workerBatchResponse, []string, error) {
+	c.metrics.gather.subRequests.Add(1)
+	sctx, cancel := context.WithTimeout(ctx, c.opts.GatherTimeout)
+	// Failpoint inside the deadline: an armed sleep consumes the
+	// sub-batch's budget, forcing the timeout path the chaos tests assert.
+	fault.Inject("shard.gather")
+	res, ra, err := c.sendBatch(sctx, g.primary, g.pairs, gen)
+	cancel()
+	if err == nil {
+		return res, nil, nil
+	}
+	var retryAfters []string
+	if ra != "" {
+		retryAfters = append(retryAfters, ra)
+	}
+	if g.replica == nil {
+		return nil, retryAfters, fmt.Errorf("shard %s: %w (no replica)", g.primary.ID, err)
+	}
+	c.metrics.gather.retries.Add(1)
+	c.metrics.gather.subRequests.Add(1)
+	rctx, rcancel := context.WithTimeout(ctx, c.opts.GatherTimeout)
+	defer rcancel()
+	res, ra2, err2 := c.sendBatch(rctx, g.replica, g.pairs, gen)
+	if err2 == nil {
+		return res, retryAfters, nil
+	}
+	if ra2 != "" {
+		retryAfters = append(retryAfters, ra2)
+	}
+	return nil, retryAfters, fmt.Errorf("shard %s failed (%v), replica %s failed (%v)", g.primary.ID, err, g.replica.ID, err2)
+}
+
+// sendBatch posts one sub-batch to one worker and decodes the reply.
+// The Retry-After string is non-empty only for a 503 response.
+func (c *Coordinator) sendBatch(ctx context.Context, worker *Worker, pairs [][2]int, gen uint64) (*workerBatchResponse, string, error) {
+	ws := c.stateOf(worker)
+	payload, err := json.Marshal(distBatchRequest{Pairs: pairs})
+	if err != nil {
+		return nil, "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker.URL+"/dist/batch", strings.NewReader(string(payload)))
+	if err != nil {
+		return nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.ForwardedHeader, "coordinator")
+	req.Header.Set(serve.GenerationHeader, strconv.FormatUint(gen, 10))
+	ws.routed.Add(1)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		ws.errors.Add(1)
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			ws.errors.Add(1)
+		}
+		ra := ""
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			ra = resp.Header.Get("Retry-After")
+		}
+		return nil, ra, fmt.Errorf("batch status %d", resp.StatusCode)
+	}
+	var out workerBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		ws.errors.Add(1)
+		return nil, "", fmt.Errorf("batch decode: %w", err)
+	}
+	if out.Count != len(pairs) || len(out.Dists) != len(pairs) || len(out.Reachable) != len(pairs) {
+		ws.errors.Add(1)
+		return nil, "", fmt.Errorf("batch reply shape mismatch: count=%d dists=%d reachable=%d want %d",
+			out.Count, len(out.Dists), len(out.Reachable), len(pairs))
+	}
+	return &out, "", nil
+}
+
+// parseDist converts a merged dists element back to a float64 (tests
+// and in-process consumers; the HTTP path re-encodes the any values).
+func parseDist(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case string:
+		switch x {
+		case "inf":
+			return math.Inf(1)
+		case "-inf":
+			return math.Inf(-1)
+		}
+		return math.NaN()
+	default:
+		return math.NaN()
+	}
+}

@@ -1,0 +1,141 @@
+package shard
+
+// Coordinator-side observability, served merged at GET /metrics: the
+// routing table's generation/failover counters, per-shard health and
+// routing counts, per-endpoint traffic, and scatter-gather latency.
+// Like the worker metrics (internal/serve), everything is plain atomics
+// with a fixed endpoint set, cheap enough to leave on under load.
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+type endpointCounters struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64 // responses with status >= 400
+	latencyNS atomic.Uint64
+}
+
+type gatherCounters struct {
+	batches     atomic.Uint64 // /dist/batch requests scattered
+	subRequests atomic.Uint64 // per-shard sub-batches sent
+	retries     atomic.Uint64 // sub-batches retried on a replica
+	failures    atomic.Uint64 // batches failed whole (no partial results)
+	latencyNS   atomic.Uint64 // summed wall time of whole gathers
+}
+
+type coordMetrics struct {
+	started   time.Time
+	endpoints map[string]*endpointCounters
+	gather    gatherCounters
+}
+
+func newCoordMetrics() *coordMetrics {
+	m := &coordMetrics{started: time.Now(), endpoints: map[string]*endpointCounters{}}
+	for _, name := range []string{"dist", "dist_batch", "sssp", "route", "health", "readyz"} {
+		m.endpoints[name] = &endpointCounters{}
+	}
+	return m
+}
+
+func (m *coordMetrics) endpoint(name string) *endpointCounters {
+	e, ok := m.endpoints[name]
+	if !ok {
+		panic("shard: unregistered endpoint " + name)
+	}
+	return e
+}
+
+// ShardSnapshot is one worker's row in the coordinator's /metrics.
+type ShardSnapshot struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	// PrimarySlots/ReplicaSlots count the vertex ranges this worker
+	// currently serves and backs; they shift on failover/re-admission.
+	PrimarySlots  int    `json:"primary_slots"`
+	ReplicaSlots  int    `json:"replica_slots"`
+	Routed        uint64 `json:"routed"` // requests + sub-batches sent to it
+	Errors        uint64 `json:"errors"` // sends that failed or returned >= 500
+	ProbeFailures uint64 `json:"probe_failures"`
+}
+
+// GatherSnapshot summarizes /dist/batch scatter-gather behavior.
+type GatherSnapshot struct {
+	Batches      uint64  `json:"batches"`
+	SubRequests  uint64  `json:"sub_requests"`
+	Retries      uint64  `json:"retries"`
+	Failures     uint64  `json:"failures"`
+	AvgLatencyUS float64 `json:"avg_latency_us"`
+}
+
+// Snapshot is the coordinator's full /metrics payload.
+type Snapshot struct {
+	UptimeSec    float64                           `json:"uptime_sec"`
+	Vertices     int                               `json:"vertices"`
+	Slots        int                               `json:"slots"`
+	Generation   uint64                            `json:"generation"`
+	Failovers    uint64                            `json:"failovers"`
+	Readmissions uint64                            `json:"readmissions"`
+	Ready        bool                              `json:"ready"`
+	Shards       []ShardSnapshot                   `json:"shards"`
+	Endpoints    map[string]serve.EndpointSnapshot `json:"endpoints"`
+	Gather       GatherSnapshot                    `json:"gather"`
+}
+
+// Metrics returns the merged coordinator view; /metrics encodes exactly
+// this value and the failover tests read it directly.
+func (c *Coordinator) Metrics() Snapshot {
+	snap := Snapshot{
+		UptimeSec:    time.Since(c.metrics.started).Seconds(),
+		Vertices:     c.n,
+		Slots:        c.table.ring.Slots(),
+		Generation:   c.table.Generation(),
+		Failovers:    c.table.Failovers(),
+		Readmissions: c.table.Readmissions(),
+		Ready:        c.table.Ready(),
+		Endpoints:    make(map[string]serve.EndpointSnapshot, len(c.metrics.endpoints)),
+	}
+	for wi, ws := range c.workers {
+		p, r := c.table.SlotCounts(wi)
+		snap.Shards = append(snap.Shards, ShardSnapshot{
+			ID:            ws.w.ID,
+			URL:           ws.w.URL,
+			Alive:         c.table.Alive(wi),
+			PrimarySlots:  p,
+			ReplicaSlots:  r,
+			Routed:        ws.routed.Load(),
+			Errors:        ws.errors.Load(),
+			ProbeFailures: ws.probeFailures.Load(),
+		})
+	}
+	names := make([]string, 0, len(c.metrics.endpoints))
+	for name := range c.metrics.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := c.metrics.endpoints[name]
+		reqs := e.requests.Load()
+		es := serve.EndpointSnapshot{Requests: reqs, Errors: e.errors.Load()}
+		if reqs > 0 {
+			es.AvgLatencyUS = float64(e.latencyNS.Load()) / float64(reqs) / 1e3
+		}
+		snap.Endpoints[name] = es
+	}
+	g := &c.metrics.gather
+	snap.Gather = GatherSnapshot{
+		Batches:     g.batches.Load(),
+		SubRequests: g.subRequests.Load(),
+		Retries:     g.retries.Load(),
+		Failures:    g.failures.Load(),
+	}
+	if snap.Gather.Batches > 0 {
+		snap.Gather.AvgLatencyUS = float64(g.latencyNS.Load()) / float64(snap.Gather.Batches) / 1e3
+	}
+	return snap
+}

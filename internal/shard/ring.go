@@ -1,0 +1,162 @@
+// Package shard promotes the in-process partitioning of the blocked
+// factorization (internal/dist/blockedfw splits tile ownership across
+// ranks) to a real deployment shape: a coordinator process that splits
+// query traffic across N apspserve workers by consistent-hash vertex
+// ranges, routes single-pair queries to the owning shard, scatter-
+// gathers /dist/batch with per-shard deadlines, and fails a dead shard
+// over to its replica.
+//
+// Every worker serves the same checksummed factor checkpoint (PR 3), so
+// what is sharded is the *query working set*, not correctness: routing
+// by vertex ownership keeps each worker's bounded label cache hot on its
+// own vertex range, and any worker can answer any query — which is
+// exactly what makes replica failover safe. The ring assigns each vertex
+// slot a primary and one replica; the routing table (table.go) tracks
+// liveness and promotes replicas when a primary dies.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Worker identifies one apspserve process in the shard set.
+type Worker struct {
+	ID  string `json:"id"`
+	URL string `json:"url"` // base URL, e.g. http://127.0.0.1:8081
+}
+
+// DefaultSlots is the number of vertex ranges hashed onto the ring.
+// Slots, not vertices, are the unit of ownership: promotion and
+// re-admission move whole slots, and 64 slots spread evenly across a
+// handful of workers while keeping the routing table tiny.
+const DefaultSlots = 64
+
+// defaultVnodes is the number of virtual points each worker projects
+// onto the hash ring; more points smooth the slot distribution.
+const defaultVnodes = 64
+
+// Ring is the static consistent-hash assignment of vertex slots to
+// workers: each slot has a primary and (with >= 2 workers) one replica,
+// always on a different worker. The assignment depends only on worker
+// IDs and the slot count, so every coordinator that sees the same
+// worker set computes the same ring — there is no assignment state to
+// replicate.
+type Ring struct {
+	workers []Worker
+	slots   int
+	primary []int // per-slot worker index
+	replica []int // per-slot worker index, -1 with a single worker
+}
+
+// NewRing hashes the workers' virtual nodes onto a ring and assigns
+// each of slots vertex ranges a primary (the slot hash's successor) and
+// a replica (the next point owned by a different worker).
+func NewRing(workers []Worker, slots int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one worker")
+	}
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	ids := map[string]bool{}
+	for _, w := range workers {
+		if w.ID == "" {
+			return nil, fmt.Errorf("shard: worker with empty ID (url %q)", w.URL)
+		}
+		if ids[w.ID] {
+			return nil, fmt.Errorf("shard: duplicate worker ID %q", w.ID)
+		}
+		ids[w.ID] = true
+	}
+
+	type point struct {
+		hash   uint64
+		worker int
+	}
+	points := make([]point, 0, len(workers)*defaultVnodes)
+	for wi, w := range workers {
+		for v := 0; v < defaultVnodes; v++ {
+			points = append(points, point{hash64(w.ID + "#" + strconv.Itoa(v)), wi})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		return points[i].worker < points[j].worker
+	})
+
+	r := &Ring{
+		workers: append([]Worker(nil), workers...),
+		slots:   slots,
+		primary: make([]int, slots),
+		replica: make([]int, slots),
+	}
+	for s := 0; s < slots; s++ {
+		h := hash64("slot-" + strconv.Itoa(s))
+		// Successor point on the ring owns the slot; walk on (wrapping)
+		// until a point from a different worker supplies the replica.
+		i := sort.Search(len(points), func(i int) bool { return points[i].hash >= h })
+		if i == len(points) {
+			i = 0
+		}
+		r.primary[s] = points[i].worker
+		r.replica[s] = -1
+		for step := 1; step < len(points); step++ {
+			p := points[(i+step)%len(points)]
+			if p.worker != r.primary[s] {
+				r.replica[s] = p.worker
+				break
+			}
+		}
+	}
+	return r, nil
+}
+
+// Workers returns the ring's worker set in index order.
+func (r *Ring) Workers() []Worker { return r.workers }
+
+// Slots returns the number of vertex ranges on the ring.
+func (r *Ring) Slots() int { return r.slots }
+
+// SlotOf maps vertex v of an n-vertex graph to its slot: contiguous
+// vertex ranges, so the nested-dissection locality of neighboring
+// vertex ids survives routing and each worker's label cache stays hot
+// on a compact range.
+func (r *Ring) SlotOf(v, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	s := v * r.slots / n
+	if s < 0 {
+		s = 0
+	}
+	if s >= r.slots {
+		s = r.slots - 1
+	}
+	return s
+}
+
+// Owners returns the slot's static (ring-assigned) primary and replica
+// worker indexes; replica is -1 when the ring has a single worker.
+func (r *Ring) Owners(slot int) (primary, replica int) {
+	return r.primary[slot], r.replica[slot]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV alone clusters similar short keys ("w1#0", "w1#1", ...) into
+	// adjacent ring positions, which collapses the whole ring onto one
+	// worker; the murmur3 fmix64 finalizer scatters them uniformly.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"testing"
+)
+
+func testWorkers(n int) []Worker {
+	ws := make([]Worker, n)
+	for i := range ws {
+		ws[i] = Worker{ID: "w" + string(rune('1'+i)), URL: "http://127.0.0.1:0"}
+	}
+	return ws
+}
+
+func TestRingDeterministicAndCovered(t *testing.T) {
+	a, err := NewRing(testWorkers(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(testWorkers(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int, 3)
+	for s := 0; s < a.Slots(); s++ {
+		p1, r1 := a.Owners(s)
+		p2, r2 := b.Owners(s)
+		if p1 != p2 || r1 != r2 {
+			t.Fatalf("slot %d: assignment not deterministic: (%d,%d) vs (%d,%d)", s, p1, r1, p2, r2)
+		}
+		if p1 < 0 || p1 >= 3 {
+			t.Fatalf("slot %d: primary %d out of range", s, p1)
+		}
+		if r1 < 0 || r1 >= 3 {
+			t.Fatalf("slot %d: replica %d out of range (3 workers must yield a replica)", s, r1)
+		}
+		if r1 == p1 {
+			t.Fatalf("slot %d: replica == primary == %d", s, p1)
+		}
+		owned[p1]++
+	}
+	for wi, k := range owned {
+		if k == 0 {
+			t.Errorf("worker %d owns no slots — ring badly unbalanced", wi)
+		}
+	}
+}
+
+func TestRingSingleWorkerHasNoReplica(t *testing.T) {
+	r, err := NewRing(testWorkers(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < r.Slots(); s++ {
+		p, rep := r.Owners(s)
+		if p != 0 {
+			t.Fatalf("slot %d: primary %d, want 0", s, p)
+		}
+		if rep != -1 {
+			t.Fatalf("slot %d: replica %d, want -1 with a single worker", s, rep)
+		}
+	}
+}
+
+func TestRingRejectsBadWorkerSets(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Error("empty worker set accepted")
+	}
+	if _, err := NewRing([]Worker{{ID: "", URL: "u"}}, 8); err == nil {
+		t.Error("empty worker ID accepted")
+	}
+	if _, err := NewRing([]Worker{{ID: "a"}, {ID: "a"}}, 8); err == nil {
+		t.Error("duplicate worker ID accepted")
+	}
+}
+
+func TestSlotOfBounds(t *testing.T) {
+	r, err := NewRing(testWorkers(2), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 100
+	for v := 0; v < n; v++ {
+		s := r.SlotOf(v, n)
+		if s < 0 || s >= 16 {
+			t.Fatalf("SlotOf(%d, %d) = %d out of [0,16)", v, n, s)
+		}
+	}
+	if r.SlotOf(0, n) != 0 {
+		t.Errorf("vertex 0 not in slot 0")
+	}
+	// Contiguity: slots are non-decreasing in vertex id, so neighboring
+	// vertices land on the same worker almost always.
+	prev := -1
+	for v := 0; v < n; v++ {
+		s := r.SlotOf(v, n)
+		if s < prev {
+			t.Fatalf("SlotOf not monotone: vertex %d slot %d after slot %d", v, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestTablePromotionAndReadmission(t *testing.T) {
+	ring, err := NewRing(testWorkers(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 640
+	tab := NewTable(ring, n)
+	if !tab.Ready() {
+		t.Fatal("fresh table not ready")
+	}
+	if g := tab.Generation(); g != 0 {
+		t.Fatalf("fresh table generation %d, want 0", g)
+	}
+
+	// Find a vertex owned by worker 0 and record its replica.
+	victim := -1
+	var ringReplica string
+	for v := 0; v < n; v++ {
+		s := ring.SlotOf(v, n)
+		p, r := ring.Owners(s)
+		if p == 0 {
+			victim = v
+			ringReplica = ring.Workers()[r].ID
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("worker 0 owns no vertices")
+	}
+
+	if !tab.MarkDown(0) {
+		t.Fatal("first MarkDown reported no change")
+	}
+	if tab.MarkDown(0) {
+		t.Fatal("second MarkDown of the same worker reported a change")
+	}
+	if g := tab.Generation(); g != 1 {
+		t.Fatalf("generation %d after one failover, want exactly 1", g)
+	}
+	if f := tab.Failovers(); f != 1 {
+		t.Fatalf("failovers %d, want 1", f)
+	}
+	route := tab.Route(victim)
+	if route.Primary == nil || route.Primary.ID != ringReplica {
+		t.Fatalf("vertex %d not promoted to replica %s: %+v", victim, ringReplica, route)
+	}
+	if route.Replica != nil {
+		t.Fatalf("promoted slot still advertises a fallback: %+v", route)
+	}
+	if !tab.Ready() {
+		t.Fatal("table with every slot promoted should still be ready")
+	}
+
+	if !tab.MarkUp(0) {
+		t.Fatal("MarkUp reported no change")
+	}
+	if tab.MarkUp(0) {
+		t.Fatal("second MarkUp reported a change")
+	}
+	if g := tab.Generation(); g != 2 {
+		t.Fatalf("generation %d after failover + re-admission, want exactly 2", g)
+	}
+	if r := tab.Readmissions(); r != 1 {
+		t.Fatalf("readmissions %d, want 1", r)
+	}
+	route = tab.Route(victim)
+	if route.Primary == nil || route.Primary.ID != "w1" {
+		t.Fatalf("vertex %d not returned to its ring primary after re-admission: %+v", victim, route)
+	}
+}
+
+func TestTableUnroutableWhenBothOwnersDown(t *testing.T) {
+	ring, err := NewRing(testWorkers(2), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(ring, 320)
+	tab.MarkDown(0)
+	tab.MarkDown(1)
+	if tab.Ready() {
+		t.Fatal("table with all workers down reports ready")
+	}
+	route := tab.Route(0)
+	if route.Primary != nil || route.Replica != nil {
+		t.Fatalf("dead table still routes: %+v", route)
+	}
+	if g := tab.Generation(); g != 2 {
+		t.Fatalf("generation %d after two failovers, want 2", g)
+	}
+}

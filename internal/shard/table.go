@@ -1,0 +1,180 @@
+package shard
+
+// The routing table is the mutable half of routing: the ring (ring.go)
+// is a static assignment, the table overlays worker liveness on it and
+// answers "who serves vertex v right now". Promotion is recomputation:
+// when a primary dies, every slot it owned routes to its replica; when
+// it returns (restored from its factor checkpoint), the slots move
+// back. Each liveness transition bumps a generation counter exactly
+// once — the generation is stamped on forwarded requests and asserted
+// by the failover tests, so split-brain routing (two table states
+// interleaving during one failover) is observable.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Route is one vertex's current routing decision.
+type Route struct {
+	// Primary is the worker currently serving the vertex's slot: the
+	// ring primary while it is alive, its replica after a promotion.
+	// Nil when both owners are down (the slot is unroutable).
+	Primary *Worker
+	// Replica is the fallback the coordinator may retry against, nil
+	// when no distinct live fallback exists.
+	Replica *Worker
+	// Generation is the table generation the decision was made under.
+	Generation uint64
+}
+
+// Table overlays liveness on a Ring and routes vertices to live owners.
+type Table struct {
+	ring *Ring
+	n    int // vertex count
+
+	mu         sync.RWMutex
+	alive      []bool
+	curPrimary []int // per-slot live owner, -1 if none
+	curReplica []int // per-slot live fallback distinct from curPrimary, -1 if none
+
+	generation   atomic.Uint64
+	failovers    atomic.Uint64
+	readmissions atomic.Uint64
+}
+
+// NewTable builds a routing table over ring for an n-vertex graph with
+// every worker presumed alive.
+func NewTable(ring *Ring, n int) *Table {
+	t := &Table{
+		ring:       ring,
+		n:          n,
+		alive:      make([]bool, len(ring.workers)),
+		curPrimary: make([]int, ring.slots),
+		curReplica: make([]int, ring.slots),
+	}
+	for i := range t.alive {
+		t.alive[i] = true
+	}
+	t.recomputeLocked()
+	return t
+}
+
+// recomputeLocked rebuilds the per-slot routing from the ring plus the
+// current liveness vector. Callers hold mu.
+func (t *Table) recomputeLocked() {
+	for s := 0; s < t.ring.slots; s++ {
+		p, r := t.ring.Owners(s)
+		switch {
+		case t.alive[p]:
+			t.curPrimary[s] = p
+			if r >= 0 && t.alive[r] {
+				t.curReplica[s] = r
+			} else {
+				t.curReplica[s] = -1
+			}
+		case r >= 0 && t.alive[r]:
+			// Promotion: the replica serves the slot alone.
+			t.curPrimary[s] = r
+			t.curReplica[s] = -1
+		default:
+			t.curPrimary[s] = -1
+			t.curReplica[s] = -1
+		}
+	}
+}
+
+// Route returns the current owners for vertex v.
+func (t *Table) Route(v int) Route {
+	slot := t.ring.SlotOf(v, t.n)
+	t.mu.RLock()
+	p, r := t.curPrimary[slot], t.curReplica[slot]
+	t.mu.RUnlock()
+	route := Route{Generation: t.generation.Load()}
+	if p >= 0 {
+		route.Primary = &t.ring.workers[p]
+	}
+	if r >= 0 {
+		route.Replica = &t.ring.workers[r]
+	}
+	return route
+}
+
+// MarkDown records worker wi as dead, promoting replicas for every slot
+// it was serving. Idempotent: only the first call for a live worker
+// changes the table, and that call advances the generation exactly
+// once. Reports whether the table changed.
+func (t *Table) MarkDown(wi int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if wi < 0 || wi >= len(t.alive) || !t.alive[wi] {
+		return false
+	}
+	t.alive[wi] = false
+	t.recomputeLocked()
+	t.generation.Add(1)
+	t.failovers.Add(1)
+	return true
+}
+
+// MarkUp re-admits a restarted worker, returning its ring-assigned
+// slots to it. Idempotent like MarkDown; one generation bump per actual
+// re-admission.
+func (t *Table) MarkUp(wi int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if wi < 0 || wi >= len(t.alive) || t.alive[wi] {
+		return false
+	}
+	t.alive[wi] = true
+	t.recomputeLocked()
+	t.generation.Add(1)
+	t.readmissions.Add(1)
+	return true
+}
+
+// Alive reports worker wi's recorded liveness.
+func (t *Table) Alive(wi int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return wi >= 0 && wi < len(t.alive) && t.alive[wi]
+}
+
+// Ready reports whether every slot has a live owner — the coordinator's
+// readiness condition.
+func (t *Table) Ready() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, p := range t.curPrimary {
+		if p < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SlotCounts returns how many slots worker wi currently serves as
+// primary and how many it backs as replica.
+func (t *Table) SlotCounts(wi int) (primary, replica int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for s := range t.curPrimary {
+		if t.curPrimary[s] == wi {
+			primary++
+		}
+		if t.curReplica[s] == wi {
+			replica++
+		}
+	}
+	return primary, replica
+}
+
+// Generation returns the current routing-table generation; it advances
+// by exactly one on every failover and every re-admission.
+func (t *Table) Generation() uint64 { return t.generation.Load() }
+
+// Failovers returns how many primaries have been marked down.
+func (t *Table) Failovers() uint64 { return t.failovers.Load() }
+
+// Readmissions returns how many workers have rejoined after a failover.
+func (t *Table) Readmissions() uint64 { return t.readmissions.Load() }

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# shard_smoke.sh — chaos smoke for the sharded serving stack.
+#
+# Boots three apspserve workers warm-booted from one shared factor
+# checkpoint, fronts them with an apspshard coordinator, and drives a
+# queryload storm through the coordinator while SIGKILLing one worker
+# mid-storm. Asserts the contract the coordinator sells:
+#
+#   1. the storm finishes with ZERO dropped queries — the replica
+#      absorbs the death via inline retry, clients pay latency only;
+#   2. the coordinator's prober notices the death (failovers >= 1);
+#   3. the restarted worker rejoins warm from the checkpoint and is
+#      re-admitted (readmissions >= 1, all shards alive again);
+#   4. a final multi-target run through coordinator + all workers
+#      answers clean.
+#
+# Run via `make shard-smoke`. Needs only the go toolchain and curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+GRAPH=${GRAPH:-powergrid_s}
+BASE_PORT=${BASE_PORT:-18080}
+STORM_QUERIES=${STORM_QUERIES:-60000}
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "shard-smoke FAIL: $*" >&2
+    echo "--- coordinator log ---" >&2; cat "$TMP/coord.log" >&2 || true
+    for i in 1 2 3; do
+        echo "--- worker $i log ---" >&2; cat "$TMP/w$i.log" >&2 || true
+    done
+    exit 1
+}
+
+# Poll URL until it answers 200 or the deadline passes.
+wait_ready() { # url what deadline_sec
+    local url=$1 what=$2 deadline=${3:-60}
+    for _ in $(seq 1 $((deadline * 2))); do
+        if curl -fsS -o /dev/null --max-time 2 "$url" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.5
+    done
+    fail "$what not ready after ${deadline}s ($url)"
+}
+
+# Extract an integer counter from the coordinator's /metrics JSON.
+metric() { # name
+    curl -fsS --max-time 2 "http://127.0.0.1:$BASE_PORT/metrics" |
+        grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2
+}
+
+wait_metric_ge() { # name want deadline_sec
+    local name=$1 want=$2 deadline=${3:-30} got=0
+    for _ in $(seq 1 $((deadline * 2))); do
+        got=$(metric "$name" || echo 0)
+        if [ "${got:-0}" -ge "$want" ]; then
+            return 0
+        fi
+        sleep 0.5
+    done
+    fail "coordinator metric $name = ${got:-?}, want >= $want after ${deadline}s"
+}
+
+echo "== shard-smoke: building binaries"
+$GO build -o "$TMP/apspserve" ./cmd/apspserve
+$GO build -o "$TMP/apspshard" ./cmd/apspshard
+$GO build -o "$TMP/queryload" ./cmd/queryload
+
+CKPT="$TMP/factor.sfwf"
+start_worker() { # idx
+    local i=$1 port=$((BASE_PORT + $1))
+    "$TMP/apspserve" -graph "$GRAPH" -quick -factorcache "$CKPT" \
+        -shard-id "w$i" -addr "127.0.0.1:$port" \
+        >>"$TMP/w$i.log" 2>&1 &
+    PIDS+=($!)
+    eval "W${i}_PID=$!"
+}
+
+# Worker 1 boots first: it builds the factor and writes the shared
+# checkpoint. Workers 2 and 3 then boot WARM from that checkpoint —
+# their logs must prove it, or the rejoin leg of this test is vacuous.
+echo "== shard-smoke: booting 3 workers from one checkpoint"
+start_worker 1
+wait_ready "http://127.0.0.1:$((BASE_PORT + 1))/readyz" "worker 1" 120
+[ -f "$CKPT" ] || fail "worker 1 ready but wrote no checkpoint at $CKPT"
+start_worker 2
+start_worker 3
+wait_ready "http://127.0.0.1:$((BASE_PORT + 2))/readyz" "worker 2"
+wait_ready "http://127.0.0.1:$((BASE_PORT + 3))/readyz" "worker 3"
+for i in 2 3; do
+    grep -q "restored factor from cache" "$TMP/w$i.log" ||
+        fail "worker $i did not boot warm from the checkpoint"
+done
+
+echo "== shard-smoke: starting coordinator"
+WORKER_URLS="http://127.0.0.1:$((BASE_PORT + 1)),http://127.0.0.1:$((BASE_PORT + 2)),http://127.0.0.1:$((BASE_PORT + 3))"
+"$TMP/apspshard" -addr "127.0.0.1:$BASE_PORT" -workers "$WORKER_URLS" \
+    -probe-interval 250ms -fail-threshold 2 \
+    >"$TMP/coord.log" 2>&1 &
+PIDS+=($!)
+wait_ready "http://127.0.0.1:$BASE_PORT/readyz" "coordinator"
+
+echo "== shard-smoke: queryload storm through the coordinator, SIGKILL w2 mid-storm"
+"$TMP/queryload" -url "http://127.0.0.1:$BASE_PORT" \
+    -queries "$STORM_QUERIES" -workers 8 >"$TMP/storm.log" 2>&1 &
+STORM_PID=$!
+PIDS+=($STORM_PID)
+sleep 1
+kill -0 "$STORM_PID" 2>/dev/null || fail "storm finished before the kill — raise STORM_QUERIES"
+kill -9 "$W2_PID"
+echo "   killed worker 2 (pid $W2_PID)"
+if ! wait "$STORM_PID"; then
+    cat "$TMP/storm.log" >&2
+    fail "queryload storm exited non-zero across the worker death"
+fi
+cat "$TMP/storm.log"
+
+# Zero post-retry failures: the storm may retry, it must not drop.
+DROPPED=$(grep -Eo '[0-9]+ queries dropped' "$TMP/storm.log" | grep -Eo '^[0-9]+' || echo 0)
+[ "$DROPPED" -eq 0 ] || fail "$DROPPED queries dropped during failover, want 0"
+
+echo "== shard-smoke: waiting for the prober to record the failover"
+wait_metric_ge failovers 1 15
+
+echo "== shard-smoke: restarting worker 2 from the checkpoint"
+start_worker 2
+wait_ready "http://127.0.0.1:$((BASE_PORT + 2))/readyz" "restarted worker 2"
+grep -q "restored factor from cache" "$TMP/w2.log" ||
+    fail "restarted worker 2 did not boot warm from the checkpoint"
+wait_metric_ge readmissions 1 15
+ALIVE=$(curl -fsS "http://127.0.0.1:$BASE_PORT/metrics" | grep -o '"alive":true' | wc -l)
+[ "$ALIVE" -eq 3 ] || fail "only $ALIVE/3 shards alive after rejoin"
+
+echo "== shard-smoke: final multi-target validation run"
+"$TMP/queryload" -targets "http://127.0.0.1:$BASE_PORT,$WORKER_URLS" \
+    -queries 4000 -workers 4 >"$TMP/final.log" 2>&1 ||
+    { cat "$TMP/final.log" >&2; fail "multi-target validation run failed"; }
+cat "$TMP/final.log"
+DROPPED=$(grep -Eo '[0-9]+ queries dropped' "$TMP/final.log" | grep -Eo '^[0-9]+' || echo 0)
+[ "$DROPPED" -eq 0 ] || fail "$DROPPED queries dropped in the validation run, want 0"
+
+echo "shard-smoke OK: failovers=$(metric failovers) readmissions=$(metric readmissions) generation=$(metric generation)"
