@@ -9,7 +9,7 @@ APSPVET := bin/apspvet
 APSPVET_SRC := $(wildcard cmd/apspvet/*.go internal/analysis/*.go \
 	internal/analysis/analysistest/*.go internal/analyzers/*.go)
 
-.PHONY: all build test race lint apspvet staticcheck check bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke bench-gemm
+.PHONY: all build test race lint apspvet staticcheck check bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke update-smoke bench-gemm bench-update
 
 all: build test
 
@@ -119,9 +119,26 @@ gemm-smoke:
 shard-smoke:
 	./scripts/shard_smoke.sh
 
+# End-to-end smoke for the live-update subsystem: 2 workers with live
+# updaters behind a coordinator, a queryload storm with a
+# POST /admin/update landing mid-storm, and assertions that the snapshot
+# swap drops zero queries, every worker converges on the same advanced
+# generation, queries see the new weight, and the bench gate holds
+# (decrease-only patch >= 20x faster than a full rebuild on road_l).
+update-smoke:
+	./scripts/update_smoke.sh
+
 # Full density × size sweep of the adaptive GEMM engine vs the frozen
 # seed kernel. Writes BENCH_gemm.md (table) and BENCH_gemm.json (raw
 # measurements incl. dispatch counters).
 bench-gemm:
 	$(GO) run ./cmd/apspbench -exp gemm -out BENCH_gemm.md
 	@echo "wrote BENCH_gemm.md and BENCH_gemm.json"
+
+# Live-update patch vs full rebuild across the catalog graphs (always
+# full size — see internal/bench/update.go). Writes BENCH_update.md
+# (table) and BENCH_update.json (raw measurements incl. dirty-set
+# sizes).
+bench-update:
+	$(GO) run ./cmd/apspbench -exp update -out BENCH_update.md
+	@echo "wrote BENCH_update.md and BENCH_update.json"

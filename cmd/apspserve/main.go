@@ -18,6 +18,8 @@
 //	GET  /sssp?src=S        full distance row (etree sweeps, streamed)
 //	GET  /route?u=U&v=V     vertex path (needs -routes)
 //	POST /admin/reload      rebuild/restore the factor and swap it in
+//	POST /admin/update      patch live edge-weight changes into the factor
+//	                        (needs -graph; {"edges":[{"u":U,"v":V,"w":W},...]})
 //	GET  /metrics           per-endpoint counters + label-cache stats
 //
 // The server is configured for production traffic: request timeouts,
@@ -44,6 +46,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/serve"
 )
 
@@ -76,9 +79,12 @@ func main() {
 	var factor *core.Factor
 	var result *core.Result
 	var reload func(ctx context.Context) (*core.Factor, *core.Result, error)
+	var updater *core.FactorUpdater
 	var err error
 	switch {
 	case *loadFactor != "":
+		// No graph in hand means no live updates: POST /admin/update
+		// answers 501 in -loadfactor mode.
 		factor, err = core.LoadFactorFile(*loadFactor)
 		if err != nil {
 			log.Fatal(err)
@@ -94,14 +100,30 @@ func main() {
 		}
 	case *graphName != "":
 		build := newBuilder(*graphName, *quick, *routes, *threads, *factorCache)
-		factor, result, err = build(ctx)
+		var g *graph.Graph
+		factor, result, g, err = build(ctx)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				log.Fatal("interrupted during boot factorization")
 			}
 			log.Fatal(err)
 		}
-		reload = build
+		updater, err = core.NewFactorUpdater(g, factor, core.UpdaterOptions{Threads: *threads})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A reload rebase discards every previously applied live update:
+		// the updater starts composing again from the rebuilt factor.
+		reload = func(ctx context.Context) (*core.Factor, *core.Result, error) {
+			f, res, g2, err := build(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := updater.Rebase(g2, f); err != nil {
+				return nil, nil, err
+			}
+			return f, res, nil
+		}
 	default:
 		log.Fatal("need -graph or -loadfactor")
 	}
@@ -122,6 +144,7 @@ func main() {
 		MaxInFlight: *maxFlight,
 		Reload:      reload,
 		Shard:       shardInfo,
+		Updater:     updater,
 	})
 	hs := &http.Server{
 		Handler:           srv.Handler(),
@@ -147,12 +170,13 @@ func main() {
 // newBuilder returns the factor source for -graph mode, shared by boot
 // and /admin/reload: restore from the factor cache when it holds a valid
 // checkpoint, otherwise build from the catalog graph and checkpoint the
-// result. Restore and build both honor ctx cancellation.
-func newBuilder(graphName string, quick, routes bool, threads int, cachePath string) func(ctx context.Context) (*core.Factor, *core.Result, error) {
-	return func(ctx context.Context) (*core.Factor, *core.Result, error) {
+// result. The built graph rides along so the caller can (re)base the
+// live updater on it. Restore and build both honor ctx cancellation.
+func newBuilder(graphName string, quick, routes bool, threads int, cachePath string) func(ctx context.Context) (*core.Factor, *core.Result, *graph.Graph, error) {
+	return func(ctx context.Context) (*core.Factor, *core.Result, *graph.Graph, error) {
 		e, ok := bench.Find(graphName)
 		if !ok {
-			return nil, nil, errors.New("unknown catalog graph " + graphName)
+			return nil, nil, nil, errors.New("unknown catalog graph " + graphName)
 		}
 		g := e.Build(quick)
 
@@ -171,11 +195,11 @@ func newBuilder(graphName string, quick, routes bool, threads int, cachePath str
 		if factor == nil {
 			plan, err := core.NewPlan(g, core.DefaultOptions())
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			factor, err = core.NewFactorCtx(ctx, plan, threads)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			log.Printf("built factor for %s: n=%d, %.1f MB", graphName, g.N, float64(factor.Memory())/1e6)
 			if cachePath != "" {
@@ -193,14 +217,14 @@ func newBuilder(graphName string, quick, routes bool, threads int, cachePath str
 			opts.TrackPaths = true
 			plan2, err := core.NewPlan(g, opts)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			result, err = plan2.SolveCtx(ctx)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			log.Printf("dense path-tracked solve ready (/route enabled)")
 		}
-		return factor, result, nil
+		return factor, result, g, nil
 	}
 }

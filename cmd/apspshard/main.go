@@ -19,6 +19,8 @@
 //	POST /dist/batch       scatter-gathered, all-or-nothing
 //	GET  /sssp?src=S       routed to the shard owning src
 //	GET  /route?u=U&v=V    routed to the shard owning u
+//	POST /admin/update     live edge-weight batch fanned to ALL workers
+//	                       (two-phase: every shard swaps generations or none)
 //	GET  /health, /healthz coordinator liveness + generation
 //	GET  /readyz           503 unless every vertex range has a live shard
 //	GET  /metrics          merged: per-shard health, routing counts, gather latency

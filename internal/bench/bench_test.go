@@ -56,8 +56,10 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments take a few seconds even in quick mode")
 	}
-	// Keep the gemm experiment's JSON artifact out of the package dir.
+	// Keep the gemm and update experiments' JSON artifacts out of the
+	// package dir.
 	t.Setenv("BENCH_GEMM_OUT", filepath.Join(t.TempDir(), "BENCH_gemm.json"))
+	t.Setenv("BENCH_UPDATE_OUT", filepath.Join(t.TempDir(), "BENCH_update.json"))
 	for _, id := range Experiments() {
 		id := id
 		t.Run(id, func(t *testing.T) {

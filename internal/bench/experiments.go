@@ -471,7 +471,7 @@ func Preproc(quick bool) *Report {
 // Experiments lists every experiment id in run order: one per paper
 // table/figure plus the "factor" extension study.
 func Experiments() []string {
-	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "gemm", "preproc", "factor", "queryload", "crossover", "comm"}
+	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "gemm", "preproc", "factor", "queryload", "crossover", "comm", "update"}
 }
 
 // Run executes the named experiment.
@@ -505,6 +505,8 @@ func Run(id string, quick bool, threads int) (*Report, error) {
 		return Crossover(quick, threads), nil
 	case "comm":
 		return Comm(quick), nil
+	case "update":
+		return Update(quick, threads), nil
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, Experiments())
 }

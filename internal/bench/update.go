@@ -1,0 +1,185 @@
+package bench
+
+// The "update" experiment measures what the live-update subsystem buys:
+// p50 latency of patching a batch of edge-weight changes into the
+// supernodal factor (core.FactorUpdater.Apply — copy-on-write clone +
+// dirty-chain re-elimination) against the p50 of the full rebuild a
+// POST /admin/reload performs (re-plan + refactorize). Decrease-only
+// batches are the headline number — the acceptance gate wants them
+// ≥ 20× faster than the rebuild — with increase batches (reset +
+// DAG replay) reported alongside. Raw measurements go to
+// BENCH_update.json for the trajectory.
+//
+// Apply is pure (the patch is never committed), so every rep patches
+// the same base factor — exactly the latency a serving deployment sees
+// on each incoming batch.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// updateJSONPath is where Update drops its raw measurements; the
+// BENCH_UPDATE_OUT environment variable overrides it.
+const updateJSONPath = "BENCH_update.json"
+
+func updateOutPath() string {
+	if p := os.Getenv("BENCH_UPDATE_OUT"); p != "" {
+		return p
+	}
+	return updateJSONPath
+}
+
+// UpdateRow is one (graph, batch kind) measurement.
+type UpdateRow struct {
+	Graph         string  `json:"graph"`
+	N             int     `json:"n"`
+	Mode          string  `json:"mode"` // "decrease" or "increase"
+	Batch         int     `json:"batch_edges"`
+	PatchP50NS    int64   `json:"patch_p50_ns"`
+	RebuildP50NS  int64   `json:"rebuild_p50_ns"`
+	Speedup       float64 `json:"speedup"`
+	DirtyFraction float64 `json:"dirty_fraction"`
+	DirtySn       int     `json:"dirty_supernodes"`
+	TotalSn       int     `json:"total_supernodes"`
+}
+
+// UpdateResult is the BENCH_update.json payload.
+type UpdateResult struct {
+	Quick   bool        `json:"quick"`
+	Threads int         `json:"threads"`
+	Reps    int         `json:"reps"`
+	Rows    []UpdateRow `json:"rows"`
+}
+
+// Update runs the patch-vs-rebuild comparison and writes
+// BENCH_update.json. Unlike the other experiments it always builds the
+// catalog graphs at FULL size, even under -quick: the quick-scale
+// graphs factor into a handful of supernodes, so one batch's ancestor
+// closure covers most of the factor and "patch vs rebuild" measures
+// nothing. Quick mode only trims the rep counts; the whole experiment
+// is a few seconds either way because each rebuild is milliseconds.
+func Update(quick bool, threads int) *Report {
+	graphs := []string{"powergrid_s", "geoknn_s", "road_l"}
+	patchReps, rebuildReps := 9, 3
+	if quick {
+		patchReps = 5
+	}
+	r := &Report{ID: "update",
+		Title:  "Live update: batched patch (copy-on-write + dirty-chain re-elimination) vs full rebuild (re-plan + refactorize), p50",
+		Header: []string{"graph", "n", "mode", "batch", "patch p50", "rebuild p50", "speedup", "dirty"}}
+	res := UpdateResult{Quick: quick, Threads: threads, Reps: patchReps}
+	rng := rand.New(rand.NewSource(7101))
+	for _, name := range graphs {
+		e, ok := Find(name)
+		if !ok {
+			r.AddNote("unknown catalog graph %s, skipped", name)
+			continue
+		}
+		// Full size regardless of quick — see the comment on Update.
+		g := e.Build(false)
+		plan, err := core.NewPlan(g, core.DefaultOptions())
+		if err != nil {
+			r.AddNote("%s: plan failed: %v", name, err)
+			continue
+		}
+		f, err := core.NewFactor(plan, threads)
+		if err != nil {
+			r.AddNote("%s: factor failed: %v", name, err)
+			continue
+		}
+		rebuild := medianDuration(rebuildReps, func() {
+			p, err := core.NewPlan(g, core.DefaultOptions())
+			if err != nil {
+				panic(err)
+			}
+			if _, err := core.NewFactor(p, threads); err != nil {
+				panic(err)
+			}
+		})
+		for _, mode := range []string{"decrease", "increase"} {
+			row, err := updateCell(g, f, name, mode, patchReps, threads, rng)
+			if err != nil {
+				r.AddNote("%s/%s: %v", name, mode, err)
+				continue
+			}
+			row.RebuildP50NS = rebuild.Nanoseconds()
+			row.Speedup = float64(row.RebuildP50NS) / float64(row.PatchP50NS)
+			res.Rows = append(res.Rows, *row)
+			r.AddRow(name, fmt.Sprintf("%d", row.N), mode, fmt.Sprintf("%d", row.Batch),
+				fmtDur(time.Duration(row.PatchP50NS)), fmtDur(time.Duration(row.RebuildP50NS)),
+				fmtSpeedup(row.Speedup),
+				fmt.Sprintf("%d/%d (%.1f%%)", row.DirtySn, row.TotalSn, 100*row.DirtyFraction))
+		}
+	}
+	if path := updateOutPath(); writeUpdateJSON(path, &res) != nil {
+		r.AddNote("FAILED to write %s", path)
+	} else {
+		r.AddNote("raw measurements written to %s", path)
+	}
+	r.AddNote("patch = FactorUpdater.Apply (never committed, so every rep patches the same base); rebuild = NewPlan + NewFactor from scratch.")
+	return r
+}
+
+// updateCell times one batch kind against one factor.
+func updateCell(g *graph.Graph, f *core.Factor, name, mode string, reps, threads int, rng *rand.Rand) (*UpdateRow, error) {
+	u, err := core.NewFactorUpdater(g, f, core.UpdaterOptions{Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	edges := g.Edges()
+	batch := core.NewUpdateBatch()
+	nb := 8
+	for i := 0; i < nb; i++ {
+		e := edges[rng.Intn(len(edges))]
+		w := e.W * 0.5
+		if mode == "increase" {
+			w = e.W * 1.5
+		}
+		if err := batch.Set(e.U, e.V, w); err != nil {
+			return nil, err
+		}
+	}
+	var last *core.Patched
+	patch := medianDuration(reps, func() {
+		p, err := u.Apply(context.Background(), batch)
+		if err != nil {
+			panic(err)
+		}
+		last = p
+	})
+	row := &UpdateRow{
+		Graph: name, N: g.N, Mode: mode, Batch: batch.Len(),
+		PatchP50NS:    patch.Nanoseconds(),
+		DirtyFraction: last.Stats.DirtyFraction,
+		DirtySn:       last.Stats.DirtySupernodes,
+		TotalSn:       last.Stats.TotalSupernodes,
+	}
+	return row, nil
+}
+
+// medianDuration runs fn reps times and returns the median wall time.
+func medianDuration(reps int, fn func()) time.Duration {
+	times := make([]time.Duration, reps)
+	for i := range times {
+		times[i] = timeIt(fn)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[reps/2]
+}
+
+func writeUpdateJSON(path string, res *UpdateResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -293,8 +293,6 @@ func (f *Factor) factorize(ctx context.Context, threads int, schedule ScheduleKi
 func (f *Factor) eliminate(k, threads int, locks *par.StripedMutex) {
 	fault.Inject("core.factor.eliminate")
 	K := f.K
-	sn := f.sn
-	s := sn.Ranges[k].Size()
 	K.FW(f.diag[k])
 	if f.ancOff[k][len(f.ancIDs[k])] == 0 {
 		return
@@ -303,17 +301,40 @@ func (f *Factor) eliminate(k, threads int, locks *par.StripedMutex) {
 	K.MulAdd(f.up[k], f.diag[k], f.up[k])     //lint:ignore aliascheck in-place panel update is closed under min-plus: diag is closed with zero diagonal, so C=A is the algorithm
 	K.MulAdd(f.down[k], f.down[k], f.diag[k]) //lint:ignore aliascheck symmetric in-place panel update against the closed zero-diagonal block
 
-	// Outer products onto ancestor blocks. Target for (ai, aj):
-	//   ai == aj → diag[ai]
-	//   ai < aj  → the aj-section of up[ai]  (aj is an ancestor of ai)
-	//   ai > aj  → the ai-section of down[aj]
-	// Ancestor chains are suffixes of each other, so the section offset
-	// inside the target panel follows from list positions directly.
+	f.scatterOuter(k, threads, locks, nil)
+}
+
+// scatterOuter applies supernode k's ancestor×ancestor outer products
+// onto the ancestors' own factor blocks. Target for (ai, aj):
+//
+//	ai == aj → diag[ai]
+//	ai < aj  → the aj-section of up[ai]  (aj is an ancestor of ai)
+//	ai > aj  → the ai-section of down[aj]
+//
+// Ancestor chains are suffixes of each other, so the section offset
+// inside the target panel follows from list positions directly. A
+// non-nil ownerFilter restricts the scatter to targets owned by marked
+// supernodes — the live-update replay path re-plays a clean supernode's
+// contributions into reset (dirty) blocks only, since its contributions
+// to clean blocks are already incorporated there.
+func (f *Factor) scatterOuter(k, threads int, locks *par.StripedMutex, ownerFilter []bool) {
+	K := f.K
+	sn := f.sn
+	s := sn.Ranges[k].Size()
 	anc := f.ancIDs[k]
 	na := len(anc)
 	par.For(na*na, threads, 1, func(idx int) {
 		i, j := idx/na, idx%na
 		ai, aj := anc[i], anc[j]
+		if ownerFilter != nil {
+			owner := ai // diag and up sections live on ai
+			if i > j {
+				owner = aj // down sections live on aj
+			}
+			if !ownerFilter[owner] {
+				return
+			}
+		}
 		src := f.down[k].View(f.ancOff[k][i], 0, f.ancOff[k][i+1]-f.ancOff[k][i], s)
 		srcR := f.up[k].View(0, f.ancOff[k][j], s, f.ancOff[k][j+1]-f.ancOff[k][j])
 		var target semiring.Mat

@@ -57,6 +57,35 @@ func NewLabelCache(f *Factor, capacity int) *LabelCache {
 	}
 }
 
+// NewLabelCacheFrom builds a cache over f seeded with the still-valid
+// entries of old: labels whose supernode is not stale survived a live
+// update bit-for-bit (their whole root path is clean), so a patched
+// snapshot can keep serving them warm instead of recomputing the entire
+// working set. staleSn == nil invalidates everything (full rebuild).
+// Labels are immutable, so sharing them across factors is safe.
+func NewLabelCacheFrom(f *Factor, capacity int, old *LabelCache, staleSn []bool) *LabelCache {
+	c := NewLabelCache(f, capacity)
+	if old == nil || staleSn == nil {
+		return c
+	}
+	old.mu.Lock()
+	defer old.mu.Unlock()
+	// Walk least- to most-recently used so pushFront reproduces the old
+	// recency order in the new cache.
+	for e := old.tail; e != nil; e = e.prev {
+		if staleSn[f.snodeOf(f.iperm[e.key])] {
+			continue
+		}
+		ne := &cacheEntry{key: e.key, lbl: e.lbl}
+		c.m[e.key] = ne
+		c.pushFront(ne)
+		if len(c.m) > c.cap {
+			c.evictOldest()
+		}
+	}
+	return c
+}
+
 // Factor returns the factor the cache serves.
 func (c *LabelCache) Factor() *Factor { return c.f }
 

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/semiring"
+)
+
+// checkFactorMatchesGraph asserts that every distance served by f equals
+// a dense from-scratch closure of g.
+func checkFactorMatchesGraph(t *testing.T, f *Factor, g *graph.Graph) {
+	t.Helper()
+	want := Closure(g.ToDense())
+	row := make([]float64, g.N)
+	for u := 0; u < g.N; u++ {
+		f.SSSPInto(u, row)
+		for v := 0; v < g.N; v++ {
+			w := want.At(u, v)
+			if d := row[v]; math.Abs(d-w) > 1e-9 && !(math.IsInf(d, 1) && math.IsInf(w, 1)) {
+				t.Fatalf("dist(%d,%d) = %g, want %g", u, v, d, w)
+			}
+		}
+	}
+}
+
+// snapshotFactor captures every distance f currently serves, for
+// verifying the old snapshot stays bit-identical across an update.
+func snapshotFactor(f *Factor) [][]float64 {
+	out := make([][]float64, f.n)
+	for u := 0; u < f.n; u++ {
+		out[u] = f.SSSP(u)
+	}
+	return out
+}
+
+func newUpdaterFixture(t *testing.T, g *graph.Graph, opts UpdaterOptions) *FactorUpdater {
+	t.Helper()
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewFactorUpdater(g, f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// applyGraph mirrors a batch onto the reference edge list, keeping the
+// graph the oracle re-solve uses in sync with the updater.
+func applyGraph(g *graph.Graph, b *UpdateBatch) *graph.Graph {
+	m := edgeMapOf(g)
+	for _, d := range b.Edges() {
+		m[edgeKey{d.U, d.V}] = d.W
+	}
+	ng, err := graphFromEdges(g.N, m)
+	if err != nil {
+		panic(err)
+	}
+	return ng
+}
+
+func TestUpdateBatchCoalesce(t *testing.T) {
+	b := NewUpdateBatch()
+	if err := b.Set(3, 1, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(1, 3, 0.5); err != nil { // same edge, normalized: last write wins
+		t.Fatal(err)
+	}
+	if err := b.Set(0, 2, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set(4, 4, 9.0); err != nil { // self-loop: silent no-op
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	edges := b.Edges()
+	if edges[0] != (EdgeDelta{U: 0, V: 2, W: 1.0}) || edges[1] != (EdgeDelta{U: 1, V: 3, W: 0.5}) {
+		t.Fatalf("Edges = %v", edges)
+	}
+	if err := b.Set(0, 1, -1); err == nil {
+		t.Error("negative weight must be rejected")
+	}
+	if err := b.Set(-1, 2, 1); err == nil {
+		t.Error("negative vertex id must be rejected")
+	}
+	if err := b.Set(0, 1, math.NaN()); err == nil {
+		t.Error("NaN weight must be rejected")
+	}
+	if err := b.Set(0, 1, math.Inf(1)); err == nil {
+		t.Error("+Inf weight (edge removal) must be rejected")
+	}
+}
+
+func TestUpdaterRejectsNonMinPlus(t *testing.T) {
+	g := gen.Grid2D(4, 4, gen.WeightUnit, 5)
+	opts := DefaultOptions()
+	opts.Semiring = semiring.MaxMinKernels
+	plan, err := NewPlan(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFactorUpdater(g, f, UpdaterOptions{}); err == nil {
+		t.Fatal("non-min-plus updater must be rejected")
+	}
+}
+
+func TestUpdateDecreaseDifferential(t *testing.T) {
+	g := gen.GeometricKNN(120, 2, 3, gen.WeightUniform, 81)
+	u := newUpdaterFixture(t, g, UpdaterOptions{DirtyThreshold: 1, Threads: 2})
+	rng := rand.New(rand.NewSource(82))
+	edges := g.Edges()
+	for round := 0; round < 3; round++ {
+		b := NewUpdateBatch()
+		for i := 0; i < 4; i++ {
+			e := edges[rng.Intn(len(edges))]
+			if err := b.Set(e.U, e.V, e.W*rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := snapshotFactor(u.Factor())
+		p, err := u.Apply(context.Background(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Stats.FullRebuild {
+			t.Fatal("decrease batch under threshold must patch, not rebuild")
+		}
+		if p.StaleSupernodes == nil {
+			t.Fatal("patched update must scope staleness")
+		}
+		// The committed-before snapshot must be untouched by the patch.
+		after := snapshotFactor(u.Factor())
+		for i := range before {
+			for j := range before[i] {
+				if before[i][j] != after[i][j] {
+					t.Fatalf("old snapshot mutated at (%d,%d)", i, j)
+				}
+			}
+		}
+		if err := u.Commit(p); err != nil {
+			t.Fatal(err)
+		}
+		g = applyGraph(g, b)
+		checkFactorMatchesGraph(t, u.Factor(), g)
+	}
+}
+
+func TestUpdateIncreaseDifferential(t *testing.T) {
+	g := gen.GeometricKNN(120, 2, 3, gen.WeightUniform, 83)
+	u := newUpdaterFixture(t, g, UpdaterOptions{DirtyThreshold: 1, Threads: 2})
+	rng := rand.New(rand.NewSource(84))
+	for round := 0; round < 3; round++ {
+		b := NewUpdateBatch()
+		for i := 0; i < 3; i++ {
+			e := g.Edges()[rng.Intn(len(g.Edges()))]
+			if err := b.Set(e.U, e.V, e.W*(1.5+rng.Float64())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, err := u.Apply(context.Background(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Stats.Increases == 0 {
+			t.Fatal("expected increases in the batch")
+		}
+		if err := u.Commit(p); err != nil {
+			t.Fatal(err)
+		}
+		g = applyGraph(g, b)
+		checkFactorMatchesGraph(t, u.Factor(), g)
+	}
+}
+
+func TestUpdateMixedDifferential(t *testing.T) {
+	g := gen.Grid2D(10, 10, gen.WeightUniform, 85)
+	u := newUpdaterFixture(t, g, UpdaterOptions{DirtyThreshold: 1, Threads: runtime.GOMAXPROCS(0)})
+	rng := rand.New(rand.NewSource(86))
+	edges := g.Edges()
+	b := NewUpdateBatch()
+	for i := 0; i < 8; i++ {
+		e := edges[rng.Intn(len(edges))]
+		scale := 0.2 + rng.Float64()*2.5 // both below and above 1
+		if err := b.Set(e.U, e.V, e.W*scale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := u.Apply(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit(p); err != nil {
+		t.Fatal(err)
+	}
+	g = applyGraph(g, b)
+	checkFactorMatchesGraph(t, u.Factor(), g)
+}
+
+func TestUpdateNoopBatch(t *testing.T) {
+	g := gen.Grid2D(6, 6, gen.WeightUniform, 87)
+	u := newUpdaterFixture(t, g, UpdaterOptions{})
+	e := g.Edges()[0]
+	b := NewUpdateBatch()
+	if err := b.Set(e.U, e.V, e.W); err != nil { // same weight: no effective change
+		t.Fatal(err)
+	}
+	p, err := u.Apply(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Factor != u.Factor() || p.Stats.Unchanged != 1 || p.Stats.DirtySupernodes != 0 {
+		t.Fatalf("no-op batch must return the current factor unchanged, stats %+v", p.Stats)
+	}
+	if err := u.Commit(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Apply(context.Background(), NewUpdateBatch()); err == nil {
+		t.Fatal("empty batch must be rejected")
+	}
+}
+
+func TestUpdateFullRebuildPastThreshold(t *testing.T) {
+	g := gen.GeometricKNN(100, 2, 3, gen.WeightUniform, 88)
+	u := newUpdaterFixture(t, g, UpdaterOptions{DirtyThreshold: 1e-9})
+	e := g.Edges()[0]
+	b := NewUpdateBatch()
+	if err := b.Set(e.U, e.V, e.W*0.5); err != nil {
+		t.Fatal(err)
+	}
+	p, err := u.Apply(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stats.FullRebuild || p.Stats.Replanned {
+		t.Fatalf("tiny threshold must force a full rebuild, stats %+v", p.Stats)
+	}
+	if p.StaleSupernodes != nil {
+		t.Fatal("full rebuild must mark every label stale (nil)")
+	}
+	if err := u.Commit(p); err != nil {
+		t.Fatal(err)
+	}
+	g = applyGraph(g, b)
+	checkFactorMatchesGraph(t, u.Factor(), g)
+}
+
+func TestUpdateCrossCousinInsertReplans(t *testing.T) {
+	g := gen.GeometricKNN(150, 2, 3, gen.WeightUniform, 89)
+	u := newUpdaterFixture(t, g, UpdaterOptions{DirtyThreshold: 1})
+	f := u.Factor()
+	// Find a vertex pair no block of the current plan can host.
+	cu, cv := -1, -1
+search:
+	for a := 0; a < g.N; a++ {
+		for bb := a + 1; bb < g.N; bb++ {
+			if _, ok := f.edgeOwner(a, bb); !ok {
+				cu, cv = a, bb
+				break search
+			}
+		}
+	}
+	if cu < 0 {
+		t.Skip("ordering left no cousin pair on this graph")
+	}
+	b := NewUpdateBatch()
+	if err := b.Set(cu, cv, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	p, err := u.Apply(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stats.Replanned || !p.Stats.FullRebuild {
+		t.Fatalf("cross-cousin insert must re-plan, stats %+v", p.Stats)
+	}
+	if err := u.Commit(p); err != nil {
+		t.Fatal(err)
+	}
+	g = applyGraph(g, b)
+	checkFactorMatchesGraph(t, u.Factor(), g)
+}
+
+func TestUpdateCommitStalePatch(t *testing.T) {
+	g := gen.Grid2D(8, 8, gen.WeightUniform, 90)
+	u := newUpdaterFixture(t, g, UpdaterOptions{DirtyThreshold: 1})
+	e := g.Edges()[0]
+	mk := func(w float64) *Patched {
+		b := NewUpdateBatch()
+		if err := b.Set(e.U, e.V, w); err != nil {
+			t.Fatal(err)
+		}
+		p, err := u.Apply(context.Background(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1 := mk(e.W * 0.5)
+	p2 := mk(e.W * 0.25) // computed against the same base as p1
+	if err := u.Commit(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit(p2); err == nil {
+		t.Fatal("committing a patch computed against a superseded factor must fail")
+	}
+	// Rebase resets the updater onto a fresh build; updates keep working.
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := NewFactor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Rebase(g, nf); err != nil {
+		t.Fatal(err)
+	}
+	p3 := mk(e.W * 0.5)
+	if err := u.Commit(p3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateLabelCacheCarryOver(t *testing.T) {
+	g := gen.GeometricKNN(120, 2, 3, gen.WeightUniform, 91)
+	u := newUpdaterFixture(t, g, UpdaterOptions{DirtyThreshold: 1})
+	f := u.Factor()
+	cache := NewLabelCache(f, 0)
+	for v := 0; v < g.N; v++ {
+		cache.Label(v)
+	}
+	e := g.Edges()[0]
+	b := NewUpdateBatch()
+	if err := b.Set(e.U, e.V, e.W*0.5); err != nil {
+		t.Fatal(err)
+	}
+	p, err := u.Apply(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := NewLabelCacheFrom(p.Factor, 0, cache, p.StaleSupernodes)
+	stats := nc.Stats()
+	if stats.Size == 0 {
+		t.Fatal("carry-over kept no labels; expected clean supernodes to survive")
+	}
+	if stats.Size == g.N {
+		t.Fatal("carry-over kept every label; dirtied supernodes must be dropped")
+	}
+	// Every distance served from the carried cache must match the
+	// patched factor's fresh answers.
+	g = applyGraph(g, b)
+	want := Closure(g.ToDense())
+	for v := 0; v < g.N; v++ {
+		if d, w := nc.Dist(0, v), want.At(0, v); math.Abs(d-w) > 1e-9 {
+			t.Fatalf("carried cache dist(0,%d) = %g, want %g", v, d, w)
+		}
+	}
+}
+
+// TestChaosUpdateApplyFailpoint proves a failure inside the apply window
+// leaves the committed snapshot untouched: Apply errors out and the
+// updater keeps serving the exact pre-update factor.
+func TestChaosUpdateApplyFailpoint(t *testing.T) {
+	defer fault.Reset()
+	g := gen.Grid2D(8, 8, gen.WeightUniform, 92)
+	u := newUpdaterFixture(t, g, UpdaterOptions{DirtyThreshold: 1})
+	before := snapshotFactor(u.Factor())
+	if err := fault.Enable("core.update.apply", "error"); err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edges()[0]
+	b := NewUpdateBatch()
+	if err := b.Set(e.U, e.V, e.W*0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Apply(context.Background(), b); err == nil {
+		t.Fatal("failpoint must surface as an Apply error")
+	}
+	fault.Reset()
+	after := snapshotFactor(u.Factor())
+	for i := range before {
+		for j := range before[i] {
+			if before[i][j] != after[i][j] {
+				t.Fatalf("failed update mutated the live factor at (%d,%d)", i, j)
+			}
+		}
+	}
+	// The same batch applies cleanly once the fault clears.
+	p, err := u.Apply(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Commit(p); err != nil {
+		t.Fatal(err)
+	}
+	g = applyGraph(g, b)
+	checkFactorMatchesGraph(t, u.Factor(), g)
+}

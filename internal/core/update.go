@@ -41,6 +41,9 @@ func (r *Result) DecreaseEdge(u, v int, w float64, threads int) error {
 	if err := r.checkPair(u, v); err != nil {
 		return err
 	}
+	if u == v {
+		return nil // a non-negative self-loop never shortens any path
+	}
 	pu, pv := r.IPerm[u], r.IPerm[v]
 	if w >= r.D.At(pu, pv) && w >= r.D.At(pv, pu) {
 		return nil // not an improvement; closure unchanged
@@ -58,8 +61,11 @@ func (r *Result) DecreaseArc(u, v int, w float64, threads int) error {
 		return err
 	}
 	pu, pv := r.IPerm[u], r.IPerm[v]
-	if w+r.D.At(pv, pu) < 0 {
-		return fmt.Errorf("core: arc update would create a negative cycle")
+	if cycle := w + r.D.At(pv, pu); cycle < 0 {
+		return fmt.Errorf("core: arc update would create a negative cycle (w + D[v][u] = %g)", cycle)
+	}
+	if u == v {
+		return nil // self-loop survived the cycle guard, so w >= 0: a no-op
 	}
 	if w >= r.D.At(pu, pv) {
 		return nil
@@ -73,17 +79,33 @@ func (r *Result) checkPair(u, v int) error {
 	if u < 0 || u >= n || v < 0 || v >= n {
 		return fmt.Errorf("core: vertex out of range")
 	}
-	if u == v {
-		return fmt.Errorf("core: self-loop update is a no-op")
-	}
 	return nil
+}
+
+// Clone deep-copies the result (distance and next-hop matrices) so one
+// snapshot can keep answering queries while the copy is patched in
+// place. The permutations are immutable and stay shared.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.D = r.D.Clone()
+	if r.Next.Data != nil {
+		c.Next = semiring.NewIntMat(r.Next.Rows, r.Next.Cols)
+		for i := 0; i < r.Next.Rows; i++ {
+			copy(c.Next.Row(i), r.Next.Row(i))
+		}
+	}
+	return &c
 }
 
 // applyDetour offers every pair (i, j) the detour i→a —w→ b→j, where a
 // and b are permuted indices.
 func (r *Result) applyDetour(a, b int, w float64, threads int) {
 	n := r.D.Rows
-	brow := r.D.Row(b)
+	// Snapshot row b: the worker that owns the range containing b writes
+	// it while every other worker reads it. The stale-read was value-safe
+	// (monotone relaxation over real path lengths), but a concurrent
+	// unsynchronized write/read is still a Go-memory-model data race.
+	brow := append([]float64(nil), r.D.Row(b)...)
 	track := r.Next.Data != nil
 	par.ForRanges(n, threads, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/gen"
@@ -91,14 +92,51 @@ func TestDecreaseEdgeRejections(t *testing.T) {
 	g := gen.Grid2D(3, 3, gen.WeightUnit, 65)
 	plan, _ := NewPlan(g, DefaultOptions())
 	res, _ := plan.Solve()
-	if err := res.DecreaseEdge(0, 0, 1, 1); err == nil {
-		t.Error("self loop must be rejected")
+	before := res.Dense()
+	// A non-negative self-loop is an actual no-op, not an error.
+	if err := res.DecreaseEdge(0, 0, 1, 1); err != nil {
+		t.Errorf("self loop must be a no-op, got %v", err)
+	}
+	if !res.Dense().Equal(before) {
+		t.Error("self-loop no-op changed the matrix")
 	}
 	if err := res.DecreaseEdge(0, 99, 1, 1); err == nil {
 		t.Error("out of range must be rejected")
 	}
 	if err := res.DecreaseEdge(0, 1, -0.5, 1); err == nil {
 		t.Error("negative undirected edge must be rejected")
+	}
+}
+
+// TestDecreaseEdgeParallelRace drives the detour kernel with full
+// parallelism on a graph large enough that every worker owns several
+// rows, including the one holding row b. Run under -race (make race)
+// this is the regression test for the unsynchronized row-b write/read
+// the kernel used to have.
+func TestDecreaseEdgeParallelRace(t *testing.T) {
+	g := gen.GeometricKNN(400, 2, 4, gen.WeightUniform, 71)
+	plan, err := NewPlan(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := runtime.GOMAXPROCS(0)
+	rng := rand.New(rand.NewSource(72))
+	edges := g.Edges()
+	for trial := 0; trial < 4; trial++ {
+		e := edges[rng.Intn(len(edges))]
+		w := e.W * 0.25
+		if err := res.DecreaseEdge(e.U, e.V, w, threads); err != nil {
+			t.Fatal(err)
+		}
+		edges = append(edges, graph.Edge{U: e.U, V: e.V, W: w})
+	}
+	want := Closure(graph.MustFromEdges(g.N, edges).ToDense())
+	if !res.Dense().EqualTol(want, 1e-9) {
+		t.Fatal("parallel incremental update diverged from re-solve")
 	}
 }
 
@@ -130,5 +168,13 @@ func TestDecreaseArcAsymmetric(t *testing.T) {
 	// An arc that closes a negative cycle must be rejected.
 	if err := res.DecreaseArc(40, 5, -res.At(5, 40)-1, 1); err == nil {
 		t.Error("negative-cycle arc must be rejected")
+	}
+	// A negative self-loop is a negative cycle too; a non-negative one is
+	// a no-op.
+	if err := res.DecreaseArc(7, 7, -0.5, 1); err == nil {
+		t.Error("negative self-loop arc must be rejected")
+	}
+	if err := res.DecreaseArc(7, 7, 0.5, 1); err != nil {
+		t.Errorf("non-negative self-loop arc must be a no-op, got %v", err)
 	}
 }

@@ -30,7 +30,7 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	m := &metrics{endpoints: map[string]*endpointMetrics{}, started: time.Now()}
-	for _, name := range []string{"health", "readyz", "dist", "dist_batch", "sssp", "route", "reload"} {
+	for _, name := range []string{"health", "readyz", "dist", "dist_batch", "sssp", "route", "reload", "update"} {
 		m.endpoints[name] = &endpointMetrics{}
 	}
 	return m
@@ -55,6 +55,10 @@ type EndpointSnapshot struct {
 type MetricsSnapshot struct {
 	UptimeSec float64                     `json:"uptime_sec"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+	// Generation is the serving factor's generation: it advances on every
+	// committed live update and every reload, so convergence across a
+	// sharded deployment can be asserted by comparing this value.
+	Generation uint64 `json:"generation"`
 	// Shard is this server's place in a sharded deployment (nil when
 	// running standalone); ForwardedRequests counts requests that
 	// arrived through the coordinator rather than directly.
@@ -97,7 +101,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		}
 		snap.Endpoints[name] = es
 	}
-	st := s.eng.Load().cache.Stats()
+	e := s.eng.Load()
+	snap.Generation = e.gen
+	st := e.cache.Stats()
 	snap.CacheHits = st.Hits
 	snap.CacheMisses = st.Misses
 	snap.CacheHitRate = st.HitRate()

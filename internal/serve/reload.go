@@ -65,11 +65,17 @@ func (s *Server) adminReload(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("reloaded factor rejected (still serving previous factor): %w", err))
 		return
 	}
-	s.eng.Store(newEngine(f, res, f.N(), s.cacheSize))
-	s.log.Printf("serve: factor reloaded (%d vertices, routes=%v)", f.N(), res != nil)
+	// A reload invalidates any patch prepared against the old factor.
+	s.updMu.Lock()
+	s.pending = nil
+	s.updMu.Unlock()
+	gen := s.generation.Add(1)
+	s.eng.Store(newEngine(f, res, f.N(), s.cacheSize, gen))
+	s.log.Printf("serve: factor reloaded (%d vertices, routes=%v, generation %d)", f.N(), res != nil, gen)
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"reloaded":     true,
 		"vertices":     f.N(),
+		"generation":   gen,
 		"routes":       res != nil,
 		"prevVertices": old.n,
 	})

@@ -88,6 +88,10 @@ type Options struct {
 	// Shard, when non-nil, labels this server's place in a sharded
 	// deployment (cmd/apspshard); surfaced in /health and /metrics.
 	Shard *ShardIdentity
+	// Updater, when non-nil, enables POST /admin/update: live edge-weight
+	// batches patched into the serving factor with a copy-on-write
+	// snapshot swap (see update.go). nil answers 501.
+	Updater *core.FactorUpdater
 }
 
 // engine bundles everything that must swap together when a new factor is
@@ -100,15 +104,17 @@ type engine struct {
 	cache   *core.LabelCache
 	result  *core.Result // optional: enables /route
 	n       int
+	gen     uint64    // monotonically increasing factor generation
 	rowPool sync.Pool // *[]float64 length n, for /sssp rows
 }
 
-func newEngine(f *core.Factor, res *core.Result, n, cacheSize int) *engine {
+func newEngine(f *core.Factor, res *core.Result, n, cacheSize int, gen uint64) *engine {
 	return &engine{
 		factor: f,
 		cache:  core.NewLabelCache(f, cacheSize),
 		result: res,
 		n:      n,
+		gen:    gen,
 	}
 }
 
@@ -144,8 +150,18 @@ type Server struct {
 	inflight  chan struct{} // nil when unlimited
 
 	reload    func(ctx context.Context) (*core.Factor, *core.Result, error)
-	reloading atomic.Bool // serializes /admin/reload
+	reloading atomic.Bool // serializes /admin/reload and /admin/update swaps
 	notReady  atomic.Bool // true while a reload rebuilds the factor
+
+	// Live updates (update.go). generation stamps engines: it advances on
+	// every successful update commit and reload, never reuses a value, and
+	// is surfaced on /health and /metrics so operators (and the shard
+	// coordinator) can tell which snapshot answered. updMu guards the
+	// single prepared-but-uncommitted patch slot of the two-phase flow.
+	updater    *core.FactorUpdater
+	generation atomic.Uint64
+	updMu      sync.Mutex
+	pending    *preparedUpdate
 
 	bufPool sync.Pool // *[]byte, for streamed JSON encoding
 }
@@ -162,8 +178,10 @@ func New(f *core.Factor, res *core.Result, n int, opts Options) *Server {
 		metrics:   newMetrics(),
 		shard:     opts.Shard,
 		reload:    opts.Reload,
+		updater:   opts.Updater,
 	}
-	s.eng.Store(newEngine(f, res, n, opts.CacheSize))
+	s.generation.Store(1)
+	s.eng.Store(newEngine(f, res, n, opts.CacheSize, 1))
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
@@ -185,6 +203,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sssp", s.instrument("sssp", s.sssp))
 	mux.HandleFunc("GET /route", s.instrument("route", s.route))
 	mux.HandleFunc("POST /admin/reload", s.counted("reload", s.adminReload))
+	mux.HandleFunc("POST /admin/update", s.counted("update", s.adminUpdate))
 	mux.HandleFunc("GET /metrics", s.metricsEndpoint)
 	return mux
 }
@@ -247,12 +266,13 @@ func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
 	e := s.eng.Load()
 	st := e.cache.Stats()
 	body := map[string]any{
-		"status":    "ok",
-		"ready":     !s.notReady.Load(),
-		"vertices":  e.n,
-		"memoryMB":  float64(e.factor.Memory()) / 1e6,
-		"routes":    e.result != nil,
-		"cacheSize": st.Size,
+		"status":     "ok",
+		"ready":      !s.notReady.Load(),
+		"vertices":   e.n,
+		"generation": e.gen,
+		"memoryMB":   float64(e.factor.Memory()) / 1e6,
+		"routes":     e.result != nil,
+		"cacheSize":  st.Size,
 	}
 	if s.shard != nil {
 		body["shard"] = s.shard

@@ -1,0 +1,263 @@
+package serve
+
+// Live edge updates over HTTP. POST /admin/update takes a batch of
+// edge-weight deltas and patches the serving factor through
+// core.FactorUpdater: decreases re-eliminate only the dirtied etree
+// ancestor chains on a copy-on-write clone, increases replay them
+// through the DAG scheduler, and past the dirty threshold the factor is
+// rebuilt outright. Queries keep serving the old snapshot for the whole
+// apply window — readiness never flips, nothing is dropped — and the
+// patched engine (factor + carried-over label cache + optionally
+// repaired route result) swaps in atomically with a new generation.
+//
+// Two protocols share the endpoint:
+//
+//   - mode "apply" (the default): patch and swap in one request.
+//   - mode "prepare" / "commit" / "abort": the shard coordinator's
+//     all-or-nothing fan-out. Prepare does all the expensive work and
+//     parks the patch; commit swaps it in (failing if the base factor
+//     moved in between — the updater's stale-patch check); abort drops
+//     it. Every worker swaps generation in the commit round or none do.
+//
+// A failure anywhere before the swap — bad batch, negative cycle, a
+// fault-injected crash in the apply window — leaves the old engine
+// serving, bit-for-bit: the patch is a private clone until the instant
+// of the atomic store.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// maxUpdateBody bounds the /admin/update request body.
+const maxUpdateBody = 8 << 20
+
+// updateRequest is the POST /admin/update body.
+type updateRequest struct {
+	// Mode selects the protocol step: "" or "apply" for one-shot,
+	// "prepare"/"commit"/"abort" for the coordinated two-phase flow.
+	Mode string `json:"mode,omitempty"`
+	// Txn names a prepared patch so commit/abort address the right one.
+	Txn string `json:"txn,omitempty"`
+	// Edges are the new weights, one entry per undirected edge
+	// (duplicates coalesce, last wins). Required for apply and prepare.
+	Edges []core.EdgeDelta `json:"edges,omitempty"`
+}
+
+// preparedUpdate parks the outcome of a prepare until commit/abort.
+type preparedUpdate struct {
+	txn     string
+	patch   *core.Patched
+	result  *core.Result // repaired route result, when the engine has one
+	baseGen uint64
+}
+
+// adminUpdate serves POST /admin/update.
+func (s *Server) adminUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.updater == nil {
+		s.writeErr(w, http.StatusNotImplemented, fmt.Errorf("server was started without an update source"))
+		return
+	}
+	var req updateRequest
+	body := http.MaxBytesReader(w, r.Body, maxUpdateBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
+		return
+	}
+	switch req.Mode {
+	case "", "apply":
+		s.updateApply(w, r, &req)
+	case "prepare":
+		s.updatePrepare(w, r, &req)
+	case "commit":
+		s.updateCommit(w, &req)
+	case "abort":
+		s.updateAbort(w, &req)
+	default:
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown update mode %q", req.Mode))
+	}
+}
+
+// buildPatch runs the updater over the request's edges and, when the
+// serving engine answers /route, repairs the dense path-tracked result
+// to match: decreases patch a clone with the O(n²) rank-1 kernel; any
+// increase (or rebuild) forces a fresh path-tracked solve of the
+// updated graph.
+func (s *Server) buildPatch(r *http.Request, req *updateRequest) (*core.Patched, *core.Result, error) {
+	if len(req.Edges) == 0 {
+		return nil, nil, fmt.Errorf("update needs at least one edge")
+	}
+	b := core.NewUpdateBatch()
+	for _, d := range req.Edges {
+		if err := b.Set(d.U, d.V, d.W); err != nil {
+			return nil, nil, err
+		}
+	}
+	p, err := s.updater.Apply(r.Context(), b)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := s.eng.Load()
+	var res *core.Result
+	if e.result != nil {
+		if len(p.Increases) == 0 && !p.Stats.FullRebuild {
+			res = e.result.Clone()
+			for _, d := range p.Decreases {
+				if err := res.DecreaseEdge(d.U, d.V, d.W, 0); err != nil {
+					return nil, nil, fmt.Errorf("patching route result: %w", err)
+				}
+			}
+		} else {
+			if res, err = p.SolveRoutes(r.Context(), 0); err != nil {
+				return nil, nil, fmt.Errorf("re-solving route result: %w", err)
+			}
+		}
+	}
+	return p, res, nil
+}
+
+// swapPatched commits a patch to the updater and publishes the new
+// engine. Callers hold the reloading CAS.
+func (s *Server) swapPatched(p *core.Patched, res *core.Result) (uint64, error) {
+	if err := fault.InjectErr("serve.update.swap"); err != nil {
+		return 0, err
+	}
+	if err := s.updater.Commit(p); err != nil {
+		return 0, err
+	}
+	old := s.eng.Load()
+	gen := s.generation.Add(1)
+	s.eng.Store(&engine{
+		factor: p.Factor,
+		cache:  core.NewLabelCacheFrom(p.Factor, s.cacheSize, old.cache, p.StaleSupernodes),
+		result: res,
+		n:      p.Factor.N(),
+		gen:    gen,
+	})
+	return gen, nil
+}
+
+func (s *Server) updateApply(w http.ResponseWriter, r *http.Request, req *updateRequest) {
+	if !s.reloading.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", RetryAfterDefault)
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("a reload or update is already in progress"))
+		return
+	}
+	defer s.reloading.Store(false)
+	p, res, err := s.buildPatch(r, req)
+	if err != nil {
+		s.log.Printf("serve: update failed, keeping current factor: %v", err)
+		s.writeErr(w, http.StatusInternalServerError,
+			fmt.Errorf("update failed (still serving previous factor): %w", err))
+		return
+	}
+	gen, err := s.swapPatched(p, res)
+	if err != nil {
+		s.log.Printf("serve: update swap failed, keeping current factor: %v", err)
+		s.writeErr(w, http.StatusInternalServerError,
+			fmt.Errorf("update failed (still serving previous factor): %w", err))
+		return
+	}
+	s.log.Printf("serve: update applied (generation %d, %d dirty / %d supernodes, rebuild=%v)",
+		gen, p.Stats.DirtySupernodes, p.Stats.TotalSupernodes, p.Stats.FullRebuild)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"applied":    true,
+		"generation": gen,
+		"stats":      p.Stats,
+	})
+}
+
+func (s *Server) updatePrepare(w http.ResponseWriter, r *http.Request, req *updateRequest) {
+	if req.Txn == "" {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("prepare needs a txn id"))
+		return
+	}
+	// Serialize the expensive phase with reloads and other updates, but
+	// release the CAS afterwards: a coordinator crash between prepare and
+	// commit must not wedge the worker. Staleness is re-checked at commit
+	// by the updater instead.
+	if !s.reloading.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", RetryAfterDefault)
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("a reload or update is already in progress"))
+		return
+	}
+	p, res, err := s.buildPatch(r, req)
+	s.reloading.Store(false)
+	if err != nil {
+		s.log.Printf("serve: update prepare %q failed: %v", req.Txn, err)
+		s.writeErr(w, http.StatusInternalServerError,
+			fmt.Errorf("prepare failed (still serving previous factor): %w", err))
+		return
+	}
+	s.updMu.Lock()
+	s.pending = &preparedUpdate{txn: req.Txn, patch: p, result: res, baseGen: s.eng.Load().gen}
+	s.updMu.Unlock()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"prepared":   true,
+		"txn":        req.Txn,
+		"generation": s.eng.Load().gen,
+		"stats":      p.Stats,
+	})
+}
+
+func (s *Server) takePending(txn string) (*preparedUpdate, error) {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	if s.pending == nil {
+		return nil, fmt.Errorf("no prepared update")
+	}
+	if s.pending.txn != txn {
+		return nil, fmt.Errorf("prepared txn is %q, not %q", s.pending.txn, txn)
+	}
+	p := s.pending
+	s.pending = nil
+	return p, nil
+}
+
+func (s *Server) updateCommit(w http.ResponseWriter, req *updateRequest) {
+	pu, err := s.takePending(req.Txn)
+	if err != nil {
+		s.writeErr(w, http.StatusConflict, err)
+		return
+	}
+	if !s.reloading.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", RetryAfterDefault)
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("a reload or update is already in progress"))
+		return
+	}
+	defer s.reloading.Store(false)
+	gen, err := s.swapPatched(pu.patch, pu.result)
+	if err != nil {
+		// The stale-patch check fired: something replaced the factor
+		// between prepare and commit. The old snapshot keeps serving.
+		s.log.Printf("serve: update commit %q failed, keeping current factor: %v", req.Txn, err)
+		s.writeErr(w, http.StatusConflict,
+			fmt.Errorf("commit failed (still serving previous factor): %w", err))
+		return
+	}
+	s.log.Printf("serve: update %q committed (generation %d)", req.Txn, gen)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"committed":  true,
+		"txn":        req.Txn,
+		"generation": gen,
+		"stats":      pu.patch.Stats,
+	})
+}
+
+func (s *Server) updateAbort(w http.ResponseWriter, req *updateRequest) {
+	s.updMu.Lock()
+	aborted := s.pending != nil && (req.Txn == "" || s.pending.txn == req.Txn)
+	if aborted {
+		s.pending = nil
+	}
+	s.updMu.Unlock()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"aborted":    aborted,
+		"txn":        req.Txn,
+		"generation": s.eng.Load().gen,
+	})
+}

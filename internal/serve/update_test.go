@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// testUpdateServer boots a server whose factor has a live updater
+// attached, returning the server, its HTTP handle, and the graph.
+func testUpdateServer(t *testing.T, withRoutes bool, opts Options) (*Server, *httptest.Server, *graph.Graph) {
+	t.Helper()
+	g := gen.RoadNetwork(10, 10, 0.3, 7)
+	plan, err := core.NewPlan(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFactor(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *core.Result
+	if withRoutes {
+		o := core.DefaultOptions()
+		o.TrackPaths = true
+		plan2, err := core.NewPlan(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, err = plan2.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := core.NewFactorUpdater(g, f, core.UpdaterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Updater = u
+	s := New(f, res, g.N, opts)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv, g
+}
+
+func postUpdate(t *testing.T, url string, req updateRequest, wantCode int) map[string]any {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/admin/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST /admin/update (%+v): code %d, want %d", req, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: code %d (%s)", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func distOf(t *testing.T, url string, u, v int) float64 {
+	t.Helper()
+	body := getJSON(t, fmt.Sprintf("%s/dist?u=%d&v=%d", url, u, v), http.StatusOK)
+	d, ok := body["dist"].(float64)
+	if !ok {
+		t.Fatalf("dist(%d,%d) not a number: %v", u, v, body["dist"])
+	}
+	return d
+}
+
+func generationOf(t *testing.T, url string) float64 {
+	t.Helper()
+	return getJSON(t, url+"/health", http.StatusOK)["generation"].(float64)
+}
+
+func TestUpdateApply(t *testing.T) {
+	_, srv, g := testUpdateServer(t, false, Options{})
+	e := g.Edges()[0]
+	before := distOf(t, srv.URL, e.U, e.V)
+	w := before * 0.1
+	out := postUpdate(t, srv.URL, updateRequest{
+		Edges: []core.EdgeDelta{{U: e.U, V: e.V, W: w}},
+	}, http.StatusOK)
+	if out["applied"] != true || out["generation"].(float64) != 2 {
+		t.Fatalf("apply response %v", out)
+	}
+	if after := distOf(t, srv.URL, e.U, e.V); after != w {
+		t.Fatalf("dist after update = %g, want %g", after, w)
+	}
+	if gen := generationOf(t, srv.URL); gen != 2 {
+		t.Fatalf("health generation = %v, want 2", gen)
+	}
+	m := getJSON(t, srv.URL+"/metrics", http.StatusOK)
+	if m["generation"].(float64) != 2 {
+		t.Fatalf("metrics generation = %v, want 2", m["generation"])
+	}
+}
+
+func TestUpdateWithoutUpdater(t *testing.T) {
+	_, srv, _ := testServerOpts(t, false, Options{})
+	postUpdate(t, srv.URL, updateRequest{Edges: []core.EdgeDelta{{U: 0, V: 1, W: 1}}},
+		http.StatusNotImplemented)
+}
+
+func TestUpdateBadRequests(t *testing.T) {
+	_, srv, _ := testUpdateServer(t, false, Options{})
+	postUpdate(t, srv.URL, updateRequest{}, http.StatusInternalServerError)              // no edges
+	postUpdate(t, srv.URL, updateRequest{Mode: "frobnicate"}, http.StatusBadRequest)     // unknown mode
+	postUpdate(t, srv.URL, updateRequest{Mode: "prepare"}, http.StatusBadRequest)        // no txn
+	postUpdate(t, srv.URL, updateRequest{Mode: "commit", Txn: "x"}, http.StatusConflict) // nothing prepared
+	postUpdate(t, srv.URL, updateRequest{
+		Edges: []core.EdgeDelta{{U: 0, V: 1, W: -3}},
+	}, http.StatusInternalServerError) // negative weight
+}
+
+func TestUpdatePrepareCommit(t *testing.T) {
+	_, srv, g := testUpdateServer(t, false, Options{})
+	e := g.Edges()[0]
+	before := distOf(t, srv.URL, e.U, e.V)
+	w := before * 0.1
+	out := postUpdate(t, srv.URL, updateRequest{
+		Mode: "prepare", Txn: "t1",
+		Edges: []core.EdgeDelta{{U: e.U, V: e.V, W: w}},
+	}, http.StatusOK)
+	if out["prepared"] != true {
+		t.Fatalf("prepare response %v", out)
+	}
+	// Prepared but not committed: the old snapshot keeps serving.
+	if d := distOf(t, srv.URL, e.U, e.V); d != before {
+		t.Fatalf("dist changed before commit: %g != %g", d, before)
+	}
+	if gen := generationOf(t, srv.URL); gen != 1 {
+		t.Fatalf("generation moved before commit: %v", gen)
+	}
+	out = postUpdate(t, srv.URL, updateRequest{Mode: "commit", Txn: "t1"}, http.StatusOK)
+	if out["committed"] != true || out["generation"].(float64) != 2 {
+		t.Fatalf("commit response %v", out)
+	}
+	if after := distOf(t, srv.URL, e.U, e.V); after != w {
+		t.Fatalf("dist after commit = %g, want %g", after, w)
+	}
+	// The patch was consumed: a second commit has nothing to act on.
+	postUpdate(t, srv.URL, updateRequest{Mode: "commit", Txn: "t1"}, http.StatusConflict)
+}
+
+func TestUpdatePrepareAbort(t *testing.T) {
+	_, srv, g := testUpdateServer(t, false, Options{})
+	e := g.Edges()[0]
+	before := distOf(t, srv.URL, e.U, e.V)
+	postUpdate(t, srv.URL, updateRequest{
+		Mode: "prepare", Txn: "t2",
+		Edges: []core.EdgeDelta{{U: e.U, V: e.V, W: before * 0.1}},
+	}, http.StatusOK)
+	out := postUpdate(t, srv.URL, updateRequest{Mode: "abort", Txn: "t2"}, http.StatusOK)
+	if out["aborted"] != true {
+		t.Fatalf("abort response %v", out)
+	}
+	if d := distOf(t, srv.URL, e.U, e.V); d != before {
+		t.Fatalf("dist changed after abort: %g != %g", d, before)
+	}
+	if gen := generationOf(t, srv.URL); gen != 1 {
+		t.Fatalf("generation moved after abort: %v", gen)
+	}
+	postUpdate(t, srv.URL, updateRequest{Mode: "commit", Txn: "t2"}, http.StatusConflict)
+}
+
+func TestUpdateRouteRepair(t *testing.T) {
+	_, srv, g := testUpdateServer(t, true, Options{})
+	e := g.Edges()[0]
+	before := distOf(t, srv.URL, e.U, e.V)
+	w := before * 0.1
+	postUpdate(t, srv.URL, updateRequest{
+		Edges: []core.EdgeDelta{{U: e.U, V: e.V, W: w}},
+	}, http.StatusOK)
+	body := getJSON(t, fmt.Sprintf("%s/route?u=%d&v=%d", srv.URL, e.U, e.V), http.StatusOK)
+	if body["reachable"] != true {
+		t.Fatalf("route response %v", body)
+	}
+	if d := body["dist"].(float64); d != w {
+		t.Fatalf("route dist = %g, want %g", d, w)
+	}
+	path := body["path"].([]any)
+	if len(path) != 2 || int(path[0].(float64)) != e.U || int(path[1].(float64)) != e.V {
+		t.Fatalf("route path = %v, want the direct new edge [%d %d]", path, e.U, e.V)
+	}
+}
+
+// TestChaosUpdateMidApply proves a fault inside the update-apply window
+// leaves the old snapshot serving: the generation does not move and
+// query responses stay bit-for-bit identical.
+func TestChaosUpdateMidApply(t *testing.T) {
+	defer fault.Reset()
+	_, srv, g := testUpdateServer(t, false, Options{})
+	e := g.Edges()[0]
+	sources := []int{0, 17, 42, 63, 99}
+	rows := make([]string, len(sources))
+	for i, src := range sources {
+		rows[i] = getBody(t, fmt.Sprintf("%s/sssp?src=%d", srv.URL, src))
+	}
+	before := distOf(t, srv.URL, e.U, e.V)
+	for _, fp := range []string{"core.update.apply", "serve.update.swap"} {
+		if err := fault.Enable(fp, "error"); err != nil {
+			t.Fatal(err)
+		}
+		postUpdate(t, srv.URL, updateRequest{
+			Edges: []core.EdgeDelta{{U: e.U, V: e.V, W: before * 0.1}},
+		}, http.StatusInternalServerError)
+		fault.Reset()
+		if gen := generationOf(t, srv.URL); gen != 1 {
+			t.Fatalf("generation moved after %s fault: %v", fp, gen)
+		}
+		for i, src := range sources {
+			if got := getBody(t, fmt.Sprintf("%s/sssp?src=%d", srv.URL, src)); got != rows[i] {
+				t.Fatalf("sssp row %d changed after failed update (%s)", src, fp)
+			}
+		}
+	}
+	// With faults cleared the same update goes through.
+	out := postUpdate(t, srv.URL, updateRequest{
+		Edges: []core.EdgeDelta{{U: e.U, V: e.V, W: before * 0.1}},
+	}, http.StatusOK)
+	if out["generation"].(float64) != 2 {
+		t.Fatalf("post-fault apply response %v", out)
+	}
+}

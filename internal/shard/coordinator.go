@@ -54,6 +54,11 @@ type Options struct {
 	// DiscoverTimeout bounds the boot-time wait for every worker to
 	// answer /health with a consistent vertex count (default 30s).
 	DiscoverTimeout time.Duration
+	// UpdateTimeout bounds a whole /admin/update transaction — every
+	// worker's prepare plus the commit (or abort) round (default 120s;
+	// a prepare can re-factorize the whole graph past the dirty
+	// threshold).
+	UpdateTimeout time.Duration
 	// Logger receives routing-state transitions; nil uses log.Default().
 	Logger *log.Logger
 }
@@ -77,6 +82,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if opts.DiscoverTimeout <= 0 {
 		opts.DiscoverTimeout = 30 * time.Second
+	}
+	if opts.UpdateTimeout <= 0 {
+		opts.UpdateTimeout = 120 * time.Second
 	}
 	if opts.Logger == nil {
 		opts.Logger = log.Default()
@@ -287,6 +295,7 @@ func (c *Coordinator) Handler() http.Handler {
 		c.forward(w, r, "u")
 	}))
 	mux.HandleFunc("POST /dist/batch", c.instrument("dist_batch", c.distBatch))
+	mux.HandleFunc("POST /admin/update", c.instrument("update", c.adminUpdate))
 	mux.HandleFunc("GET /metrics", c.metricsEndpoint)
 	return mux
 }

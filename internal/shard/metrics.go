@@ -36,7 +36,7 @@ type coordMetrics struct {
 
 func newCoordMetrics() *coordMetrics {
 	m := &coordMetrics{started: time.Now(), endpoints: map[string]*endpointCounters{}}
-	for _, name := range []string{"dist", "dist_batch", "sssp", "route", "health", "readyz"} {
+	for _, name := range []string{"dist", "dist_batch", "sssp", "route", "health", "readyz", "update"} {
 		m.endpoints[name] = &endpointCounters{}
 	}
 	return m

@@ -1,0 +1,173 @@
+package shard
+
+// Live-update fan-out. POST /admin/update on the coordinator drives the
+// workers' two-phase update protocol (internal/serve/update.go) so a
+// sharded deployment swaps factor generations all-or-nothing: every
+// worker prepares the patch (the expensive phase — the old snapshot
+// keeps serving throughout), and only if every prepare succeeds does
+// the coordinator send the commit round; any prepare failure aborts the
+// transaction everywhere and no worker moves. Replication is why this
+// must be atomic — every worker serves the full graph, so one worker
+// answering from generation g+1 while its failover twin still serves g
+// would make query results depend on routing luck.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/par"
+)
+
+// updateTxnSeq disambiguates transactions started in the same instant.
+var updateTxnSeq atomic.Uint64
+
+// coordUpdateRequest is the coordinator's POST /admin/update body: just
+// the edges — the coordinator owns the transaction protocol.
+type coordUpdateRequest struct {
+	Edges []core.EdgeDelta `json:"edges"`
+}
+
+// workerUpdateRequest mirrors the worker endpoint's body.
+type workerUpdateRequest struct {
+	Mode  string           `json:"mode"`
+	Txn   string           `json:"txn"`
+	Edges []core.EdgeDelta `json:"edges,omitempty"`
+}
+
+// workerUpdateReply decodes the fields the coordinator acts on.
+type workerUpdateReply struct {
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error"`
+}
+
+// adminUpdate serves POST /admin/update: prepare on every worker, then
+// commit everywhere or abort everywhere.
+func (c *Coordinator) adminUpdate(w http.ResponseWriter, r *http.Request) {
+	var req coordUpdateRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		c.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
+		return
+	}
+	if len(req.Edges) == 0 {
+		c.writeErr(w, http.StatusBadRequest, fmt.Errorf("update needs at least one edge"))
+		return
+	}
+	txn := fmt.Sprintf("upd-%d-%d", time.Now().UnixNano(), updateTxnSeq.Add(1))
+	ctx, cancel := context.WithTimeout(r.Context(), c.opts.UpdateTimeout)
+	defer cancel()
+
+	if errs := c.updateRound(ctx, &workerUpdateRequest{Mode: "prepare", Txn: txn, Edges: req.Edges}, nil); len(errs) > 0 {
+		// Abort everywhere — including the workers that prepared fine —
+		// so no later commit can tear the generations apart.
+		c.updateRound(ctx, &workerUpdateRequest{Mode: "abort", Txn: txn}, nil)
+		c.log.Printf("shard: update %s aborted, %d of %d worker(s) failed to prepare: %v",
+			txn, len(errs), len(c.workers), errs[0])
+		c.writeJSON(w, http.StatusBadGateway, map[string]any{
+			"updated": false,
+			"txn":     txn,
+			"aborted": true,
+			"error":   fmt.Sprintf("prepare failed on %d of %d worker(s): %v", len(errs), len(c.workers), errs[0]),
+		})
+		return
+	}
+
+	gens := make(map[string]uint64, len(c.workers))
+	if errs := c.updateRound(ctx, &workerUpdateRequest{Mode: "commit", Txn: txn}, gens); len(errs) > 0 {
+		// A commit can only fail if something (a reload, a worker restart)
+		// raced the transaction. Nothing to roll back — committed workers
+		// have already swapped — so surface the divergence loudly.
+		c.log.Printf("shard: update %s commit incomplete on %d worker(s): %v", txn, len(errs), errs[0])
+		c.writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"updated":     false,
+			"txn":         txn,
+			"generations": gens,
+			"converged":   false,
+			"error":       fmt.Sprintf("commit failed on %d of %d worker(s): %v", len(errs), len(c.workers), errs[0]),
+		})
+		return
+	}
+	converged := true
+	var first uint64
+	for _, g := range gens {
+		if first == 0 {
+			first = g
+		} else if g != first {
+			converged = false
+		}
+	}
+	c.log.Printf("shard: update %s committed on %d worker(s), generation %d (converged=%v)",
+		txn, len(c.workers), first, converged)
+	c.writeJSON(w, http.StatusOK, map[string]any{
+		"updated":     true,
+		"txn":         txn,
+		"generations": gens,
+		"converged":   converged,
+	})
+}
+
+// updateRound sends one protocol step to every worker in parallel,
+// returning the per-worker failures. When gens is non-nil it collects
+// the generation each worker reported.
+func (c *Coordinator) updateRound(ctx context.Context, req *workerUpdateRequest, gens map[string]uint64) []error {
+	var mu sync.Mutex
+	var errs []error
+	grp := par.NewGroup(len(c.workers))
+	for _, ws := range c.workers {
+		ws := ws
+		grp.Go(func() {
+			fault.Inject("shard.update")
+			reply, err := c.sendUpdate(ctx, ws.w, req)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("worker %s: %w", ws.w.ID, err))
+				return
+			}
+			if gens != nil {
+				gens[ws.w.ID] = reply.Generation
+			}
+		})
+	}
+	grp.Wait()
+	return errs
+}
+
+// sendUpdate posts one protocol step to one worker.
+func (c *Coordinator) sendUpdate(ctx context.Context, w Worker, body *workerUpdateRequest) (*workerUpdateReply, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+"/admin/update", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var reply workerUpdateReply
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		return nil, fmt.Errorf("%s status %d: %s", body.Mode, resp.StatusCode, raw)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s status %d: %s", body.Mode, resp.StatusCode, reply.Error)
+	}
+	return &reply, nil
+}

@@ -1,0 +1,180 @@
+package shard
+
+// Live-update fan-out against REAL in-process workers (full
+// serve.Server instances over the same graph, as a replicated
+// deployment runs them), exercising the whole prepare/commit/abort
+// protocol — including the all-or-nothing guarantee under an injected
+// mid-prepare fault.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// newUpdateCluster boots nWorkers full serve.Servers over one graph,
+// each with its own factor and live updater, fronted by a coordinator.
+func newUpdateCluster(t *testing.T, nWorkers int) (*Coordinator, *httptest.Server, *graph.Graph) {
+	t.Helper()
+	g := gen.RoadNetwork(10, 10, 0.3, 7)
+	var workers []Worker
+	for i := 0; i < nWorkers; i++ {
+		plan, err := core.NewPlan(g, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := core.NewFactor(plan, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := core.NewFactorUpdater(g, f, core.UpdaterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("w%d", i+1)
+		s := serve.New(f, nil, g.N, serve.Options{
+			Updater: u,
+			Shard:   &serve.ShardIdentity{ID: id, Role: "worker"},
+		})
+		srv := httptest.NewServer(s.Handler())
+		t.Cleanup(srv.Close)
+		workers = append(workers, Worker{ID: id, URL: srv.URL})
+	}
+	c, err := New(Options{
+		Workers:         workers,
+		Slots:           16,
+		DiscoverTimeout: 5 * time.Second,
+		UpdateTimeout:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(c.Handler())
+	t.Cleanup(front.Close)
+	return c, front, g
+}
+
+func postClusterUpdate(t *testing.T, url string, edges []core.EdgeDelta, wantCode int) map[string]any {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"edges": edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/admin/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST /admin/update: code %d, want %d", resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// workerGenerations reads each worker's factor generation off /health.
+func workerGenerations(t *testing.T, c *Coordinator) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, ws := range c.workers {
+		resp, err := http.Get(ws.w.URL + "/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		out[ws.w.ID] = h["generation"].(float64)
+	}
+	return out
+}
+
+func TestShardUpdateFanout(t *testing.T) {
+	c, front, g := newUpdateCluster(t, 2)
+	e := g.Edges()[0]
+	// Query through the coordinator before and after.
+	distURL := fmt.Sprintf("%s/dist?u=%d&v=%d", front.URL, e.U, e.V)
+	var before struct {
+		Dist float64 `json:"dist"`
+	}
+	resp, err := http.Get(distURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&before); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	w := before.Dist * 0.1
+	out := postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e.U, V: e.V, W: w}}, http.StatusOK)
+	if out["updated"] != true || out["converged"] != true {
+		t.Fatalf("update response %v", out)
+	}
+	for id, gen := range workerGenerations(t, c) {
+		if gen != 2 {
+			t.Fatalf("worker %s generation = %v, want 2", id, gen)
+		}
+	}
+	var after struct {
+		Dist float64 `json:"dist"`
+	}
+	resp, err = http.Get(distURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if after.Dist != w {
+		t.Fatalf("dist through coordinator = %g, want %g", after.Dist, w)
+	}
+}
+
+// TestChaosShardUpdateAllOrNothing injects a fault that fails exactly
+// one worker's prepare (the 2nd visit to the apply failpoint — both
+// workers run in this process) and asserts the transaction aborts
+// everywhere: no worker's generation moves, and a retry with the fault
+// cleared commits everywhere.
+func TestChaosShardUpdateAllOrNothing(t *testing.T) {
+	defer fault.Reset()
+	c, front, g := newUpdateCluster(t, 2)
+	e := g.Edges()[0]
+	if err := fault.Enable("core.update.apply", "error@2"); err != nil {
+		t.Fatal(err)
+	}
+	out := postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e.U, V: e.V, W: e.W * 0.1}}, http.StatusBadGateway)
+	if out["updated"] != false || out["aborted"] != true {
+		t.Fatalf("faulted update response %v", out)
+	}
+	fault.Reset()
+	for id, gen := range workerGenerations(t, c) {
+		if gen != 1 {
+			t.Fatalf("worker %s generation = %v after aborted update, want 1 (all-or-nothing violated)", id, gen)
+		}
+	}
+	out = postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e.U, V: e.V, W: e.W * 0.1}}, http.StatusOK)
+	if out["updated"] != true || out["converged"] != true {
+		t.Fatalf("retry response %v", out)
+	}
+	for id, gen := range workerGenerations(t, c) {
+		if gen != 2 {
+			t.Fatalf("worker %s generation = %v after retry, want 2", id, gen)
+		}
+	}
+}

@@ -249,6 +249,36 @@ func (s *Supernodes) NumLeaves() int {
 	return leaves
 }
 
+// AncestorClosure returns the membership vector of the seeds plus every
+// supernode on their root paths. This is the "dirty set" of a live edge
+// update: an edge owned by supernode k can change the factor blocks of k
+// and its ancestors but of no other supernode, because numeric
+// contributions flow only from a supernode into its ancestor chain.
+func (s *Supernodes) AncestorClosure(seeds []int) []bool {
+	closed := make([]bool, len(s.Ranges))
+	for _, k := range seeds {
+		for ; k >= 0 && !closed[k]; k = s.Parent[k] {
+			closed[k] = true
+		}
+	}
+	return closed
+}
+
+// Affected expands a membership vector downward: affected[k] is true
+// when k's root path (k included) intersects the marked set. A vertex's
+// 2-hop label reads exactly the blocks on its supernode's root path, so
+// this is the per-supernode label-staleness mask induced by a set of
+// value-changed supernodes.
+func (s *Supernodes) Affected(marked []bool) []bool {
+	out := make([]bool, len(s.Ranges))
+	// Parents have higher indices than children (postorder), so a
+	// descending pass sees every parent before its children.
+	for k := len(s.Ranges) - 1; k >= 0; k-- {
+		out[k] = marked[k] || (s.Parent[k] >= 0 && out[s.Parent[k]])
+	}
+	return out
+}
+
 // LevelOf returns each supernode's etree level (the inverse of Levels):
 // 0 for leaves, 1+max(children) otherwise.
 func (s *Supernodes) LevelOf() []int {
