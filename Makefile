@@ -1,6 +1,6 @@
 GO ?= go
 
-RACE_PKGS := ./internal/par ./internal/core ./internal/serve ./internal/semiring ./internal/shard
+RACE_PKGS := ./internal/par ./internal/core ./internal/serve ./internal/semiring ./internal/shard ./internal/wal
 
 # Sources the apspvet vettool is built from; the bin/apspvet rule
 # rebuilds only when one of these changes, so repeated `make lint` /
@@ -9,7 +9,7 @@ APSPVET := bin/apspvet
 APSPVET_SRC := $(wildcard cmd/apspvet/*.go internal/analysis/*.go \
 	internal/analysis/analysistest/*.go internal/analyzers/*.go)
 
-.PHONY: all build test race lint apspvet staticcheck check bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke update-smoke bench-gemm bench-update
+.PHONY: all build test race lint apspvet staticcheck check bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke update-smoke recovery-smoke bench-gemm bench-update
 
 all: build test
 
@@ -127,6 +127,16 @@ shard-smoke:
 # (decrease-only patch >= 20x faster than a full rebuild on road_l).
 update-smoke:
 	./scripts/update_smoke.sh
+
+# Crash-recovery smoke for the durable stack: 2 journaling workers
+# (-statedir) behind a journaling coordinator, an update committed, a
+# SIGKILL mid-storm, a second update while the worker is dead, then a
+# restart from the state dir. Asserts warm recovery at the worker's own
+# last durable generation, generation-gated re-admission (stale hold +
+# journaled batch streamed), zero dropped queries, and bit-identical
+# distances across workers at the converged generation.
+recovery-smoke:
+	./scripts/recovery_smoke.sh
 
 # Full density × size sweep of the adaptive GEMM engine vs the frozen
 # seed kernel. Writes BENCH_gemm.md (table) and BENCH_gemm.json (raw

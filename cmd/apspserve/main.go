@@ -55,6 +55,8 @@ func main() {
 		graphName   = flag.String("graph", "", "catalog graph to build and serve")
 		loadFactor  = flag.String("loadfactor", "", "serve a factor saved by superfw -savefactor")
 		factorCache = flag.String("factorcache", "", "checkpoint path: restore the factor from it on boot if valid, save after (re)building (needs -graph)")
+		stateDir    = flag.String("statedir", "", "durable state directory: journal committed updates, checkpoint the factor, and recover generation-exactly after a crash (needs -graph; excludes -routes/-factorcache/-loadfactor)")
+		noSync      = flag.Bool("statedir-nosync", false, "disable journal fsync in -statedir mode (tests only; crash durability is lost)")
 		quick       = flag.Bool("quick", false, "reduced graph sizes")
 		routes      = flag.Bool("routes", false, "also solve densely with path tracking to enable /route")
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
@@ -80,8 +82,46 @@ func main() {
 	var result *core.Result
 	var reload func(ctx context.Context) (*core.Factor, *core.Result, error)
 	var updater *core.FactorUpdater
+	var durable *serve.Durable
+	var initialGen uint64
 	var err error
 	switch {
+	case *stateDir != "":
+		// Durable mode: the state dir owns checkpointing (so -factorcache
+		// is redundant) and recovery replays updates through the min-plus
+		// updater (which a dense path-tracked result cannot follow, so
+		// -routes is out).
+		if *graphName == "" {
+			log.Fatal("-statedir needs -graph (recovery rebuilds from the catalog graph)")
+		}
+		if *routes || *factorCache != "" || *loadFactor != "" {
+			log.Fatal("-statedir excludes -routes, -factorcache, and -loadfactor")
+		}
+		e, ok := bench.Find(*graphName)
+		if !ok {
+			log.Fatalf("unknown catalog graph %s", *graphName)
+		}
+		g := e.Build(*quick)
+		durable, err = serve.OpenDurable(ctx, g, serve.DurableOptions{
+			Dir:     *stateDir,
+			Threads: *threads,
+			NoSync:  *noSync,
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatal("interrupted during boot recovery")
+			}
+			log.Fatal(err)
+		}
+		defer durable.Close()
+		factor = durable.Factor()
+		updater = durable.Updater()
+		initialGen = durable.BootGeneration()
+		log.Printf("durable state %s: generation %d (warm=%v)", *stateDir, initialGen, durable.WarmBoot())
+		reload = func(ctx context.Context) (*core.Factor, *core.Result, error) {
+			f, err := durable.Rebuild(ctx)
+			return f, nil, err
+		}
 	case *loadFactor != "":
 		// No graph in hand means no live updates: POST /admin/update
 		// answers 501 in -loadfactor mode.
@@ -140,12 +180,18 @@ func main() {
 	}
 
 	srv := serve.New(factor, result, n, serve.Options{
-		CacheSize:   *cacheSize,
-		MaxInFlight: *maxFlight,
-		Reload:      reload,
-		Shard:       shardInfo,
-		Updater:     updater,
+		CacheSize:         *cacheSize,
+		MaxInFlight:       *maxFlight,
+		Reload:            reload,
+		Shard:             shardInfo,
+		Updater:           updater,
+		Durable:           durable,
+		InitialGeneration: initialGen,
 	})
+	if durable != nil {
+		//lint:ignore nakedgo checkpointer exits on ctx cancel; RunServer below blocks until the same ctx is done
+		go srv.RunCheckpointer(ctx)
+	}
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadTimeout:       *readTO,

@@ -19,8 +19,8 @@
 //	POST /dist/batch       scatter-gathered, all-or-nothing
 //	GET  /sssp?src=S       routed to the shard owning src
 //	GET  /route?u=U&v=V    routed to the shard owning u
-//	POST /admin/update     live edge-weight batch fanned to ALL workers
-//	                       (two-phase: every shard swaps generations or none)
+//	POST /admin/update     live edge-weight batch fanned to all LIVE workers
+//	                       (two-phase, write-ahead journaled with -statedir)
 //	GET  /health, /healthz coordinator liveness + generation
 //	GET  /readyz           503 unless every vertex range has a live shard
 //	GET  /metrics          merged: per-shard health, routing counts, gather latency
@@ -29,9 +29,13 @@
 // /readyz probe failures; its slots promote to their replicas and the
 // routing-table generation advances once. In-flight forwards to a
 // just-killed worker retry the replica inline, so a SIGKILL mid-storm
-// costs clients latency, not errors. A restarted worker (typically
-// booting warm from the shared -factorcache checkpoint) is re-admitted
-// once its probe is green and it reports the same vertex count.
+// costs clients latency, not errors. A restarted worker is re-admitted
+// only when its probe is green, it reports the same vertex count, AND
+// its factor generation matches the cluster's expected generation — a
+// worker that recovered an older checkpoint is held out of rotation
+// while the anti-entropy loop streams it the journaled batches it
+// missed (or resyncs it from a healthy donor's overlay), so stale
+// distances are never served.
 package main
 
 import (
@@ -62,6 +66,8 @@ func main() {
 		forwardTO  = flag.Duration("forward-timeout", 10*time.Second, "forwarded single-vertex query deadline (incl. replica retry)")
 		gatherTO   = flag.Duration("gather-timeout", 10*time.Second, "per-shard /dist/batch sub-request deadline")
 		discoverTO = flag.Duration("discover-timeout", 30*time.Second, "boot-time wait for all workers to answer /health")
+		stateDir   = flag.String("statedir", "", "durable state directory: journal committed update batches so a worker that misses a commit (or the coordinator itself, after a crash) converges to the decided generation")
+		noSync     = flag.Bool("statedir-nosync", false, "disable journal fsync in -statedir mode (tests only; crash durability is lost)")
 		readTO     = flag.Duration("read-timeout", 15*time.Second, "HTTP read timeout")
 		writeTO    = flag.Duration("write-timeout", 60*time.Second, "HTTP write timeout")
 		idleTO     = flag.Duration("idle-timeout", 120*time.Second, "HTTP keep-alive idle timeout")
@@ -93,10 +99,13 @@ func main() {
 		ForwardTimeout:  *forwardTO,
 		GatherTimeout:   *gatherTO,
 		DiscoverTimeout: *discoverTO,
+		StateDir:        *stateDir,
+		JournalNoSync:   *noSync,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer coord.Close()
 	log.Printf("coordinator over %d workers, %d vertices, %d slots", len(ws), coord.N(), *slots)
 
 	//lint:ignore nakedgo long-lived probe loop; it exits with ctx at shutdown and touches the routing table only through its locked/atomic API

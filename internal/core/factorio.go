@@ -6,17 +6,28 @@ package core
 // ordering pipeline, or the partitioner — the checkpoint that makes the
 // expensive factorization a durable, recoverable artifact.
 //
-// Format v2 (little-endian):
+// Format v3 (little-endian):
 //
 //	magic "SFWF", u32 version
 //	-- checksummed body starts here --
 //	u8 semiring id (0 = min-plus, 1 = max-min)
+//	u64 factor generation, u64 graph digest
+//	u64 overlay count, overlay: count × (u64 u, u64 v, f64 w)
 //	u64 n, u64 #supernodes
 //	perm:  n × u64
 //	per supernode: u64 lo, hi, subLo, parent+1
 //	per supernode: diag (s×s f64), up (s×anc f64), down (anc×s f64)
 //	-- checksummed body ends here --
 //	u64 CRC64/ECMA of the body
+//
+// v3 extends v2 with checkpoint metadata inside the checksummed body:
+// the live-update generation the factor had when snapshotted, a digest
+// of the base graph it was factored from (so a worker never warm-boots
+// a checkpoint for a different graph), and the edge-weight overlay —
+// the edges whose current weight differs from the base graph — which
+// reseeds a FactorUpdater so replayed journal batches classify
+// decreases/increases against the right weights. v2 files (no meta
+// block) still load, at generation 0 with an empty overlay.
 //
 // Matrix dimensions are reconstructed from the supernode structure, so
 // only raw payloads are stored. The trailing checksum covers every body
@@ -34,6 +45,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/graph"
@@ -42,7 +54,71 @@ import (
 )
 
 const factorMagic = "SFWF"
-const factorVersion = 2
+const (
+	factorVersionV2 = 2
+	factorVersion   = 3
+)
+
+// maxOverlayEdges caps the v3 overlay so a crafted count field cannot
+// drive a huge allocation before the checksum is verified.
+const maxOverlayEdges = 1 << 26
+
+// CheckpointMeta is the v3 recovery metadata embedded (checksummed)
+// in a factor checkpoint.
+type CheckpointMeta struct {
+	// Generation is the live-update generation of the snapshotted
+	// factor; boot generation is 1, so 0 means "legacy v2 checkpoint,
+	// generation unknown".
+	Generation uint64
+	// GraphDigest identifies the base graph (GraphDigest of the catalog
+	// graph the factor was built from). Validate rejects a checkpoint
+	// whose digest does not match the graph being served.
+	GraphDigest uint64
+	// Overlay lists edges whose absolute weight differs from the base
+	// graph after the updates baked into the factor — the state needed
+	// to reseed a FactorUpdater on warm boot.
+	Overlay []EdgeDelta
+}
+
+// Validate checks the meta block against the graph a worker intends to
+// serve: the digest must match and a meta-bearing checkpoint must
+// carry a live generation.
+func (m CheckpointMeta) Validate(wantDigest uint64) error {
+	if m.GraphDigest != wantDigest {
+		return fmt.Errorf("core: checkpoint is for a different graph (digest %016x, want %016x)", m.GraphDigest, wantDigest)
+	}
+	if m.Generation == 0 {
+		return fmt.Errorf("core: checkpoint has no factor generation (legacy v2 file?)")
+	}
+	return nil
+}
+
+// GraphDigest fingerprints a graph for checkpoint validation: CRC64
+// over the vertex count and the sorted undirected edge list (weights
+// bit-exact). Two graphs with the same digest are the same base for
+// update-replay purposes.
+func GraphDigest(g *graph.Graph) uint64 {
+	edges := g.Edges()
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].U != edges[b].U {
+			return edges[a].U < edges[b].U
+		}
+		return edges[a].V < edges[b].V
+	})
+	h := crc64.New(factorCRCTable)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(g.N))
+	h.Write(b[:])
+	for _, e := range edges {
+		binary.LittleEndian.PutUint64(b[:], uint64(e.U))
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(e.V))
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(e.W))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
 
 // factorCRCTable is the CRC64 polynomial used by the checkpoint trailer.
 var factorCRCTable = crc64.MakeTable(crc64.ECMA)
@@ -67,10 +143,17 @@ func semiringByID(id uint8) (*semiring.Kernels, error) {
 	return nil, fmt.Errorf("core: unknown semiring id %d", id)
 }
 
-// WriteTo serializes the factor with a trailing CRC64 checksum. It
-// implements io.WriterTo. The "core.factorio.write" failpoint sits under
-// the buffering so chaos tests can tear checkpoints mid-write.
+// WriteTo serializes the factor with a trailing CRC64 checksum and an
+// empty meta block (generation/digest zero). It implements
+// io.WriterTo; durable serving paths use WriteFactorMeta instead.
 func (f *Factor) WriteTo(w io.Writer) (int64, error) {
+	return WriteFactorMeta(w, f, CheckpointMeta{})
+}
+
+// WriteFactorMeta serializes the factor in the v3 format with the
+// given recovery metadata. The "core.factorio.write" failpoint sits
+// under the buffering so chaos tests can tear checkpoints mid-write.
+func WriteFactorMeta(w io.Writer, f *Factor, meta CheckpointMeta) (int64, error) {
 	bw := bufio.NewWriterSize(fault.Writer("core.factorio.write", w), 1<<20)
 	cw := &countWriter{w: bw}
 	sid, err := semiringID(f.K)
@@ -89,6 +172,14 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 	hw := io.MultiWriter(cw, h)
 	if _, err := hw.Write([]byte{sid}); err != nil {
 		return cw.n, err
+	}
+	if err := writeU64s(hw, meta.Generation, meta.GraphDigest, uint64(len(meta.Overlay))); err != nil {
+		return cw.n, err
+	}
+	for _, d := range meta.Overlay {
+		if err := writeU64s(hw, uint64(d.U), uint64(d.V), math.Float64bits(d.W)); err != nil {
+			return cw.n, err
+		}
 	}
 	ns := f.sn.NumSupernodes()
 	if err := writeU64s(hw, uint64(f.n), uint64(ns)); err != nil {
@@ -125,21 +216,32 @@ func (f *Factor) WriteTo(w io.Writer) (int64, error) {
 // ReadFactor deserializes a factor written by WriteTo, verifying the
 // trailing checksum: truncated or bit-flipped checkpoints are rejected
 // with an error rather than restored into a silently corrupt factor.
+// Recovery metadata is discarded; durable paths use ReadFactorMeta.
 func ReadFactor(r io.Reader) (*Factor, error) {
+	f, _, err := ReadFactorMeta(r)
+	return f, err
+}
+
+// ReadFactorMeta deserializes a factor plus its recovery metadata.
+// Both the current v3 format and legacy v2 files are accepted; a v2
+// file yields a zero CheckpointMeta (generation 0, no overlay), which
+// callers treat as "pre-durability checkpoint".
+func ReadFactorMeta(r io.Reader) (*Factor, CheckpointMeta, error) {
+	var meta CheckpointMeta
 	br := bufio.NewReaderSize(r, 1<<20)
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	if string(head) != factorMagic {
-		return nil, fmt.Errorf("core: not a factor file (magic %q)", head)
+		return nil, meta, fmt.Errorf("core: not a factor file (magic %q)", head)
 	}
 	ver, err := readU32(br)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
-	if ver != factorVersion {
-		return nil, fmt.Errorf("core: unsupported factor version %d (this build reads and writes the checksummed v%d format)", ver, factorVersion)
+	if ver != factorVersion && ver != factorVersionV2 {
+		return nil, meta, fmt.Errorf("core: unsupported factor version %d (this build reads v%d and v%d)", ver, factorVersionV2, factorVersion)
 	}
 	// Mirror the writer: every body byte flows through the CRC so the
 	// trailer can be verified once parsing succeeds.
@@ -147,37 +249,64 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 	hr := io.TeeReader(br, h)
 	sidBuf := make([]byte, 1)
 	if _, err := io.ReadFull(hr, sidBuf); err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	K, err := semiringByID(sidBuf[0])
 	if err != nil {
-		return nil, err
+		return nil, meta, err
+	}
+	if ver >= factorVersion {
+		gen, err1 := readU64(hr)
+		dig, err2 := readU64(hr)
+		cnt, err3 := readU64(hr)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, meta, fmt.Errorf("core: truncated checkpoint meta block")
+		}
+		if cnt > maxOverlayEdges {
+			return nil, meta, fmt.Errorf("core: corrupt checkpoint meta (overlay count %d)", cnt)
+		}
+		meta.Generation, meta.GraphDigest = gen, dig
+		if cnt > 0 {
+			meta.Overlay = make([]EdgeDelta, cnt)
+			for i := range meta.Overlay {
+				u, err1 := readU64(hr)
+				v, err2 := readU64(hr)
+				wb, err3 := readU64(hr)
+				if err1 != nil || err2 != nil || err3 != nil {
+					return nil, meta, fmt.Errorf("core: truncated checkpoint overlay")
+				}
+				if u > 1<<24 || v > 1<<24 {
+					return nil, meta, fmt.Errorf("core: corrupt checkpoint overlay edge (%d,%d)", u, v)
+				}
+				meta.Overlay[i] = EdgeDelta{U: int(u), V: int(v), W: math.Float64frombits(wb)}
+			}
+		}
 	}
 	n64, err := readU64(hr)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	ns64, err := readU64(hr)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	n, ns := int(n64), int(ns64)
 	// The 2^24 cap is far above any graph this library can solve (the
 	// factor of a 16M-vertex graph would not fit in memory anyway) and
 	// stops crafted headers from driving huge allocations.
 	if n < 0 || ns < 0 || ns > n || n > 1<<24 {
-		return nil, fmt.Errorf("core: corrupt factor header (n=%d, ns=%d)", n, ns)
+		return nil, meta, fmt.Errorf("core: corrupt factor header (n=%d, ns=%d)", n, ns)
 	}
 	perm := make([]int, n)
 	for i := range perm {
 		v, err := readU64(hr)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 		perm[i] = int(v)
 	}
 	if !graph.IsPermutation(perm) {
-		return nil, fmt.Errorf("core: corrupt factor permutation")
+		return nil, meta, fmt.Errorf("core: corrupt factor permutation")
 	}
 	ranges := make([]symbolic.Range, ns)
 	parent := make([]int, ns)
@@ -188,18 +317,18 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 		sl, err3 := readU64(hr)
 		pp, err4 := readU64(hr)
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-			return nil, fmt.Errorf("core: truncated supernode table")
+			return nil, meta, fmt.Errorf("core: truncated supernode table")
 		}
 		ranges[k] = symbolic.Range{Lo: int(lo), Hi: int(hi)}
 		subLo[k] = int(sl)
 		parent[k] = int(pp) - 1
 		if parent[k] >= ns || int(hi) > n || int(lo) > int(hi) {
-			return nil, fmt.Errorf("core: corrupt supernode %d", k)
+			return nil, meta, fmt.Errorf("core: corrupt supernode %d", k)
 		}
 	}
 	sn := symbolic.New(ranges, parent, subLo)
 	if msg := sn.Check(); msg != "" {
-		return nil, fmt.Errorf("core: corrupt supernode structure: %s", msg)
+		return nil, meta, fmt.Errorf("core: corrupt supernode structure: %s", msg)
 	}
 	f := &Factor{
 		n:      n,
@@ -228,33 +357,45 @@ func ReadFactor(r io.Reader) (*Factor, error) {
 		f.down[k] = semiring.Mat{Data: make([]float64, total*s), Stride: s, Rows: total, Cols: s}
 		for _, m := range []semiring.Mat{f.diag[k], f.up[k], f.down[k]} {
 			if err := readFloats(hr, m.Data); err != nil {
-				return nil, fmt.Errorf("core: truncated factor payload: %w", err)
+				return nil, meta, fmt.Errorf("core: truncated factor payload: %w", err)
 			}
 		}
 	}
 	want := h.Sum64()
 	got, err := readU64(br) // trailer is outside the checksummed range
 	if err != nil {
-		return nil, fmt.Errorf("core: truncated factor checkpoint (missing checksum): %w", err)
+		return nil, meta, fmt.Errorf("core: truncated factor checkpoint (missing checksum): %w", err)
 	}
 	if got != want {
-		return nil, fmt.Errorf("core: factor checkpoint checksum mismatch (stored %016x, computed %016x) — file is corrupt", got, want)
+		return nil, meta, fmt.Errorf("core: factor checkpoint checksum mismatch (stored %016x, computed %016x) — file is corrupt", got, want)
 	}
-	return f, nil
+	return f, meta, nil
 }
 
-// SaveFactorFile atomically checkpoints f to path: the factor is written
-// to a temporary file in the same directory, synced, and renamed into
-// place, so a crash mid-save never leaves a torn checkpoint behind under
-// the final name.
+// SaveFactorFile atomically checkpoints f to path with an empty meta
+// block; see SaveFactorFileMeta.
 func SaveFactorFile(path string, f *Factor) error {
+	return SaveFactorFileMeta(path, f, CheckpointMeta{})
+}
+
+// SaveFactorFileMeta atomically checkpoints f plus recovery metadata
+// to path: the factor is written to a temporary file in the same
+// directory, synced, and renamed into place, so a crash mid-save never
+// leaves a torn checkpoint behind under the final name. The
+// "core.factorio.sync" and "core.factorio.rename" failpoints bracket
+// the two durability steps for chaos coverage of both crash windows.
+func SaveFactorFileMeta(path string, f *Factor, meta CheckpointMeta) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := f.WriteTo(tmp); err != nil {
+	if _, err := WriteFactorMeta(tmp, f, meta); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := fault.InjectErr("core.factorio.sync"); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -265,6 +406,9 @@ func SaveFactorFile(path string, f *Factor) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
+	if err := fault.InjectErr("core.factorio.rename"); err != nil {
+		return err
+	}
 	return os.Rename(tmp.Name(), path)
 }
 
@@ -272,19 +416,27 @@ func SaveFactorFile(path string, f *Factor) error {
 // SaveFactorFile (or any WriteTo output), verifying its checksum and
 // running Validate before handing it back.
 func LoadFactorFile(path string) (*Factor, error) {
+	f, _, err := LoadFactorFileMeta(path)
+	return f, err
+}
+
+// LoadFactorFileMeta restores a factor and its recovery metadata,
+// verifying the checksum and running Validate before handing either
+// back. Legacy v2 files load with a zero meta block.
+func LoadFactorFileMeta(path string) (*Factor, CheckpointMeta, error) {
 	fh, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, CheckpointMeta{}, err
 	}
 	defer fh.Close()
-	f, err := ReadFactor(fh)
+	f, meta, err := ReadFactorMeta(fh)
 	if err != nil {
-		return nil, fmt.Errorf("core: restoring factor from %s: %w", path, err)
+		return nil, CheckpointMeta{}, fmt.Errorf("core: restoring factor from %s: %w", path, err)
 	}
 	if err := f.Validate(); err != nil {
-		return nil, fmt.Errorf("core: restored factor from %s failed validation: %w", path, err)
+		return nil, CheckpointMeta{}, fmt.Errorf("core: restored factor from %s failed validation: %w", path, err)
 	}
-	return f, nil
+	return f, meta, nil
 }
 
 type countWriter struct {

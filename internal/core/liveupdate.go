@@ -257,6 +257,67 @@ func (u *FactorUpdater) Rebase(g *graph.Graph, f *Factor) error {
 	return nil
 }
 
+// CanCommit reports (without committing) whether p would commit
+// cleanly. Durable serving uses it to order the commit point: check
+// staleness first, journal the batch, then Commit — which cannot fail
+// anymore while the caller serializes all generation mutations.
+func (u *FactorUpdater) CanCommit(p *Patched) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if p.base != u.f {
+		return fmt.Errorf("core: stale patch: computed against a factor that is no longer current")
+	}
+	return nil
+}
+
+// OverlayAgainst diffs the updater's authoritative edge weights
+// against base (the catalog graph), returning the edges whose current
+// weight differs — exactly the state a v3 checkpoint needs to reseed
+// an updater on warm boot. The result is sorted for determinism.
+func (u *FactorUpdater) OverlayAgainst(base *graph.Graph) []EdgeDelta {
+	baseMap := edgeMapOf(base)
+	u.mu.Lock()
+	var out []EdgeDelta
+	for k, w := range u.edges {
+		//lint:ignore nanguard weights are validated finite on entry; bit-exact compare is the point
+		if bw, ok := baseMap[k]; !ok || bw != w {
+			out = append(out, EdgeDelta{U: k.u, V: k.v, W: w})
+		}
+	}
+	u.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].U != out[b].U {
+			return out[a].U < out[b].U
+		}
+		return out[a].V < out[b].V
+	})
+	return out
+}
+
+// RestoreOverlay replays a checkpoint overlay into the updater's edge
+// map without touching the factor — the factor restored from the same
+// checkpoint already has these weights baked in. Must run before any
+// Apply, so replayed journal batches classify against the true
+// weights.
+func (u *FactorUpdater) RestoreOverlay(overlay []EdgeDelta) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, d := range overlay {
+		a, b := d.U, d.V
+		if b < a {
+			a, b = b, a
+		}
+		if a < 0 || b >= u.f.n || a == b {
+			return fmt.Errorf("core: overlay edge (%d,%d) out of range", d.U, d.V)
+		}
+		if math.IsNaN(d.W) || math.IsInf(d.W, 0) || d.W < 0 {
+			return fmt.Errorf("core: overlay edge (%d,%d) has invalid weight %v", d.U, d.V, d.W)
+		}
+		u.edges[edgeKey{a, b}] = d.W
+	}
+	return nil
+}
+
 // Apply computes a patched factor reflecting the batch. The current
 // factor is never touched: decreases re-eliminate the dirty ancestor
 // chains in place on a copy-on-write clone, increases reset and replay

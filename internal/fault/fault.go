@@ -14,6 +14,7 @@
 //	sleep=5ms@2    sleep on the 2nd visit only
 //	error          InjectErr returns an error on every visit
 //	shortwrite=16  Writer truncates each write to 16 bytes and errors
+//	torn=16        Writer silently tears: 16 bytes land, success reported
 //	exit=137       os.Exit(137) — a process kill at an exact code site
 //
 // exit is the process-kill failpoint the sharded-serving chaos tests
@@ -22,6 +23,14 @@
 // SIGKILL landing at that line — so a worker can be made to die
 // mid-request at a chosen point rather than whenever a signal happens
 // to arrive.
+//
+// torn is shortwrite's silent sibling for durability testing: the
+// firing write is truncated to N bytes but reported as fully written,
+// and every later write through the same Writer is swallowed (reported
+// successful, nothing lands). The caller carries on believing its
+// journal append or checkpoint landed; only reopening the file reveals
+// the torn tail — exactly the evidence a crash between write and
+// fsync leaves on disk.
 //
 // Environment activation arms points for whole-process chaos runs:
 //
@@ -54,6 +63,7 @@ const (
 	kindSleep
 	kindError
 	kindShortWrite
+	kindTorn
 	kindExit
 )
 
@@ -184,6 +194,12 @@ func parseSpec(spec string) (*point, error) {
 			return nil, fmt.Errorf("bad shortwrite limit %q", arg)
 		}
 		p.kind, p.limit = kindShortWrite, n
+	case "torn":
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad torn limit %q", arg)
+		}
+		p.kind, p.limit = kindTorn, n
 	case "exit":
 		// Exit codes are a byte; rejecting the rest catches env-var typos
 		// like exit=13s before they arm a point that never meant to.
@@ -272,10 +288,14 @@ func InjectErr(name string) error {
 	return nil
 }
 
-// Writer wraps w with the named failpoint: when armed with
-// "shortwrite=N", the first firing visit truncates its write to N bytes
-// and returns an error, simulating a torn checkpoint (disk full, crash
-// mid-write). Unarmed, it returns w unchanged.
+// Writer wraps w with the named failpoint. When armed with
+// "shortwrite=N", the firing visit truncates its write to N bytes and
+// returns an error, simulating a torn checkpoint the writer observes
+// (disk full, EIO). When armed with "torn=N", the firing visit
+// truncates to N bytes but reports success, and all later writes
+// through the same wrapper are silently discarded — the crash-shaped
+// tear nobody notices until the file is reopened. Unarmed, it passes
+// writes through unchanged.
 func Writer(name string, w io.Writer) io.Writer {
 	return &faultWriter{name: name, w: w}
 }
@@ -283,17 +303,32 @@ func Writer(name string, w io.Writer) io.Writer {
 type faultWriter struct {
 	name string
 	w    io.Writer
+	torn atomic.Bool // a torn=N point fired: swallow everything after
 }
 
 func (f *faultWriter) Write(b []byte) (int, error) {
+	if f.torn.Load() {
+		return len(b), nil
+	}
 	if armed.Load() != 0 {
-		if p, fire := lookup(f.name); fire && p.kind == kindShortWrite {
-			n := p.limit
-			if n > len(b) {
-				n = len(b)
+		if p, fire := lookup(f.name); fire {
+			switch p.kind {
+			case kindShortWrite:
+				n := p.limit
+				if n > len(b) {
+					n = len(b)
+				}
+				wrote, _ := f.w.Write(b[:n])
+				return wrote, fmt.Errorf("fault: injected short write at %q (%d of %d bytes)", f.name, wrote, len(b))
+			case kindTorn:
+				n := p.limit
+				if n > len(b) {
+					n = len(b)
+				}
+				f.w.Write(b[:n])
+				f.torn.Store(true)
+				return len(b), nil
 			}
-			wrote, _ := f.w.Write(b[:n])
-			return wrote, fmt.Errorf("fault: injected short write at %q (%d of %d bytes)", f.name, wrote, len(b))
 		}
 	}
 	return f.w.Write(b)

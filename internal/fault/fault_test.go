@@ -74,6 +74,31 @@ func TestWriterShortWrite(t *testing.T) {
 	}
 }
 
+func TestWriterTorn(t *testing.T) {
+	defer Reset()
+	if err := Enable("t", "torn=4@2"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := Writer("t", &buf)
+	// Visit 1 does not fire: the write passes through intact.
+	if n, err := w.Write([]byte("head-")); n != 5 || err != nil {
+		t.Fatalf("pre-tear write: n=%d err=%v", n, err)
+	}
+	// Visit 2 tears: 4 bytes land, but the caller sees full success.
+	if n, err := w.Write([]byte("0123456789")); n != 10 || err != nil {
+		t.Fatalf("torn write must report success: n=%d err=%v", n, err)
+	}
+	// Everything after the tear is swallowed — the file is frozen as a
+	// crash would have left it.
+	if n, err := w.Write([]byte("trailer")); n != 7 || err != nil {
+		t.Fatalf("post-tear write must report success: n=%d err=%v", n, err)
+	}
+	if buf.String() != "head-0123" {
+		t.Fatalf("buffer holds %q, want %q", buf.String(), "head-0123")
+	}
+}
+
 func TestWriterPassthroughWhenDisarmed(t *testing.T) {
 	Reset()
 	var buf bytes.Buffer

@@ -29,6 +29,9 @@ func TestParseSpecAccepts(t *testing.T) {
 		{"error@2", kindError, 0, 0, 2},
 		{"shortwrite=0", kindShortWrite, 0, 0, 0}, // zero-byte writes are a valid torn-write model
 		{"shortwrite=64@2", kindShortWrite, 0, 64, 2},
+		{"torn=0", kindTorn, 0, 0, 0}, // tear before any byte of the firing write lands
+		{"torn=16", kindTorn, 0, 16, 0},
+		{"torn=64@2", kindTorn, 0, 64, 2},
 		{"exit=0", kindExit, 0, 0, 0}, // a clean exit mid-flight is still a process death
 		{"exit=137", kindExit, 0, 137, 0},
 		{"exit=7@4", kindExit, 0, 7, 4},
@@ -61,6 +64,10 @@ func TestParseSpecRejects(t *testing.T) {
 		"shortwrite=",   // empty limit
 		"shortwrite=-1", // negative limit
 		"shortwrite=4k", // non-numeric limit
+		"torn",          // missing limit
+		"torn=",         // empty limit
+		"torn=-1",       // negative limit
+		"torn=4k",       // non-numeric limit
 		"panic=now",     // panic takes no argument
 		"error=oops",    // error takes no argument
 		"error=oops@@3", // argument-free kind with junk arg and doubled trigger

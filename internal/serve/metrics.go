@@ -30,7 +30,7 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	m := &metrics{endpoints: map[string]*endpointMetrics{}, started: time.Now()}
-	for _, name := range []string{"health", "readyz", "dist", "dist_batch", "sssp", "route", "reload", "update"} {
+	for _, name := range []string{"health", "readyz", "dist", "dist_batch", "sssp", "route", "reload", "update", "overlay"} {
 		m.endpoints[name] = &endpointMetrics{}
 	}
 	return m
@@ -75,6 +75,11 @@ type MetricsSnapshot struct {
 	// packed bytes. Reloads re-run the numeric solve in-process, so these
 	// move on reload and on any server that solves at startup.
 	Kernel semiring.KernelCounters `json:"kernel"`
+	// Durability reports the update journal and checkpoint state (nil
+	// when the server runs without a durable state dir): journal
+	// bytes/records/segments, the last checkpoint's generation and
+	// staleness, and boot-replay counters.
+	Durability *DurabilitySnapshot `json:"durability,omitempty"`
 }
 
 // Metrics returns a snapshot of every serving counter; /metrics encodes
@@ -110,6 +115,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap.CacheSize = st.Size
 	snap.CacheCap = st.Cap
 	snap.Kernel = semiring.ReadKernelCounters()
+	if s.durable != nil {
+		d := s.durable.Snapshot(snap.Generation)
+		snap.Durability = &d
+	}
 	return snap
 }
 

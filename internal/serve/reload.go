@@ -26,9 +26,15 @@ func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
 		s.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("factor reload in progress"))
 		return
 	}
+	e := s.eng.Load()
+	// Generation rides along so the shard coordinator's prober can gate
+	// re-admission on factor freshness, not just liveness: a restarted
+	// worker that recovered an older generation is held out of rotation
+	// until anti-entropy converges it.
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"ready":    true,
-		"vertices": s.eng.Load().n,
+		"ready":      true,
+		"vertices":   e.n,
+		"generation": e.gen,
 	})
 }
 
@@ -71,6 +77,19 @@ func (s *Server) adminReload(w http.ResponseWriter, r *http.Request) {
 	s.updMu.Unlock()
 	gen := s.generation.Add(1)
 	s.eng.Store(newEngine(f, res, f.N(), s.cacheSize, gen))
+	if s.durable != nil {
+		// A reload discards every applied update, so the journal's records
+		// no longer describe the live state. Checkpoint the fresh factor at
+		// the new generation and truncate the journal; if the checkpoint
+		// cannot be written, journal a coverage-floor marker instead so a
+		// later boot cannot replay pre-reload batches across the reset.
+		if err := s.durable.Checkpoint(gen); err != nil {
+			s.log.Printf("serve: post-reload checkpoint failed: %v", err)
+			if merr := s.durable.AppendMarker(gen); merr != nil {
+				s.log.Printf("serve: post-reload journal marker failed too (recovery may roll back this reload): %v", merr)
+			}
+		}
+	}
 	s.log.Printf("serve: factor reloaded (%d vertices, routes=%v, generation %d)", f.N(), res != nil, gen)
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"reloaded":     true,

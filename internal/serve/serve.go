@@ -92,6 +92,17 @@ type Options struct {
 	// batches patched into the serving factor with a copy-on-write
 	// snapshot swap (see update.go). nil answers 501.
 	Updater *core.FactorUpdater
+	// Durable, when non-nil, makes updates crash-recoverable: every
+	// committed batch is journaled (fsync'd) before the engine swap, the
+	// background checkpointer (RunCheckpointer) bounds replay time, and
+	// GET /admin/overlay plus update mode "resync" serve the shard
+	// coordinator's anti-entropy protocol (see durable.go). Implies
+	// Updater (Durable.Updater() is used when Updater is nil).
+	Durable *Durable
+	// InitialGeneration seeds the factor generation (0 selects 1) —
+	// durable boots resume at the recovered generation instead of
+	// restarting the count.
+	InitialGeneration uint64
 }
 
 // engine bundles everything that must swap together when a new factor is
@@ -159,6 +170,7 @@ type Server struct {
 	// coordinator) can tell which snapshot answered. updMu guards the
 	// single prepared-but-uncommitted patch slot of the two-phase flow.
 	updater    *core.FactorUpdater
+	durable    *Durable
 	generation atomic.Uint64
 	updMu      sync.Mutex
 	pending    *preparedUpdate
@@ -179,9 +191,17 @@ func New(f *core.Factor, res *core.Result, n int, opts Options) *Server {
 		shard:     opts.Shard,
 		reload:    opts.Reload,
 		updater:   opts.Updater,
+		durable:   opts.Durable,
 	}
-	s.generation.Store(1)
-	s.eng.Store(newEngine(f, res, n, opts.CacheSize, 1))
+	if s.updater == nil && s.durable != nil {
+		s.updater = s.durable.Updater()
+	}
+	gen := opts.InitialGeneration
+	if gen == 0 {
+		gen = 1
+	}
+	s.generation.Store(gen)
+	s.eng.Store(newEngine(f, res, n, opts.CacheSize, gen))
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
@@ -204,6 +224,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /route", s.instrument("route", s.route))
 	mux.HandleFunc("POST /admin/reload", s.counted("reload", s.adminReload))
 	mux.HandleFunc("POST /admin/update", s.counted("update", s.adminUpdate))
+	mux.HandleFunc("GET /admin/overlay", s.counted("overlay", s.adminOverlay))
 	mux.HandleFunc("GET /metrics", s.metricsEndpoint)
 	return mux
 }

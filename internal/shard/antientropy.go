@@ -1,0 +1,209 @@
+package shard
+
+// Anti-entropy: converging workers whose factor generation fell behind
+// the cluster's expected generation. A worker goes stale by missing a
+// commit round (it was down during an update — fan-out is alive-only)
+// or by recovering an older checkpoint after a crash. The prober holds
+// it out of rotation and starts one catch-up goroutine per worker:
+//
+//  1. Stream the coordinator journal's chain from the worker's
+//     generation — each committed batch is re-sent as an explicit
+//     {from, gen} apply, which the worker journals and applies
+//     idempotently (a batch it already has is skipped by generation).
+//  2. When the journal cannot bridge the gap (compacted past the
+//     worker's generation, adopted jump, or no journal at all), fall
+//     back to a full resync: fetch a healthy donor's overlay
+//     (GET /admin/overlay — every edge weight differing from the base
+//     graph) and send it as mode "resync", which rebuilds the worker
+//     from base + overlay at the explicit expected generation.
+//  3. With no journal chain and no donor, the worker is quarantined
+//     (counted, logged) and retried on a later probe cycle.
+//
+// Convergence is observed by the same prober that started the
+// catch-up: once the worker's /health reports the expected generation,
+// re-admission proceeds and its ring slots return.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// startCatchUp launches the per-worker catch-up goroutine unless one
+// is already running.
+func (c *Coordinator) startCatchUp(ctx context.Context, wi int) {
+	ws := c.workers[wi]
+	if !ws.catchingUp.CompareAndSwap(false, true) {
+		return
+	}
+	c.metrics.ae.catchups.Add(1)
+	//lint:ignore nakedgo bounded (catchUpAttempts, per-op timeouts, ctx) and guarded one-per-worker by catchingUp
+	go c.catchUp(ctx, wi)
+}
+
+// catchUpAttempts bounds one catch-up goroutine's convergence loop;
+// the probe cycle relaunches catch-up as long as the worker stays
+// reachable and stale, so the bound limits one burst, not recovery.
+const catchUpAttempts = 8
+
+func (c *Coordinator) catchUp(ctx context.Context, wi int) {
+	ws := c.workers[wi]
+	defer ws.catchingUp.Store(false)
+	for attempt := 0; attempt < catchUpAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		_, gen, err := c.workerHealth(ws.w)
+		if err != nil {
+			return // down again; the prober relaunches when it returns
+		}
+		ws.gen.Store(gen)
+		expected := c.expectedGen.Load()
+		if gen >= expected {
+			ws.quarantined.Store(false)
+			return // converged; the prober re-admits
+		}
+		if c.streamJournal(ctx, ws, gen) {
+			continue // progress was possible; re-check convergence
+		}
+		if err := c.resyncWorker(ctx, ws, expected); err != nil {
+			if !ws.quarantined.Swap(true) {
+				c.metrics.ae.quarantines.Add(1)
+			}
+			c.log.Printf("shard: worker %s quarantined at generation %d (cluster expects %d): %v",
+				ws.w.ID, gen, expected, err)
+			return // a later probe cycle retries
+		}
+	}
+}
+
+// streamJournal replays the coordinator journal's chain from the
+// worker's generation, one committed batch per request. Returns false
+// when the journal offers no bridge (no journal, compacted past the
+// worker, or an adopted generation jump it never recorded).
+func (c *Coordinator) streamJournal(ctx context.Context, ws *workerState, gen uint64) bool {
+	if c.journal == nil {
+		return false
+	}
+	chain, ok := c.journal.ChainFrom(gen)
+	if !ok || len(chain) == 0 {
+		return false
+	}
+	for _, rec := range chain {
+		if ctx.Err() != nil {
+			return true
+		}
+		if len(rec.Edges) == 0 {
+			// A bare coverage marker records a state jump (reload, adopted
+			// generation) whose edges the journal never held; only a
+			// resync crosses it.
+			return false
+		}
+		edges := make([]core.EdgeDelta, len(rec.Edges))
+		for i, e := range rec.Edges {
+			edges[i] = core.EdgeDelta{U: e.U, V: e.V, W: e.W}
+		}
+		sctx, cancel := context.WithTimeout(ctx, c.opts.UpdateTimeout)
+		_, err := c.sendUpdate(sctx, ws.w, &workerUpdateRequest{
+			Mode: "apply", Edges: edges, From: rec.From, Gen: rec.Gen,
+		})
+		cancel()
+		if err != nil {
+			c.log.Printf("shard: catch-up batch [%d->%d] to worker %s failed: %v", rec.From, rec.Gen, ws.w.ID, err)
+			return true // transient; the convergence loop re-checks and retries
+		}
+		c.metrics.ae.batchesStreamed.Add(1)
+	}
+	return true
+}
+
+// resyncWorker rebuilds one worker from a healthy donor's overlay at
+// the expected generation — the fallback when no journal chain exists.
+func (c *Coordinator) resyncWorker(ctx context.Context, ws *workerState, expected uint64) error {
+	lastErr := fmt.Errorf("no live donor at generation %d", expected)
+	for di, donor := range c.workers {
+		if donor == ws || !c.table.Alive(di) {
+			continue
+		}
+		ov, err := c.fetchOverlay(ctx, donor.w)
+		if err != nil {
+			lastErr = fmt.Errorf("donor %s overlay: %w", donor.w.ID, err)
+			continue
+		}
+		if ov.Generation != expected {
+			lastErr = fmt.Errorf("donor %s at generation %d, want %d", donor.w.ID, ov.Generation, expected)
+			continue
+		}
+		sctx, cancel := context.WithTimeout(ctx, c.opts.UpdateTimeout)
+		_, err = c.sendUpdate(sctx, ws.w, &workerUpdateRequest{
+			Mode: "resync", Gen: ov.Generation, Edges: ov.Edges,
+		})
+		cancel()
+		if err != nil {
+			lastErr = fmt.Errorf("resync via donor %s: %w", donor.w.ID, err)
+			continue
+		}
+		c.metrics.ae.resyncs.Add(1)
+		c.log.Printf("shard: worker %s resynced to generation %d from donor %s (%d overlay edge(s))",
+			ws.w.ID, ov.Generation, donor.w.ID, len(ov.Edges))
+		return nil
+	}
+	return lastErr
+}
+
+// overlayReply decodes GET /admin/overlay.
+type overlayReply struct {
+	Generation uint64           `json:"generation"`
+	Vertices   int              `json:"vertices"`
+	Digest     uint64           `json:"digest"`
+	Edges      []core.EdgeDelta `json:"edges"`
+}
+
+func (c *Coordinator) fetchOverlay(ctx context.Context, w Worker) (*overlayReply, error) {
+	octx, cancel := context.WithTimeout(ctx, c.opts.GatherTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(octx, http.MethodGet, w.URL+"/admin/overlay", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("overlay status %d", resp.StatusCode)
+	}
+	var ov overlayReply
+	if err := json.NewDecoder(resp.Body).Decode(&ov); err != nil {
+		return nil, err
+	}
+	if ov.Vertices != c.n {
+		return nil, fmt.Errorf("overlay for %d vertices, want %d", ov.Vertices, c.n)
+	}
+	return &ov, nil
+}
+
+// adoptGeneration raises the expected generation to one recovered from
+// a worker that is ahead of the cluster, journaling a coverage-floor
+// marker so the journal stays honest about what it can replay.
+func (c *Coordinator) adoptGeneration(gen uint64) {
+	for {
+		cur := c.expectedGen.Load()
+		if gen <= cur {
+			return
+		}
+		if c.expectedGen.CompareAndSwap(cur, gen) {
+			break
+		}
+	}
+	if c.journal != nil {
+		if err := c.journal.AppendMarker(gen); err != nil {
+			c.log.Printf("shard: journal marker at adopted generation %d failed: %v", gen, err)
+		}
+	}
+	c.log.Printf("shard: adopted factor generation %d from a worker ahead of the cluster", gen)
+}

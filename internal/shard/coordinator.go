@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 // Options configure a Coordinator.
@@ -59,6 +60,16 @@ type Options struct {
 	// a prepare can re-factorize the whole graph past the dirty
 	// threshold).
 	UpdateTimeout time.Duration
+	// StateDir, when set, makes committed update transactions durable:
+	// every batch is appended (fsync'd) to a write-ahead journal there
+	// after all prepares succeed and before the commit round, so a
+	// coordinator crash mid-commit never loses a decided transaction,
+	// and the journal streams missed batches to workers during
+	// anti-entropy catch-up. Empty runs without a journal (catch-up
+	// then always falls back to donor resyncs).
+	StateDir string
+	// JournalNoSync disables journal fsync (tests only).
+	JournalNoSync bool
 	// Logger receives routing-state transitions; nil uses log.Default().
 	Logger *log.Logger
 }
@@ -101,6 +112,20 @@ type workerState struct {
 	routed        atomic.Uint64
 	errors        atomic.Uint64
 	probeFailures atomic.Uint64
+
+	// gen is the worker's last observed factor generation (from /readyz
+	// probes and /health checks). The anti-entropy loop converges it to
+	// the coordinator's expected generation.
+	gen atomic.Uint64
+	// catchingUp guards the one-per-worker anti-entropy goroutine.
+	catchingUp atomic.Bool
+	// quarantined reports that catch-up is stuck: the journal cannot
+	// bridge the worker and no donor at the expected generation exists.
+	// Cleared when a later catch-up converges.
+	quarantined atomic.Bool
+	// staleHolds counts re-admissions refused for generation mismatch —
+	// the prober's proof that vertex count alone never re-admits.
+	staleHolds atomic.Uint64
 }
 
 // Coordinator routes queries across a set of apspserve workers.
@@ -112,6 +137,18 @@ type Coordinator struct {
 	client  *http.Client
 	log     *log.Logger
 	metrics *coordMetrics
+
+	// journal records committed update transactions (nil without
+	// Options.StateDir); expectedGen is the factor generation every
+	// worker must reach to be in rotation — it advances the moment a
+	// transaction is journaled (or, unjournaled, when the commit round
+	// starts) and adopts a recovered worker's generation when that
+	// worker is ahead of the cluster. updating serializes update
+	// transactions and tells the prober that a transient generation lag
+	// is expected.
+	journal     *wal.Journal
+	expectedGen atomic.Uint64
+	updating    atomic.Bool
 }
 
 // New discovers the workers (every one must answer /health with the
@@ -137,7 +174,49 @@ func New(opts Options) (*Coordinator, error) {
 		return nil, err
 	}
 	c.table = NewTable(ring, c.n)
+
+	// The expected generation starts at the newest state anything knows:
+	// the most advanced worker, or a journal record for a transaction
+	// whose commit round a previous coordinator never finished.
+	expected := uint64(0)
+	for _, ws := range c.workers {
+		if g := ws.gen.Load(); g > expected {
+			expected = g
+		}
+	}
+	if opts.StateDir != "" {
+		j, err := wal.Open(opts.StateDir, wal.Options{NoSync: opts.JournalNoSync})
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		if st := j.Stats(); st.TruncatedBytes > 0 || st.DroppedSegments > 0 {
+			c.log.Printf("shard: journal recovered with %d torn byte(s) truncated, %d segment(s) dropped",
+				st.TruncatedBytes, st.DroppedSegments)
+		}
+		if lg := j.LastGen(); lg > expected {
+			c.log.Printf("shard: journal holds committed generation %d beyond every worker; anti-entropy will converge the cluster", lg)
+			expected = lg
+		}
+	}
+	c.expectedGen.Store(expected)
+	if c.journal != nil && c.journal.LastGen() < expected {
+		// Baseline coverage floor: the journal cannot replay anything
+		// below the state the cluster already reached.
+		if err := c.journal.AppendMarker(expected); err != nil {
+			c.journal.Close()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// Close releases the coordinator's journal (a no-op without one).
+func (c *Coordinator) Close() error {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Close()
 }
 
 // discover polls every worker's /health until all report the same
@@ -155,13 +234,14 @@ func (c *Coordinator) discover() error {
 			if seen[i] >= 0 {
 				continue
 			}
-			n, err := c.workerVertices(ws.w)
+			n, gen, err := c.workerHealth(ws.w)
 			if err != nil {
 				pending++
 				lastErr = fmt.Errorf("worker %s (%s): %w", ws.w.ID, ws.w.URL, err)
 				continue
 			}
 			seen[i] = n
+			ws.gen.Store(gen)
 		}
 		if pending == 0 {
 			break
@@ -184,28 +264,32 @@ func (c *Coordinator) discover() error {
 	return nil
 }
 
-func (c *Coordinator) workerVertices(w Worker) (int, error) {
+// workerHealth fetches one worker's /health, returning its vertex
+// count and factor generation — the two identities re-admission gates
+// on.
+func (c *Coordinator) workerHealth(w Worker) (int, uint64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL+"/health", nil)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("health status %d", resp.StatusCode)
+		return 0, 0, fmt.Errorf("health status %d", resp.StatusCode)
 	}
 	var h struct {
-		Vertices int `json:"vertices"`
+		Vertices   int    `json:"vertices"`
+		Generation uint64 `json:"generation"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return h.Vertices, nil
+	return h.Vertices, h.Generation, nil
 }
 
 // N returns the vertex count the shard set serves.
@@ -232,7 +316,7 @@ func (c *Coordinator) Run(ctx context.Context) {
 func (c *Coordinator) probeAll(ctx context.Context) {
 	for wi, ws := range c.workers {
 		fault.Inject("shard.probe")
-		if err := c.probe(ctx, ws.w); err != nil {
+		if err := c.probe(ctx, ws); err != nil {
 			ws.probeFailures.Add(1)
 			ws.consecFails++
 			if ws.consecFails >= c.opts.FailThreshold && c.table.MarkDown(wi) {
@@ -242,27 +326,62 @@ func (c *Coordinator) probeAll(ctx context.Context) {
 			continue
 		}
 		ws.consecFails = 0
-		if !c.table.Alive(wi) {
-			// Probe is green again: verify the restarted worker restored
-			// a checkpoint for the same graph before giving its slots back.
-			n, err := c.workerVertices(ws.w)
-			if err != nil || n != c.n {
-				c.log.Printf("shard: worker %s ready but not re-admitted (vertices=%d err=%v, want %d)",
-					ws.w.ID, n, err, c.n)
-				continue
+		expected := c.expectedGen.Load()
+		if c.table.Alive(wi) {
+			// A live worker that fell behind — a commit round it missed —
+			// is pulled from rotation until anti-entropy converges it. A
+			// transient lag during an in-flight transaction is expected
+			// and not a hold.
+			if gen := ws.gen.Load(); gen < expected && !c.updating.Load() {
+				if c.table.MarkDown(wi) {
+					c.log.Printf("shard: worker %s (%s) at generation %d, cluster expects %d; held out of rotation for catch-up",
+						ws.w.ID, ws.w.URL, gen, expected)
+				}
 			}
-			if c.table.MarkUp(wi) {
-				c.log.Printf("shard: worker %s (%s) re-admitted, slots restored, generation %d",
-					ws.w.ID, ws.w.URL, c.table.Generation())
-			}
+			continue
+		}
+		// Probe is green again: verify the restarted worker recovered the
+		// same graph AND the cluster's factor generation before giving
+		// its slots back. Vertex count alone is not enough — a worker
+		// that recovered an older checkpoint would serve stale distances
+		// while claiming readiness.
+		n, gen, err := c.workerHealth(ws.w)
+		if err != nil || n != c.n {
+			c.log.Printf("shard: worker %s ready but not re-admitted (vertices=%d err=%v, want %d)",
+				ws.w.ID, n, err, c.n)
+			continue
+		}
+		ws.gen.Store(gen)
+		if gen > expected {
+			// The worker is ahead of the cluster: it durably committed a
+			// batch whose commit round never finished elsewhere. Its state
+			// is the newest decided one — adopt it and let anti-entropy
+			// raise everyone else.
+			c.adoptGeneration(gen)
+			expected = c.expectedGen.Load()
+		}
+		if gen != expected {
+			ws.staleHolds.Add(1)
+			c.metrics.ae.staleHolds.Add(1)
+			c.log.Printf("shard: worker %s ready at generation %d but cluster expects %d; held for anti-entropy",
+				ws.w.ID, gen, expected)
+			c.startCatchUp(ctx, wi)
+			continue
+		}
+		ws.quarantined.Store(false)
+		if c.table.MarkUp(wi) {
+			c.log.Printf("shard: worker %s (%s) re-admitted at factor generation %d, slots restored, table generation %d",
+				ws.w.ID, ws.w.URL, gen, c.table.Generation())
 		}
 	}
 }
 
-func (c *Coordinator) probe(ctx context.Context, w Worker) error {
+// probe checks one worker's /readyz, recording the factor generation
+// the payload carries.
+func (c *Coordinator) probe(ctx context.Context, ws *workerState) error {
 	pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.URL+"/readyz", nil)
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, ws.w.URL+"/readyz", nil)
 	if err != nil {
 		return err
 	}
@@ -270,10 +389,16 @@ func (c *Coordinator) probe(ctx context.Context, w Worker) error {
 	if err != nil {
 		return err
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
 		return fmt.Errorf("readyz status %d", resp.StatusCode)
+	}
+	var body struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Generation > 0 {
+		ws.gen.Store(body.Generation)
 	}
 	return nil
 }
@@ -326,11 +451,12 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (c *Coordinator) health(w http.ResponseWriter, _ *http.Request) {
 	c.writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"role":       "coordinator",
-		"vertices":   c.n,
-		"workers":    len(c.workers),
-		"generation": c.table.Generation(),
+		"status":       "ok",
+		"role":         "coordinator",
+		"vertices":     c.n,
+		"workers":      len(c.workers),
+		"generation":   c.table.Generation(),
+		"expected_gen": c.expectedGen.Load(),
 	})
 }
 

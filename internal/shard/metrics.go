@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 type endpointCounters struct {
@@ -28,10 +29,19 @@ type gatherCounters struct {
 	latencyNS   atomic.Uint64 // summed wall time of whole gathers
 }
 
+type aeCounters struct {
+	catchups        atomic.Uint64 // catch-up goroutines launched
+	batchesStreamed atomic.Uint64 // journaled batches re-sent to stale workers
+	resyncs         atomic.Uint64 // full overlay resyncs performed
+	quarantines     atomic.Uint64 // workers parked with no bridge and no donor
+	staleHolds      atomic.Uint64 // re-admissions refused on generation mismatch
+}
+
 type coordMetrics struct {
 	started   time.Time
 	endpoints map[string]*endpointCounters
 	gather    gatherCounters
+	ae        aeCounters
 }
 
 func newCoordMetrics() *coordMetrics {
@@ -62,6 +72,23 @@ type ShardSnapshot struct {
 	Routed        uint64 `json:"routed"` // requests + sub-batches sent to it
 	Errors        uint64 `json:"errors"` // sends that failed or returned >= 500
 	ProbeFailures uint64 `json:"probe_failures"`
+	// Generation is the factor generation this worker last reported;
+	// convergence means every shard row matches expected_generation.
+	Generation uint64 `json:"generation"`
+	// Quarantined means catch-up is stuck: no journal bridge and no
+	// donor at the expected generation. StaleHolds counts re-admissions
+	// refused because this worker's generation lagged the cluster's.
+	Quarantined bool   `json:"quarantined"`
+	StaleHolds  uint64 `json:"stale_holds"`
+}
+
+// AntiEntropySnapshot summarizes the coordinator's convergence work.
+type AntiEntropySnapshot struct {
+	Catchups        uint64 `json:"catchups"`
+	BatchesStreamed uint64 `json:"batches_streamed"`
+	Resyncs         uint64 `json:"resyncs"`
+	Quarantines     uint64 `json:"quarantines"`
+	StaleHolds      uint64 `json:"stale_holds"`
 }
 
 // GatherSnapshot summarizes /dist/batch scatter-gather behavior.
@@ -85,20 +112,39 @@ type Snapshot struct {
 	Shards       []ShardSnapshot                   `json:"shards"`
 	Endpoints    map[string]serve.EndpointSnapshot `json:"endpoints"`
 	Gather       GatherSnapshot                    `json:"gather"`
+	// ExpectedGeneration is the durably decided factor generation every
+	// worker must reach before (re-)admission into the routing ring.
+	ExpectedGeneration uint64              `json:"expected_generation"`
+	AntiEntropy        AntiEntropySnapshot `json:"anti_entropy"`
+	// Journal reports the coordinator's committed-update journal (nil
+	// when running without -statedir).
+	Journal *wal.Stats `json:"journal,omitempty"`
 }
 
 // Metrics returns the merged coordinator view; /metrics encodes exactly
 // this value and the failover tests read it directly.
 func (c *Coordinator) Metrics() Snapshot {
 	snap := Snapshot{
-		UptimeSec:    time.Since(c.metrics.started).Seconds(),
-		Vertices:     c.n,
-		Slots:        c.table.ring.Slots(),
-		Generation:   c.table.Generation(),
-		Failovers:    c.table.Failovers(),
-		Readmissions: c.table.Readmissions(),
-		Ready:        c.table.Ready(),
-		Endpoints:    make(map[string]serve.EndpointSnapshot, len(c.metrics.endpoints)),
+		UptimeSec:          time.Since(c.metrics.started).Seconds(),
+		Vertices:           c.n,
+		Slots:              c.table.ring.Slots(),
+		Generation:         c.table.Generation(),
+		Failovers:          c.table.Failovers(),
+		Readmissions:       c.table.Readmissions(),
+		Ready:              c.table.Ready(),
+		Endpoints:          make(map[string]serve.EndpointSnapshot, len(c.metrics.endpoints)),
+		ExpectedGeneration: c.expectedGen.Load(),
+		AntiEntropy: AntiEntropySnapshot{
+			Catchups:        c.metrics.ae.catchups.Load(),
+			BatchesStreamed: c.metrics.ae.batchesStreamed.Load(),
+			Resyncs:         c.metrics.ae.resyncs.Load(),
+			Quarantines:     c.metrics.ae.quarantines.Load(),
+			StaleHolds:      c.metrics.ae.staleHolds.Load(),
+		},
+	}
+	if c.journal != nil {
+		st := c.journal.Stats()
+		snap.Journal = &st
 	}
 	for wi, ws := range c.workers {
 		p, r := c.table.SlotCounts(wi)
@@ -111,6 +157,9 @@ func (c *Coordinator) Metrics() Snapshot {
 			Routed:        ws.routed.Load(),
 			Errors:        ws.errors.Load(),
 			ProbeFailures: ws.probeFailures.Load(),
+			Generation:    ws.gen.Load(),
+			Quarantined:   ws.quarantined.Load(),
+			StaleHolds:    ws.staleHolds.Load(),
 		})
 	}
 	names := make([]string, 0, len(c.metrics.endpoints))

@@ -1,0 +1,342 @@
+package shard
+
+// Generation-aware recovery across a sharded cluster: real durable
+// workers (serve.Server + serve.Durable over per-worker state dirs)
+// fronted by a journaling coordinator, with crashes injected by
+// severing connections (the client-visible signature of SIGKILL) and
+// restarts that actually recover from disk. The invariants under test
+// are ISSUE 8's acceptance bar:
+//
+//   - a worker that is down during an update rejoins generations behind
+//     and is NEVER re-admitted on vertex count alone — it is held out,
+//     streamed the journaled batches it missed, and re-admitted only at
+//     the expected generation;
+//   - a commit-round straggler converges through the same path (the
+//     journaled decision is never rolled back);
+//   - a worker restarted from its state dir recovers its own committed
+//     generation, then converges to the cluster's;
+//   - without a coordinator journal, the overlay-resync fallback
+//     produces the same convergence;
+//   - sampled distances are bit-identical across workers afterwards.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+var quietLog = log.New(io.Discard, "", 0)
+
+// durableWorker is a real durable serve stack behind a fixed URL whose
+// process can be "SIGKILLed" (connections severed, state closed) and
+// restarted from its state dir.
+type durableWorker struct {
+	id      string
+	dir     string
+	dead    atomic.Bool
+	handler atomic.Pointer[http.Handler]
+	hs      *httptest.Server
+	d       *serve.Durable
+	s       *serve.Server
+}
+
+func (dw *durableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if dw.dead.Load() {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server does not support hijacking")
+		}
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+		}
+		return
+	}
+	(*dw.handler.Load()).ServeHTTP(w, r)
+}
+
+// boot opens (or recovers) the worker's state dir and swaps the
+// recovered server in behind the same URL.
+func (dw *durableWorker) boot(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	d, err := serve.OpenDurable(context.Background(), g, serve.DurableOptions{
+		Dir: dw.dir, NoSync: true, Logger: quietLog,
+	})
+	if err != nil {
+		t.Fatalf("worker %s boot: %v", dw.id, err)
+	}
+	s := serve.New(d.Factor(), nil, g.N, serve.Options{
+		Durable:           d,
+		InitialGeneration: d.BootGeneration(),
+		Shard:             &serve.ShardIdentity{ID: dw.id, Role: "worker"},
+	})
+	h := s.Handler()
+	dw.d, dw.s = d, s
+	dw.handler.Store(&h)
+}
+
+// crash severs every connection and closes the durable state — nothing
+// in memory survives; the next boot sees only what fsync made durable.
+func (dw *durableWorker) crash() {
+	dw.dead.Store(true)
+	dw.d.Close()
+}
+
+func (dw *durableWorker) restart(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	dw.boot(t, g)
+	dw.dead.Store(false)
+}
+
+// newRecoveryCluster boots nWorkers durable workers and a coordinator
+// (journaling when coordState is non-empty) with the prober running.
+func newRecoveryCluster(t *testing.T, nWorkers int, coordState string) (*Coordinator, []*durableWorker, *httptest.Server, *graph.Graph) {
+	t.Helper()
+	g := gen.RoadNetwork(10, 10, 0.3, 7)
+	var dws []*durableWorker
+	var workers []Worker
+	for i := 0; i < nWorkers; i++ {
+		dw := &durableWorker{id: fmt.Sprintf("w%d", i+1), dir: t.TempDir()}
+		dw.boot(t, g)
+		dw.hs = httptest.NewServer(dw)
+		t.Cleanup(dw.hs.Close)
+		t.Cleanup(func() { dw.d.Close() })
+		dws = append(dws, dw)
+		workers = append(workers, Worker{ID: dw.id, URL: dw.hs.URL})
+	}
+	c, err := New(Options{
+		Workers:         workers,
+		Slots:           16,
+		ProbeInterval:   20 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+		FailThreshold:   2,
+		ForwardTimeout:  5 * time.Second,
+		GatherTimeout:   5 * time.Second,
+		DiscoverTimeout: 5 * time.Second,
+		UpdateTimeout:   30 * time.Second,
+		StateDir:        coordState,
+		JournalNoSync:   true,
+		Logger:          quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	front := httptest.NewServer(c.Handler())
+	t.Cleanup(front.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	//lint:ignore nakedgo prober loop; joined via cancel + done in cleanup
+	go func() { defer close(done); c.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return c, dws, front, g
+}
+
+// sampleDists reads a fixed pair set directly off one worker.
+func sampleDists(t *testing.T, url string, n int) []string {
+	t.Helper()
+	var rows []string
+	for _, u := range []int{0, 17, 42, 63, 99} {
+		resp, err := http.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", url, u%n, (u*7+3)%n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("dist u=%d: status %d (%s)", u, resp.StatusCode, b)
+		}
+		rows = append(rows, string(b))
+	}
+	return rows
+}
+
+// requireSameDists asserts every worker answers the sample pair set
+// bit-identically.
+func requireSameDists(t *testing.T, dws []*durableWorker, n int) {
+	t.Helper()
+	ref := sampleDists(t, dws[0].hs.URL, n)
+	for _, dw := range dws[1:] {
+		got := sampleDists(t, dw.hs.URL, n)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("worker %s sample %d = %s, worker %s = %s — divergent distances",
+					dw.id, i, got[i], dws[0].id, ref[i])
+			}
+		}
+	}
+}
+
+// waitConverged polls until worker wi is alive at the expected
+// generation, failing fast if it is ever re-admitted while stale — the
+// one forbidden transition.
+func waitConverged(t *testing.T, c *Coordinator, wi int, want uint64) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("worker %d convergence to generation %d", wi, want), 30*time.Second, func() bool {
+		alive := c.table.Alive(wi)
+		gen := c.workers[wi].gen.Load()
+		if alive && gen < want {
+			t.Fatalf("worker %d re-admitted at generation %d, cluster expects %d — stale re-admission", wi, gen, want)
+		}
+		return alive && gen == want
+	})
+}
+
+// TestChaosRecoveryStaleWorkerHeldAndStreamed: w2 is down during an
+// update, so it rejoins one generation behind with the correct vertex
+// count. It must be held out (stale_holds), streamed the journaled
+// batch, and only then re-admitted.
+func TestChaosRecoveryStaleWorkerHeldAndStreamed(t *testing.T) {
+	c, dws, front, g := newRecoveryCluster(t, 2, t.TempDir())
+	e0, e1 := g.Edges()[0], g.Edges()[1]
+
+	out := postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e0.U, V: e0.V, W: e0.W * 0.1}}, http.StatusOK)
+	if out["updated"] != true || out["converged"] != true {
+		t.Fatalf("update 1 response %v", out)
+	}
+
+	// w2 goes dark; the prober fails it over.
+	dws[1].dead.Store(true)
+	waitFor(t, "failover of w2", 5*time.Second, func() bool { return !c.table.Alive(1) })
+
+	// Update 2 commits on the survivors only and is journaled.
+	out = postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e1.U, V: e1.V, W: e1.W * 0.2}}, http.StatusOK)
+	if out["updated"] != true || out["generation"].(float64) != 3 {
+		t.Fatalf("update 2 response %v", out)
+	}
+	if got := c.expectedGen.Load(); got != 3 {
+		t.Fatalf("expected generation %d, want 3", got)
+	}
+
+	// w2 returns exactly as it was: right vertex count, old generation.
+	dws[1].dead.Store(false)
+	waitConverged(t, c, 1, 3)
+	if holds := c.workers[1].staleHolds.Load(); holds < 1 {
+		t.Fatalf("stale worker was never held (stale_holds=%d) — vertex count alone re-admitted it", holds)
+	}
+	if streamed := c.metrics.ae.batchesStreamed.Load(); streamed < 1 {
+		t.Fatalf("no journaled batch was streamed (batches_streamed=%d)", streamed)
+	}
+	requireSameDists(t, dws, g.N)
+
+	snap := c.Metrics()
+	if snap.ExpectedGeneration != 3 || snap.Journal == nil || snap.AntiEntropy.StaleHolds < 1 {
+		t.Fatalf("metrics missing recovery evidence: expected=%d journal=%v ae=%+v",
+			snap.ExpectedGeneration, snap.Journal, snap.AntiEntropy)
+	}
+	for _, sh := range snap.Shards {
+		if sh.Generation != 3 {
+			t.Fatalf("shard %s at generation %d in metrics, want 3", sh.ID, sh.Generation)
+		}
+	}
+}
+
+// TestChaosRecoveryCommitStragglerConverges: one worker's commit round
+// fails after the decision was journaled. The transaction must still
+// report committed, the straggler held out, and anti-entropy must
+// finish the commit it missed.
+func TestChaosRecoveryCommitStragglerConverges(t *testing.T) {
+	defer fault.Reset()
+	c, dws, front, g := newRecoveryCluster(t, 2, t.TempDir())
+	e := g.Edges()[0]
+
+	// The commit round visits serve.update.swap once per worker; the
+	// second visit fails — exactly one worker misses the commit.
+	if err := fault.Enable("serve.update.swap", "error@2"); err != nil {
+		t.Fatal(err)
+	}
+	out := postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e.U, V: e.V, W: e.W * 0.1}}, http.StatusOK)
+	fault.Reset()
+	if out["updated"] != true || out["converged"] != false || out["stragglers"].(float64) != 1 {
+		t.Fatalf("straggler-commit response %v", out)
+	}
+	if got := c.expectedGen.Load(); got != 2 {
+		t.Fatalf("expected generation %d after journaled decision, want 2", got)
+	}
+
+	// Anti-entropy converges whichever worker missed the swap.
+	for wi := range dws {
+		waitConverged(t, c, wi, 2)
+	}
+	requireSameDists(t, dws, g.N)
+}
+
+// TestChaosRecoveryWorkerCrashRestart: w2 is SIGKILLed, misses an
+// update, and restarts from its state dir — recovering its own last
+// committed generation, then converging to the cluster's. A fresh
+// coordinator booted over the same journal must come up already
+// expecting the decided generation.
+func TestChaosRecoveryWorkerCrashRestart(t *testing.T) {
+	coordState := t.TempDir()
+	c, dws, front, g := newRecoveryCluster(t, 2, coordState)
+	e0, e1 := g.Edges()[0], g.Edges()[1]
+
+	postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e0.U, V: e0.V, W: e0.W * 0.1}}, http.StatusOK)
+
+	// SIGKILL w2: connections severed, durable state closed mid-flight.
+	dws[1].crash()
+	waitFor(t, "failover of crashed w2", 5*time.Second, func() bool { return !c.table.Alive(1) })
+
+	postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e1.U, V: e1.V, W: e1.W * 0.2}}, http.StatusOK)
+
+	// Restart from disk: recovery must reach w2's own committed
+	// generation (2) — not 1, not 3.
+	dws[1].restart(t, g)
+	if bg := dws[1].d.BootGeneration(); bg != 2 {
+		t.Fatalf("crashed worker recovered at generation %d, want 2", bg)
+	}
+	waitConverged(t, c, 1, 3)
+	requireSameDists(t, dws, g.N)
+
+	// Coordinator crash: a new one over the same state dir must boot
+	// already expecting generation 3 (from journal and worker health).
+	c2, err := New(Options{
+		Workers: []Worker{
+			{ID: dws[0].id, URL: dws[0].hs.URL},
+			{ID: dws[1].id, URL: dws[1].hs.URL},
+		},
+		Slots:           16,
+		DiscoverTimeout: 5 * time.Second,
+		StateDir:        coordState,
+		JournalNoSync:   true,
+		Logger:          quietLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := c2.expectedGen.Load(); got != 3 {
+		t.Fatalf("restarted coordinator expects generation %d, want 3", got)
+	}
+}
+
+// TestChaosRecoveryResyncWithoutJournal: a coordinator running without
+// a state dir has no batches to stream, so a stale rejoin must converge
+// through the donor-overlay resync fallback instead.
+func TestChaosRecoveryResyncWithoutJournal(t *testing.T) {
+	c, dws, front, g := newRecoveryCluster(t, 2, "")
+	e0, e1 := g.Edges()[0], g.Edges()[1]
+
+	postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e0.U, V: e0.V, W: e0.W * 0.1}}, http.StatusOK)
+	dws[1].dead.Store(true)
+	waitFor(t, "failover of w2", 5*time.Second, func() bool { return !c.table.Alive(1) })
+	postClusterUpdate(t, front.URL, []core.EdgeDelta{{U: e1.U, V: e1.V, W: e1.W * 0.2}}, http.StatusOK)
+
+	dws[1].dead.Store(false)
+	waitConverged(t, c, 1, 3)
+	if r := c.metrics.ae.resyncs.Load(); r < 1 {
+		t.Fatalf("journal-less convergence without a resync (resyncs=%d)", r)
+	}
+	requireSameDists(t, dws, g.N)
+}

@@ -3,13 +3,21 @@ package shard
 // Live-update fan-out. POST /admin/update on the coordinator drives the
 // workers' two-phase update protocol (internal/serve/update.go) so a
 // sharded deployment swaps factor generations all-or-nothing: every
-// worker prepares the patch (the expensive phase — the old snapshot
-// keeps serving throughout), and only if every prepare succeeds does
-// the coordinator send the commit round; any prepare failure aborts the
-// transaction everywhere and no worker moves. Replication is why this
-// must be atomic — every worker serves the full graph, so one worker
-// answering from generation g+1 while its failover twin still serves g
-// would make query results depend on routing luck.
+// live worker prepares the patch (the expensive phase — the old
+// snapshot keeps serving throughout), and only if every prepare
+// succeeds is the transaction decided; any prepare failure aborts it
+// everywhere and no worker moves.
+//
+// The decision point is durable: after the prepares and before the
+// commit round, the batch is appended (fsync'd) to the coordinator's
+// write-ahead journal with an explicit {from, gen} window and the
+// expected generation advances. From that instant the transaction
+// cannot be lost — a worker that misses the commit round (crash,
+// SIGKILL, network) is held out of rotation and converged by the
+// anti-entropy loop (antientropy.go) instead of rolled back. Fan-out
+// targets only live workers, which is exactly why anti-entropy exists:
+// a worker that is down during a storm of updates rejoins generations
+// behind and is streamed the batches it missed before re-admission.
 
 import (
 	"bytes"
@@ -25,6 +33,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/par"
+	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 // updateTxnSeq disambiguates transactions started in the same instant.
@@ -39,8 +49,13 @@ type coordUpdateRequest struct {
 // workerUpdateRequest mirrors the worker endpoint's body.
 type workerUpdateRequest struct {
 	Mode  string           `json:"mode"`
-	Txn   string           `json:"txn"`
+	Txn   string           `json:"txn,omitempty"`
 	Edges []core.EdgeDelta `json:"edges,omitempty"`
+	// Gen pins the generation the step must produce (commit rounds,
+	// catch-up applies, resyncs); From is the batch's lowest cleanly
+	// applicable generation (catch-up applies).
+	Gen  uint64 `json:"gen,omitempty"`
+	From uint64 `json:"from,omitempty"`
 }
 
 // workerUpdateReply decodes the fields the coordinator acts on.
@@ -49,8 +64,8 @@ type workerUpdateReply struct {
 	Error      string `json:"error"`
 }
 
-// adminUpdate serves POST /admin/update: prepare on every worker, then
-// commit everywhere or abort everywhere.
+// adminUpdate serves POST /admin/update: prepare on every live worker,
+// journal the decision, then commit with an explicit generation.
 func (c *Coordinator) adminUpdate(w http.ResponseWriter, r *http.Request) {
 	var req coordUpdateRequest
 	body := http.MaxBytesReader(w, r.Body, 8<<20)
@@ -62,67 +77,171 @@ func (c *Coordinator) adminUpdate(w http.ResponseWriter, r *http.Request) {
 		c.writeErr(w, http.StatusBadRequest, fmt.Errorf("update needs at least one edge"))
 		return
 	}
+	// One transaction at a time: the journal's {from, gen} windows (and
+	// the workers' single prepared-patch slot) assume updates are
+	// serial. The prober also reads this flag to excuse transient lag.
+	if !c.updating.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", serve.RetryAfterDefault)
+		c.writeErr(w, http.StatusConflict, fmt.Errorf("an update transaction is already in progress"))
+		return
+	}
+	defer c.updating.Store(false)
+
+	alive := c.aliveWorkers()
+	if len(alive) == 0 {
+		w.Header().Set("Retry-After", serve.RetryAfterDefault)
+		c.writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("no live workers to update"))
+		return
+	}
 	txn := fmt.Sprintf("upd-%d-%d", time.Now().UnixNano(), updateTxnSeq.Add(1))
 	ctx, cancel := context.WithTimeout(r.Context(), c.opts.UpdateTimeout)
 	defer cancel()
 
-	if errs := c.updateRound(ctx, &workerUpdateRequest{Mode: "prepare", Txn: txn, Edges: req.Edges}, nil); len(errs) > 0 {
+	cur := c.expectedGen.Load()
+	next := cur + 1
+
+	if errs := c.updateRound(ctx, alive, &workerUpdateRequest{Mode: "prepare", Txn: txn, Edges: req.Edges}, nil); len(errs) > 0 {
 		// Abort everywhere — including the workers that prepared fine —
 		// so no later commit can tear the generations apart.
-		c.updateRound(ctx, &workerUpdateRequest{Mode: "abort", Txn: txn}, nil)
-		c.log.Printf("shard: update %s aborted, %d of %d worker(s) failed to prepare: %v",
-			txn, len(errs), len(c.workers), errs[0])
+		c.updateRound(ctx, alive, &workerUpdateRequest{Mode: "abort", Txn: txn}, nil)
+		c.log.Printf("shard: update %s aborted, %d of %d live worker(s) failed to prepare: %v",
+			txn, len(errs), len(alive), errs[0])
 		c.writeJSON(w, http.StatusBadGateway, map[string]any{
 			"updated": false,
 			"txn":     txn,
 			"aborted": true,
-			"error":   fmt.Sprintf("prepare failed on %d of %d worker(s): %v", len(errs), len(c.workers), errs[0]),
+			"error":   fmt.Sprintf("prepare failed on %d of %d live worker(s): %v", len(errs), len(alive), errs[0]),
 		})
 		return
 	}
 
-	gens := make(map[string]uint64, len(c.workers))
-	if errs := c.updateRound(ctx, &workerUpdateRequest{Mode: "commit", Txn: txn}, gens); len(errs) > 0 {
-		// A commit can only fail if something (a reload, a worker restart)
-		// raced the transaction. Nothing to roll back — committed workers
-		// have already swapped — so surface the divergence loudly.
-		c.log.Printf("shard: update %s commit incomplete on %d worker(s): %v", txn, len(errs), errs[0])
-		c.writeJSON(w, http.StatusInternalServerError, map[string]any{
-			"updated":     false,
-			"txn":         txn,
-			"generations": gens,
-			"converged":   false,
-			"error":       fmt.Sprintf("commit failed on %d of %d worker(s): %v", len(errs), len(c.workers), errs[0]),
+	// The durable decision point: once the batch is journaled, the
+	// transaction is committed regardless of what happens to the commit
+	// round — recovery and anti-entropy finish it. A journal failure
+	// aborts while aborting is still possible.
+	if c.journal != nil {
+		rec := wal.Record{From: cur, Gen: next, Edges: make([]wal.Edge, len(req.Edges))}
+		for i, e := range req.Edges {
+			rec.Edges[i] = wal.Edge{U: e.U, V: e.V, W: e.W}
+		}
+		if err := c.journal.Append(rec); err != nil {
+			c.updateRound(ctx, alive, &workerUpdateRequest{Mode: "abort", Txn: txn}, nil)
+			c.log.Printf("shard: update %s aborted, journal append failed: %v", txn, err)
+			c.writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"updated": false,
+				"txn":     txn,
+				"aborted": true,
+				"error":   fmt.Sprintf("journal append failed: %v", err),
+			})
+			return
+		}
+	}
+	c.expectedGen.Store(next)
+
+	gens := make(map[string]uint64, len(alive))
+	errs := c.updateRound(ctx, alive, &workerUpdateRequest{Mode: "commit", Txn: txn, Gen: next}, gens)
+	for _, ws := range alive {
+		if g, ok := gens[ws.w.ID]; ok {
+			ws.gen.Store(g)
+		}
+	}
+	if len(errs) > 0 {
+		// The decision is durable and some workers swapped; the rest are
+		// stragglers, not a rollback. Hold them out of rotation — the
+		// anti-entropy loop streams them the journaled batch and the
+		// prober re-admits them at generation next.
+		for wi, ws := range c.workers {
+			if !c.table.Alive(wi) || gens[ws.w.ID] == next {
+				continue
+			}
+			if inWorkers(alive, ws) && c.table.MarkDown(wi) {
+				c.log.Printf("shard: update %s: worker %s missed the commit round; held out for anti-entropy", txn, ws.w.ID)
+			}
+		}
+		c.log.Printf("shard: update %s committed at generation %d with %d straggler(s): %v", txn, next, len(errs), errs[0])
+		c.writeJSON(w, http.StatusOK, map[string]any{
+			"updated":      true,
+			"txn":          txn,
+			"generation":   next,
+			"generations":  gens,
+			"converged":    false,
+			"stragglers":   len(errs),
+			"catchup_sent": c.journal != nil,
 		})
 		return
 	}
 	converged := true
-	var first uint64
 	for _, g := range gens {
-		if first == 0 {
-			first = g
-		} else if g != first {
+		if g != next {
 			converged = false
 		}
 	}
-	c.log.Printf("shard: update %s committed on %d worker(s), generation %d (converged=%v)",
-		txn, len(c.workers), first, converged)
+	c.maybeCoalesce(next)
+	c.log.Printf("shard: update %s committed on %d live worker(s), generation %d (converged=%v)",
+		txn, len(alive), next, converged)
 	c.writeJSON(w, http.StatusOK, map[string]any{
 		"updated":     true,
 		"txn":         txn,
+		"generation":  next,
 		"generations": gens,
 		"converged":   converged,
 	})
 }
 
-// updateRound sends one protocol step to every worker in parallel,
-// returning the per-worker failures. When gens is non-nil it collects
-// the generation each worker reported.
-func (c *Coordinator) updateRound(ctx context.Context, req *workerUpdateRequest, gens map[string]uint64) []error {
+// aliveWorkers snapshots the workers currently in rotation — the
+// transaction's participant set for all three rounds.
+func (c *Coordinator) aliveWorkers() []*workerState {
+	var alive []*workerState
+	for wi, ws := range c.workers {
+		if c.table.Alive(wi) {
+			alive = append(alive, ws)
+		}
+	}
+	return alive
+}
+
+func inWorkers(set []*workerState, ws *workerState) bool {
+	for _, s := range set {
+		if s == ws {
+			return true
+		}
+	}
+	return false
+}
+
+// coalesceRecords is the journal size past which a fully-converged
+// commit folds old records into one snapshot; coalesceKeep recent
+// generations stay granular so a briefly-lagging worker streams small
+// batches instead of one big snapshot.
+const (
+	coalesceRecords = 256
+	coalesceKeep    = 16
+)
+
+// maybeCoalesce compacts the coordinator journal once it grows past
+// coalesceRecords. Coalescing (not deleting) keeps the coverage floor:
+// a worker anywhere inside the folded span still catches up from the
+// snapshot record.
+func (c *Coordinator) maybeCoalesce(gen uint64) {
+	if c.journal == nil || gen <= coalesceKeep {
+		return
+	}
+	if st := c.journal.Stats(); st.Records < coalesceRecords {
+		return
+	}
+	if err := c.journal.CompactCoalesce(gen - coalesceKeep); err != nil {
+		c.log.Printf("shard: journal coalesce failed (journal intact): %v", err)
+	}
+}
+
+// updateRound sends one protocol step to every participant in
+// parallel, returning the per-worker failures. When gens is non-nil it
+// collects the generation each worker reported.
+func (c *Coordinator) updateRound(ctx context.Context, participants []*workerState, req *workerUpdateRequest, gens map[string]uint64) []error {
 	var mu sync.Mutex
 	var errs []error
-	grp := par.NewGroup(len(c.workers))
-	for _, ws := range c.workers {
+	grp := par.NewGroup(len(participants))
+	for _, ws := range participants {
 		ws := ws
 		grp.Go(func() {
 			fault.Inject("shard.update")

@@ -1,0 +1,682 @@
+// Package wal is the durable write-ahead journal for committed live
+// updates (DESIGN.md §14). Both layers that own update state persist
+// through it: every apspserve worker journals each committed
+// UpdateBatch before swapping its engine, and the apspshard
+// coordinator journals each two-phase batch before the commit round —
+// so a crash on either side of the swap window loses nothing that was
+// acknowledged.
+//
+// A journal is a directory of append-only segment files
+// (journal-NNNNNNNN.wal). Each segment starts with a fixed header and
+// holds framed records; every record carries its own CRC64 (ECMA)
+// trailer, so a torn tail — the half-written record a crash between
+// write and fsync leaves behind — is detected and truncated on Open
+// rather than replayed. Appends are fsync'd before they return:
+// Append's success is the commit point callers build on.
+//
+// Record semantics. A record {From, Gen, Edges} means: applying Edges
+// (absolute weights, last-write-wins) to any state whose generation
+// lies in [From, Gen) advances that state to exactly generation Gen.
+// Three shapes follow from one rule:
+//
+//   - a batch committed on top of generation G is {G, G+1, edges};
+//   - a marker {G, G, nil} records "history before G is unknown"
+//     (written when a journal starts observing a cluster mid-life) —
+//     no chain can cross it from below;
+//   - a coalesced snapshot {F, G, edges} produced by CompactCoalesce
+//     replaces a contiguous run of batches without shrinking the set
+//     of generations it can upgrade.
+//
+// ChainFrom(w) resolves what a consumer at generation w must replay,
+// and reports an unbridgeable gap instead of guessing. Generations are
+// strictly monotonic within a journal; records whose generation does
+// not advance past everything before them (compaction leftovers from
+// a crash mid-delete) are dropped on Open.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+const (
+	segMagic   = "SFWJ"
+	segVersion = 1
+	headerLen  = 8 // magic + u32 version
+
+	// recHeaderLen frames a record: u32 payload length, u64 From, u64 Gen.
+	recHeaderLen = 4 + 8 + 8
+	// recTrailerLen is the CRC64 trailer.
+	recTrailerLen = 8
+
+	// maxPayload caps a single record's payload so a corrupt length
+	// field cannot drive a giant allocation while scanning.
+	maxPayload = 1 << 28
+
+	defaultSegmentBytes = 4 << 20
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Edge is one absolute-weight edge assignment inside a record. It
+// mirrors core.EdgeDelta (undirected, u<v normalization is the
+// producer's job); wal stays agnostic so both serve and shard can
+// journal without import cycles.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Record is one journal entry; see the package comment for the
+// [From, Gen) upgrade semantics.
+type Record struct {
+	From  uint64
+	Gen   uint64
+	Edges []Edge
+}
+
+// IsMarker reports whether the record is a pure coverage floor (no
+// edges, From == Gen).
+func (r Record) IsMarker() bool { return r.From == r.Gen && len(r.Edges) == 0 }
+
+// Options tunes a journal.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes (default 4 MiB).
+	SegmentBytes int64
+	// NoSync skips fsync on appends and directory syncs. Tests only —
+	// a production journal without fsync is not a journal.
+	NoSync bool
+}
+
+// Stats is a point-in-time snapshot of journal shape, surfaced on
+// /metrics.
+type Stats struct {
+	Segments int    `json:"segments"`
+	Records  int    `json:"records"`
+	Bytes    int64  `json:"bytes"`
+	FirstGen uint64 `json:"first_gen"` // 0 when empty
+	LastGen  uint64 `json:"last_gen"`  // 0 when empty
+
+	// TruncatedBytes counts torn-tail bytes cut off by Open;
+	// DroppedSegments counts segments discarded after mid-journal
+	// corruption (anything past a tear is unreplayable).
+	TruncatedBytes  int64 `json:"truncated_bytes"`
+	DroppedSegments int   `json:"dropped_segments"`
+}
+
+type segment struct {
+	seq  uint64
+	path string
+	recs []Record
+	size int64
+}
+
+// Journal is an open write-ahead journal. All methods are safe for
+// concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	segs []*segment // sorted by seq; last is the active segment
+	f    *os.File   // active segment handle
+	w    io.Writer  // fault-wrapped f; persistent so torn=N latches
+
+	truncatedBytes  int64
+	droppedSegments int
+}
+
+// Open opens (creating if needed) the journal in dir, scanning every
+// segment, truncating any torn tail, and dropping unreplayable
+// leftovers. The returned journal is positioned to append.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts}
+	names, err := filepath.Glob(filepath.Join(dir, "journal-*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		seq, ok := seqOf(path)
+		if !ok {
+			continue
+		}
+		j.segs = append(j.segs, &segment{seq: seq, path: path})
+	}
+	sort.Slice(j.segs, func(a, b int) bool { return j.segs[a].seq < j.segs[b].seq })
+
+	maxGen := uint64(0)
+	for i := 0; i < len(j.segs); i++ {
+		s := j.segs[i]
+		last := i == len(j.segs)-1
+		clean, err := j.scanSegment(s, &maxGen)
+		if err != nil {
+			return nil, err
+		}
+		if !clean && !last {
+			// Corruption mid-journal: every later record chains through the
+			// hole and can never be replayed safely. Drop the rest.
+			for _, dead := range j.segs[i+1:] {
+				if err := os.Remove(dead.path); err != nil {
+					return nil, fmt.Errorf("wal: dropping %s: %w", dead.path, err)
+				}
+				j.droppedSegments++
+			}
+			j.segs = j.segs[:i+1]
+			break
+		}
+	}
+	if len(j.segs) == 0 {
+		if err := j.newSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		active := j.segs[len(j.segs)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		j.f = f
+		j.w = fault.Writer("wal.append", f)
+	}
+	return j, nil
+}
+
+func seqOf(path string) (uint64, bool) {
+	base := filepath.Base(path)
+	base = strings.TrimPrefix(base, "journal-")
+	base = strings.TrimSuffix(base, ".wal")
+	var seq uint64
+	if _, err := fmt.Sscanf(base, "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// scanSegment reads every intact record of s, truncating the file at
+// the first sign of damage. It returns clean=false when anything was
+// cut off (callers decide whether later segments survive). maxGen
+// enforces cross-segment monotonicity: stale records are skipped, not
+// treated as corruption.
+func (j *Journal) scanSegment(s *segment, maxGen *uint64) (clean bool, err error) {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	good := int64(0)
+	clean = true
+	if len(data) < headerLen || string(data[:4]) != segMagic ||
+		binary.LittleEndian.Uint32(data[4:8]) != segVersion {
+		// Unreadable header: reset the segment to an empty, valid one.
+		j.truncatedBytes += int64(len(data))
+		clean = false
+		if err := writeSegmentHeader(s.path, j.opts.NoSync); err != nil {
+			return false, err
+		}
+		s.size = headerLen
+		return clean, nil
+	}
+	good = headerLen
+	off := int64(headerLen)
+	for {
+		rec, next, ok := decodeRecord(data, off)
+		if !ok {
+			if off != int64(len(data)) {
+				clean = false
+			}
+			break
+		}
+		off = next
+		good = next
+		if rec.Gen <= *maxGen && !(rec.IsMarker() && rec.Gen == *maxGen) {
+			// Compaction leftover (crash between snapshot rename and old-
+			// segment delete): superseded, skip silently.
+			continue
+		}
+		*maxGen = rec.Gen
+		s.recs = append(s.recs, rec)
+	}
+	if !clean {
+		j.truncatedBytes += int64(len(data)) - good
+		if err := os.Truncate(s.path, good); err != nil {
+			return false, fmt.Errorf("wal: truncating torn tail of %s: %w", s.path, err)
+		}
+	}
+	s.size = good
+	return clean, nil
+}
+
+// decodeRecord parses one record at off. ok=false means "no intact
+// record here" — end of data or a torn/corrupt frame; the caller
+// distinguishes the two by whether off reached len(data).
+func decodeRecord(data []byte, off int64) (rec Record, next int64, ok bool) {
+	if off+recHeaderLen > int64(len(data)) {
+		return rec, 0, false
+	}
+	plen := int64(binary.LittleEndian.Uint32(data[off:]))
+	if plen < 4 || plen > maxPayload {
+		return rec, 0, false
+	}
+	end := off + recHeaderLen + plen + recTrailerLen
+	if end > int64(len(data)) {
+		return rec, 0, false
+	}
+	body := data[off : off+recHeaderLen+plen]
+	want := binary.LittleEndian.Uint64(data[off+recHeaderLen+plen:])
+	if crc64.Checksum(body, crcTable) != want {
+		return rec, 0, false
+	}
+	rec.From = binary.LittleEndian.Uint64(data[off+4:])
+	rec.Gen = binary.LittleEndian.Uint64(data[off+12:])
+	if rec.From > rec.Gen {
+		return rec, 0, false
+	}
+	payload := data[off+recHeaderLen : off+recHeaderLen+plen]
+	count := int64(binary.LittleEndian.Uint32(payload))
+	if count*24+4 != plen {
+		return rec, 0, false
+	}
+	if count > 0 {
+		rec.Edges = make([]Edge, count)
+		for i := int64(0); i < count; i++ {
+			p := payload[4+24*i:]
+			u := binary.LittleEndian.Uint64(p)
+			v := binary.LittleEndian.Uint64(p[8:])
+			w := math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+			if u > math.MaxInt32 || v > math.MaxInt32 {
+				return rec, 0, false
+			}
+			rec.Edges[i] = Edge{U: int(u), V: int(v), W: w}
+		}
+	}
+	return rec, end, true
+}
+
+func encodeRecord(rec Record) []byte {
+	plen := 4 + 24*len(rec.Edges)
+	buf := make([]byte, recHeaderLen+plen+recTrailerLen)
+	binary.LittleEndian.PutUint32(buf, uint32(plen))
+	binary.LittleEndian.PutUint64(buf[4:], rec.From)
+	binary.LittleEndian.PutUint64(buf[12:], rec.Gen)
+	binary.LittleEndian.PutUint32(buf[recHeaderLen:], uint32(len(rec.Edges)))
+	for i, e := range rec.Edges {
+		p := buf[recHeaderLen+4+24*i:]
+		binary.LittleEndian.PutUint64(p, uint64(e.U))
+		binary.LittleEndian.PutUint64(p[8:], uint64(e.V))
+		binary.LittleEndian.PutUint64(p[16:], math.Float64bits(e.W))
+	}
+	crc := crc64.Checksum(buf[:recHeaderLen+plen], crcTable)
+	binary.LittleEndian.PutUint64(buf[recHeaderLen+plen:], crc)
+	return buf
+}
+
+func writeSegmentHeader(path string, noSync bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+// newSegmentLocked creates and opens segment seq as the active one.
+func (j *Journal) newSegmentLocked(seq uint64) error {
+	path := filepath.Join(j.dir, fmt.Sprintf("journal-%08d.wal", seq))
+	if err := writeSegmentHeader(path, j.opts.NoSync); err != nil {
+		return err
+	}
+	if err := j.syncDir(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if j.f != nil {
+		j.f.Close()
+	}
+	j.f = f
+	j.w = fault.Writer("wal.append", f)
+	j.segs = append(j.segs, &segment{seq: seq, path: path, size: headerLen})
+	return nil
+}
+
+func (j *Journal) syncDir() error {
+	if j.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(j.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+func (j *Journal) lastGenLocked() uint64 {
+	for i := len(j.segs) - 1; i >= 0; i-- {
+		if n := len(j.segs[i].recs); n > 0 {
+			return j.segs[i].recs[n-1].Gen
+		}
+	}
+	return 0
+}
+
+// Append durably adds one record: framed, CRC'd, written, fsync'd. On
+// any error the file is rolled back to its pre-append length, so a
+// failed append never leaves a half-frame for the next one to bury.
+// Generations must advance: rec.Gen must exceed the journal's last
+// generation (and rec.From must not exceed rec.Gen).
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if rec.From > rec.Gen {
+		return fmt.Errorf("wal: record from %d > gen %d", rec.From, rec.Gen)
+	}
+	if last := j.lastGenLocked(); rec.Gen <= last {
+		return fmt.Errorf("wal: record generation %d not past journal tail %d", rec.Gen, last)
+	}
+	active := j.segs[len(j.segs)-1]
+	if active.size > j.opts.SegmentBytes {
+		if err := j.newSegmentLocked(active.seq + 1); err != nil {
+			return err
+		}
+		active = j.segs[len(j.segs)-1]
+	}
+	buf := encodeRecord(rec)
+	rollback := func() {
+		j.f.Truncate(active.size)
+		j.f.Seek(active.size, io.SeekStart)
+	}
+	if _, err := j.w.Write(buf); err != nil {
+		rollback()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := fault.InjectErr("wal.sync"); err != nil {
+		rollback()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			rollback()
+			return fmt.Errorf("wal: append sync: %w", err)
+		}
+	}
+	active.size += int64(len(buf))
+	active.recs = append(active.recs, rec)
+	return nil
+}
+
+// AppendMarker records a coverage floor at gen (no edges). A marker at
+// the journal's current tail generation is a no-op.
+func (j *Journal) AppendMarker(gen uint64) error {
+	j.mu.Lock()
+	if j.lastGenLocked() == gen && gen != 0 {
+		j.mu.Unlock()
+		return nil
+	}
+	j.mu.Unlock()
+	return j.Append(Record{From: gen, Gen: gen})
+}
+
+// Records returns every live record in order. The slice is fresh; the
+// records' edge slices are shared and must not be mutated.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Record
+	for _, s := range j.segs {
+		out = append(out, s.recs...)
+	}
+	return out
+}
+
+// LastGen is the generation of the newest record (0 when empty).
+func (j *Journal) LastGen() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastGenLocked()
+}
+
+// ChainFrom resolves the replay sequence that upgrades a consumer at
+// generation w to the journal's tail: records at or below w are
+// skipped, each remaining record must cover the generation reached so
+// far. ok=false reports an unbridgeable gap (the consumer predates the
+// journal's coverage floor); the partial chain is not returned.
+func (j *Journal) ChainFrom(w uint64) (chain []Record, ok bool) {
+	for _, rec := range j.Records() {
+		if rec.Gen <= w {
+			continue
+		}
+		if rec.From > w {
+			return nil, false
+		}
+		chain = append(chain, rec)
+		w = rec.Gen
+	}
+	return chain, true
+}
+
+// Floor is the smallest generation from which ChainFrom succeeds —
+// consumers below it need a full resync.
+func (j *Journal) Floor() uint64 {
+	floor := uint64(0)
+	cur := uint64(0)
+	first := true
+	for _, rec := range j.Records() {
+		if first || rec.From > cur {
+			floor = rec.From
+		}
+		cur = rec.Gen
+		first = false
+	}
+	return floor
+}
+
+// CompactThrough deletes whole segments whose every record is at or
+// below gen — the worker-side compaction used after a checkpoint at
+// gen makes those records redundant. The active segment is rotated
+// first so a fully-covered journal compacts to just an empty segment.
+// Per-file deletion is atomic; a crash mid-compaction leaves stale
+// segments whose records are skipped on the next Open.
+func (j *Journal) CompactThrough(gen uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	active := j.segs[len(j.segs)-1]
+	if len(active.recs) > 0 && active.recs[len(active.recs)-1].Gen <= gen {
+		if err := j.newSegmentLocked(active.seq + 1); err != nil {
+			return err
+		}
+	}
+	kept := j.segs[:0]
+	for i, s := range j.segs {
+		last := i == len(j.segs)-1
+		covered := !last && (len(s.recs) == 0 || s.recs[len(s.recs)-1].Gen <= gen)
+		if covered {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: compact: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	j.segs = append([]*segment(nil), kept...)
+	return j.syncDir()
+}
+
+// CompactCoalesce folds the prefix of full segments whose records all
+// sit at or below gen into one snapshot record (last-write-wins edge
+// merge), shrinking the journal without raising its coverage floor —
+// the coordinator-side compaction. Coalescing never crosses a coverage
+// floor jump (a marker): records before the last jump serve no
+// reachable consumer and are simply dropped with it.
+func (j *Journal) CompactCoalesce(gen uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	active := j.segs[len(j.segs)-1]
+	if len(active.recs) > 0 && active.recs[len(active.recs)-1].Gen <= gen {
+		if err := j.newSegmentLocked(active.seq + 1); err != nil {
+			return err
+		}
+	}
+	// The coalescible prefix: full segments entirely at or below gen.
+	prefix := 0
+	nrec := 0
+	for i, s := range j.segs {
+		if i == len(j.segs)-1 || (len(s.recs) > 0 && s.recs[len(s.recs)-1].Gen > gen) {
+			break
+		}
+		prefix = i + 1
+		nrec += len(s.recs)
+	}
+	if prefix == 0 || nrec < 2 {
+		return nil
+	}
+	// Merge past the last floor jump only.
+	var (
+		merged   = map[[2]int]float64{}
+		order    [][2]int
+		from     uint64
+		to       uint64
+		reached  uint64
+		started  bool
+		snapshot Record
+	)
+	for i := 0; i < prefix; i++ {
+		for _, rec := range j.segs[i].recs {
+			if !started || rec.From > reached {
+				// Floor jump: everything merged so far serves no consumer that
+				// can reach the tail. Start over at this record's floor.
+				merged = map[[2]int]float64{}
+				order = order[:0]
+				from = rec.From
+			}
+			started = true
+			reached = rec.Gen
+			to = rec.Gen
+			for _, e := range rec.Edges {
+				k := [2]int{e.U, e.V}
+				if _, seen := merged[k]; !seen {
+					order = append(order, k)
+				}
+				merged[k] = e.W
+			}
+		}
+	}
+	snapshot = Record{From: from, Gen: to, Edges: make([]Edge, 0, len(order))}
+	for _, k := range order {
+		snapshot.Edges = append(snapshot.Edges, Edge{U: k[0], V: k[1], W: merged[k]})
+	}
+	// Write the snapshot as a fresh segment under the first compacted
+	// seq: tmp + fsync + rename is atomic, so every crash window leaves
+	// either the old segment or the new one.
+	target := j.segs[0]
+	tmp, err := os.CreateTemp(j.dir, "coalesce-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: coalesce: %w", err)
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	body := append(hdr, encodeRecord(snapshot)...)
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: coalesce: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("wal: coalesce: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: coalesce: %w", err)
+	}
+	if err := fault.InjectErr("wal.coalesce.rename"); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: coalesce: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), target.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: coalesce: %w", err)
+	}
+	target.recs = []Record{snapshot}
+	target.size = int64(len(body))
+	kept := []*segment{target}
+	for _, s := range j.segs[1:prefix] {
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("wal: coalesce: %w", err)
+		}
+	}
+	j.segs = append(kept, j.segs[prefix:]...)
+	return j.syncDir()
+}
+
+// Stats snapshots the journal's shape.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Stats{
+		Segments:        len(j.segs),
+		TruncatedBytes:  j.truncatedBytes,
+		DroppedSegments: j.droppedSegments,
+	}
+	for _, s := range j.segs {
+		st.Records += len(s.recs)
+		st.Bytes += s.size
+		for _, r := range s.recs {
+			if st.FirstGen == 0 {
+				st.FirstGen = r.Gen
+			}
+			st.LastGen = r.Gen
+		}
+	}
+	return st
+}
+
+// Close releases the active segment handle. The journal must not be
+// used afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

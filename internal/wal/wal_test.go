@@ -1,0 +1,381 @@
+package wal
+
+// The journal's contract is crash-shaped: whatever Append acknowledged
+// must come back from Open, whatever a crash tore mid-frame must be
+// truncated (never half-applied), and compaction must never shrink the
+// set of generations ChainFrom can upgrade.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func openT(t *testing.T, dir string) *Journal {
+	t.Helper()
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func mustAppend(t *testing.T, j *Journal, rec Record) {
+	t.Helper()
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func batch(from uint64, edges ...Edge) Record {
+	return Record{From: from, Gen: from + 1, Edges: edges}
+}
+
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].From != b[i].From || a[i].Gen != b[i].Gen || len(a[i].Edges) != len(b[i].Edges) {
+			return false
+		}
+		for k := range a[i].Edges {
+			if a[i].Edges[k] != b[i].Edges[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	recs := []Record{
+		batch(1, Edge{U: 0, V: 1, W: 2.5}),
+		batch(2, Edge{U: 3, V: 9, W: 0.125}, Edge{U: 0, V: 1, W: 7}),
+		batch(3),
+	}
+	for _, r := range recs {
+		mustAppend(t, j, r)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, dir)
+	if got := j2.Records(); !sameRecords(got, recs) {
+		t.Fatalf("reopen: got %+v, want %+v", got, recs)
+	}
+	if j2.LastGen() != 4 {
+		t.Fatalf("LastGen = %d, want 4", j2.LastGen())
+	}
+	// The reopened journal must accept further appends.
+	mustAppend(t, j2, batch(4, Edge{U: 1, V: 2, W: 1}))
+	if j2.LastGen() != 5 {
+		t.Fatalf("LastGen after append = %d, want 5", j2.LastGen())
+	}
+}
+
+func TestAppendRejectsNonMonotonic(t *testing.T) {
+	j := openT(t, t.TempDir())
+	mustAppend(t, j, batch(1, Edge{U: 0, V: 1, W: 1}))
+	if err := j.Append(batch(1, Edge{U: 0, V: 1, W: 2})); err == nil {
+		t.Fatal("duplicate generation accepted")
+	}
+	if err := j.Append(Record{From: 9, Gen: 5}); err == nil {
+		t.Fatal("From > Gen accepted")
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	keep := batch(1, Edge{U: 0, V: 1, W: 2})
+	mustAppend(t, j, keep)
+	mustAppend(t, j, batch(2, Edge{U: 4, V: 5, W: 3}))
+	j.Close()
+	// Tear the last record: chop bytes off the tail of the only segment.
+	seg := filepath.Join(dir, "journal-00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, dir)
+	if got := j2.Records(); !sameRecords(got, []Record{keep}) {
+		t.Fatalf("after tear: got %+v, want just the first record", got)
+	}
+	if st := j2.Stats(); st.TruncatedBytes == 0 {
+		t.Fatal("truncation not accounted in stats")
+	}
+	// The torn frame is gone from disk too: appending and reopening must
+	// not resurrect it or mis-frame the new record.
+	next := batch(2, Edge{U: 7, V: 8, W: 9})
+	mustAppend(t, j2, next)
+	j2.Close()
+	j3 := openT(t, dir)
+	if got := j3.Records(); !sameRecords(got, []Record{keep, next}) {
+		t.Fatalf("after tear+append+reopen: got %+v", got)
+	}
+}
+
+func TestBitFlipRejectedByCRC(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir)
+	mustAppend(t, j, batch(1, Edge{U: 0, V: 1, W: 2}))
+	mustAppend(t, j, batch(2, Edge{U: 4, V: 5, W: 3}))
+	j.Close()
+	seg := filepath.Join(dir, "journal-00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the second record's payload.
+	data[len(data)-12] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, dir)
+	if n := len(j2.Records()); n != 1 {
+		t.Fatalf("bit-flipped record survived: %d records", n)
+	}
+}
+
+func TestTornFailpointLeavesTruncatableTail(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	j := openT(t, dir)
+	mustAppend(t, j, batch(1, Edge{U: 0, V: 1, W: 2}))
+	// Arm a silent tear: the next append reports success but only 10
+	// bytes land — the on-disk evidence of a crash between write and
+	// fsync.
+	if err := fault.Enable("wal.append", "torn=10"); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, batch(2, Edge{U: 4, V: 5, W: 3}))
+	fault.Reset()
+	j.Close()
+	j2 := openT(t, dir)
+	if n := len(j2.Records()); n != 1 {
+		t.Fatalf("torn append visible after reopen: %d records", n)
+	}
+	if st := j2.Stats(); st.TruncatedBytes != 10 {
+		t.Fatalf("TruncatedBytes = %d, want 10", st.TruncatedBytes)
+	}
+}
+
+func TestAppendSyncFailureRollsBack(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	j := openT(t, dir)
+	mustAppend(t, j, batch(1, Edge{U: 0, V: 1, W: 2}))
+	if err := fault.Enable("wal.sync", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(batch(2, Edge{U: 4, V: 5, W: 3})); err == nil {
+		t.Fatal("append with failing fsync reported success")
+	}
+	fault.Reset()
+	// The failed append must be fully invisible: same journal, then a
+	// fresh open.
+	if j.LastGen() != 2 {
+		t.Fatalf("LastGen = %d after failed append, want 2", j.LastGen())
+	}
+	mustAppend(t, j, batch(2, Edge{U: 6, V: 7, W: 1}))
+	j.Close()
+	j2 := openT(t, dir)
+	got := j2.Records()
+	if len(got) != 2 || got[1].Edges[0].U != 6 {
+		t.Fatalf("rolled-back append corrupted the frame stream: %+v", got)
+	}
+	if st := j2.Stats(); st.TruncatedBytes != 0 {
+		t.Fatalf("clean reopen truncated %d bytes", st.TruncatedBytes)
+	}
+}
+
+func TestSegmentRotationAndMidJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(1); g <= 6; g++ {
+		mustAppend(t, j, batch(g, Edge{U: 0, V: 1, W: float64(g)}))
+	}
+	st := j.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	j.Close()
+	// Corrupt the FIRST segment: everything after it chains through the
+	// hole and must be dropped, not replayed.
+	seg1 := filepath.Join(dir, "journal-00000001.wal")
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerLen+5] ^= 0xff
+	if err := os.WriteFile(seg1, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, dir)
+	st2 := j2.Stats()
+	if st2.DroppedSegments == 0 {
+		t.Fatal("mid-journal corruption did not drop later segments")
+	}
+	if _, ok := j2.ChainFrom(1); ok && j2.LastGen() == 7 {
+		t.Fatal("corrupt chain still claims full coverage")
+	}
+}
+
+func TestChainFromAndFloor(t *testing.T) {
+	j := openT(t, t.TempDir())
+	// A journal that starts observing at generation 3 (marker), then two
+	// batches.
+	if err := j.AppendMarker(3); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, batch(3, Edge{U: 0, V: 1, W: 5}))
+	mustAppend(t, j, batch(4, Edge{U: 2, V: 3, W: 6}))
+	if f := j.Floor(); f != 3 {
+		t.Fatalf("Floor = %d, want 3", f)
+	}
+	if chain, ok := j.ChainFrom(3); !ok || len(chain) != 2 {
+		t.Fatalf("ChainFrom(3) = %v, %v", chain, ok)
+	}
+	if chain, ok := j.ChainFrom(4); !ok || len(chain) != 1 || chain[0].Gen != 5 {
+		t.Fatalf("ChainFrom(4) = %v, %v", chain, ok)
+	}
+	if chain, ok := j.ChainFrom(5); !ok || len(chain) != 0 {
+		t.Fatalf("ChainFrom(5) = %v, %v (up to date: empty chain)", chain, ok)
+	}
+	// Below the marker: unbridgeable.
+	if _, ok := j.ChainFrom(2); ok {
+		t.Fatal("ChainFrom below the coverage floor succeeded")
+	}
+	// Marker at the current tail is a no-op, not a duplicate.
+	if err := j.AppendMarker(5); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(j.Records()); n != 3 {
+		t.Fatalf("no-op marker appended a record: %d", n)
+	}
+}
+
+func TestCompactThrough(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := uint64(1); g <= 6; g++ {
+		mustAppend(t, j, batch(g, Edge{U: 0, V: 1, W: float64(g)}))
+	}
+	if err := j.CompactThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	// Generations 5..7 must still replay for a consumer at 4.
+	if chain, ok := j.ChainFrom(4); !ok || len(chain) != 3 {
+		t.Fatalf("ChainFrom(4) after compaction = %v, %v", chain, ok)
+	}
+	if st := j.Stats(); st.Records != 4 {
+		t.Fatalf("records after compaction = %d, want 4 (one covered segment dropped)", st.Records)
+	}
+	j.Close()
+	j2 := openT(t, dir)
+	if chain, ok := j2.ChainFrom(4); !ok || len(chain) != 3 {
+		t.Fatalf("reopen after compaction lost the tail: %v, %v", chain, ok)
+	}
+	// Compacting everything leaves an appendable empty journal that
+	// still rejects generation reuse? No: records are gone, so the floor
+	// of knowledge is gone too — but the caller (serve) replays nothing
+	// and appends from its checkpoint generation, which is ahead.
+	if err := j2.CompactThrough(7); err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Stats(); st.Records != 0 {
+		t.Fatalf("full compaction left %d records", st.Records)
+	}
+	mustAppend(t, j2, batch(7, Edge{U: 1, V: 2, W: 1}))
+}
+
+func TestCompactCoalesce(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SegmentBytes=1: every append rotates, so each record sits in its
+	// own full segment — the coordinator-journal shape at its worst.
+	mustAppend(t, j, batch(1, Edge{U: 0, V: 1, W: 10}))
+	mustAppend(t, j, batch(2, Edge{U: 0, V: 1, W: 20}, Edge{U: 2, V: 3, W: 5}))
+	mustAppend(t, j, batch(3, Edge{U: 4, V: 5, W: 7}))
+	mustAppend(t, j, batch(4, Edge{U: 6, V: 7, W: 8}))
+	if err := j.CompactCoalesce(3); err != nil {
+		t.Fatal(err)
+	}
+	// A consumer at 1 (the pre-journal state) must still reach the tail.
+	chain, ok := j.ChainFrom(1)
+	if !ok {
+		t.Fatal("coalescing raised the coverage floor")
+	}
+	// First chain entry is the snapshot: last-write-wins means edge
+	// (0,1) carries 20, not 10.
+	snap := chain[0]
+	if snap.From != 1 || snap.Gen != 3 {
+		t.Fatalf("snapshot spans [%d,%d), want [1,3)", snap.From, snap.Gen)
+	}
+	w01 := 0.0
+	for _, e := range snap.Edges {
+		if e.U == 0 && e.V == 1 {
+			w01 = e.W
+		}
+	}
+	if w01 != 20 {
+		t.Fatalf("coalesced weight for (0,1) = %v, want 20 (last write wins)", w01)
+	}
+	if st := j.Stats(); st.Records != 3 {
+		t.Fatalf("records after coalesce = %d, want 3 (snapshot + 2 tail)", st.Records)
+	}
+	j.Close()
+	j2 := openT(t, dir)
+	if chain, ok := j2.ChainFrom(1); !ok || len(chain) != 3 {
+		t.Fatalf("reopen after coalesce: %v, %v", chain, ok)
+	}
+}
+
+func TestCompactCoalesceStopsAtFloorJump(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{NoSync: true, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, batch(1, Edge{U: 0, V: 1, W: 10}))
+	// A marker at 5: history 2..5 is unknown (coordinator restarted
+	// against a cluster that moved on).
+	if err := j.AppendMarker(5); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, batch(5, Edge{U: 2, V: 3, W: 1}))
+	mustAppend(t, j, batch(6, Edge{U: 4, V: 5, W: 2}))
+	if err := j.CompactCoalesce(7); err != nil {
+		t.Fatal(err)
+	}
+	// Consumers at >= 5 must still be upgradable; consumers below the
+	// marker stay unbridgeable — coalescing across the marker would have
+	// silently claimed coverage the journal does not have.
+	if _, ok := j.ChainFrom(4); ok {
+		t.Fatal("coalesce bridged an unknown-history gap")
+	}
+	if chain, ok := j.ChainFrom(5); !ok || chain[len(chain)-1].Gen != 7 {
+		t.Fatalf("ChainFrom(5) = %v, %v", chain, ok)
+	}
+	if f := j.Floor(); f != 5 {
+		t.Fatalf("Floor = %d, want 5", f)
+	}
+}
