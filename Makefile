@@ -9,7 +9,7 @@ APSPVET := bin/apspvet
 APSPVET_SRC := $(wildcard cmd/apspvet/*.go internal/analysis/*.go \
 	internal/analysis/analysistest/*.go internal/analyzers/*.go)
 
-.PHONY: all build test race lint apspvet staticcheck check bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke update-smoke recovery-smoke bench-gemm bench-update
+.PHONY: all build test race lint apspvet staticcheck check cross-arm64 bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke update-smoke recovery-smoke bench-gemm bench-update
 
 all: build test
 
@@ -105,11 +105,21 @@ checkpoint-smoke:
 		&& echo "checkpoint round trip OK: $$(cat "$$tmp/restored.txt")"
 
 # Exercise the adaptive GEMM engine end to end: the differential suite
-# (every dispatch path vs the naive kernel, under the race detector) plus
-# one quick pass of the gemm density × size sweep.
+# (every dispatch path and the fused packed pipeline vs the naive
+# kernel, under the race detector), the fused-vs-staged timing gate on
+# AVX-512 hosts (skips itself elsewhere), plus one quick pass of the
+# gemm density × size sweep and its fused companions.
 gemm-smoke:
-	$(GO) test -race -run 'TestGemmDifferential|TestKernelCounters|FuzzGemmDifferential' ./internal/semiring
-	$(GO) run ./cmd/apspbench -exp gemm -quick
+	$(GO) test -race -run 'TestGemmDifferential|TestKernelCounters|FuzzGemmDifferential|TestFusedMatchesStagedAndNaive|TestFusedReuseCounters|FuzzFusedDifferential|TestVectorKernelMatchesScalar' ./internal/semiring
+	FUSED_GATE=1 $(GO) test -run TestFusedDenseSpeedupGate -v ./internal/bench
+	$(GO) run ./cmd/apspbench -exp gemm,gemmvec,gemmreuse -quick
+
+# Cross-compile the whole tree for arm64: proves the portable kernel
+# fallbacks (simd_noasm.go) keep every package buildable off amd64.
+# Compile-only — the container has no arm64 runtime.
+cross-arm64:
+	GOARCH=arm64 GOOS=linux $(GO) build ./...
+	GOARCH=arm64 GOOS=linux $(GO) vet ./...
 
 # Chaos smoke for the sharded serving stack: 3 checkpoint-warm workers
 # behind an apspshard coordinator, a queryload storm with a SIGKILL
@@ -138,11 +148,13 @@ update-smoke:
 recovery-smoke:
 	./scripts/recovery_smoke.sh
 
-# Full density × size sweep of the adaptive GEMM engine vs the frozen
-# seed kernel. Writes BENCH_gemm.md (table) and BENCH_gemm.json (raw
-# measurements incl. dispatch counters).
+# Full density × size sweep of the GEMM engine legs (seed | staged AVX2
+# | fused packed full-ISA) plus the scalar-vs-vector variant table and
+# the pack-amortization table. Writes BENCH_gemm.md (tables) and
+# BENCH_gemm.json (raw sweep measurements incl. dispatch counters and
+# machine/ISA metadata).
 bench-gemm:
-	$(GO) run ./cmd/apspbench -exp gemm -out BENCH_gemm.md
+	$(GO) run ./cmd/apspbench -exp gemm,gemmvec,gemmreuse -out BENCH_gemm.md
 	@echo "wrote BENCH_gemm.md and BENCH_gemm.json"
 
 # Live-update patch vs full rebuild across the catalog graphs (always

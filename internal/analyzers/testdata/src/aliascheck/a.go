@@ -11,8 +11,14 @@ func MinPlusMulAddSerial(C, A, B Mat)         {}
 func MaxMinMulAddPaths(C, A, B Mat, n, m int) {}
 func UnrelatedThreeArg(C, A, B Mat)           {}
 
+type PackedPanel struct{}
+
+func MinPlusMulAddPacked(C, A Mat, P *PackedPanel)                {}
+func MinPlusMulAddPathsPacked(C, A Mat, P *PackedPanel, n, m int) {}
+
 type Kernels struct {
-	MulAdd func(C, A, B Mat)
+	MulAdd       func(C, A, B Mat)
+	MulAddPacked func(C, A Mat, P *PackedPanel)
 }
 
 func update(K *Kernels, up, diag, down Mat) {
@@ -28,4 +34,12 @@ func update(K *Kernels, up, diag, down Mat) {
 	MinPlusMulAdd(up, diag, down)                            // clean: three distinct operands
 	UnrelatedThreeArg(up, up, up)                            // clean: not in the gemm family
 	K.MulAdd(up.View(0, 0, 1, 1), up.View(1, 1, 1, 1), diag) // clean: different views are not syntactic aliases
+
+	var P *PackedPanel
+	MinPlusMulAddPacked(down, down, P)            // want `C argument down aliases A`
+	MinPlusMulAddPathsPacked(down, down, P, 0, 0) // want `C argument down aliases A`
+	K.MulAddPacked(down, down, P)                 // want `C argument down aliases A`
+	MinPlusMulAddPacked(down, up, P)              // clean: distinct operands
+	//lint:ignore aliascheck packed operand is the closed diagonal, which the update never writes
+	MinPlusMulAddPacked(down, down, P)
 }

@@ -471,7 +471,7 @@ func Preproc(quick bool) *Report {
 // Experiments lists every experiment id in run order: one per paper
 // table/figure plus the "factor" extension study.
 func Experiments() []string {
-	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "gemm", "preproc", "factor", "queryload", "crossover", "comm", "update"}
+	return []string{"fig1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8", "kernel", "gemm", "gemmvec", "gemmreuse", "preproc", "factor", "queryload", "crossover", "comm", "update"}
 }
 
 // Run executes the named experiment.
@@ -495,6 +495,10 @@ func Run(id string, quick bool, threads int) (*Report, error) {
 		return Kernel(quick), nil
 	case "gemm":
 		return Gemm(quick), nil
+	case "gemmvec":
+		return GemmVec(quick), nil
+	case "gemmreuse":
+		return GemmReuse(quick), nil
 	case "preproc":
 		return Preproc(quick), nil
 	case "factor":

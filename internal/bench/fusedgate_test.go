@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/semiring"
+)
+
+// TestFusedDenseSpeedupGate is the acceptance gate for the fused-kernel
+// PR, opt-in via FUSED_GATE=1 (it is a timing assertion, so it only
+// means something on an otherwise-idle AVX-512 host — `make gemm-smoke`
+// runs it that way; plain `go test` skips it).
+//
+//   - fused full-ISA leg ≥1.3× over the PR 4 staged AVX2 leg on a
+//     dense n=512 panel;
+//   - max-min and index-carrying Paths kernels ≥3× over scalar on
+//     dense n=256 panels.
+func TestFusedDenseSpeedupGate(t *testing.T) {
+	if os.Getenv("FUSED_GATE") == "" {
+		t.Skip("set FUSED_GATE=1 to run the fused-kernel timing gates")
+	}
+	if !semiring.HasAVX512() {
+		t.Skip("gate thresholds assume AVX-512 dispatch; host has none")
+	}
+
+	t.Run("fused_vs_staged", func(t *testing.T) {
+		const n, reps = 512, 5
+		rng := rand.New(rand.NewSource(7401))
+		A := vecRandMat(rng, n, n, 1.0, semiring.Inf)
+		B := vecRandMat(rng, n, n, 1.0, semiring.Inf)
+		C0 := vecRandMat(rng, n, n, 0.3, semiring.Inf)
+		row := gemmCell(n, 1.0, reps, A, B, C0)
+		if !row.DenseDispatch {
+			t.Fatalf("dense panel did not take the dense dispatch path")
+		}
+		t.Logf("staged %.2f GOP/s, fused %.2f GOP/s, speedup %.2f×",
+			row.StagedGops, row.FusedGops, row.SpeedupVsStaged)
+		if row.SpeedupVsStaged < 1.3 {
+			t.Errorf("fused leg %.2f× over staged AVX2, want ≥1.3×", row.SpeedupVsStaged)
+		}
+	})
+
+	for _, v := range vecVariants() {
+		if v.name == "min-plus" {
+			continue // reported by gemmvec but not gated
+		}
+		v := v
+		t.Run("vector_"+v.name, func(t *testing.T) {
+			const n, reps = 256, 5
+			rng := rand.New(rand.NewSource(7402))
+			A := vecRandMat(rng, n, n, 1.0, v.zero)
+			B := vecRandMat(rng, n, n, 1.0, v.zero)
+			C0 := vecRandMat(rng, n, n, 0.3, v.zero)
+			var nc0, na semiring.IntMat
+			if v.paths {
+				nc0, na = semiring.NewIntMat(n, n), semiring.NewIntMat(n, n)
+				semiring.InitNextHops(C0, nc0)
+				semiring.InitNextHops(A, na)
+			}
+			scalar, vector := vecCell(v, reps, A, B, C0, nc0, na)
+			sp := scalar.Seconds() / vector.Seconds()
+			t.Logf("scalar %v, vector %v, speedup %.2f×",
+				scalar.Round(time.Microsecond), vector.Round(time.Microsecond), sp)
+			if sp < 3.0 {
+				t.Errorf("%s vector leg %.2f× over scalar, want ≥3×", v.name, sp)
+			}
+		})
+	}
+}

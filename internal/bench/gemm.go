@@ -1,19 +1,30 @@
 package bench
 
-// The "gemm" experiment sweeps the adaptive SemiringGemm engine across a
-// size × density grid and compares it against the frozen seed kernel
-// (semiring.MinPlusMulAddReference). It reports fused-op throughput for
-// both, the speedup, and which path the engine's density sampler chose —
-// the dense packed register-blocked kernel or the Inf-skip stream — and
-// writes the raw measurements to BENCH_gemm.json for the acceptance
-// gate (≥1.5× on dense n≥768, ≤5% regression on ≥90%-Inf operands).
+// The "gemm" experiment sweeps the SemiringGemm engine across a size ×
+// density grid with THREE legs per cell, tracking the kernel's history
+// across PRs:
+//
+//   - seed:   the frozen reference kernel (MinPlusMulAddReference)
+//   - staged: the PR 4 engine — adaptive dense/stream dispatch with the
+//     AVX2 micro-kernel, B re-packed on every call
+//     (SetMaxVectorISA("avx2") + MinPlusMulAdd)
+//   - fused:  the fused pipeline — PackPanel once, packed-tile sweep at
+//     the full ISA (AVX-512 on capable hosts)
+//
+// All three must agree bitwise (the cell panics otherwise — dense and
+// stream evaluate identical candidate sets with exact min, so there is
+// no tolerance to hide behind). Raw measurements go to BENCH_gemm.json
+// for the acceptance gate: fused ≥1.3× over staged on dense panels
+// (n≥512, density≥0.9).
 //
 // Timing methodology: the host is shared and noisy, so each cell takes
-// the best of several reps with the two kernels interleaved round-robin
-// (a frequency dip hits both candidates, not just one). C is restored
+// the best of several reps with the legs interleaved round-robin (a
+// frequency dip hits every candidate, not just one). C is restored
 // from a pristine copy before every rep — timing repeated multiply-adds
 // into an already-converged C would let the conditional store never
-// fire and flatter whichever kernel ran second.
+// fire and flatter whichever leg ran last. The fused leg re-packs B
+// inside the timed region (pack is O(n²) against the O(n³) sweep); the
+// "gemmreuse" experiment measures what pack amortization adds on top.
 
 import (
 	"encoding/json"
@@ -41,23 +52,33 @@ func gemmOutPath() string {
 
 // GemmRow is one (size, density) cell of the sweep.
 type GemmRow struct {
-	N             int                     `json:"n"`
-	Density       float64                 `json:"density"`
-	RefNS         int64                   `json:"ref_ns"`
-	AdaptiveNS    int64                   `json:"adaptive_ns"`
-	RefGops       float64                 `json:"ref_gops"`
-	AdaptiveGops  float64                 `json:"adaptive_gops"`
-	Speedup       float64                 `json:"speedup"`
+	N       int     `json:"n"`
+	Density float64 `json:"density"`
+
+	RefNS    int64 `json:"ref_ns"`
+	StagedNS int64 `json:"staged_ns"`
+	FusedNS  int64 `json:"fused_ns"`
+
+	RefGops    float64 `json:"ref_gops"`
+	StagedGops float64 `json:"staged_gops"`
+	FusedGops  float64 `json:"fused_gops"`
+
+	// SpeedupVsSeed is fused/seed; SpeedupVsStaged is fused/staged —
+	// the number the ≥1.3× dense-panel gate reads.
+	SpeedupVsSeed   float64 `json:"speedup_vs_seed"`
+	SpeedupVsStaged float64 `json:"speedup_vs_staged"`
+
 	DenseDispatch bool                    `json:"dense_dispatch"`
 	Kernel        semiring.KernelCounters `json:"kernel_delta"`
 }
 
 // GemmResult is the BENCH_gemm.json payload.
 type GemmResult struct {
-	Quick  bool                `json:"quick"`
-	Reps   int                 `json:"reps"`
-	Tuning semiring.GemmTuning `json:"tuning"`
-	Rows   []GemmRow           `json:"rows"`
+	Quick   bool                `json:"quick"`
+	Reps    int                 `json:"reps"`
+	Machine MachineInfo         `json:"machine"`
+	Tuning  semiring.GemmTuning `json:"tuning"`
+	Rows    []GemmRow           `json:"rows"`
 }
 
 // gemmRandMat builds an n×n operand with the given finite fraction;
@@ -82,10 +103,11 @@ func Gemm(quick bool) *Report {
 	}
 	densities := []float64{0.05, 0.5, 0.9, 1.0}
 	r := &Report{ID: "gemm",
-		Title:  "Adaptive SemiringGemm vs seed kernel (fused min-plus op = 2 flops; best of interleaved reps)",
-		Header: []string{"n", "density", "path", "seed GOP/s", "adaptive GOP/s", "speedup"}}
-	res := GemmResult{Quick: quick, Reps: reps, Tuning: semiring.CurrentGemmTuning()}
+		Title:  "SemiringGemm legs: seed | staged AVX2 (PR 4) | fused packed full-ISA (fused min-plus op = 2 flops; best of interleaved reps)",
+		Header: []string{"n", "density", "path", "seed GOP/s", "staged GOP/s", "fused GOP/s", "fused vs staged"}}
+	res := GemmResult{Quick: quick, Reps: reps, Machine: CurrentMachine(), Tuning: semiring.CurrentGemmTuning()}
 	rng := rand.New(rand.NewSource(7001))
+	gateMin, gateCells := 0.0, 0
 	for _, n := range sizes {
 		for _, d := range densities {
 			A := gemmRandMat(rng, n, d)
@@ -98,13 +120,19 @@ func Gemm(quick bool) *Report {
 			}
 			row := gemmCell(n, d, cellReps, A, B, C0)
 			res.Rows = append(res.Rows, row)
+			if n >= 512 && d >= 0.9 {
+				if gateCells == 0 || row.SpeedupVsStaged < gateMin {
+					gateMin = row.SpeedupVsStaged
+				}
+				gateCells++
+			}
 			path := "stream"
 			if row.DenseDispatch {
 				path = "dense"
 			}
 			r.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", d), path,
-				fmt.Sprintf("%.2f", row.RefGops), fmt.Sprintf("%.2f", row.AdaptiveGops),
-				fmtSpeedup(row.Speedup))
+				fmt.Sprintf("%.2f", row.RefGops), fmt.Sprintf("%.2f", row.StagedGops),
+				fmt.Sprintf("%.2f", row.FusedGops), fmtSpeedup(row.SpeedupVsStaged))
 		}
 	}
 	if path := gemmOutPath(); writeGemmJSON(path, &res) != nil {
@@ -112,47 +140,69 @@ func Gemm(quick bool) *Report {
 	} else {
 		r.AddNote("raw measurements written to %s", path)
 	}
-	kernel := "register-blocked 4×2 scalar micro-kernel"
-	if semiring.HasVectorKernel() {
-		kernel = "AVX2 vector kernel (8 lanes/iter)"
+	m := res.Machine
+	r.AddNote("host: %s %s/%s, GOMAXPROCS=%d, vector ISA %s %v.", m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS, m.VectorISA, m.CPUFeatures)
+	r.AddNote("staged = PR 4 engine (AVX2 clamp, B re-packed per call); fused = PackPanel + packed-tile sweep at full ISA; all legs bitwise-checked against the seed each cell.")
+	if gateCells > 0 {
+		r.AddNote("dense-panel gate (n≥512, density≥0.9): min fused-vs-staged speedup %.2f× across %d cells (gate: ≥1.3×).", gateMin, gateCells)
+	} else {
+		r.AddNote("dense-panel gate cells (n≥512) only run at full scale; rerun without -quick.")
 	}
-	r.AddNote("dense dispatch = packed B tiles + %s; stream = Inf-skip row streaming (the seed algorithm).", kernel)
 	return r
 }
 
-// gemmCell times one (n, density) cell: best-of-reps, kernels
-// interleaved, C restored from C0 before every timed call.
+// gemmCell times one (n, density) cell: best-of-reps, legs interleaved,
+// C restored from C0 before every timed call.
 func gemmCell(n int, d float64, reps int, A, B, C0 semiring.Mat) GemmRow {
-	// Correctness cross-check (also warms the pack pool and caches).
-	refC, adC := C0.Clone(), C0.Clone()
+	// Correctness cross-check (also warms the pack pool and caches):
+	// seed vs staged-AVX2 vs fused must be bitwise identical.
+	refC, stC, fuC := C0.Clone(), C0.Clone(), C0.Clone()
 	semiring.MinPlusMulAddReference(refC, A, B)
+	prev := semiring.SetMaxVectorISA("avx2")
+	semiring.MinPlusMulAdd(stC, A, B)
+	semiring.SetMaxVectorISA(prev)
 	k0 := semiring.ReadKernelCounters()
-	semiring.MinPlusMulAdd(adC, A, B)
+	P := semiring.PackPanel(B, semiring.Inf)
+	semiring.MinPlusMulAddPacked(fuC, A, P)
+	P.Release()
 	delta := semiring.ReadKernelCounters().Sub(k0)
-	if !adC.Equal(refC) {
-		panic(fmt.Sprintf("bench: adaptive and seed gemm disagree at n=%d density=%.2f", n, d))
+	if !stC.Equal(refC) || !fuC.Equal(refC) {
+		panic(fmt.Sprintf("bench: gemm legs disagree at n=%d density=%.2f (staged=%v fused=%v)",
+			n, d, stC.Equal(refC), fuC.Equal(refC)))
 	}
 	scratch := C0.Clone()
-	bestRef, bestAd := time.Duration(1<<62), time.Duration(1<<62)
+	bestRef, bestSt, bestFu := time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62)
 	for rep := 0; rep < reps; rep++ {
 		scratch.Copy(C0)
 		if t := timeIt(func() { semiring.MinPlusMulAddReference(scratch, A, B) }); t < bestRef {
 			bestRef = t
 		}
 		scratch.Copy(C0)
-		if t := timeIt(func() { semiring.MinPlusMulAdd(scratch, A, B) }); t < bestAd {
-			bestAd = t
+		prev := semiring.SetMaxVectorISA("avx2")
+		if t := timeIt(func() { semiring.MinPlusMulAdd(scratch, A, B) }); t < bestSt {
+			bestSt = t
+		}
+		semiring.SetMaxVectorISA(prev)
+		scratch.Copy(C0)
+		if t := timeIt(func() {
+			P := semiring.PackPanel(B, semiring.Inf)
+			semiring.MinPlusMulAddPacked(scratch, A, P)
+			P.Release()
+		}); t < bestFu {
+			bestFu = t
 		}
 	}
 	flops := 2 * float64(n) * float64(n) * float64(n)
 	return GemmRow{
 		N: n, Density: d,
-		RefNS: bestRef.Nanoseconds(), AdaptiveNS: bestAd.Nanoseconds(),
-		RefGops:       flops / bestRef.Seconds() / 1e9,
-		AdaptiveGops:  flops / bestAd.Seconds() / 1e9,
-		Speedup:       bestRef.Seconds() / bestAd.Seconds(),
-		DenseDispatch: delta.DenseCalls > 0,
-		Kernel:        delta,
+		RefNS: bestRef.Nanoseconds(), StagedNS: bestSt.Nanoseconds(), FusedNS: bestFu.Nanoseconds(),
+		RefGops:         flops / bestRef.Seconds() / 1e9,
+		StagedGops:      flops / bestSt.Seconds() / 1e9,
+		FusedGops:       flops / bestFu.Seconds() / 1e9,
+		SpeedupVsSeed:   bestRef.Seconds() / bestFu.Seconds(),
+		SpeedupVsStaged: bestSt.Seconds() / bestFu.Seconds(),
+		DenseDispatch:   delta.DenseCalls > 0,
+		Kernel:          delta,
 	}
 }
 

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"runtime"
+
+	"repro/internal/semiring"
+)
+
+// MachineInfo identifies the host, toolchain, and kernel ISA behind a
+// benchmark JSON payload. Every BENCH_*.json embeds one so trajectory
+// comparisons never silently mix an AVX-512 run with an AVX2 or arm64
+// one — the paper's §5 reports its Xeon Gold 6142 configuration for the
+// same reason.
+type MachineInfo struct {
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"num_cpu"`
+	VectorISA   string   `json:"vector_isa"`
+	CPUFeatures []string `json:"cpu_features"`
+}
+
+// CurrentMachine snapshots the running host. VectorISA reflects any
+// live SetMaxVectorISA clamp, so ablation runs self-describe.
+func CurrentMachine() MachineInfo {
+	return MachineInfo{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		VectorISA:   semiring.VectorISA(),
+		CPUFeatures: semiring.CPUFeatures(),
+	}
+}

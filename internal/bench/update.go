@@ -57,6 +57,7 @@ type UpdateResult struct {
 	Quick   bool        `json:"quick"`
 	Threads int         `json:"threads"`
 	Reps    int         `json:"reps"`
+	Machine MachineInfo `json:"machine"`
 	Rows    []UpdateRow `json:"rows"`
 }
 
@@ -76,7 +77,7 @@ func Update(quick bool, threads int) *Report {
 	r := &Report{ID: "update",
 		Title:  "Live update: batched patch (copy-on-write + dirty-chain re-elimination) vs full rebuild (re-plan + refactorize), p50",
 		Header: []string{"graph", "n", "mode", "batch", "patch p50", "rebuild p50", "speedup", "dirty"}}
-	res := UpdateResult{Quick: quick, Threads: threads, Reps: patchReps}
+	res := UpdateResult{Quick: quick, Threads: threads, Reps: patchReps, Machine: CurrentMachine()}
 	rng := rand.New(rand.NewSource(7101))
 	for _, name := range graphs {
 		e, ok := Find(name)

@@ -289,19 +289,38 @@ func (f *Factor) factorize(ctx context.Context, threads int, schedule ScheduleKi
 
 // eliminate processes supernode k: close the diagonal, update the
 // panels, and scatter the ancestor×ancestor outer products into the
-// ancestors' own factor blocks.
+// ancestors' own factor blocks. On the fused path the closed diagonal
+// is packed once and the down-panel update streams over the packed
+// tiles; the up-panel update stays on the staged MulAdd because there
+// the packed operand would alias the destination (B == C), and the
+// staged in-place form is the algorithm.
 func (f *Factor) eliminate(k, threads int, locks *par.StripedMutex) {
 	fault.Inject("core.factor.eliminate")
 	K := f.K
+	fused := fusedElim.Load() && K.MulAddPacked != nil
+	tDiag := time.Now()
 	K.FW(f.diag[k])
+	semiring.AddPhaseTime(semiring.PhaseDiag, time.Since(tDiag))
 	if f.ancOff[k][len(f.ancIDs[k])] == 0 {
+		semiring.CountElimination(fused)
 		return
 	}
 	// Panels (in place; diagonal closed).
-	K.MulAdd(f.up[k], f.diag[k], f.up[k])     //lint:ignore aliascheck in-place panel update is closed under min-plus: diag is closed with zero diagonal, so C=A is the algorithm
-	K.MulAdd(f.down[k], f.down[k], f.diag[k]) //lint:ignore aliascheck symmetric in-place panel update against the closed zero-diagonal block
+	tPanel := time.Now()
+	K.MulAdd(f.up[k], f.diag[k], f.up[k]) //lint:ignore aliascheck in-place panel update is closed under min-plus: diag is closed with zero diagonal, so C=A is the algorithm
+	if fused {
+		Pd := K.PackPanel(f.diag[k])
+		K.MulAddPacked(f.down[k], f.down[k], Pd) //lint:ignore aliascheck symmetric in-place panel update; the packed operand is the closed diagonal, which the update never writes
+		Pd.Release()
+	} else {
+		K.MulAdd(f.down[k], f.down[k], f.diag[k]) //lint:ignore aliascheck symmetric in-place panel update against the closed zero-diagonal block
+	}
+	semiring.AddPhaseTime(semiring.PhasePanel, time.Since(tPanel))
 
+	tOuter := time.Now()
 	f.scatterOuter(k, threads, locks, nil)
+	semiring.AddPhaseTime(semiring.PhaseOuter, time.Since(tOuter))
+	semiring.CountElimination(fused)
 }
 
 // scatterOuter applies supernode k's ancestor×ancestor outer products
@@ -323,6 +342,24 @@ func (f *Factor) scatterOuter(k, threads int, locks *par.StripedMutex, ownerFilt
 	s := sn.Ranges[k].Size()
 	anc := f.ancIDs[k]
 	na := len(anc)
+	// Fused path: the up-section of ancestor column j is the B operand of
+	// every (i, j) pair, so pack it once and reuse it na times. The
+	// targets are the ancestors' own blocks — never up[k] or down[k] — so
+	// the packed snapshot stays valid for the whole scatter. Columns no
+	// (i, j) pair will touch under ownerFilter are skipped.
+	var packs []*semiring.PackedPanel
+	if fusedElim.Load() && K.MulAddPacked != nil && na > 1 {
+		packs = make([]*semiring.PackedPanel, na)
+		for j := 0; j < na; j++ {
+			needed := ownerFilter == nil || ownerFilter[anc[j]]
+			for i := 0; !needed && i < j; i++ {
+				needed = ownerFilter[anc[i]] // (i<j, j) targets live on anc[i]
+			}
+			if needed {
+				packs[j] = K.PackPanel(f.up[k].View(0, f.ancOff[k][j], s, f.ancOff[k][j+1]-f.ancOff[k][j]))
+			}
+		}
+	}
 	par.For(na*na, threads, 1, func(idx int) {
 		i, j := idx/na, idx%na
 		ai, aj := anc[i], anc[j]
@@ -350,15 +387,25 @@ func (f *Factor) scatterOuter(k, threads int, locks *par.StripedMutex, ownerFilt
 			o := f.ancOff[aj]
 			target = f.down[aj].View(o[i-j-1], 0, o[i-j]-o[i-j-1], sn.Ranges[aj].Size())
 		}
+		mul := func() { K.MulAdd(target, src, srcR) }
+		if packs != nil && packs[j] != nil {
+			P := packs[j]
+			mul = func() { K.MulAddPacked(target, src, P) }
+		}
 		if locks != nil {
 			key := uint64(ai)*uint64(len(f.diag)) + uint64(aj)
 			locks.Lock(key)
-			K.MulAdd(target, src, srcR)
+			mul()
 			locks.Unlock(key)
 		} else {
-			K.MulAdd(target, src, srcR)
+			mul()
 		}
 	})
+	for _, P := range packs {
+		if P != nil {
+			P.Release()
+		}
+	}
 }
 
 // SSSP computes distances from src (original vertex id) to every vertex,
@@ -455,10 +502,12 @@ func allZero(v []float64, zero float64) bool {
 	return true
 }
 
-// vecMat computes y = y ⊕ x ⊗ A over the plan's semiring.
+// vecMat computes y = y ⊕ x ⊗ A over the plan's semiring, preferring
+// the kernel bundle's dedicated sweep kernel (zero fast paths) over a
+// degenerate 1×n MulAdd.
 func (f *Factor) vecMat(y, x []float64, A semiring.Mat) {
-	if f.K == semiring.MinPlusKernels {
-		semiring.MinPlusVecMatAdd(y, x, A)
+	if f.K.VecMatAdd != nil {
+		f.K.VecMatAdd(y, x, A)
 		return
 	}
 	// Generic path via the kernel's MulAdd on 1×n views.
@@ -469,8 +518,8 @@ func (f *Factor) vecMat(y, x []float64, A semiring.Mat) {
 
 // matVec computes y = y ⊕ A ⊗ x over the plan's semiring.
 func (f *Factor) matVec(y []float64, A semiring.Mat, x []float64) {
-	if f.K == semiring.MinPlusKernels {
-		semiring.MinPlusMatVecAdd(y, A, x)
+	if f.K.MatVecAdd != nil {
+		f.K.MatVecAdd(y, A, x)
 		return
 	}
 	X := semiring.Mat{Data: x, Stride: 1, Rows: len(x), Cols: 1}

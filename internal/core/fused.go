@@ -1,0 +1,28 @@
+package core
+
+// Fused-elimination toggle. The fused path packs a supernode's reused
+// operands (the closed diagonal block, the up-panel ancestor sections,
+// the outer-update row panels) once per elimination and streams every
+// consumer over the packed tiles via the semiring's MulAddPacked entry
+// points, instead of letting each MulAdd re-derive its own dense/stream
+// dispatch and re-pack the same operand. Results are bitwise identical
+// to the staged path — dense and streaming sweeps evaluate the same
+// candidate set and ⊕ is an exact min/max — so the toggle exists for
+// benchmark ablation (fused vs the PR 4 staged pipeline), not for
+// correctness escape hatches.
+
+import "sync/atomic"
+
+var fusedElim atomic.Bool
+
+func init() { fusedElim.Store(true) }
+
+// SetFusedEliminate enables or disables the fused packed-panel
+// elimination path and returns the previous setting. Safe to call
+// between solves; flipping it mid-elimination only affects supernodes
+// that have not started yet.
+func SetFusedEliminate(on bool) bool { return fusedElim.Swap(on) }
+
+// FusedEliminateEnabled reports whether eliminations use the fused
+// packed-panel path.
+func FusedEliminateEnabled() bool { return fusedElim.Load() }

@@ -141,8 +141,15 @@ func (pr *Profile) String() string {
 			sp.Supernode, sp.Level, sp.Vertices, sp.Workers, sp.Wall.Round(time.Microsecond))
 	}
 	if k := pr.Kernel; k.Calls > 0 {
-		fmt.Fprintf(&b, "gemm kernels: %d calls (%.0f%% dense, %d shards), %d fused ops, %s packed",
+		fmt.Fprintf(&b, "gemm kernels: %d calls (%.0f%% dense, %d shards), %d fused ops, %s packed\n",
 			k.Calls, 100*k.DenseRatio(), k.ParallelShards, k.FusedOps, fmtBytes(k.PackedBytes))
+	}
+	if k := pr.Kernel; k.FusedElims+k.StagedElims > 0 {
+		fmt.Fprintf(&b, "fused pipeline: %d fused / %d staged eliminations, %s pack reuse; phase footprint diag %v, panel %v, outer %v",
+			k.FusedElims, k.StagedElims, fmtBytes(k.PackedReuseBytes),
+			time.Duration(k.DiagNS).Round(time.Microsecond),
+			time.Duration(k.PanelNS).Round(time.Microsecond),
+			time.Duration(k.OuterNS).Round(time.Microsecond))
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

@@ -107,6 +107,22 @@ func (s *state) mul(C, A, B semiring.Mat, nc, na semiring.IntMat) {
 	}
 }
 
+// mulPacked is mul against a pre-packed B panel (fused path).
+func (s *state) mulPacked(C, A semiring.Mat, P *semiring.PackedPanel, nc, na semiring.IntMat) {
+	if s.track {
+		s.K.MulAddPathsPacked(C, A, P, nc, na)
+	} else {
+		s.K.MulAddPacked(C, A, P)
+	}
+}
+
+// fused reports whether this solve should run the fused packed-panel
+// pipeline (toggle on and the kernel bundle provides the entry points).
+func (s *state) fused() bool {
+	return fusedElim.Load() && s.K.MulAddPacked != nil &&
+		(!s.track || s.K.MulAddPathsPacked != nil)
+}
+
 func (p *Plan) finish(ctx context.Context, D semiring.Mat, threads int, etreeParallel bool) (*Result, error) {
 	st := &state{D: D, track: p.Opts.TrackPaths, K: p.Opts.Semiring}
 	if st.track {
@@ -246,6 +262,7 @@ func (p *Plan) eliminateSupernode(st *state, k, threads int, locks *par.StripedM
 	s := r.Size()
 	D := st.D
 	Akk := D.View(r.Lo, r.Lo, s, s)
+	fused := st.fused()
 
 	// DiagUpdate.
 	tDiag := time.Now()
@@ -257,13 +274,24 @@ func (p *Plan) eliminateSupernode(st *state, k, threads int, locks *par.StripedM
 	default:
 		st.K.FW(Akk)
 	}
+	semiring.AddPhaseTime(semiring.PhaseDiag, time.Since(tDiag))
 	if st.prof != nil {
 		st.addStage(&st.prof.Diag, tDiag)
 	}
 
 	tiles := p.reachTiles(k)
 	if len(tiles) == 0 {
+		semiring.CountElimination(fused)
 		return
+	}
+
+	// Fused path: the closed diagonal block is the B operand of every
+	// column-panel update, so pack it once and reuse it across all
+	// tiles. Reach tiles never overlap k's own range, so no panel write
+	// touches the packed snapshot.
+	var Pd *semiring.PackedPanel
+	if fused {
+		Pd = st.K.PackPanel(Akk)
 	}
 
 	// PanelUpdate: for every reach tile t, the row panel A(k,t) from the
@@ -271,7 +299,9 @@ func (p *Plan) eliminateSupernode(st *state, k, threads int, locks *par.StripedM
 	// a row-panel improvement goes via kk inside the diagonal block, so
 	// the first hop comes from next(k-range, k-range); a column-panel
 	// improvement's first hop comes from next(t, k-range) — the operand
-	// that plays the A role in C = C ⊕ A⊗B, in both cases.
+	// that plays the A role in C = C ⊕ A⊗B, in both cases. Row panels
+	// stay on the staged MulAdd (their B operand is the destination
+	// itself); column panels consume the packed diagonal.
 	par.For(2*len(tiles), threads, 1, func(i int) {
 		tPanel := time.Now()
 		t := tiles[i/2]
@@ -280,37 +310,71 @@ func (p *Plan) eliminateSupernode(st *state, k, threads int, locks *par.StripedM
 			st.mul(P, Akk, P, st.iview(r.Lo, t.lo, s, t.hi-t.lo), st.iview(r.Lo, r.Lo, s, s))
 		} else {
 			P := D.View(t.lo, r.Lo, t.hi-t.lo, s)
-			st.mul(P, P, Akk, st.iview(t.lo, r.Lo, t.hi-t.lo, s), st.iview(t.lo, r.Lo, t.hi-t.lo, s))
+			nc := st.iview(t.lo, r.Lo, t.hi-t.lo, s)
+			if Pd != nil {
+				st.mulPacked(P, P, Pd, nc, nc)
+			} else {
+				st.mul(P, P, Akk, nc, nc)
+			}
 		}
+		semiring.AddPhaseTime(semiring.PhasePanel, time.Since(tPanel))
 		if st.prof != nil {
 			st.addStage(&st.prof.Panel, tPanel)
 		}
 	})
+	if Pd != nil {
+		Pd.Release()
+	}
 
 	// OuterUpdate: A(ti,tj) ← A(ti,tj) ⊕ A(ti,k) ⊗ A(k,tj) over the full
 	// reach×reach grid. Only ancestor×ancestor targets can be written by
-	// concurrent cousin eliminations.
+	// concurrent cousin eliminations. Fused path: the row panel A(k,tj)
+	// is the B operand of the whole tj column of the grid, so pack each
+	// once (in parallel) and reuse it nt times; outer writes land on
+	// reach×reach blocks, never on k's rows, so the snapshots stay valid.
 	nt := len(tiles)
+	var rowPacks []*semiring.PackedPanel
+	if fused && nt > 1 {
+		rowPacks = make([]*semiring.PackedPanel, nt)
+		par.For(nt, threads, 1, func(j int) {
+			tj := tiles[j]
+			rowPacks[j] = st.K.PackPanel(D.View(r.Lo, tj.lo, s, tj.hi-tj.lo))
+		})
+	}
 	par.For(nt*nt, threads, 0, func(idx int) {
 		tOuter := time.Now()
 		ti, tj := tiles[idx/nt], tiles[idx%nt]
 		target := D.View(ti.lo, tj.lo, ti.hi-ti.lo, tj.hi-tj.lo)
 		colPanel := D.View(ti.lo, r.Lo, ti.hi-ti.lo, s)
-		rowPanel := D.View(r.Lo, tj.lo, s, tj.hi-tj.lo)
 		nc := st.iview(ti.lo, tj.lo, ti.hi-ti.lo, tj.hi-tj.lo)
 		na := st.iview(ti.lo, r.Lo, ti.hi-ti.lo, s)
+		mul := func() {
+			rowPanel := D.View(r.Lo, tj.lo, s, tj.hi-tj.lo)
+			st.mul(target, colPanel, rowPanel, nc, na)
+		}
+		if rowPacks != nil {
+			P := rowPacks[idx%nt]
+			mul = func() { st.mulPacked(target, colPanel, P, nc, na) }
+		}
 		if locks != nil && ti.ancestor && tj.ancestor {
 			key := uint64(ti.lo)*uint64(D.Rows) + uint64(tj.lo)
 			locks.Lock(key)
-			st.mul(target, colPanel, rowPanel, nc, na)
+			mul()
 			locks.Unlock(key)
 		} else {
-			st.mul(target, colPanel, rowPanel, nc, na)
+			mul()
 		}
+		semiring.AddPhaseTime(semiring.PhaseOuter, time.Since(tOuter))
 		if st.prof != nil {
 			st.addStage(&st.prof.Outer, tOuter)
 		}
 	})
+	for _, P := range rowPacks {
+		if P != nil {
+			P.Release()
+		}
+	}
+	semiring.CountElimination(fused)
 }
 
 // Closure is the reference dense solution: it runs the scalar

@@ -339,6 +339,15 @@ func TestSolveProfiled(t *testing.T) {
 			t.Errorf("profile kernel counters %+v should be non-zero and match result %+v",
 				prof.Kernel, res.Kernel)
 		}
+		if prof.Kernel.FusedElims+prof.Kernel.StagedElims == 0 {
+			t.Error("no eliminations recorded in the fused/staged counters")
+		}
+		if prof.Kernel.DiagNS == 0 || prof.Kernel.OuterNS == 0 {
+			t.Errorf("per-phase timings missing from kernel counters: %+v", prof.Kernel)
+		}
+		if !strings.Contains(prof.String(), "fused pipeline") {
+			t.Error("profile rendering missing the fused-pipeline line")
+		}
 	}
 }
 

@@ -263,9 +263,14 @@ func (p *process) run() {
 		}
 
 		// Outer product on local trailing blocks: A(I,J) needs A(I,k)
-		// (same grid row) and A(k,J) (same grid column).
-		rowCache := map[int]semiring.Mat{} // J -> A(k,J)
-		colCache := map[int]semiring.Mat{} // I -> A(I,k)
+		// (same grid row) and A(k,J) (same grid column). Each A(k,J)
+		// panel feeds every local block in column J, so the fused path
+		// packs it once on first use and streams the remaining updates
+		// over the packed tiles (MulAddPacked is serial, matching the
+		// rank-pinned Serial kernels used here).
+		rowCache := map[int]semiring.Mat{}           // J -> A(k,J)
+		colCache := map[int]semiring.Mat{}           // I -> A(I,k)
+		packCache := map[int]*semiring.PackedPanel{} // J -> packed A(k,J)
 		for id, m := range p.local {
 			if id.I == k || id.J == k {
 				continue
@@ -287,8 +292,12 @@ func (p *process) run() {
 					Akj = p.recv(k, blockID{k, id.J})
 				}
 				rowCache[id.J] = Akj
+				packCache[id.J] = semiring.PackPanel(Akj, semiring.Inf)
 			}
-			semiring.MinPlusMulAddSerial(m, Aik, Akj)
+			semiring.MinPlusMulAddPacked(m, Aik, packCache[id.J])
+		}
+		for _, pk := range packCache {
+			pk.Release()
 		}
 		// Drain panel packets addressed to this iteration that we did
 		// not end up consuming (broadcasts are unconditional): they are

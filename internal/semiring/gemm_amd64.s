@@ -31,43 +31,461 @@ no:
 	MOVB $0, ret+0(FP)
 	RET
 
-// func minPlusKPairAVX2(c, bv, bw []float64, x, y float64)
+// func cpuidAVX512() bool
 //
-// c[j] = min(c[j], x+bv[j], y+bw[j]) for j < len(c); len(c) must be a
-// multiple of 8. Two YMM vectors per iteration keep eight independent
-// add-min chains in flight; the store is unconditional (a blended min),
-// which in vector form is cheaper than any masked-store dance. No NaNs
-// can occur (finite or +Inf inputs, never opposite infinities), so
-// MINPD operand-order semantics don't matter.
-TEXT ·minPlusKPairAVX2(SB), NOSPLIT, $0-88
+// The 16-lane kernels need AVX-512 F (foundation), DQ (KMOVB), BW+VL
+// (256-bit masked integer ops for the hop carry), and the OS must have
+// enabled XMM|YMM|opmask|ZMM_Hi256|Hi16_ZMM state in XCR0 (0xE6).
+TEXT ·cpuidAVX512(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX  // OSXSAVE | AVX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  no512
+	XORL CX, CX
+	XGETBV
+	ANDL $0xE6, AX             // XCR0: XMM|YMM|opmask|ZMM_Hi256|Hi16_ZMM
+	CMPL AX, $0xE6
+	JNE  no512
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	MOVL $(1<<16 | 1<<17 | 1<<30 | 1<<31), DX  // F | DQ | BW | VL
+	ANDL DX, BX
+	CMPL BX, DX
+	JNE  no512
+	MOVB $1, ret+0(FP)
+	RET
+no512:
+	MOVB $0, ret+0(FP)
+	RET
+
+// Accumulator kernels. Common shape: DI = &c[0], SI = &a[0], CX = len(a)
+// (the k count), DX = &pk[0] (row k of the packed tile at k*stride),
+// R8 = stride in bytes after the shift. C lanes live in vector
+// registers across the whole k sweep — one load and one store per call
+// instead of one per k — and R10 holds the semiring zero's BIT PATTERN
+// for the per-k skip (a[k] == ±Inf contributes nothing). The skip is a
+// plain integer compare on purpose: ±Inf has a unique encoding, so
+// MOVQ/CMPQ is exact, and it keeps legacy SSE instructions out of the
+// loop — a scalar MOVSD here would partial-write the previous
+// iteration's broadcast register and serialize the whole k sweep on
+// its merge dependency.
+
+// func minPlusAccum32AVX512(c, a, pk []float64, stride int)
+//
+// 32 lanes: c[j] = min(c[j], min_k a[k]+pk[k*stride+j]), j < 32.
+TEXT ·minPlusAccum32AVX512(SB), NOSPLIT, $0-80
+	MOVQ c_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ pk_base+48(FP), DX
+	MOVQ stride+72(FP), R8
+	SHLQ $3, R8
+	MOVQ $0x7FF0000000000000, R10  // +Inf bit pattern
+	VMOVUPD (DI), Z0
+	VMOVUPD 64(DI), Z1
+	VMOVUPD 128(DI), Z2
+	VMOVUPD 192(DI), Z3
+	TESTQ CX, CX
+	JZ   mp32store
+mp32loop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JE   mp32next           // a[k] == +Inf: nothing can improve
+	VBROADCASTSD (SI), Z4
+	VADDPD  (DX), Z4, Z5
+	VADDPD  64(DX), Z4, Z6
+	VADDPD  128(DX), Z4, Z7
+	VADDPD  192(DX), Z4, Z8
+	VMINPD  Z5, Z0, Z0
+	VMINPD  Z6, Z1, Z1
+	VMINPD  Z7, Z2, Z2
+	VMINPD  Z8, Z3, Z3
+mp32next:
+	ADDQ $8, SI
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mp32loop
+mp32store:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, 128(DI)
+	VMOVUPD Z3, 192(DI)
+	VZEROUPPER
+	RET
+
+// func minPlusAccum2x32AVX512(c0, c1, a0, a1, pk []float64, stride int)
+//
+// Two C rows per k sweep: each 64-byte tile row is loaded ONCE and
+// folded into both rows' accumulators, halving the packed-tile read
+// traffic that bounds the single-row kernel, and doubling the number
+// of independent VMINPD dependency chains. The per-k skip fires only
+// when BOTH a values are +Inf; a lone +Inf row runs unconditionally —
+// Inf + tile = Inf and min(acc, Inf) = acc, so the result is bitwise
+// identical to skipping it.
+TEXT ·minPlusAccum2x32AVX512(SB), NOSPLIT, $0-128
+	MOVQ c0_base+0(FP), DI
+	MOVQ c1_base+24(FP), R11
+	MOVQ a0_base+48(FP), SI
+	MOVQ a1_base+72(FP), R9
+	MOVQ a0_len+56(FP), CX
+	MOVQ pk_base+96(FP), DX
+	MOVQ stride+120(FP), R8
+	SHLQ $3, R8
+	MOVQ $0x7FF0000000000000, R10  // +Inf bit pattern
+	VMOVUPD (DI), Z0
+	VMOVUPD 64(DI), Z1
+	VMOVUPD 128(DI), Z2
+	VMOVUPD 192(DI), Z3
+	VMOVUPD (R11), Z4
+	VMOVUPD 64(R11), Z5
+	VMOVUPD 128(R11), Z6
+	VMOVUPD 192(R11), Z7
+	TESTQ CX, CX
+	JZ   mp2x32store
+mp2x32loop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JNE  mp2x32work
+	MOVQ (R9), BX
+	CMPQ BX, R10
+	JE   mp2x32next         // both rows +Inf: nothing can improve
+mp2x32work:
+	VBROADCASTSD (SI), Z8
+	VBROADCASTSD (R9), Z9
+	VMOVUPD (DX), Z10
+	VMOVUPD 64(DX), Z11
+	VMOVUPD 128(DX), Z12
+	VMOVUPD 192(DX), Z13
+	VADDPD  Z10, Z8, Z14
+	VMINPD  Z14, Z0, Z0
+	VADDPD  Z11, Z8, Z15
+	VMINPD  Z15, Z1, Z1
+	VADDPD  Z12, Z8, Z14
+	VMINPD  Z14, Z2, Z2
+	VADDPD  Z13, Z8, Z15
+	VMINPD  Z15, Z3, Z3
+	VADDPD  Z10, Z9, Z14
+	VMINPD  Z14, Z4, Z4
+	VADDPD  Z11, Z9, Z15
+	VMINPD  Z15, Z5, Z5
+	VADDPD  Z12, Z9, Z14
+	VMINPD  Z14, Z6, Z6
+	VADDPD  Z13, Z9, Z15
+	VMINPD  Z15, Z7, Z7
+mp2x32next:
+	ADDQ $8, SI
+	ADDQ $8, R9
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mp2x32loop
+mp2x32store:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, 128(DI)
+	VMOVUPD Z3, 192(DI)
+	VMOVUPD Z4, (R11)
+	VMOVUPD Z5, 64(R11)
+	VMOVUPD Z6, 128(R11)
+	VMOVUPD Z7, 192(R11)
+	VZEROUPPER
+	RET
+
+// func minPlusAccumMaskedAVX512(c, a, pk []float64, stride int)
+//
+// Masked tail: len(c) ≤ 8 lanes under K1 = (1<<len(c))-1. Masked-out
+// lanes load as zero and are never stored.
+TEXT ·minPlusAccumMaskedAVX512(SB), NOSPLIT, $0-80
 	MOVQ c_base+0(FP), DI
 	MOVQ c_len+8(FP), CX
-	MOVQ bv_base+24(FP), SI
-	MOVQ bw_base+48(FP), DX
-	VBROADCASTSD x+72(FP), Y0
-	VBROADCASTSD y+80(FP), Y1
-	XORQ BX, BX
-loop8:
-	CMPQ BX, CX
-	JGE  done
-	VMOVUPD (SI)(BX*8), Y2
-	VMOVUPD 32(SI)(BX*8), Y3
-	VADDPD  Y0, Y2, Y2
-	VADDPD  Y0, Y3, Y3
-	VMOVUPD (DX)(BX*8), Y4
-	VMOVUPD 32(DX)(BX*8), Y5
-	VADDPD  Y1, Y4, Y4
-	VADDPD  Y1, Y5, Y5
-	VMINPD  Y4, Y2, Y2
-	VMINPD  Y5, Y3, Y3
-	VMOVUPD (DI)(BX*8), Y6
-	VMOVUPD 32(DI)(BX*8), Y7
-	VMINPD  Y6, Y2, Y2
-	VMINPD  Y7, Y3, Y3
-	VMOVUPD Y2, (DI)(BX*8)
-	VMOVUPD Y3, 32(DI)(BX*8)
-	ADDQ $8, BX
-	JMP  loop8
-done:
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVB AX, K1
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ pk_base+48(FP), DX
+	MOVQ stride+72(FP), R8
+	SHLQ $3, R8
+	MOVQ $0x7FF0000000000000, R10
+	VMOVUPD.Z (DI), K1, Z0
+	TESTQ CX, CX
+	JZ   mpmstore
+mpmloop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JE   mpmnext
+	VBROADCASTSD (SI), Z4
+	VMOVUPD.Z (DX), K1, Z5
+	VADDPD  Z5, Z4, Z5
+	VMINPD  Z5, Z0, Z0
+mpmnext:
+	ADDQ $8, SI
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mpmloop
+mpmstore:
+	VMOVUPD Z0, K1, (DI)
+	VZEROUPPER
+	RET
+
+// func maxMinAccum32AVX512(c, a, pk []float64, stride int)
+//
+// Bottleneck semiring, 32 lanes: c[j] = max(c[j], max_k min(a[k], pk)).
+TEXT ·maxMinAccum32AVX512(SB), NOSPLIT, $0-80
+	MOVQ c_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ pk_base+48(FP), DX
+	MOVQ stride+72(FP), R8
+	SHLQ $3, R8
+	MOVQ $0xFFF0000000000000, R10  // -Inf bit pattern
+	VMOVUPD (DI), Z0
+	VMOVUPD 64(DI), Z1
+	VMOVUPD 128(DI), Z2
+	VMOVUPD 192(DI), Z3
+	TESTQ CX, CX
+	JZ   mm32store
+mm32loop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JE   mm32next           // a[k] == -Inf: min(-Inf, b) never improves
+	VBROADCASTSD (SI), Z4
+	VMINPD  (DX), Z4, Z5
+	VMINPD  64(DX), Z4, Z6
+	VMINPD  128(DX), Z4, Z7
+	VMINPD  192(DX), Z4, Z8
+	VMAXPD  Z5, Z0, Z0
+	VMAXPD  Z6, Z1, Z1
+	VMAXPD  Z7, Z2, Z2
+	VMAXPD  Z8, Z3, Z3
+mm32next:
+	ADDQ $8, SI
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mm32loop
+mm32store:
+	VMOVUPD Z0, (DI)
+	VMOVUPD Z1, 64(DI)
+	VMOVUPD Z2, 128(DI)
+	VMOVUPD Z3, 192(DI)
+	VZEROUPPER
+	RET
+
+// func maxMinAccumMaskedAVX512(c, a, pk []float64, stride int)
+TEXT ·maxMinAccumMaskedAVX512(SB), NOSPLIT, $0-80
+	MOVQ c_base+0(FP), DI
+	MOVQ c_len+8(FP), CX
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVB AX, K1
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ pk_base+48(FP), DX
+	MOVQ stride+72(FP), R8
+	SHLQ $3, R8
+	MOVQ $0xFFF0000000000000, R10
+	VMOVUPD.Z (DI), K1, Z0
+	TESTQ CX, CX
+	JZ   mmmstore
+mmmloop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JE   mmmnext
+	VBROADCASTSD (SI), Z4
+	VMOVUPD.Z (DX), K1, Z5
+	VMINPD  Z5, Z4, Z5
+	VMAXPD  Z5, Z0, Z0
+mmmnext:
+	ADDQ $8, SI
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mmmloop
+mmmstore:
+	VMOVUPD Z0, K1, (DI)
+	VZEROUPPER
+	RET
+
+// func minPlusPathsAccumMaskedAVX512(c []float64, nc []int32, a []float64, na []int32, pk []float64, stride int)
+//
+// Index-carrying masked kernel: values in Z0, next-hop lanes in Y1
+// (8 × int32). Per k: candidates Z5 = a[k] + pk-row; K2 = strict
+// improvement mask (LT_OS — no NaNs can occur); values take VMINPD and
+// a merge-masked VPBROADCASTD blends hop na[k] into exactly the
+// improved lanes. K2 is ANDed with the width mask so garbage in the
+// masked-out candidate lanes (loaded as zero) cannot leak a hop. Same
+// ascending-k strict-improvement order as the scalar kernel, so hops
+// are bitwise identical.
+TEXT ·minPlusPathsAccumMaskedAVX512(SB), NOSPLIT, $0-128
+	MOVQ c_base+0(FP), DI
+	MOVQ c_len+8(FP), CX
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVB AX, K1
+	MOVQ nc_base+24(FP), R9
+	MOVQ a_base+48(FP), SI
+	MOVQ a_len+56(FP), CX
+	MOVQ na_base+72(FP), R11
+	MOVQ pk_base+96(FP), DX
+	MOVQ stride+120(FP), R8
+	SHLQ $3, R8
+	MOVQ $0x7FF0000000000000, R10
+	VMOVUPD.Z (DI), K1, Z0
+	VMOVDQU32.Z (R9), K1, Y1
+	TESTQ CX, CX
+	JZ   mppstore
+mpploop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JE   mppnext
+	VBROADCASTSD (SI), Z4
+	VMOVUPD.Z (DX), K1, Z5
+	VADDPD  Z5, Z4, Z5
+	VCMPPD  $1, Z0, Z5, K2     // K2 = candidate < current (LT_OS)
+	KANDB   K1, K2, K2
+	VMINPD  Z5, Z0, Z0
+	VPBROADCASTD (R11), K2, Y1 // improved lanes inherit hop na[k]
+mppnext:
+	ADDQ $8, SI
+	ADDQ $4, R11
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mpploop
+mppstore:
+	VMOVUPD Z0, K1, (DI)
+	VMOVDQU32 Y1, K1, (R9)
+	VZEROUPPER
+	RET
+
+// func maxMinPathsAccumMaskedAVX512(c []float64, nc []int32, a []float64, na []int32, pk []float64, stride int)
+TEXT ·maxMinPathsAccumMaskedAVX512(SB), NOSPLIT, $0-128
+	MOVQ c_base+0(FP), DI
+	MOVQ c_len+8(FP), CX
+	MOVL $1, AX
+	SHLL CX, AX
+	DECL AX
+	KMOVB AX, K1
+	MOVQ nc_base+24(FP), R9
+	MOVQ a_base+48(FP), SI
+	MOVQ a_len+56(FP), CX
+	MOVQ na_base+72(FP), R11
+	MOVQ pk_base+96(FP), DX
+	MOVQ stride+120(FP), R8
+	SHLQ $3, R8
+	MOVQ $0xFFF0000000000000, R10
+	VMOVUPD.Z (DI), K1, Z0
+	VMOVDQU32.Z (R9), K1, Y1
+	TESTQ CX, CX
+	JZ   mmpstore
+mmploop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JE   mmpnext
+	VBROADCASTSD (SI), Z4
+	VMOVUPD.Z (DX), K1, Z5
+	VMINPD  Z5, Z4, Z5
+	VCMPPD  $0x0E, Z0, Z5, K2  // K2 = candidate > current (GT_OS)
+	KANDB   K1, K2, K2
+	VMAXPD  Z5, Z0, Z0
+	VPBROADCASTD (R11), K2, Y1
+mmpnext:
+	ADDQ $8, SI
+	ADDQ $4, R11
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mmploop
+mmpstore:
+	VMOVUPD Z0, K1, (DI)
+	VMOVDQU32 Y1, K1, (R9)
+	VZEROUPPER
+	RET
+
+// func minPlusAccum16AVX2(c, a, pk []float64, stride int)
+//
+// AVX2 accumulator: 16 lanes (4 YMM), same structure as the 32-lane
+// AVX-512 kernel; the Go wrapper peels the scalar tail.
+TEXT ·minPlusAccum16AVX2(SB), NOSPLIT, $0-80
+	MOVQ c_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ pk_base+48(FP), DX
+	MOVQ stride+72(FP), R8
+	SHLQ $3, R8
+	MOVQ $0x7FF0000000000000, R10
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD 64(DI), Y2
+	VMOVUPD 96(DI), Y3
+	TESTQ CX, CX
+	JZ   mp16store
+mp16loop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JE   mp16next
+	VBROADCASTSD (SI), Y4
+	VADDPD  (DX), Y4, Y5
+	VADDPD  32(DX), Y4, Y6
+	VADDPD  64(DX), Y4, Y7
+	VADDPD  96(DX), Y4, Y8
+	VMINPD  Y5, Y0, Y0
+	VMINPD  Y6, Y1, Y1
+	VMINPD  Y7, Y2, Y2
+	VMINPD  Y8, Y3, Y3
+mp16next:
+	ADDQ $8, SI
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mp16loop
+mp16store:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func maxMinAccum16AVX2(c, a, pk []float64, stride int)
+TEXT ·maxMinAccum16AVX2(SB), NOSPLIT, $0-80
+	MOVQ c_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ pk_base+48(FP), DX
+	MOVQ stride+72(FP), R8
+	SHLQ $3, R8
+	MOVQ $0xFFF0000000000000, R10
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD 64(DI), Y2
+	VMOVUPD 96(DI), Y3
+	TESTQ CX, CX
+	JZ   mm16store
+mm16loop:
+	MOVQ (SI), AX
+	CMPQ AX, R10
+	JE   mm16next
+	VBROADCASTSD (SI), Y4
+	VMINPD  (DX), Y4, Y5
+	VMINPD  32(DX), Y4, Y6
+	VMINPD  64(DX), Y4, Y7
+	VMINPD  96(DX), Y4, Y8
+	VMAXPD  Y5, Y0, Y0
+	VMAXPD  Y6, Y1, Y1
+	VMAXPD  Y7, Y2, Y2
+	VMAXPD  Y8, Y3, Y3
+mm16next:
+	ADDQ $8, SI
+	ADDQ R8, DX
+	DECQ CX
+	JNZ  mm16loop
+mm16store:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
 	VZEROUPPER
 	RET

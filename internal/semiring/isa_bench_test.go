@@ -1,0 +1,35 @@
+package semiring
+
+// ISA-ablation benchmarks: the same packed dense multiply at each SIMD
+// dispatch level. BenchmarkISAAVX2 approximates the PR 4 kernel tier;
+// the avx512/avx2 ratio is the fused pipeline's wider-SIMD headroom on
+// the host (gated in TestFusedDenseSpeedupGate when FUSED_GATE=1).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchISA(b *testing.B, level string) {
+	prev := SetGemmTuning(fusedTunings()["pack-dense"])
+	b.Cleanup(func() { SetGemmTuning(prev) })
+	prevISA := SetMaxVectorISA(level)
+	b.Cleanup(func() { SetMaxVectorISA(prevISA) })
+	rng := rand.New(rand.NewSource(47))
+	A := diffMat(rng, 256, 256, 1, Inf)
+	B := diffMat(rng, 256, 256, 1, Inf)
+	C := diffMat(rng, 256, 256, 0.5, Inf)
+	P := PackPanel(B, Inf)
+	b.Cleanup(P.Release)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinPlusMulAddPacked(C, A, P)
+	}
+	b.SetBytes(0)
+	ops := float64(256*256*256) * 2
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GOP/s")
+}
+
+func BenchmarkISAScalar(b *testing.B) { benchISA(b, "scalar") }
+func BenchmarkISAAVX2(b *testing.B)   { benchISA(b, "avx2") }
+func BenchmarkISAAVX512(b *testing.B) { benchISA(b, "avx512") }

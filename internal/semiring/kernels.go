@@ -30,6 +30,18 @@ type Kernels struct {
 	MulAddSerial func(C, A, B Mat)
 	// MulAddPaths is MulAdd with next-hop maintenance.
 	MulAddPaths func(C, A, B Mat, nextC, nextA IntMat)
+	// MulAddPacked computes C = C ⊕ A⊗P against a panel packed once
+	// with PackPanel — the fused pipeline's reuse-many entry point
+	// (fused.go). Serial; callers own the parallel decomposition, and
+	// C must not alias the packed operand.
+	MulAddPacked func(C, A Mat, P *PackedPanel)
+	// MulAddPathsPacked is MulAddPacked with next-hop maintenance.
+	MulAddPathsPacked func(C, A Mat, P *PackedPanel, nextC, nextA IntMat)
+	// VecMatAdd computes y = y ⊕ (x ⊗ A) with the semiring's zero
+	// fast paths; MatVecAdd is y = y ⊕ (A ⊗ x). The factor's SSSP
+	// sweeps use these instead of degenerate 1×n MulAdd calls.
+	VecMatAdd func(y, x []float64, A Mat)
+	MatVecAdd func(y []float64, A Mat, x []float64)
 	// AddScalar is the scalar ⊕ (min for min-plus, max for max-min).
 	AddScalar func(x, y float64) float64
 	// MulScalar is the scalar ⊗ (+ for min-plus, min for max-min).
@@ -41,29 +53,37 @@ type Kernels struct {
 
 // MinPlusKernels is the tropical (min, +) semiring: shortest paths.
 var MinPlusKernels = &Kernels{
-	Name:           "min-plus",
-	Zero:           Inf,
-	One:            0,
-	FW:             FloydWarshall,
-	FWPaths:        FloydWarshallPaths,
-	MulAdd:         MinPlusMulAdd,
-	MulAddSerial:   MinPlusMulAddSerial,
-	MulAddPaths:    MinPlusMulAddPaths,
-	AddScalar:      Plus,
-	MulScalar:      Times,
-	DetectNegCycle: true,
+	Name:              "min-plus",
+	Zero:              Inf,
+	One:               0,
+	FW:                FloydWarshall,
+	FWPaths:           FloydWarshallPaths,
+	MulAdd:            MinPlusMulAdd,
+	MulAddSerial:      MinPlusMulAddSerial,
+	MulAddPaths:       MinPlusMulAddPaths,
+	MulAddPacked:      MinPlusMulAddPacked,
+	MulAddPathsPacked: MinPlusMulAddPathsPacked,
+	VecMatAdd:         MinPlusVecMatAdd,
+	MatVecAdd:         MinPlusMatVecAdd,
+	AddScalar:         Plus,
+	MulScalar:         Times,
+	DetectNegCycle:    true,
 }
 
 // MaxMinKernels is the bottleneck (max, min) semiring: widest paths.
 var MaxMinKernels = &Kernels{
-	Name:         "max-min",
-	Zero:         -Inf,
-	One:          Inf,
-	FW:           MaxMinFloydWarshall,
-	FWPaths:      MaxMinFloydWarshallPaths,
-	MulAdd:       MaxMinMulAdd,
-	MulAddSerial: MaxMinMulAddSerial,
-	MulAddPaths:  MaxMinMulAddPaths,
+	Name:              "max-min",
+	Zero:              -Inf,
+	One:               Inf,
+	FW:                MaxMinFloydWarshall,
+	FWPaths:           MaxMinFloydWarshallPaths,
+	MulAdd:            MaxMinMulAdd,
+	MulAddSerial:      MaxMinMulAddSerial,
+	MulAddPaths:       MaxMinMulAddPaths,
+	MulAddPacked:      MaxMinMulAddPacked,
+	MulAddPathsPacked: MaxMinMulAddPathsPacked,
+	VecMatAdd:         MaxMinVecMatAdd,
+	MatVecAdd:         MaxMinMatVecAdd,
 	AddScalar: func(x, y float64) float64 {
 		if x > y {
 			return x
@@ -77,6 +97,10 @@ var MaxMinKernels = &Kernels{
 		return y
 	},
 }
+
+// PackPanel packs B once for reuse across MulAddPacked calls, using
+// this semiring's zero for the density gate (see semiring.PackPanel).
+func (k *Kernels) PackPanel(B Mat) *PackedPanel { return PackPanel(B, k.Zero) }
 
 // ParallelBlockedFWKernels is the blocked Floyd-Warshall algorithm over
 // an arbitrary semiring, with optional next-hop tracking. See

@@ -202,6 +202,73 @@ func maxMinPathsStream(C, A, B Mat, nextC, nextA IntMat) {
 	kernelStats.fusedOps.Add(touched)
 }
 
+// MaxMinVecMatAdd computes y = y ⊕ (x ⊗ A) over the bottleneck
+// semiring for a row vector x (len = A.Rows) and y (len = A.Cols),
+// with the same -Inf fast path as MinPlusVecMatAdd: a -Inf entry of x
+// bottlenecks every candidate to -Inf, so its whole A-row pass is
+// skipped. The SSSP sweeps over widest-path factors hit that
+// constantly (ancestor panels unreachable from the source).
+func MaxMinVecMatAdd(y, x []float64, A Mat) {
+	if len(x) != A.Rows || len(y) != A.Cols {
+		panic("semiring: MaxMinVecMatAdd shape mismatch")
+	}
+	negInf := -Inf
+	for k, xk := range x {
+		if xk == negInf {
+			continue // min(-Inf, a) = -Inf never improves a max
+		}
+		arow := A.Row(k)
+		yy := y[:len(arow)]
+		for j, a := range arow {
+			v := a
+			if xk < a {
+				v = xk
+			}
+			if v > yy[j] {
+				yy[j] = v
+			}
+		}
+	}
+}
+
+// MaxMinMatVecAdd computes y = y ⊕ (A ⊗ x) over the bottleneck
+// semiring for a column vector x (len = A.Cols) and y (len = A.Rows),
+// mirroring MinPlusMatVecAdd's zero fast paths: an all--Inf x returns
+// immediately, and -Inf entries of A skip their candidate.
+func MaxMinMatVecAdd(y []float64, A Mat, x []float64) {
+	if len(x) != A.Cols || len(y) != A.Rows {
+		panic("semiring: MaxMinMatVecAdd shape mismatch")
+	}
+	negInf := -Inf
+	finite := false
+	for _, v := range x {
+		if v != negInf {
+			finite = true
+			break
+		}
+	}
+	if !finite {
+		return
+	}
+	for i := 0; i < A.Rows; i++ {
+		arow := A.Row(i)
+		best := y[i]
+		for k, a := range arow {
+			if a == negInf {
+				continue // -Inf ⊗ x[k] = -Inf never improves y[i]
+			}
+			v := x[k]
+			if a < v {
+				v = a
+			}
+			if v > best {
+				best = v
+			}
+		}
+		y[i] = best
+	}
+}
+
 // MaxMinFloydWarshall computes the max-min closure in place.
 func MaxMinFloydWarshall(A Mat) {
 	n := A.Rows

@@ -45,6 +45,14 @@ func minPlusTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
 		for ; k+2 <= kh; k += 2 {
 			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
 			y0, y1, y2, y3 := a0[k+1], a1[k+1], a2[k+1], a3[k+1]
+			// All-Inf k pair: no candidate can improve any of the four C
+			// rows, so skip the 8·jh inner ops. Eight compares against a
+			// dense tile's 8·jh fused ops is noise; against a mostly-Inf A
+			// it restores the streaming kernel's skip.
+			if x0 == Inf && x1 == Inf && x2 == Inf && x3 == Inf &&
+				y0 == Inf && y1 == Inf && y2 == Inf && y3 == Inf {
+				continue
+			}
 			bp := pk[k*jh : k*jh+jh : k*jh+jh]
 			bq := pk[(k+1)*jh : (k+1)*jh+jh : (k+1)*jh+jh]
 			for j, bv := range bp {
@@ -65,6 +73,9 @@ func minPlusTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
 		}
 		for ; k < kh; k++ {
 			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
+			if x0 == Inf && x1 == Inf && x2 == Inf && x3 == Inf {
+				continue
+			}
 			bp := pk[k*jh : k*jh+jh : k*jh+jh]
 			for j, bv := range bp {
 				if v := x0 + bv; v < c0[j] {
@@ -101,8 +112,14 @@ func minPlusTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
 }
 
 // minPlusPathsTile is minPlusTile with next-hop maintenance: an
-// improvement via intermediate k0+k records nextA[i][k0+k].
+// improvement via intermediate k0+k records nextA[i][k0+k]. On amd64
+// with AVX-512 the sweep runs in the masked index-carrying vector
+// kernel instead (blend-select on the compare mask) — same ascending-k
+// strict-improvement order, so hops are bitwise identical.
 func minPlusPathsTile(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh int) {
+	if minPlusPathsTileVec(C, A, nextC, nextA, pk, k0, kh, j0, jh) {
+		return
+	}
 	r := A.Rows
 	i := 0
 	for ; i+4 <= r; i += 4 {
@@ -126,6 +143,10 @@ func minPlusPathsTile(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, j
 		for ; k+2 <= kh; k += 2 {
 			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
 			y0, y1, y2, y3 := a0[k+1], a1[k+1], a2[k+1], a3[k+1]
+			if x0 == Inf && x1 == Inf && x2 == Inf && x3 == Inf &&
+				y0 == Inf && y1 == Inf && y2 == Inf && y3 == Inf {
+				continue // all-Inf k pair: nothing can improve, no hop to record
+			}
 			h0, h1, h2, h3 := na0[k], na1[k], na2[k], na3[k]
 			g0, g1, g2, g3 := na0[k+1], na1[k+1], na2[k+1], na3[k+1]
 			bp := pk[k*jh : k*jh+jh : k*jh+jh]
@@ -204,7 +225,11 @@ func minPlusPathsTile(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, j
 
 // maxMinTile is minPlusTile over the bottleneck semiring:
 // C[i][j] = max(C[i][j], max_k min(A[i][k], pk[k][j])).
+// On amd64 with AVX2/AVX-512 the sweep runs in the vector kernel.
 func maxMinTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
+	if maxMinTileVec(C, A, pk, k0, kh, j0, jh) {
+		return
+	}
 	r := A.Rows
 	negInf := -Inf
 	i := 0
@@ -221,6 +246,12 @@ func maxMinTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
 		for ; k+2 <= kh; k += 2 {
 			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
 			y0, y1, y2, y3 := a0[k+1], a1[k+1], a2[k+1], a3[k+1]
+			// All--Inf k pair: min(-Inf, b) = -Inf never improves a max.
+			// Mirrors the min-plus quad skip (same audit).
+			if x0 == negInf && x1 == negInf && x2 == negInf && x3 == negInf &&
+				y0 == negInf && y1 == negInf && y2 == negInf && y3 == negInf {
+				continue
+			}
 			bp := pk[k*jh : k*jh+jh : k*jh+jh]
 			bq := pk[(k+1)*jh : (k+1)*jh+jh : (k+1)*jh+jh]
 			for j, bv := range bp {
@@ -241,6 +272,9 @@ func maxMinTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
 		}
 		for ; k < kh; k++ {
 			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
+			if x0 == negInf && x1 == negInf && x2 == negInf && x3 == negInf {
+				continue
+			}
 			bp := pk[k*jh : k*jh+jh : k*jh+jh]
 			for j, bv := range bp {
 				if v := min(x0, bv); v > c0[j] {
@@ -275,8 +309,12 @@ func maxMinTile(C, A Mat, pk []float64, k0, kh, j0, jh int) {
 	}
 }
 
-// maxMinPathsTile is maxMinTile with next-hop maintenance.
+// maxMinPathsTile is maxMinTile with next-hop maintenance (vectorized
+// on AVX-512, same hop tie-break as the scalar sweep).
 func maxMinPathsTile(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh int) {
+	if maxMinPathsTileVec(C, A, nextC, nextA, pk, k0, kh, j0, jh) {
+		return
+	}
 	r := A.Rows
 	negInf := -Inf
 	i := 0
@@ -301,6 +339,10 @@ func maxMinPathsTile(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh
 		for ; k+2 <= kh; k += 2 {
 			x0, x1, x2, x3 := a0[k], a1[k], a2[k], a3[k]
 			y0, y1, y2, y3 := a0[k+1], a1[k+1], a2[k+1], a3[k+1]
+			if x0 == negInf && x1 == negInf && x2 == negInf && x3 == negInf &&
+				y0 == negInf && y1 == negInf && y2 == negInf && y3 == negInf {
+				continue
+			}
 			h0, h1, h2, h3 := na0[k], na1[k], na2[k], na3[k]
 			g0, g1, g2, g3 := na0[k+1], na1[k+1], na2[k+1], na3[k+1]
 			bp := pk[k*jh : k*jh+jh : k*jh+jh]

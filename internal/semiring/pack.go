@@ -42,6 +42,13 @@ type GemmTuning struct {
 	// (see overlaps in gemm.go).
 	ParMinRows int `json:"par_min_rows"`
 	ParMinOps  int `json:"par_min_ops"`
+	// FusedMinFinite is the sampled finite fraction of a B operand at or
+	// above which PackPanel packs it eagerly for the fused pipeline.
+	// Below it the panel stays in stream mode and MulAddPacked falls back
+	// to the Inf-skip streaming kernel against the original operand. Set
+	// lower than DenseMinFinite: a pack is amortized over every reuse, so
+	// fusing pays at densities where a single staged call would stream.
+	FusedMinFinite float64 `json:"fused_min_finite"`
 }
 
 // DefaultGemmTuning is the shipped configuration: a 64×512 packed tile
@@ -56,6 +63,7 @@ func DefaultGemmTuning() GemmTuning {
 		DenseMinOps:    1 << 21, // ≈128³ fused ops
 		ParMinRows:     192,
 		ParMinOps:      1 << 24,
+		FusedMinFinite: 0.60,
 	}
 }
 
@@ -69,6 +77,11 @@ func GemmTuningCandidates() []GemmTuning {
 		t.KTile, t.JTile, t.DenseMinFinite, t.GemmSmall = kt, jt, thresh, small
 		return t
 	}
+	fused := func(kt, jt int, thresh float64, small int, fmin float64) GemmTuning {
+		t := mk(kt, jt, thresh, small)
+		t.FusedMinFinite = fmin
+		return t
+	}
 	return []GemmTuning{
 		base,
 		mk(64, 512, 0.70, 768),
@@ -76,6 +89,11 @@ func GemmTuningCandidates() []GemmTuning {
 		mk(96, 384, 0.85, 768),
 		mk(48, 512, 0.95, 512),
 		mk(64, 512, 0.85, 1024),
+		// Fused-crossover variants: same shapes, earlier/later eager
+		// packing so AutotuneGemm tunes the fused-vs-stream dispatch
+		// instead of guessing it.
+		fused(64, 512, 0.85, 768, 0.40),
+		fused(64, 512, 0.85, 768, 0.80),
 	}
 }
 

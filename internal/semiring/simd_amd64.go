@@ -2,73 +2,309 @@
 
 package semiring
 
-// AVX2 acceleration of the dense min-plus tile sweep. The paper's
-// SemiringGemm is hand-tuned AVX2 (§5.1.2: 10.2 Gflop/s per core, 28%
-// of machine peak); pure scalar Go saturates the FP ports at roughly
-// one fused add-min per cycle, so matching the paper's kernel-bound
-// shape requires vectorizing the inner loop the same way. The assembly
-// kernel (gemm_amd64.s) processes one C row against a packed k-pair of
-// B rows, 8 lanes per iteration (2 YMM vectors), with an unconditional
-// blended store: min(c, x+bv, y+bw). There is no NaN hazard — operands
-// are finite or +Inf and never opposite infinities, so MINPD's operand
-// ordering is immaterial.
+// SIMD acceleration of the dense tile sweeps. The paper's SemiringGemm
+// is hand-tuned AVX2 (§5.1.2: 10.2 Gflop/s per core, 28% of machine
+// peak); pure scalar Go saturates the FP ports at roughly one fused
+// add-min per cycle, so matching the paper's kernel-bound shape
+// requires vectorizing the inner loop the same way.
 //
-// useAVX2 is set once at init via CPUID (checking OSXSAVE + AVX + AVX2
-// and XCR0 state enablement); on older machines the scalar
-// register-blocked quad kernel in microkernel.go runs instead.
+// The kernels (gemm_amd64.s) are ACCUMULATOR-style: for one C row and
+// one chunk of columns, C is loaded into vector registers once, the
+// whole packed k-range streams through add-min (or min-max) updates
+// against the registers, and C stores once at the end. Relative to the
+// earlier per-k-pair kernel this removes a C load + store per k pair —
+// the dominant traffic on dense panels — and is where the fused
+// pipeline's headline speedup comes from. Lane widths:
+//
+//	AVX-512: 32 lanes per call (4 ZMM accumulators), masked ≤8-lane
+//	         tails (K-register masks, no scalar peel), and masked
+//	         index-carrying Paths kernels: VCMPPD writes the improve
+//	         mask, values take VMINPD/VMAXPD, and a merge-masked
+//	         VPBROADCASTD blends the next-hop index into the carried
+//	         hop vector on exactly the improved lanes.
+//	AVX2:    16 lanes per call (4 YMM accumulators), scalar tails.
+//
+// Every kernel skips k entirely when a[k] is the semiring zero (one
+// scalar compare against 4–8 vector ops), and the Go wrappers skip
+// all-zero A rows before calling, so the dense path keeps the
+// streaming kernel's Inf fast path instead of grinding through
+// no-path rows.
+//
+// There is no NaN hazard: operands are finite or the semiring's own
+// infinity and never opposite infinities, so MINPD/MAXPD operand-order
+// semantics don't matter, and VCMPPD's ordered-compare never sees a
+// NaN. Improvements are strict (LT_OS / GT_OS) with k ascending, so
+// the Paths kernels record bitwise the hops the scalar reference
+// records.
+//
+// hasAVX2/hasAVX512 are the immutable hardware capabilities probed
+// once at init via CPUID (OSXSAVE + AVX + XCR0 state enablement, then
+// the feature bits; AVX-512 requires F+DQ+BW+VL and the OS enabling
+// opmask/ZMM state). useAVX2/useAVX512 are the live dispatch switches:
+// normally equal to the hardware caps, clamped by SetMaxVectorISA for
+// benchmarks and differential tests.
 
-var useAVX2 = cpuidAVX2()
+var (
+	hasAVX2   = cpuidAVX2()
+	hasAVX512 = cpuidAVX512()
+	useAVX2   = hasAVX2
+	useAVX512 = hasAVX512
+)
 
-// cpuidAVX2 reports whether the CPU and OS support AVX2 (implemented in
-// gemm_amd64.s).
+// cpuidAVX2 reports CPU+OS support for AVX2 (gemm_amd64.s).
 func cpuidAVX2() bool
 
-// minPlusKPairAVX2 computes c[j] = min(c[j], x+bv[j], y+bw[j]) for
-// j < len(c). len(bv) and len(bw) must be ≥ len(c); len(c) must be a
-// multiple of 8 (the Go caller peels the tail). Implemented in
-// gemm_amd64.s.
-func minPlusKPairAVX2(c, bv, bw []float64, x, y float64)
+// cpuidAVX512 reports CPU+OS support for AVX-512 F+DQ+BW+VL with
+// opmask/ZMM state enabled (gemm_amd64.s).
+func cpuidAVX512() bool
 
-// minPlusTileVec is the vectorized form of minPlusTile. It returns
-// false when the hardware lacks AVX2 or the tile is too narrow to be
-// worth the call overhead, leaving the scalar kernel to run.
-func minPlusTileVec(C, A Mat, pk []float64, k0, kh, j0, jh int) bool {
-	if !useAVX2 || jh < 16 {
-		return false
-	}
-	j8 := jh &^ 7
-	for i := 0; i < A.Rows; i++ {
-		arow := A.Row(i)[k0 : k0+kh]
-		crow := C.Row(i)[j0 : j0+jh]
-		for k := 0; k+1 < kh; k += 2 {
-			x, y := arow[k], arow[k+1]
-			if x == Inf && y == Inf {
-				continue // neither k can improve any c
-			}
-			bv := pk[k*jh : k*jh+jh]
-			bw := pk[(k+1)*jh : (k+1)*jh+jh]
-			minPlusKPairAVX2(crow[:j8], bv, bw, x, y)
-			for j := j8; j < jh; j++ {
-				if v := min(x+bv[j], y+bw[j]); v < crow[j] {
-					crow[j] = v
-				}
-			}
-		}
-		if kh&1 == 1 {
-			x := arow[kh-1]
-			if x == Inf {
-				continue
-			}
-			bv := pk[(kh-1)*jh : (kh-1)*jh+jh]
-			// Reuse the pair kernel with a +Inf second lane: Inf+bw
-			// never improves c, so the result is the single-k update.
-			minPlusKPairAVX2(crow[:j8], bv, bv, x, Inf)
-			for j := j8; j < jh; j++ {
-				if v := x + bv[j]; v < crow[j] {
-					crow[j] = v
-				}
-			}
+// Accumulator kernels (gemm_amd64.s). Each computes, for one C row
+// chunk c and packed tile rows pk (row k at pk[k*stride:]),
+// c[j] = ⊕_k (a[k] ⊗ pk[k*stride+j]) folded into c, with c resident in
+// registers across the whole k sweep. len(a) is the k count; the
+// 32/16-lane variants require len(c) ≥ lanes and update exactly that
+// many lanes; the masked variants update len(c) ≤ 8 lanes.
+func minPlusAccum32AVX512(c, a, pk []float64, stride int)
+func minPlusAccumMaskedAVX512(c, a, pk []float64, stride int)
+
+// minPlusAccum2x32AVX512 folds one k sweep into TWO 32-lane C rows at
+// once: each packed tile row is loaded once and reused for both rows,
+// halving tile read traffic (the single-row kernel's bound on dense
+// panels) and doubling the independent min dependency chains.
+func minPlusAccum2x32AVX512(c0, c1, a0, a1, pk []float64, stride int)
+func maxMinAccum32AVX512(c, a, pk []float64, stride int)
+func maxMinAccumMaskedAVX512(c, a, pk []float64, stride int)
+func minPlusAccum16AVX2(c, a, pk []float64, stride int)
+func maxMinAccum16AVX2(c, a, pk []float64, stride int)
+
+// Index-carrying variants: nc/na are the next-hop lanes matching c/a;
+// on a strict improvement via k, nc[j] takes na[k] (blend-select on
+// the compare mask).
+func minPlusPathsAccumMaskedAVX512(c []float64, nc []int32, a []float64, na []int32, pk []float64, stride int)
+func maxMinPathsAccumMaskedAVX512(c []float64, nc []int32, a []float64, na []int32, pk []float64, stride int)
+
+// rowAllZero reports whether every entry equals the semiring zero — the
+// row-level Inf fast path of the vector kernels (a kh-element scan
+// against kh·jh vector work).
+func rowAllZero(row []float64, zero float64) bool {
+	for _, v := range row {
+		if v != zero {
+			return false
 		}
 	}
 	return true
+}
+
+// minPlusRowAVX512 runs one C row's full j sweep: 32-lane body plus
+// masked tail.
+func minPlusRowAVX512(crow, arow, pk []float64, jh int) {
+	j := 0
+	for ; j+32 <= jh; j += 32 {
+		minPlusAccum32AVX512(crow[j:j+32], arow, pk[j:], jh)
+	}
+	for ; j < jh; j += 8 {
+		w := min(8, jh-j)
+		minPlusAccumMaskedAVX512(crow[j:j+w], arow, pk[j:], jh)
+	}
+}
+
+// minPlusTileVec is the vectorized form of minPlusTile. It returns
+// false when the hardware lacks AVX2/AVX-512 or the tile is too narrow
+// to be worth the call overhead, leaving the scalar kernel to run.
+func minPlusTileVec(C, A Mat, pk []float64, k0, kh, j0, jh int) bool {
+	switch {
+	case useAVX512 && jh >= 8:
+		// Rows go through the k sweep in pairs so each packed tile row
+		// is loaded once per two C rows; a pair with one all-Inf row
+		// falls back to the single-row kernel for the other.
+		i := 0
+		for ; i+1 < A.Rows; i += 2 {
+			a0 := A.Row(i)[k0 : k0+kh]
+			a1 := A.Row(i + 1)[k0 : k0+kh]
+			z0 := rowAllZero(a0, Inf)
+			z1 := rowAllZero(a1, Inf)
+			switch {
+			case z0 && z1:
+			case z0:
+				minPlusRowAVX512(C.Row(i + 1)[j0:j0+jh], a1, pk, jh)
+			case z1:
+				minPlusRowAVX512(C.Row(i)[j0:j0+jh], a0, pk, jh)
+			default:
+				c0 := C.Row(i)[j0 : j0+jh]
+				c1 := C.Row(i + 1)[j0 : j0+jh]
+				j := 0
+				for ; j+32 <= jh; j += 32 {
+					minPlusAccum2x32AVX512(c0[j:j+32], c1[j:j+32], a0, a1, pk[j:], jh)
+				}
+				for ; j < jh; j += 8 {
+					w := min(8, jh-j)
+					minPlusAccumMaskedAVX512(c0[j:j+w], a0, pk[j:], jh)
+					minPlusAccumMaskedAVX512(c1[j:j+w], a1, pk[j:], jh)
+				}
+			}
+		}
+		if i < A.Rows {
+			arow := A.Row(i)[k0 : k0+kh]
+			if !rowAllZero(arow, Inf) {
+				minPlusRowAVX512(C.Row(i)[j0:j0+jh], arow, pk, jh)
+			}
+		}
+		return true
+	case useAVX2 && jh >= 16:
+		for i := 0; i < A.Rows; i++ {
+			arow := A.Row(i)[k0 : k0+kh]
+			if rowAllZero(arow, Inf) {
+				continue
+			}
+			crow := C.Row(i)[j0 : j0+jh]
+			j := 0
+			for ; j+16 <= jh; j += 16 {
+				minPlusAccum16AVX2(crow[j:j+16], arow, pk[j:], jh)
+			}
+			for ; j < jh; j++ {
+				cj := crow[j]
+				for k, a := range arow {
+					// a == Inf gives Inf + pk = Inf, never < cj: no branch needed.
+					if v := a + pk[k*jh+j]; v < cj {
+						cj = v
+					}
+				}
+				crow[j] = cj
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// maxMinTileVec is the vectorized form of maxMinTile.
+func maxMinTileVec(C, A Mat, pk []float64, k0, kh, j0, jh int) bool {
+	negInf := -Inf
+	switch {
+	case useAVX512 && jh >= 8:
+		for i := 0; i < A.Rows; i++ {
+			arow := A.Row(i)[k0 : k0+kh]
+			if rowAllZero(arow, negInf) {
+				continue
+			}
+			crow := C.Row(i)[j0 : j0+jh]
+			j := 0
+			for ; j+32 <= jh; j += 32 {
+				maxMinAccum32AVX512(crow[j:j+32], arow, pk[j:], jh)
+			}
+			for ; j < jh; j += 8 {
+				w := min(8, jh-j)
+				maxMinAccumMaskedAVX512(crow[j:j+w], arow, pk[j:], jh)
+			}
+		}
+		return true
+	case useAVX2 && jh >= 16:
+		for i := 0; i < A.Rows; i++ {
+			arow := A.Row(i)[k0 : k0+kh]
+			if rowAllZero(arow, negInf) {
+				continue
+			}
+			crow := C.Row(i)[j0 : j0+jh]
+			j := 0
+			for ; j+16 <= jh; j += 16 {
+				maxMinAccum16AVX2(crow[j:j+16], arow, pk[j:], jh)
+			}
+			for ; j < jh; j++ {
+				cj := crow[j]
+				for k, a := range arow {
+					v := pk[k*jh+j]
+					if a < v {
+						v = a
+					}
+					if v > cj {
+						cj = v
+					}
+				}
+				crow[j] = cj
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// minPlusPathsTileVec is the vectorized index-carrying form of
+// minPlusPathsTile (AVX-512 only: the hop blend needs opmask merge).
+func minPlusPathsTileVec(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh int) bool {
+	if !useAVX512 || jh < 8 {
+		return false
+	}
+	for i := 0; i < A.Rows; i++ {
+		arow := A.Row(i)[k0 : k0+kh]
+		if rowAllZero(arow, Inf) {
+			continue
+		}
+		narow := nextA.Row(i)[k0 : k0+kh]
+		crow := C.Row(i)[j0 : j0+jh]
+		ncrow := nextC.Row(i)[j0 : j0+jh]
+		for j := 0; j < jh; j += 8 {
+			w := min(8, jh-j)
+			minPlusPathsAccumMaskedAVX512(crow[j:j+w], ncrow[j:j+w], arow, narow, pk[j:], jh)
+		}
+	}
+	return true
+}
+
+// maxMinPathsTileVec is the bottleneck index-carrying vector kernel.
+func maxMinPathsTileVec(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh int) bool {
+	if !useAVX512 || jh < 8 {
+		return false
+	}
+	negInf := -Inf
+	for i := 0; i < A.Rows; i++ {
+		arow := A.Row(i)[k0 : k0+kh]
+		if rowAllZero(arow, negInf) {
+			continue
+		}
+		narow := nextA.Row(i)[k0 : k0+kh]
+		crow := C.Row(i)[j0 : j0+jh]
+		ncrow := nextC.Row(i)[j0 : j0+jh]
+		for j := 0; j < jh; j += 8 {
+			w := min(8, jh-j)
+			maxMinPathsAccumMaskedAVX512(crow[j:j+w], ncrow[j:j+w], arow, narow, pk[j:], jh)
+		}
+	}
+	return true
+}
+
+// VectorISA reports the active SIMD dispatch level: "avx512", "avx2",
+// or "scalar".
+func VectorISA() string {
+	switch {
+	case useAVX512:
+		return "avx512"
+	case useAVX2:
+		return "avx2"
+	}
+	return "scalar"
+}
+
+// SetMaxVectorISA clamps the SIMD dispatch to at most level ("avx512",
+// "avx2", or "scalar"), bounded by what the hardware supports, and
+// returns the previous level. For benchmarks and differential tests
+// (ablating AVX-512 down to the PR 4 AVX2 path and to scalar); not
+// safe to call concurrently with running kernels.
+func SetMaxVectorISA(level string) string {
+	prev := VectorISA()
+	useAVX2 = hasAVX2 && (level == "avx2" || level == "avx512")
+	useAVX512 = hasAVX512 && level == "avx512"
+	return prev
+}
+
+// CPUFeatures lists the ISA features the kernel dispatch detected, for
+// bench metadata (BENCH_*.json comparability across hosts).
+func CPUFeatures() []string {
+	feats := []string{"sse2"}
+	if hasAVX2 {
+		feats = append(feats, "avx2")
+	}
+	if hasAVX512 {
+		feats = append(feats, "avx512f", "avx512dq", "avx512bw", "avx512vl")
+	}
+	return feats
 }

@@ -2,11 +2,43 @@
 
 package semiring
 
-// Non-amd64 fallback: no vector kernel; the scalar register-blocked
-// quad kernel in microkernel.go handles every tile.
+// Portable fallback for non-amd64 targets (arm64 included): no
+// hand-written vector kernel; every tile runs the scalar 4-row × 2-k
+// register-blocked quad kernel in microkernel.go. That IS the portable
+// 4-wide path — the quad kernel keeps eight A scalars and four C rows
+// live, and Go's min/max builtins lower to FMIND/FMAXD on arm64, so
+// the compiler emits branchless NEON-register code for the inner loop
+// without asm to rot. The GOARCH=arm64 cross-build CI leg keeps this
+// file and the dispatch hooks compiling.
 
-var useAVX2 = false
+var (
+	useAVX2   = false
+	useAVX512 = false
+)
 
 func minPlusTileVec(C, A Mat, pk []float64, k0, kh, j0, jh int) bool {
 	return false
 }
+
+func maxMinTileVec(C, A Mat, pk []float64, k0, kh, j0, jh int) bool {
+	return false
+}
+
+func minPlusPathsTileVec(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh int) bool {
+	return false
+}
+
+func maxMinPathsTileVec(C, A Mat, nextC, nextA IntMat, pk []float64, k0, kh, j0, jh int) bool {
+	return false
+}
+
+// VectorISA reports the active SIMD dispatch level.
+func VectorISA() string { return "scalar" }
+
+// SetMaxVectorISA is a no-op off amd64 (the dispatch is already at the
+// portable floor); it returns the current level.
+func SetMaxVectorISA(string) string { return "scalar" }
+
+// CPUFeatures lists detected ISA features; empty means the portable
+// scalar kernels are in use.
+func CPUFeatures() []string { return nil }

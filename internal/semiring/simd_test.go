@@ -5,34 +5,124 @@ import (
 	"testing"
 )
 
-// TestVectorKernelMatchesScalar isolates the SIMD tile kernel: the same
-// dense multiply with the vector path forced off must produce bitwise
-// identical results, across shapes that exercise the 8-lane body, the
-// scalar j tail, and the odd-k remainder.
+// forceDenseTuning makes every call take the dense packed path so the
+// tile kernels (not the dispatch) are what's under test.
+func forceDenseTuning(t *testing.T) {
+	t.Helper()
+	prev := CurrentGemmTuning()
+	t.Cleanup(func() { SetGemmTuning(prev) })
+	SetGemmTuning(GemmTuning{KTile: 64, JTile: 512, GemmSmall: 768,
+		DenseMinFinite: 0, DenseMinOps: 1, ParMinRows: 1 << 30, ParMinOps: 1 << 62})
+}
+
+// simdShapes exercise the 32- and 16-lane bodies, the masked ≤8-lane
+// tails (cols mod 8 and mod 16 ≠ 0), narrow tiles below the vector
+// cutoff, and odd k counts.
+var simdShapes = [][3]int{
+	{4, 64, 512}, {9, 65, 77}, {16, 7, 16}, {33, 129, 523},
+	{5, 2, 19}, {8, 31, 40}, {12, 16, 9}, {7, 5, 100},
+}
+
+// TestVectorKernelMatchesScalar isolates the SIMD tile kernels: the
+// same dense multiply at every ISA level the hardware supports must
+// produce bitwise identical results — values for min-plus/max-min,
+// values AND hops for the index-carrying Paths variants.
 func TestVectorKernelMatchesScalar(t *testing.T) {
 	if !HasVectorKernel() {
 		t.Skip("no vector kernel on this machine")
 	}
-	prevTuning := CurrentGemmTuning()
-	defer SetGemmTuning(prevTuning)
-	// Force the dense packed path for every call.
-	SetGemmTuning(GemmTuning{KTile: 64, JTile: 512, GemmSmall: 768,
-		DenseMinFinite: 0, DenseMinOps: 1, ParMinRows: 1 << 30, ParMinOps: 1 << 62})
+	forceDenseTuning(t)
+	prevISA := VectorISA()
+	defer SetMaxVectorISA(prevISA)
+	levels := []string{"avx2", "avx512"}
 	rng := rand.New(rand.NewSource(42))
-	shapes := [][3]int{{4, 64, 512}, {9, 65, 77}, {16, 7, 16}, {33, 129, 523}, {5, 2, 19}}
-	for _, s := range shapes {
+	for _, s := range simdShapes {
 		for _, infFrac := range []float64{0, 0.5, 1.0} {
 			A := randomMat(rng, s[0], s[1], infFrac)
 			B := randomMat(rng, s[1], s[2], infFrac)
 			C := randomMat(rng, s[0], s[2], 0.5)
+			nextA := randomHops(rng, s[0], s[1])
+			nextB := randomHops(rng, s[0], s[2])
+
+			SetMaxVectorISA("scalar")
 			wantC := C.Clone()
-			useAVX2 = false
 			MinPlusMulAdd(wantC, A, B)
-			useAVX2 = true
-			MinPlusMulAdd(C, A, B)
-			if !C.Equal(wantC) {
-				t.Fatalf("vector and scalar dense kernels disagree for shape %v infFrac %.1f", s, infFrac)
+			wantMM := C.Clone()
+			MaxMinMulAdd(wantMM, negate(A), negate(B))
+			wantP := C.Clone()
+			wantPN := cloneHops(nextB)
+			MinPlusMulAddPaths(wantP, A, B, wantPN, nextA)
+			wantMP := C.Clone()
+			wantMPN := cloneHops(nextB)
+			MaxMinMulAddPaths(wantMP, negate(A), negate(B), wantMPN, nextA)
+
+			for _, level := range levels {
+				if SetMaxVectorISA(level); VectorISA() != level {
+					continue // hardware tops out below this level
+				}
+				gotC := C.Clone()
+				MinPlusMulAdd(gotC, A, B)
+				if !gotC.Equal(wantC) {
+					t.Fatalf("%s min-plus differs from scalar for shape %v infFrac %.1f", level, s, infFrac)
+				}
+				gotMM := C.Clone()
+				MaxMinMulAdd(gotMM, negate(A), negate(B))
+				if !gotMM.Equal(wantMM) {
+					t.Fatalf("%s max-min differs from scalar for shape %v infFrac %.1f", level, s, infFrac)
+				}
+				gotP := C.Clone()
+				gotPN := cloneHops(nextB)
+				MinPlusMulAddPaths(gotP, A, B, gotPN, nextA)
+				if !gotP.Equal(wantP) || !hopsEqual(gotPN, wantPN) {
+					t.Fatalf("%s min-plus paths differs from scalar for shape %v infFrac %.1f", level, s, infFrac)
+				}
+				gotMP := C.Clone()
+				gotMPN := cloneHops(nextB)
+				MaxMinMulAddPaths(gotMP, negate(A), negate(B), gotMPN, nextA)
+				if !gotMP.Equal(wantMP) || !hopsEqual(gotMPN, wantMPN) {
+					t.Fatalf("%s max-min paths differs from scalar for shape %v infFrac %.1f", level, s, infFrac)
+				}
+			}
+			SetMaxVectorISA(prevISA)
+		}
+	}
+}
+
+// negate maps a min-plus operand (finite or +Inf) to a max-min operand
+// (finite or -Inf) so the same random matrices exercise both algebras.
+func negate(A Mat) Mat {
+	B := A.Clone()
+	for i := range B.Data {
+		B.Data[i] = -B.Data[i]
+	}
+	return B
+}
+
+func randomHops(rng *rand.Rand, rows, cols int) IntMat {
+	m := NewIntMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = int32(rng.Intn(64))
+	}
+	return m
+}
+
+func cloneHops(m IntMat) IntMat {
+	c := NewIntMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+func hopsEqual(a, b IntMat) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return false
 			}
 		}
 	}
+	return true
 }

@@ -9,24 +9,31 @@ package semiring
 //
 // Update cost is a handful of atomic adds per MulAdd call (calls are
 // per-panel, thousands per solve, each doing ≥10⁵ fused ops), so the
-// counters stay on unconditionally.
+// counters stay on unconditionally. The per-phase timers are coarser
+// still: two clock reads per supernode elimination stage.
 
 import "sync/atomic"
 
 // kernelStats is the process-wide counter block.
 var kernelStats struct {
-	calls       atomic.Uint64
-	dense       atomic.Uint64
-	stream      atomic.Uint64
-	parShards   atomic.Uint64
-	fusedOps    atomic.Uint64
-	packedBytes atomic.Uint64
+	calls            atomic.Uint64
+	dense            atomic.Uint64
+	stream           atomic.Uint64
+	parShards        atomic.Uint64
+	fusedOps         atomic.Uint64
+	packedBytes      atomic.Uint64
+	packedReuseBytes atomic.Uint64
+	fusedElims       atomic.Uint64
+	stagedElims      atomic.Uint64
+	diagNS           atomic.Uint64
+	panelNS          atomic.Uint64
+	outerNS          atomic.Uint64
 }
 
 // KernelCounters is a snapshot of the adaptive GEMM counters.
 type KernelCounters struct {
 	// Calls counts adaptive MulAdd invocations (all semirings, with and
-	// without path tracking).
+	// without path tracking, packed and staged).
 	Calls uint64 `json:"calls"`
 	// DenseCalls counts calls dispatched to the packed register-blocked
 	// path; StreamCalls counts calls dispatched to the Inf-skip
@@ -41,19 +48,45 @@ type KernelCounters struct {
 	// The dense/stream asymmetry is the point — it measures work the
 	// Inf skip avoided.
 	FusedOps uint64 `json:"fused_ops"`
-	// PackedBytes counts bytes copied into packed B tiles.
+	// PackedBytes counts bytes copied into packed B tiles (each tile
+	// counted once, at pack time).
 	PackedBytes uint64 `json:"packed_bytes"`
+	// PackedReuseBytes counts packed bytes REUSED by the fused pipeline:
+	// every MulAddPacked sweep over an already-packed panel after the
+	// first adds the panel's size. This is exactly the staging traffic
+	// the staged three-call path would have re-copied, i.e. the memory
+	// the fusion saved.
+	PackedReuseBytes uint64 `json:"packed_reuse_bytes"`
+	// FusedElims / StagedElims count supernode eliminations run through
+	// the fused pack-once pipeline vs the staged per-call path — the
+	// fused-vs-staged dispatch made observable.
+	FusedElims  uint64 `json:"fused_elims"`
+	StagedElims uint64 `json:"staged_elims"`
+	// DiagNS / PanelNS / OuterNS are wall nanoseconds spent in the three
+	// elimination phases (diagonal FW closure, panel updates, outer
+	// scatter). Concurrent supernodes overlap, so these are per-phase
+	// wall footprints, not summed CPU time; their ratio is what kernel
+	// tuning steers.
+	DiagNS  uint64 `json:"diag_ns"`
+	PanelNS uint64 `json:"panel_ns"`
+	OuterNS uint64 `json:"outer_ns"`
 }
 
 // ReadKernelCounters returns the current cumulative counter values.
 func ReadKernelCounters() KernelCounters {
 	return KernelCounters{
-		Calls:          kernelStats.calls.Load(),
-		DenseCalls:     kernelStats.dense.Load(),
-		StreamCalls:    kernelStats.stream.Load(),
-		ParallelShards: kernelStats.parShards.Load(),
-		FusedOps:       kernelStats.fusedOps.Load(),
-		PackedBytes:    kernelStats.packedBytes.Load(),
+		Calls:            kernelStats.calls.Load(),
+		DenseCalls:       kernelStats.dense.Load(),
+		StreamCalls:      kernelStats.stream.Load(),
+		ParallelShards:   kernelStats.parShards.Load(),
+		FusedOps:         kernelStats.fusedOps.Load(),
+		PackedBytes:      kernelStats.packedBytes.Load(),
+		PackedReuseBytes: kernelStats.packedReuseBytes.Load(),
+		FusedElims:       kernelStats.fusedElims.Load(),
+		StagedElims:      kernelStats.stagedElims.Load(),
+		DiagNS:           kernelStats.diagNS.Load(),
+		PanelNS:          kernelStats.panelNS.Load(),
+		OuterNS:          kernelStats.outerNS.Load(),
 	}
 }
 
@@ -62,12 +95,18 @@ func ReadKernelCounters() KernelCounters {
 // the union of both (the counters are process-wide).
 func (k KernelCounters) Sub(prev KernelCounters) KernelCounters {
 	return KernelCounters{
-		Calls:          k.Calls - prev.Calls,
-		DenseCalls:     k.DenseCalls - prev.DenseCalls,
-		StreamCalls:    k.StreamCalls - prev.StreamCalls,
-		ParallelShards: k.ParallelShards - prev.ParallelShards,
-		FusedOps:       k.FusedOps - prev.FusedOps,
-		PackedBytes:    k.PackedBytes - prev.PackedBytes,
+		Calls:            k.Calls - prev.Calls,
+		DenseCalls:       k.DenseCalls - prev.DenseCalls,
+		StreamCalls:      k.StreamCalls - prev.StreamCalls,
+		ParallelShards:   k.ParallelShards - prev.ParallelShards,
+		FusedOps:         k.FusedOps - prev.FusedOps,
+		PackedBytes:      k.PackedBytes - prev.PackedBytes,
+		PackedReuseBytes: k.PackedReuseBytes - prev.PackedReuseBytes,
+		FusedElims:       k.FusedElims - prev.FusedElims,
+		StagedElims:      k.StagedElims - prev.StagedElims,
+		DiagNS:           k.DiagNS - prev.DiagNS,
+		PanelNS:          k.PanelNS - prev.PanelNS,
+		OuterNS:          k.OuterNS - prev.OuterNS,
 	}
 }
 
@@ -80,7 +119,11 @@ func (k KernelCounters) DenseRatio() float64 {
 	return float64(k.DenseCalls) / float64(k.Calls)
 }
 
-// HasVectorKernel reports whether the dense min-plus path runs the
-// SIMD micro-kernel on this machine (amd64 with AVX2) rather than the
-// scalar register-blocked one.
-func HasVectorKernel() bool { return useAVX2 }
+// HasVectorKernel reports whether the dense min-plus path runs a SIMD
+// micro-kernel on this machine (amd64 with AVX2 or AVX-512) rather than
+// the scalar register-blocked one.
+func HasVectorKernel() bool { return useAVX2 || useAVX512 }
+
+// HasAVX512 reports whether the 16-lane AVX-512 kernels (including the
+// vectorized max-min and index-carrying Paths variants) are active.
+func HasAVX512() bool { return useAVX512 }
