@@ -9,7 +9,7 @@ APSPVET := bin/apspvet
 APSPVET_SRC := $(wildcard cmd/apspvet/*.go internal/analysis/*.go \
 	internal/analysis/analysistest/*.go internal/analyzers/*.go)
 
-.PHONY: all build test race lint apspvet staticcheck check cross-arm64 bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke update-smoke recovery-smoke bench-gemm bench-update
+.PHONY: all build test race lint apspvet apspvet-baseline apspvet-sarif staticcheck govulncheck check cross-arm64 bench-smoke queryload-smoke chaos chaos-checkpoint checkpoint-smoke gemm-smoke shard-smoke update-smoke recovery-smoke bench-gemm bench-update
 
 all: build test
 
@@ -25,12 +25,28 @@ race:
 $(APSPVET): $(APSPVET_SRC)
 	$(GO) build -o $@ ./cmd/apspvet
 
-# The repo-specific analyzer suite (DESIGN.md §11) run through the real
-# `go vet -vettool` driver — the same invocation CI uses.
+# The repo-specific analyzer suite (DESIGN.md §11), run two ways: the
+# real `go vet -vettool` driver (type-checked against the exact build
+# configuration, cached by cmd/go), then the standalone driver in
+# diff-aware mode — findings fingerprinted in .apspvet-baseline.json are
+# accepted debt; only findings new relative to the baseline fail, and
+# the full finding set lands in apspvet.sarif for code scanning.
 apspvet: $(APSPVET)
 	$(GO) vet -vettool=$(APSPVET) ./...
+	$(APSPVET) -sarif apspvet.sarif -baseline .apspvet-baseline.json -diff ./...
 
-lint: apspvet
+# Refresh the accepted-findings baseline. Run after deliberately
+# accepting a finding (with a justification in the PR); the diff in
+# .apspvet-baseline.json is itself reviewable.
+apspvet-baseline: $(APSPVET)
+	$(APSPVET) -baseline .apspvet-baseline.json -writebaseline ./...
+
+# SARIF 2.1 log of the complete (unfiltered) finding set, for upload to
+# GitHub code scanning.
+apspvet-sarif: $(APSPVET)
+	$(APSPVET) -sarif apspvet.sarif ./...
+
+lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -45,11 +61,33 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs the pinned version)"; \
 	fi
 
+# govulncheck follows the same pattern: pinned in CI, best-effort
+# locally.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs the pinned version)"; \
+	fi
+
 # The pre-merge umbrella: everything that must hold statically before
-# tests even matter. Build, stock vet + gofmt, the apspvet invariant
-# suite, and staticcheck when available.
-check: build lint staticcheck
-	@echo "check OK"
+# tests even matter. The four independent gates (apspvet, stock
+# vet+gofmt, staticcheck, govulncheck) run concurrently with prefixed
+# output; the binary is built up front so the parallel sub-makes share
+# it instead of racing to create it.
+check: build $(APSPVET)
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	for t in apspvet lint staticcheck govulncheck; do \
+		( { $(MAKE) --no-print-directory $$t; echo $$? > "$$tmp/$$t"; } 2>&1 \
+			| sed "s/^/[$$t] /" ) & \
+	done; \
+	wait; \
+	fail=0; for t in apspvet lint staticcheck govulncheck; do \
+		st="$$(cat "$$tmp/$$t" 2>/dev/null || echo 1)"; \
+		if [ "$$st" != "0" ]; then echo "check: $$t FAILED (exit $$st)"; fail=1; fi; \
+	done; \
+	if [ "$$fail" != "0" ]; then exit 1; fi; \
+	echo "check OK"
 
 # Compile and run every benchmark exactly once — catches benchmarks that
 # no longer build or crash without paying for a full measurement run.

@@ -10,9 +10,16 @@
 //
 // Invoked with package patterns (or no arguments, meaning ./...) it
 // loads and checks packages itself, which is convenient for one-off
-// local runs:
+// local runs and is what the SARIF/baseline modes use:
 //
 //	go run ./cmd/apspvet ./internal/core
+//	bin/apspvet -sarif apspvet.sarif -baseline .apspvet-baseline.json -diff ./...
+//	bin/apspvet -baseline .apspvet-baseline.json -writebaseline ./...
+//
+// -diff reports only findings whose fingerprint is not in the baseline
+// (accepted debt lives in the committed .apspvet-baseline.json;
+// accepting more is an explicit -writebaseline edit), and -sarif writes
+// the complete finding set as SARIF 2.1 for GitHub code scanning.
 package main
 
 import (

@@ -4,11 +4,14 @@
 // grown in has no module proxy access, so the usual x/tools framework
 // cannot be fetched; the subset implemented here — Analyzer, Pass,
 // per-package running with //lint:ignore suppression, a go-list-based
-// standalone loader (load.go), and the `go vet -vettool` unitchecker
-// protocol (unitchecker.go) — is exactly what the apspvet suite in
-// internal/analyzers needs. Analyzer Run functions are written against
-// the same shapes as their x/tools counterparts, so they port to the
-// real framework mechanically if the dependency ever becomes available.
+// standalone loader (load.go), the `go vet -vettool` unitchecker
+// protocol (unitchecker.go), per-function CFGs with ordering dataflow
+// (cfg.go, dataflow.go), cross-package facts over vetx files
+// (facts.go), and SARIF 2.1 output with a diff-aware baseline
+// (sarif.go) — is exactly what the apspvet suite in internal/analyzers
+// needs. Analyzer Run functions are written against the same shapes as
+// their x/tools counterparts, so they port to the real framework
+// mechanically if the dependency ever becomes available.
 package analysis
 
 import (
@@ -35,13 +38,18 @@ type Analyzer struct {
 
 // Pass carries one type-checked package through one analyzer.
 type Pass struct {
-	Analyzer  *Analyzer
-	Fset      *token.FileSet
-	Files     []*ast.File
-	Pkg       *types.Package
-	TypesInfo *types.Info
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// OtherFiles are the package's non-Go source files (assembly, etc.),
+	// as absolute paths. The asmabi analyzer cross-checks TEXT headers in
+	// these against the Go declarations in Files.
+	OtherFiles []string
+	Pkg        *types.Package
+	TypesInfo  *types.Info
 
 	report func(Diagnostic)
+	facts  *FactStore
 }
 
 // Diagnostic is one finding at a position.
@@ -66,8 +74,11 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 type Package struct {
 	Fset  *token.FileSet
 	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	// OtherFiles are non-Go source files (assembly) belonging to the
+	// package's build, as absolute paths.
+	OtherFiles []string
+	Types      *types.Package
+	Info       *types.Info
 }
 
 // Finding is a resolved diagnostic: analyzer name plus file position.
@@ -94,26 +105,36 @@ func NewTypesInfo() *types.Info {
 	}
 }
 
-// RunAnalyzers applies each analyzer to pkg, resolves positions, drops
-// findings suppressed by //lint:ignore directives, and returns the
-// survivors sorted by position. Malformed directives are themselves
-// reported under the pseudo-analyzer name "lintdirective".
+// RunAnalyzers applies each analyzer to pkg with an empty fact store —
+// the single-package entry point used by analysistest and one-off runs.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunAnalyzersFacts(pkg, analyzers, NewFactStore())
+}
+
+// RunAnalyzersFacts applies each analyzer to pkg, resolves positions,
+// drops findings suppressed by //lint:ignore directives, and returns
+// the survivors sorted by position. Facts imported from store are
+// visible through Pass.ImportFact; facts the analyzers export land in
+// store for dependent packages. Malformed directives are themselves
+// reported under the pseudo-analyzer name "lintdirective".
+func RunAnalyzersFacts(pkg *Package, analyzers []*Analyzer, store *FactStore) ([]Finding, error) {
 	sup, bad := collectSuppressions(pkg)
 	var out []Finding
 	out = append(out, bad...)
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			OtherFiles: pkg.OtherFiles,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			facts:      store,
 		}
 		name := a.Name
 		pass.report = func(d Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
-			if sup.suppressed(name, pos) {
+			if sup.suppressed(name, d.Pos, pos) {
 				return
 			}
 			out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
@@ -135,23 +156,34 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	return out, nil
 }
 
-// suppressions maps file -> line -> set of analyzer names ignored on
-// that line. A directive suppresses findings on its own line and on the
-// line immediately below, so both trailing and standalone placements
-// work:
-//
-//	foo()            //lint:ignore nakedgo reason
-//	//lint:ignore nakedgo reason
-//	foo()
-type suppressions map[string]map[int]map[string]bool
+// suppression is one resolved //lint:ignore directive. When the
+// directive could be attached to a statement (or declaration), start/end
+// bound exactly that node's source range and only findings inside it are
+// suppressed — a directive on one statement never silences a sibling
+// statement that merely shares its line. When no node could be resolved
+// (directives in non-statement positions), the pre-scoping line rule
+// applies: the directive's own line and the line below.
+type suppression struct {
+	names      map[string]bool
+	start, end token.Pos // statement scope; invalid => line fallback
+	line       int       // directive line (fallback matching)
+}
 
-func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if names := lines[line]; names != nil && (names[analyzer] || names["*"]) {
+// suppressions maps file -> directives in that file.
+type suppressions map[string][]suppression
+
+func (s suppressions) suppressed(analyzer string, pos token.Pos, position token.Position) bool {
+	for _, sup := range s[position.Filename] {
+		if !sup.names[analyzer] && !sup.names["*"] {
+			continue
+		}
+		if sup.start.IsValid() {
+			if pos >= sup.start && pos < sup.end {
+				return true
+			}
+			continue
+		}
+		if position.Line == sup.line || position.Line == sup.line+1 {
 			return true
 		}
 	}
@@ -166,10 +198,17 @@ func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
 // A directive with no analyzer list or no reason is reported as a
 // finding instead of silently ignored — an undocumented suppression is
 // exactly the convention-rot this suite exists to prevent.
+//
+// Scoping: a trailing directive suppresses only the statement it
+// trails (the last statement starting on its line and ending before
+// it); a standalone directive suppresses only the next statement —
+// including every line of a multi-line statement, but never a sibling
+// statement that happens to share a line.
 func collectSuppressions(pkg *Package) (suppressions, []Finding) {
 	sup := suppressions{}
 	var bad []Finding
 	for _, f := range pkg.Files {
+		nodes := scopeNodes(f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
@@ -186,21 +225,71 @@ func collectSuppressions(pkg *Package) (suppressions, []Finding) {
 					})
 					continue
 				}
-				lines := sup[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					sup[pos.Filename] = lines
-				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = map[string]bool{}
-					lines[pos.Line] = names
-				}
+				names := map[string]bool{}
 				for _, n := range strings.Split(fields[0], ",") {
 					names[n] = true
 				}
+				entry := suppression{names: names, line: pos.Line}
+				if n := resolveScope(pkg.Fset, nodes, c); n != nil {
+					entry.start, entry.end = n.Pos(), n.End()
+				}
+				sup[pos.Filename] = append(sup[pos.Filename], entry)
 			}
 		}
 	}
 	return sup, bad
+}
+
+// scopeNodes gathers the nodes a directive can attach to: statements
+// (including case/comm clauses) and top-level declarations.
+func scopeNodes(f *ast.File) []ast.Node {
+	var nodes []ast.Node
+	for _, d := range f.Decls {
+		nodes = append(nodes, d)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if _, ok := n.(ast.Stmt); ok {
+			nodes = append(nodes, n)
+		}
+		return true
+	})
+	return nodes
+}
+
+// resolveScope attaches a directive to its statement. A trailing
+// directive (code before it on its own line) scopes to the last node
+// that starts on the directive's line and ends at or before the
+// directive; a standalone directive scopes to the first node starting
+// after it — among nodes starting at the same position, the outermost.
+func resolveScope(fset *token.FileSet, nodes []ast.Node, c *ast.Comment) ast.Node {
+	cline := fset.Position(c.Pos()).Line
+	var trailing ast.Node
+	for _, n := range nodes {
+		if fset.Position(n.Pos()).Line == cline && n.End() <= c.Pos() {
+			if trailing == nil || n.Pos() > trailing.Pos() ||
+				(n.Pos() == trailing.Pos() && n.End() < trailing.End()) {
+				trailing = n
+			}
+		}
+	}
+	if trailing != nil {
+		return trailing
+	}
+	var next ast.Node
+	for _, n := range nodes {
+		if n.Pos() <= c.End() {
+			continue
+		}
+		if next == nil || n.Pos() < next.Pos() ||
+			(n.Pos() == next.Pos() && n.End() > next.End()) {
+			next = n
+		}
+	}
+	// Only attach when the node begins on the directly following line:
+	// a directive separated from the code by blank lines keeps the
+	// conservative line-based scope (which then matches nothing).
+	if next != nil && fset.Position(next.Pos()).Line == cline+1 {
+		return next
+	}
+	return nil
 }

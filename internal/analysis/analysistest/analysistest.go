@@ -47,8 +47,18 @@ func runOne(t *testing.T, a *analysis.Analyzer, fixture string) {
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
+	var otherFiles []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".s") {
+			// Assembly files ride along as Pass.OtherFiles (asmabi reads
+			// them) and may carry // want expectations of their own.
+			otherFiles = append(otherFiles, filepath.Join(dir, e.Name()))
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
@@ -66,7 +76,7 @@ func runOne(t *testing.T, a *analysis.Analyzer, fixture string) {
 	if err != nil {
 		t.Fatalf("%s: type-checking fixture: %v", fixture, err)
 	}
-	pkg := &analysis.Package{Fset: fset, Files: files, Types: tpkg, Info: info}
+	pkg := &analysis.Package{Fset: fset, Files: files, OtherFiles: otherFiles, Types: tpkg, Info: info}
 	findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("%s: %v", fixture, err)
@@ -93,6 +103,27 @@ func runOne(t *testing.T, a *analysis.Analyzer, fixture string) {
 				k := key{pos.Filename, pos.Line}
 				wants[k] = append(wants[k], patterns...)
 			}
+		}
+	}
+	// Assembly files cannot go through the Go comment map; scan their
+	// lines directly so asmabi fixtures can state expectations in place.
+	for _, name := range otherFiles {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", fixture, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			patterns, perr := parseWant(line[idx+len("// want "):])
+			if perr != "" {
+				t.Errorf("%s:%d: %s", name, i+1, perr)
+				continue
+			}
+			k := key{name, i + 1}
+			wants[k] = append(wants[k], patterns...)
 		}
 	}
 	for _, f := range findings {

@@ -1,0 +1,38 @@
+package analysistest
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// marker flags every call to a function named bad — a minimal analyzer
+// for exercising //lint:ignore scoping through the fixture harness.
+var marker = &analysis.Analyzer{
+	Name: "marker",
+	Doc:  "flags calls to bad (suppression-scoping test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+					pass.Reportf(call.Pos(), "call to bad")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestSuppressionScoping is the regression suite for statement-scoped
+// //lint:ignore: a directive on one statement must not silence sibling
+// findings that merely share its line range (the pre-scoping rule
+// suppressed the directive's line plus the next line wholesale).
+func TestSuppressionScoping(t *testing.T) {
+	Run(t, marker, "suppress")
+}

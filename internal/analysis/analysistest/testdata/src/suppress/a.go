@@ -1,0 +1,47 @@
+package suppress
+
+func bad() int { return 0 }
+
+// Trailing directive: suppresses only the statement it trails. Under
+// the old line-based rule the directive's line AND the next line were
+// silenced, so y's finding below would have been lost.
+func nextLineLeak() {
+	x := bad() //lint:ignore marker sanctioned in-place call
+	y := bad() // want `call to bad`
+	_, _ = x, y
+}
+
+// Standalone directive: suppresses exactly the next statement.
+func standalone() {
+	//lint:ignore marker only the first call is sanctioned
+	x := bad()
+	y := bad() // want `call to bad`
+	_, _ = x, y
+}
+
+// A multi-line statement is covered in full — the old rule only
+// reached one line past the directive.
+func multiline() {
+	//lint:ignore marker the whole chained expression is sanctioned
+	_ = bad() +
+		bad() +
+		bad()
+}
+
+// A directive inside a nested block stays inside it: the sibling
+// statement after the block still reports.
+func insideBlock(cond bool) {
+	if cond {
+		//lint:ignore marker sanctioned inner call
+		_ = bad()
+	}
+	_ = bad() // want `call to bad`
+}
+
+// A directive separated from the code by a blank line attaches to
+// nothing and suppresses nothing.
+func detached() {
+	//lint:ignore marker dangling directive, no adjacent statement
+
+	_ = bad() // want `call to bad`
+}

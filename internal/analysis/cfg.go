@@ -1,0 +1,369 @@
+package analysis
+
+// Control-flow graph construction over go/ast function bodies. The
+// graph is intraprocedural and statement-granular: each basic block
+// holds a run of straight-line statements, and edges carry the branch
+// condition that selects them (nil for unconditional flow). That is
+// precisely the shape the ordering analyses in dataflow.go need — they
+// ask "has event E occurred on every path reaching node N", and the
+// condition-labeled edges let an analyzer declare some branches
+// vacuous (e.g. the durable == nil arm of a nil guard never needs a
+// WAL append).
+//
+// Constructs handled: if/else, for (incl. init/cond/post and infinite
+// loops), range, switch (expr and type, incl. fallthrough), select,
+// labeled statements, break/continue (labeled and bare), goto, and
+// return. Defer and go are treated as ordinary statements — their
+// bodies execute off the path being analyzed. Panics and calls to
+// runtime-exiting functions are not modeled; that is conservative for
+// must-analyses (a panic edge would only remove paths).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block // every return and normal fall-off-the-end reaches this
+}
+
+// Block is a maximal straight-line run of statements.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+	Preds []*Block
+}
+
+// Edge is one control transfer. Cond is the controlling expression for
+// conditional transfers and nil otherwise; Branch is the value of Cond
+// on this edge (true = the then/taken arm).
+type Edge struct {
+	To     *Block
+	Cond   ast.Expr
+	Branch bool
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// break/continue targets, innermost last
+	breaks    []*Block
+	continues []*Block
+	// labeled loop targets
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	// goto resolution: labels seen and gotos pending
+	labelBlock map[string]*Block
+	gotos      []pendingGoto
+	// pendingLabel carries a loop label from LabeledStmt into the next
+	// pushLoop/switchBody call so `break L`/`continue L` resolve.
+	pendingLabel string
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// NewCFG builds the control-flow graph of a function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:           &CFG{},
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+		labelBlock:    map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	last := b.stmtList(b.cfg.Entry, body.List)
+	if last != nil {
+		b.edge(last, b.cfg.Exit, nil, false)
+	}
+	for _, g := range b.gotos {
+		if target, ok := b.labelBlock[g.label]; ok {
+			b.edge(g.from, target, nil, false)
+		} else {
+			// Unresolvable goto (label in dead code we dropped):
+			// conservatively route to exit.
+			b.edge(g.from, b.cfg.Exit, nil, false)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, branch bool) {
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, Branch: branch})
+	to.Preds = append(to.Preds, from)
+}
+
+// stmtList threads the statements through cur, returning the live tail
+// block, or nil when control cannot fall off the end (return/branch).
+func (b *cfgBuilder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after return/branch: still record labels inside
+			// it so gotos resolve, but on a detached block.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenB := b.newBlock()
+		b.edge(cur, thenB, s.Cond, true)
+		after := b.newBlock()
+		thenEnd := b.stmtList(thenB, s.Body.List)
+		if thenEnd != nil {
+			b.edge(thenEnd, after, nil, false)
+		}
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB, s.Cond, false)
+			elseEnd := b.stmt(elseB, s.Else)
+			if elseEnd != nil {
+				b.edge(elseEnd, after, nil, false)
+			}
+		} else {
+			b.edge(cur, after, s.Cond, false)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		after := b.newBlock()
+		bodyB := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, bodyB, s.Cond, true)
+			b.edge(head, after, s.Cond, false)
+		} else {
+			b.edge(head, bodyB, nil, false)
+			// No cond: after is reachable only via break.
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head, nil, false)
+		b.pushLoop(after, post, s)
+		bodyEnd := b.stmtList(bodyB, s.Body.List)
+		b.popLoop()
+		if bodyEnd != nil {
+			b.edge(bodyEnd, post, nil, false)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		cur.Nodes = append(cur.Nodes, s.X)
+		head := b.newBlock()
+		b.edge(cur, head, nil, false)
+		after := b.newBlock()
+		bodyB := b.newBlock()
+		// The head both continues into the body and exits; there is no
+		// useful condition expression to label the edges with.
+		b.edge(head, bodyB, nil, false)
+		b.edge(head, after, nil, false)
+		if s.Key != nil || s.Value != nil {
+			bodyB.Nodes = append(bodyB.Nodes, s)
+		}
+		b.pushLoop(after, head, s)
+		bodyEnd := b.stmtList(bodyB, s.Body.List)
+		b.popLoop()
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head, nil, false)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, s.Body, s)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(cur, s.Body, s)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.breaks = append(b.breaks, after)
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CommClause)
+			caseB := b.newBlock()
+			b.edge(cur, caseB, nil, false)
+			if cc.Comm != nil {
+				caseB.Nodes = append(caseB.Nodes, cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			if end := b.stmtList(caseB, cc.Body); end != nil {
+				b.edge(end, after, nil, false)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		// A select always takes some case (and select{} blocks forever),
+		// so `after` is reachable only through the case bodies — no
+		// direct head->after edge regardless of hasDefault.
+		_ = hasDefault
+		return after
+
+	case *ast.LabeledStmt:
+		lblBlock := b.newBlock()
+		b.edge(cur, lblBlock, nil, false)
+		b.labelBlock[s.Label.Name] = lblBlock
+		// Register loop label targets before building the loop body so
+		// `continue L` / `break L` inside resolve.
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			_ = inner
+		}
+		return b.stmt(lblBlock, s.Stmt)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.cfg.Exit, nil, false)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			target := b.branchTarget(s, b.breaks, b.labelBreak)
+			if target != nil {
+				b.edge(cur, target, nil, false)
+			} else {
+				b.edge(cur, b.cfg.Exit, nil, false)
+			}
+			return nil
+		case token.CONTINUE:
+			target := b.branchTarget(s, b.continues, b.labelContinue)
+			if target != nil {
+				b.edge(cur, target, nil, false)
+			} else {
+				b.edge(cur, b.cfg.Exit, nil, false)
+			}
+			return nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+			return nil
+		case token.FALLTHROUGH:
+			// Handled by switchBody via the fallthrough edge; mark the
+			// statement so the clause end links to the next clause.
+			cur.Nodes = append(cur.Nodes, s)
+			return cur
+		}
+		return cur
+
+	default:
+		// Straight-line statement (assign, expr, decl, defer, go, send,
+		// inc/dec, empty). Recorded in order for the ordering analyses.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block, _ ast.Stmt) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		b.labelContinue[b.pendingLabel] = cont
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, stack []*Block, labeled map[string]*Block) *Block {
+	if s.Label != nil {
+		return labeled[s.Label.Name]
+	}
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// switchBody builds the clause structure shared by expression and type
+// switches. Each case clause gets an edge from the head; a missing
+// default adds a direct head->after edge. Fallthrough chains a clause
+// body into the next clause's body.
+func (b *cfgBuilder) switchBody(head *Block, body *ast.BlockStmt, _ ast.Stmt) *Block {
+	after := b.newBlock()
+	b.breaks = append(b.breaks, after)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = after
+		b.pendingLabel = ""
+	}
+	hasDefault := false
+	clauseBlocks := make([]*Block, len(body.List))
+	for i := range body.List {
+		clauseBlocks[i] = b.newBlock()
+	}
+	for i, cc := range body.List {
+		cc := cc.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseB := clauseBlocks[i]
+		b.edge(head, caseB, nil, false)
+		for _, e := range cc.List {
+			caseB.Nodes = append(caseB.Nodes, e)
+		}
+		end := b.stmtList(caseB, cc.Body)
+		if end != nil {
+			if fellThrough(cc.Body) && i+1 < len(clauseBlocks) {
+				b.edge(end, clauseBlocks[i+1], nil, false)
+			} else {
+				b.edge(end, after, nil, false)
+			}
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after, nil, false)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	return after
+}
+
+func fellThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}

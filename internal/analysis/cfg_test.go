@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc parses src (a file body containing one function named fn)
+// and returns the function body plus the fileset.
+func parseFunc(t *testing.T, src, fn string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fset, fd.Body
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// posOf returns the position of the first occurrence of marker in a
+// statement's source line, located by scanning the body for a call to
+// the named function.
+func callPos(body *ast.BlockStmt, name string) token.Pos {
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name && pos == token.NoPos {
+				pos = call.Pos()
+			}
+		}
+		return true
+	})
+	return pos
+}
+
+func isCallTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestCFGReachability(t *testing.T) {
+	_, body := parseFunc(t, `
+func f(c bool) {
+	a()
+	if c {
+		b()
+		return
+	}
+	for i := 0; i < 3; i++ {
+		d()
+	}
+	e()
+}
+func a() {}
+func b() {}
+func d() {}
+func e() {}
+`, "f")
+	g := NewCFG(body)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("CFG missing entry/exit")
+	}
+	// Every block must be reachable from entry except possibly exit
+	// helpers; walk and count.
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(g.Entry)
+	if !seen[g.Exit] {
+		t.Error("exit unreachable from entry")
+	}
+	// The loop must produce a back edge: some block reachable from
+	// itself.
+	hasCycle := false
+	for b := range seen {
+		sub := map[*Block]bool{}
+		var w func(x *Block)
+		w = func(x *Block) {
+			for _, e := range x.Succs {
+				if e.To == b {
+					hasCycle = true
+				}
+				if !sub[e.To] {
+					sub[e.To] = true
+					w(e.To)
+				}
+			}
+		}
+		w(b)
+	}
+	if !hasCycle {
+		t.Error("for loop produced no back edge")
+	}
+}
+
+// MustPrecede core semantics: an event dominates a use only if it is on
+// every path from entry.
+func TestMustPrecedeBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool // does append() must-precede publish()?
+	}{
+		{"straight line", `
+func f() {
+	appendWAL()
+	publish()
+}`, true},
+		{"one branch only", `
+func f(c bool) {
+	if c {
+		appendWAL()
+	}
+	publish()
+}`, false},
+		{"both branches", `
+func f(c bool) {
+	if c {
+		appendWAL()
+	} else {
+		appendWAL()
+	}
+	publish()
+}`, true},
+		{"loop body may not run", `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		appendWAL()
+	}
+	publish()
+}`, false},
+		{"early return guards the miss", `
+func f(c bool) {
+	if !c {
+		return
+	}
+	appendWAL()
+	publish()
+}`, true},
+		{"switch with missing case", `
+func f(n int) {
+	switch n {
+	case 0:
+		appendWAL()
+	case 1:
+		appendWAL()
+	}
+	publish()
+}`, false},
+		{"switch all cases plus default", `
+func f(n int) {
+	switch n {
+	case 0:
+		appendWAL()
+	default:
+		appendWAL()
+	}
+	publish()
+}`, true},
+	}
+	decls := "\nfunc appendWAL() {}\nfunc publish() {}\n"
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, body := parseFunc(t, tc.src+decls, "f")
+			g := NewCFG(body)
+			mp := NewMustPrecede(g, isCallTo("appendWAL"), nil)
+			pos := callPos(body, "publish")
+			if pos == token.NoPos {
+				t.Fatal("publish call not found")
+			}
+			if got := mp.At(pos); got != tc.want {
+				t.Errorf("MustPrecede.At(publish) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// The vacuous-edge callback models nil-guard path sensitivity: on the
+// branch where the WAL handle is nil there is nothing to append to, so
+// that path is exempt rather than a violation.
+func TestMustPrecedeVacuousEdge(t *testing.T) {
+	src := `
+func f(j *int) {
+	if j != nil {
+		appendWAL()
+	}
+	publish()
+}
+func appendWAL() {}
+func publish() {}
+`
+	_, body := parseFunc(t, src, "f")
+	g := NewCFG(body)
+	pos := callPos(body, "publish")
+
+	// Without the callback the guard is a violation...
+	strict := NewMustPrecede(g, isCallTo("appendWAL"), nil)
+	if strict.At(pos) {
+		t.Fatal("strict analysis should see the nil path as missing the append")
+	}
+	// ...with it, the j == nil path is vacuous and the publish is safe.
+	vac := func(cond ast.Expr, branch bool) bool {
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		return bin.Op == token.NEQ && !branch // false edge of "j != nil"
+	}
+	lenient := NewMustPrecede(g, isCallTo("appendWAL"), vac)
+	if !lenient.At(pos) {
+		t.Error("vacuous edge callback did not exempt the nil-guard path")
+	}
+}
+
+// MaySet is a may-analysis: a fact generated on any path holds at the
+// join, but not before the generating statement.
+func TestMaySetUnion(t *testing.T) {
+	src := `
+func f(c bool) {
+	before()
+	if c {
+		mark()
+	}
+	use()
+}
+func before() {}
+func mark() {}
+func use() {}
+`
+	_, body := parseFunc(t, src, "f")
+	g := NewCFG(body)
+	sentinel := testFuncObj("example.com/p", "sentinel")
+	ms := NewMaySet(g, func(n ast.Node) []types.Object {
+		if isCallTo("mark")(n) {
+			return []types.Object{sentinel}
+		}
+		return nil
+	})
+	if ms.Has(callPos(body, "before"), sentinel) {
+		t.Error("MaySet holds before the generating statement")
+	}
+	if !ms.Has(callPos(body, "use"), sentinel) {
+		t.Error("MaySet lost the fact at the join after a branch-only gen")
+	}
+}

@@ -1,0 +1,417 @@
+package analysis
+
+// Dataflow analyses over the CFGs built by cfg.go. Three engines cover
+// the apspvet suite:
+//
+//   - MustPrecede: forward must-analysis answering "has event E
+//     occurred on every path from entry to this point", with optional
+//     path sensitivity via vacuous edges (walorder, genmono).
+//   - MaySet: forward may-analysis tracking a growing set of
+//     types.Objects (snapfreeze's published-snapshot set).
+//   - ReachingDefs: classic reaching definitions for idents, used for
+//     lightweight alias reasoning.
+//
+// Plus CallGraph, the intra-package call graph that lets walorder see
+// through one level of helper extraction (updateApply -> swapPatched).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MustPrecede reports, for any position in the analyzed body, whether
+// an event node must have executed on every path from function entry.
+//
+// isEvent classifies CFG nodes (statements/expressions recorded by the
+// builder) as events. vacuous, when non-nil, inspects condition-labeled
+// edges: returning true means the requirement is discharged on that
+// edge even without an event (e.g. the branch where a nil journal
+// proves there is nothing to append). Nodes are visited in intra-block
+// order, so an event earlier in a block covers later nodes of the same
+// block.
+type MustPrecede struct {
+	cfg     *CFG
+	isEvent func(ast.Node) bool
+	in      map[*Block]bool
+	nodePos map[*Block][]nodeState
+}
+
+type nodeState struct {
+	pos, end token.Pos
+	before   bool // event must-occurred just before this node executes
+}
+
+// NewMustPrecede runs the fixpoint and returns the queryable result.
+func NewMustPrecede(cfg *CFG, isEvent func(ast.Node) bool, vacuous func(cond ast.Expr, branch bool) bool) *MustPrecede {
+	m := &MustPrecede{cfg: cfg, isEvent: isEvent, in: map[*Block]bool{}, nodePos: map[*Block][]nodeState{}}
+
+	// out(b) under a given in-value.
+	blockOut := func(b *Block, in bool) bool {
+		st := in
+		for _, n := range b.Nodes {
+			if m.eventIn(n) {
+				st = true
+			}
+		}
+		return st
+	}
+
+	// Must-analysis: start optimistic (everything true except entry) and
+	// iterate downwards to the greatest fixpoint.
+	for _, b := range cfg.Blocks {
+		m.in[b] = b != cfg.Entry
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			if b == cfg.Entry {
+				continue
+			}
+			if len(b.Preds) == 0 {
+				// Unreachable (dead code after return): keep optimistic —
+				// no real path exists, so no finding should anchor there.
+				continue
+			}
+			val := true
+			for _, p := range b.Preds {
+				for _, e := range p.Succs {
+					if e.To != b {
+						continue
+					}
+					edgeVal := blockOut(p, m.in[p])
+					if !edgeVal && vacuous != nil && e.Cond != nil && vacuous(e.Cond, e.Branch) {
+						edgeVal = true
+					}
+					if !edgeVal {
+						val = false
+					}
+				}
+			}
+			if val != m.in[b] {
+				m.in[b] = val
+				changed = true
+			}
+		}
+	}
+
+	// Precompute per-node states for position queries.
+	for _, b := range cfg.Blocks {
+		st := m.in[b]
+		states := make([]nodeState, 0, len(b.Nodes))
+		for _, n := range b.Nodes {
+			states = append(states, nodeState{pos: n.Pos(), end: n.End(), before: st})
+			if m.eventIn(n) {
+				st = true
+			}
+		}
+		m.nodePos[b] = states
+	}
+	return m
+}
+
+// eventIn reports whether node n or any of its children is an event.
+func (m *MustPrecede) eventIn(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found || c == nil {
+			return false
+		}
+		if m.isEvent(c) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// At reports whether the event must have occurred before the CFG node
+// containing pos begins executing. Unknown positions (not recorded in
+// any block) return true — absence of evidence is not a finding.
+func (m *MustPrecede) At(pos token.Pos) bool {
+	for _, states := range m.nodePos {
+		for _, s := range states {
+			if pos >= s.pos && pos < s.end {
+				return s.before
+			}
+		}
+	}
+	return true
+}
+
+// MaySet is a forward may-analysis over sets of types.Objects: gen adds
+// objects at a node, and membership accumulates along all paths (union
+// at joins). Used by snapfreeze to track which locals have been
+// published into a snapshot.
+type MaySet struct {
+	cfg  *CFG
+	gen  func(ast.Node) []types.Object
+	in   map[*Block]map[types.Object]bool
+	node map[*Block][]maySetState
+}
+
+type maySetState struct {
+	pos, end token.Pos
+	before   map[types.Object]bool
+}
+
+// NewMaySet runs the union fixpoint.
+func NewMaySet(cfg *CFG, gen func(ast.Node) []types.Object) *MaySet {
+	m := &MaySet{cfg: cfg, gen: gen, in: map[*Block]map[types.Object]bool{}, node: map[*Block][]maySetState{}}
+	for _, b := range cfg.Blocks {
+		m.in[b] = map[types.Object]bool{}
+	}
+	blockOut := func(b *Block) map[types.Object]bool {
+		out := map[types.Object]bool{}
+		for o := range m.in[b] {
+			out[o] = true
+		}
+		for _, n := range b.Nodes {
+			for _, o := range m.genIn(n) {
+				out[o] = true
+			}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			for _, p := range b.Preds {
+				for o := range blockOut(p) {
+					if !m.in[b][o] {
+						m.in[b][o] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		cur := map[types.Object]bool{}
+		for o := range m.in[b] {
+			cur[o] = true
+		}
+		states := make([]maySetState, 0, len(b.Nodes))
+		for _, n := range b.Nodes {
+			snap := map[types.Object]bool{}
+			for o := range cur {
+				snap[o] = true
+			}
+			states = append(states, maySetState{pos: n.Pos(), end: n.End(), before: snap})
+			for _, o := range m.genIn(n) {
+				cur[o] = true
+			}
+		}
+		m.node[b] = states
+	}
+	return m
+}
+
+func (m *MaySet) genIn(n ast.Node) []types.Object {
+	var out []types.Object
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		out = append(out, m.gen(c)...)
+		return true
+	})
+	return out
+}
+
+// Has reports whether obj may be in the set just before the node
+// containing pos executes.
+func (m *MaySet) Has(pos token.Pos, obj types.Object) bool {
+	for _, states := range m.node {
+		for _, s := range states {
+			if pos >= s.pos && pos < s.end {
+				return s.before[obj]
+			}
+		}
+	}
+	return false
+}
+
+// ReachingDefs computes, per variable, the set of assignment nodes that
+// may reach each program point. The definition sites recorded are the
+// AssignStmt/ValueSpec/IncDecStmt nodes themselves.
+type ReachingDefs struct {
+	info *types.Info
+	// Defs maps each object to all its definition nodes in the body —
+	// the flow-insensitive projection, sufficient for the alias-class
+	// reasoning snapfreeze does.
+	Defs map[types.Object][]ast.Node
+}
+
+// NewReachingDefs scans body for definitions of idents resolved through
+// info. (The per-point IN sets collapse to Defs for the current
+// analyzers; keeping the name leaves room to make it flow-sensitive.)
+func NewReachingDefs(body *ast.BlockStmt, info *types.Info) *ReachingDefs {
+	r := &ReachingDefs{info: info, Defs: map[types.Object][]ast.Node{}}
+	record := func(id *ast.Ident, n ast.Node) {
+		var obj types.Object
+		if o, ok := info.Defs[id]; ok && o != nil {
+			obj = o
+		} else if o, ok := info.Uses[id]; ok {
+			obj = o
+		}
+		if obj != nil {
+			r.Defs[obj] = append(r.Defs[obj], n)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id, n)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				record(id, n)
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				record(id, n)
+			}
+		}
+		return true
+	})
+	return r
+}
+
+// AliasClasses partitions the body's local variables into classes
+// connected by direct ident-to-ident assignments (a := b, a = b). The
+// partition is flow-insensitive: if two names are ever aliased in the
+// function, they share a class. Callers use it to extend a property of
+// one name (e.g. "published") to its aliases.
+func AliasClasses(body *ast.BlockStmt, info *types.Info) map[types.Object]types.Object {
+	parent := map[types.Object]types.Object{}
+	var find func(o types.Object) types.Object
+	find = func(o types.Object) types.Object {
+		p, ok := parent[o]
+		if !ok || p == o {
+			parent[o] = o
+			return o
+		}
+		root := find(p)
+		parent[o] = root
+		return root
+	}
+	union := func(a, b types.Object) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	obj := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if o := info.Defs[id]; o != nil {
+			return o
+		}
+		return info.Uses[id]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			l, r := obj(as.Lhs[i]), obj(as.Rhs[i])
+			if l != nil && r != nil {
+				union(l, r)
+			}
+		}
+		return true
+	})
+	// Flatten so lookups are single-step.
+	out := map[types.Object]types.Object{}
+	for o := range parent {
+		out[o] = find(o)
+	}
+	return out
+}
+
+// CallGraph is the intra-package call graph: which package-local
+// functions/methods each declared function calls, directly.
+type CallGraph struct {
+	// Callees maps each declared function to its package-local callees.
+	Callees map[*types.Func]map[*types.Func]bool
+	// Decl maps function objects to their declarations.
+	Decl map[*types.Func]*ast.FuncDecl
+}
+
+// NewCallGraph builds the graph for the pass's package.
+func NewCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Callees: map[*types.Func]map[*types.Func]bool{},
+		Decl:    map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decl[fn] = fd
+			callees := map[*types.Func]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := CalleeFunc(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+					callees[callee] = true
+				}
+				return true
+			})
+			g.Callees[fn] = callees
+		}
+	}
+	return g
+}
+
+// Reaches reports whether from transitively calls (through
+// package-local functions only) some function satisfying pred.
+func (g *CallGraph) Reaches(from *types.Func, pred func(*types.Func) bool) bool {
+	seen := map[*types.Func]bool{}
+	var walk func(fn *types.Func) bool
+	walk = func(fn *types.Func) bool {
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		for callee := range g.Callees[fn] {
+			if pred(callee) || walk(callee) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil
+// for calls through function values, built-ins, and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package analysis
+
+// Cross-package facts. An analyzer checking package P can attach a
+// serializable fact to an exported object (walorder marks functions
+// that perform a WAL append); when a dependent package Q is checked
+// later, the fact is visible again through Pass.ImportFact. Under the
+// unitchecker protocol the facts travel in the per-package vetx files
+// cmd/go already threads between vet invocations; the standalone
+// loader keeps them in memory (go list emits dependencies before
+// dependents, so checking in list order sees every dep's facts).
+//
+// Staleness: a vetx file written against one build of a dependency must
+// not be trusted against another. Each vetx records the sha256 of every
+// dependency export file it was produced against; on read, the driver
+// recomputes the hashes from the current build's export files and
+// rejects the whole vetx on any mismatch. cmd/go's own cache keying
+// makes mismatches rare, but "rare" is not "never" across GOFLAGS/
+// toolchain changes, and a silently stale fact is a silently wrong
+// diagnostic.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"io"
+	"os"
+)
+
+// FactStore holds serialized facts keyed by (analyzer, object).
+type FactStore struct {
+	facts map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: map[string]json.RawMessage{}}
+}
+
+// ObjectKey returns the stable cross-package key for an object:
+// the fully qualified function name for funcs/methods (including the
+// receiver for methods), package path + name otherwise. Stable across
+// source-load and export-data views of the same object.
+func ObjectKey(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+func factKey(analyzer string, obj types.Object) string {
+	return analyzer + "\x00" + ObjectKey(obj)
+}
+
+// ExportFact attaches a fact to obj for dependent packages. value must
+// be JSON-serializable. Facts on unexported or local objects are
+// stored too — they are visible to later analyzers in the same run —
+// but only facts on objects reachable from importers are useful
+// across packages.
+func (p *Pass) ExportFact(obj types.Object, value any) {
+	if p.facts == nil {
+		return
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return
+	}
+	p.facts.facts[factKey(p.Analyzer.Name, obj)] = raw
+}
+
+// ImportFact loads the fact attached to obj by this analyzer in an
+// earlier package (or earlier in this package) into into, reporting
+// whether one existed.
+func (p *Pass) ImportFact(obj types.Object, into any) bool {
+	if p.facts == nil {
+		return false
+	}
+	raw, ok := p.facts.facts[factKey(p.Analyzer.Name, obj)]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, into) == nil
+}
+
+// Merge copies every fact from other into s.
+func (s *FactStore) Merge(other *FactStore) {
+	for k, v := range other.facts {
+		s.facts[k] = v
+	}
+}
+
+// Len reports the number of stored facts.
+func (s *FactStore) Len() int { return len(s.facts) }
+
+// vetxPayload is the on-disk vetx format. Version guards format drift;
+// ExportHashes records, per dependency import path, the sha256 of the
+// export file this package was checked against.
+type vetxPayload struct {
+	Version      int                        `json:"version"`
+	ExportHashes map[string]string          `json:"export_hashes,omitempty"`
+	Facts        map[string]json.RawMessage `json:"facts,omitempty"`
+}
+
+const vetxVersion = 1
+
+// WriteVetx serializes the store (plus the export hashes of the
+// dependencies it was computed against) to path.
+func (s *FactStore) WriteVetx(path string, exportHashes map[string]string) error {
+	payload := vetxPayload{Version: vetxVersion, ExportHashes: exportHashes, Facts: s.facts}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// ErrStaleVetx reports a vetx file recorded against a different build
+// of some dependency than the current one.
+type ErrStaleVetx struct {
+	Path       string
+	ImportPath string
+}
+
+func (e *ErrStaleVetx) Error() string {
+	return fmt.Sprintf("vetx %s is stale: export data for %q changed since it was written", e.Path, e.ImportPath)
+}
+
+// ReadVetx loads a dependency's vetx file. exportFiles maps import
+// paths to the current build's export files; every dependency hash
+// recorded in the vetx is revalidated against them, and a mismatch
+// returns *ErrStaleVetx (callers drop the facts — a stale summary is
+// worse than none). Empty and legacy (pre-facts) vetx files load as an
+// empty store.
+func ReadVetx(path string, exportFiles map[string]string) (*FactStore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	store := NewFactStore()
+	if len(data) == 0 {
+		return store, nil
+	}
+	var payload vetxPayload
+	if err := json.Unmarshal(data, &payload); err != nil || payload.Version != vetxVersion {
+		// Legacy/foreign vetx content: no facts to offer, not an error.
+		return store, nil
+	}
+	for imp, want := range payload.ExportHashes {
+		exp, ok := exportFiles[imp]
+		if !ok {
+			continue // dependency not visible in this compilation; nothing to check against
+		}
+		got, err := hashFile(exp)
+		if err != nil || got != want {
+			return nil, &ErrStaleVetx{Path: path, ImportPath: imp}
+		}
+	}
+	if payload.Facts != nil {
+		store.facts = payload.Facts
+	}
+	return store, nil
+}
+
+// hashFile returns the hex sha256 of a file's contents.
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"errors"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type appenderFact struct {
+	Appends bool `json:"appends"`
+}
+
+func testFuncObj(pkgPath, name string) *types.Func {
+	pkg := types.NewPackage(pkgPath, filepath.Base(pkgPath))
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func TestFactRoundTrip(t *testing.T) {
+	store := NewFactStore()
+	an := &Analyzer{Name: "walorder"}
+	pass := &Pass{Analyzer: an, facts: store}
+	fn := testFuncObj("example.com/dep", "Persist")
+
+	pass.ExportFact(fn, appenderFact{Appends: true})
+	if store.Len() != 1 {
+		t.Fatalf("store.Len() = %d, want 1", store.Len())
+	}
+
+	var got appenderFact
+	if !pass.ImportFact(fn, &got) || !got.Appends {
+		t.Fatalf("ImportFact = %+v, want Appends=true", got)
+	}
+
+	// A different analyzer must not see the fact.
+	other := &Pass{Analyzer: &Analyzer{Name: "genmono"}, facts: store}
+	if other.ImportFact(fn, &got) {
+		t.Fatal("fact leaked across analyzer namespaces")
+	}
+}
+
+// TestVetxStaleness is the satellite-2 regression: a vetx recorded
+// against one build of a dependency must be rejected once the
+// dependency's export data changes.
+func TestVetxStaleness(t *testing.T) {
+	dir := t.TempDir()
+	depExport := filepath.Join(dir, "dep.a")
+	vetxPath := filepath.Join(dir, "pkg.vetx")
+	if err := os.WriteFile(depExport, []byte("export data v1"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	store := NewFactStore()
+	pass := &Pass{Analyzer: &Analyzer{Name: "walorder"}, facts: store}
+	fn := testFuncObj("example.com/dep", "Persist")
+	pass.ExportFact(fn, appenderFact{Appends: true})
+
+	h, err := hashFile(depExport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteVetx(vetxPath, map[string]string{"example.com/dep": h}); err != nil {
+		t.Fatal(err)
+	}
+
+	exports := map[string]string{"example.com/dep": depExport}
+
+	// Unchanged dependency: facts load.
+	loaded, err := ReadVetx(vetxPath, exports)
+	if err != nil {
+		t.Fatalf("ReadVetx on fresh vetx: %v", err)
+	}
+	var got appenderFact
+	rp := &Pass{Analyzer: &Analyzer{Name: "walorder"}, facts: loaded}
+	if !rp.ImportFact(fn, &got) || !got.Appends {
+		t.Fatalf("fresh vetx lost the fact: %+v", got)
+	}
+
+	// Rebuilt dependency: the whole vetx is rejected as stale.
+	if err := os.WriteFile(depExport, []byte("export data v2"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadVetx(vetxPath, exports); err == nil {
+		t.Fatal("ReadVetx accepted a vetx whose dependency export data changed")
+	} else {
+		var stale *ErrStaleVetx
+		if !errors.As(err, &stale) {
+			t.Fatalf("ReadVetx error = %v, want *ErrStaleVetx", err)
+		}
+		if stale.ImportPath != "example.com/dep" {
+			t.Fatalf("stale.ImportPath = %q, want example.com/dep", stale.ImportPath)
+		}
+	}
+
+	// Dependency not visible in the reading compilation: nothing to
+	// validate against, facts still load (narrow vet invocations).
+	if _, err := ReadVetx(vetxPath, map[string]string{}); err != nil {
+		t.Fatalf("ReadVetx with unseen dep: %v", err)
+	}
+}
+
+func TestVetxEmptyAndLegacy(t *testing.T) {
+	dir := t.TempDir()
+
+	empty := filepath.Join(dir, "empty.vetx")
+	if err := os.WriteFile(empty, nil, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	store, err := ReadVetx(empty, nil)
+	if err != nil || store.Len() != 0 {
+		t.Fatalf("empty vetx: store=%v err=%v, want empty store, nil", store, err)
+	}
+
+	// Gob/other-format vetx from a different tool: ignored, not fatal.
+	legacy := filepath.Join(dir, "legacy.vetx")
+	if err := os.WriteFile(legacy, []byte("\x1f\x8bnot json at all"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	store, err = ReadVetx(legacy, nil)
+	if err != nil || store.Len() != 0 {
+		t.Fatalf("legacy vetx: store=%v err=%v, want empty store, nil", store, err)
+	}
+
+	// Future format version: treated as unreadable, not trusted.
+	future := filepath.Join(dir, "future.vetx")
+	if err := os.WriteFile(future, []byte(`{"version":99,"facts":{"k":"1"}}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	store, err = ReadVetx(future, nil)
+	if err != nil || store.Len() != 0 {
+		t.Fatalf("future vetx: store=%v err=%v, want empty store, nil", store, err)
+	}
+}

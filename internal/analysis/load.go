@@ -30,6 +30,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	SFiles     []string
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
@@ -43,7 +44,7 @@ type listedPackage struct {
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,SFiles,Standard,DepOnly,Incomplete,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -87,6 +88,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		pkg, err := CheckFiles(t.ImportPath, files, ExportLookup(exports))
 		if err != nil {
 			return nil, err
+		}
+		for _, f := range t.SFiles {
+			pkg.OtherFiles = append(pkg.OtherFiles, filepath.Join(t.Dir, f))
 		}
 		pkgs = append(pkgs, pkg)
 	}

@@ -1,0 +1,276 @@
+package analysis
+
+// SARIF 2.1.0 output and the diff-aware baseline. The emitter produces
+// the minimal profile GitHub code scanning ingests: one run, one tool
+// driver with a rule per analyzer, one result per finding with a
+// physical location. The baseline file (.apspvet-baseline.json) holds
+// stable fingerprints of accepted findings; diff-aware mode drops any
+// finding whose fingerprint is baselined, so `make apspvet` fails only
+// on findings introduced by the change under review.
+//
+// Fingerprints hash analyzer + module-relative path + message — line
+// and column are deliberately excluded so unrelated edits above a
+// finding do not churn the baseline.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 object model (the subset emitted).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Version        string      `json:"version,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription *sarifMessage     `json:"shortDescription,omitempty"`
+	FullDescription  *sarifMessage     `json:"fullDescription,omitempty"`
+	Help             *sarifMessage     `json:"help,omitempty"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	RuleIndex           int               `json:"ruleIndex"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+const sarifSchemaURI = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+
+// SARIFBytes renders findings as a SARIF 2.1.0 log. root is the module
+// root used to relativize file paths (SARIF artifact URIs should be
+// repo-relative so code scanning can anchor them); analyzers supplies
+// the rule metadata — every analyzer appears as a rule even with zero
+// findings, so the rule catalog is stable across runs.
+func SARIFBytes(findings []Finding, analyzers []*Analyzer, root string) ([]byte, error) {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	addRule := func(name, doc string) {
+		if _, ok := ruleIndex[name]; ok {
+			return
+		}
+		ruleIndex[name] = len(rules)
+		r := sarifRule{ID: name}
+		if doc != "" {
+			short := doc
+			if i := strings.IndexAny(doc, ".\n"); i >= 0 {
+				short = doc[:i+1]
+			}
+			r.ShortDescription = &sarifMessage{Text: strings.TrimSpace(short)}
+			r.FullDescription = &sarifMessage{Text: doc}
+		}
+		rules = append(rules, r)
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	// The suppression checker reports under a name with no Analyzer.
+	addRule("lintdirective", "Malformed //lint:ignore directives.")
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		if _, ok := ruleIndex[f.Analyzer]; !ok {
+			addRule(f.Analyzer, "")
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       relPath(root, f.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: &sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{
+				"apspvet/v1": Fingerprint(f, root),
+			},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "apspvet",
+				InformationURI: "https://example.invalid/apspvet",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// WriteSARIF writes the SARIF log to path.
+func WriteSARIF(path string, findings []Finding, analyzers []*Analyzer, root string) error {
+	data, err := SARIFBytes(findings, analyzers, root)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// relPath relativizes file to root when possible, normalizing to
+// forward slashes. Already-relative and out-of-root paths pass through.
+func relPath(root, file string) string {
+	if root != "" && filepath.IsAbs(file) {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// Fingerprint returns the stable identity of a finding for baselining:
+// sha256 over analyzer, repo-relative path, and message, truncated to
+// 16 bytes of hex. Line numbers are excluded on purpose.
+func Fingerprint(f Finding, root string) string {
+	h := sha256.Sum256([]byte(f.Analyzer + "\x00" + relPath(root, f.Pos.Filename) + "\x00" + f.Message))
+	return fmt.Sprintf("%x", h[:16])
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry records one accepted finding. File and Message are
+// informational (for humans diffing the baseline); Fingerprint is what
+// matching uses.
+type BaselineEntry struct {
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"`
+	Message     string `json:"message"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// NewBaseline builds a baseline from the current findings.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		fp := Fingerprint(f, root)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer:    f.Analyzer,
+			File:        relPath(root, f.Pos.Filename),
+			Message:     f.Message,
+			Fingerprint: fp,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Fingerprint < c.Fingerprint
+	})
+	return b
+}
+
+// WriteBaseline writes the baseline as indented JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, not an error — diff mode against no baseline means every
+// finding is new.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Baseline{Version: 1}, nil
+		}
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// FilterNew returns the findings whose fingerprints are not in the
+// baseline — the diff-aware view.
+func (b *Baseline) FilterNew(findings []Finding, root string) []Finding {
+	known := map[string]bool{}
+	for _, e := range b.Findings {
+		known[e.Fingerprint] = true
+	}
+	var out []Finding
+	for _, f := range findings {
+		if !known[Fingerprint(f, root)] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

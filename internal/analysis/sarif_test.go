@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFindings(root string) []Finding {
+	return []Finding{
+		{
+			Analyzer: "walorder",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal/serve/serve.go"), Line: 42, Column: 3},
+			Message:  "state publish s.eng.Store without a preceding WAL append on some path",
+		},
+		{
+			Analyzer: "asmabi",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal/semiring/gemm_amd64.s"), Line: 7, Column: 1},
+			Message:  "TEXT ·minPlusKernel(SB): wrong argument size 16; Go declaration needs 24",
+		},
+	}
+}
+
+// TestSARIFStructure validates the emitted log against the SARIF 2.1.0
+// shape GitHub code scanning requires: schema pointer, version, a tool
+// driver with a rule catalog, and results whose ruleIndex values
+// resolve into that catalog with repo-relative artifact URIs.
+func TestSARIFStructure(t *testing.T) {
+	root := t.TempDir()
+	analyzers := []*Analyzer{
+		{Name: "walorder", Doc: "WAL append must reach program order before publish"},
+		{Name: "asmabi", Doc: "assembly headers must match Go declarations"},
+	}
+	data, err := SARIFBytes(sampleFindings(root), analyzers, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription *struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want a 2.1.0 schema URI", log.Schema)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("len(runs) = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name == "" {
+		t.Error("tool.driver.name is empty")
+	}
+	// One rule per analyzer plus the synthetic lintdirective rule for
+	// malformed //lint:ignore findings.
+	if len(run.Tool.Driver.Rules) != len(analyzers)+1 {
+		t.Fatalf("rule catalog has %d rules, want %d (one per analyzer + lintdirective)", len(run.Tool.Driver.Rules), len(analyzers)+1)
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription == nil || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or shortDescription.text", r)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("len(results) = %d, want 2", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if res.RuleIndex < 0 || res.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Errorf("result ruleIndex %d out of rule catalog range", res.RuleIndex)
+		} else if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("ruleIndex %d resolves to %q, result says %q",
+				res.RuleIndex, run.Tool.Driver.Rules[res.RuleIndex].ID, res.RuleID)
+		}
+		if res.Level == "" || res.Message.Text == "" {
+			t.Errorf("result %+v missing level or message.text", res)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		uri := loc.ArtifactLocation.URI
+		if filepath.IsAbs(uri) || strings.Contains(uri, "\\") || strings.HasPrefix(uri, "..") {
+			t.Errorf("artifact URI %q is not repo-relative with forward slashes", uri)
+		}
+		if loc.Region.StartLine < 1 {
+			t.Errorf("region.startLine = %d, want >= 1", loc.Region.StartLine)
+		}
+		if res.PartialFingerprints["apspvet/v1"] == "" {
+			t.Errorf("result missing apspvet/v1 partial fingerprint")
+		}
+	}
+}
+
+// Fingerprints must survive edits that shift line numbers — otherwise
+// every refactor churns the baseline — but must distinguish analyzer,
+// file, and message.
+func TestFingerprintStability(t *testing.T) {
+	root := "/repo"
+	base := Finding{
+		Analyzer: "walorder",
+		Pos:      token.Position{Filename: "/repo/internal/serve/serve.go", Line: 42, Column: 3},
+		Message:  "state publish without append",
+	}
+	moved := base
+	moved.Pos.Line = 99
+	moved.Pos.Column = 7
+	if Fingerprint(base, root) != Fingerprint(moved, root) {
+		t.Error("fingerprint changed when only line/column moved")
+	}
+	for _, mutate := range []func(*Finding){
+		func(f *Finding) { f.Analyzer = "genmono" },
+		func(f *Finding) { f.Pos.Filename = "/repo/internal/serve/update.go" },
+		func(f *Finding) { f.Message = "different message" },
+	} {
+		other := base
+		mutate(&other)
+		if Fingerprint(base, root) == Fingerprint(other, root) {
+			t.Errorf("fingerprint collision after mutation: %+v vs %+v", base, other)
+		}
+	}
+}
+
+func TestBaselineRoundTripAndFilter(t *testing.T) {
+	root := t.TempDir()
+	findings := sampleFindings(root)
+	path := filepath.Join(root, ".apspvet-baseline.json")
+
+	if err := NewBaseline(findings, root).Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything baselined is filtered out, even after a line shift.
+	shifted := make([]Finding, len(findings))
+	copy(shifted, findings)
+	shifted[0].Pos.Line += 120
+	if extra := loaded.FilterNew(shifted, root); len(extra) != 0 {
+		t.Fatalf("FilterNew on baselined findings = %v, want none", extra)
+	}
+
+	// A genuinely new finding survives the filter.
+	fresh := append(shifted, Finding{
+		Analyzer: "snapfreeze",
+		Pos:      token.Position{Filename: filepath.Join(root, "internal/core/liveupdate.go"), Line: 10, Column: 1},
+		Message:  "mutator call injectMin on f after the factor was published",
+	})
+	extra := loaded.FilterNew(fresh, root)
+	if len(extra) != 1 || extra[0].Analyzer != "snapfreeze" {
+		t.Fatalf("FilterNew = %v, want exactly the snapfreeze finding", extra)
+	}
+
+	// Missing baseline file = empty baseline, nothing suppressed.
+	none, err := ReadBaseline(filepath.Join(root, "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra := none.FilterNew(findings, root); len(extra) != len(findings) {
+		t.Fatalf("empty baseline suppressed findings: %v", extra)
+	}
+}

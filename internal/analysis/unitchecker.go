@@ -9,18 +9,27 @@ package analysis
 //     (empty for apspvet: the suite always runs whole).
 //  3. `tool <pkg>.cfg` — analyze one package. The cfg file is JSON
 //     naming the source files, the import map, and the export-data file
-//     of every dependency (already built by cmd/go). Facts output
-//     (VetxOutput) must be written even though this suite is factless,
-//     because cmd/go caches and feeds it to dependents.
+//     of every dependency (already built by cmd/go). The VetxOutput
+//     facts file carries the suite's cross-package facts (facts.go) to
+//     dependent packages; dependency vetx files named in PackageVetx
+//     are read back, with stale ones (export-data hash mismatch)
+//     dropped rather than trusted.
 //
 // Diagnostics go to stderr as "file:line:col: message" and the exit
 // status is 2 when any were reported — the same contract as
 // x/tools/go/analysis/unitchecker, so `go vet -vettool=bin/apspvet`
 // behaves exactly like the stock vet suite from the Makefile and CI.
+//
+// Standalone invocations (no .cfg argument) load packages through
+// go list (load.go) and additionally support machine-readable output:
+//
+//	apspvet [-sarif out.sarif] [-baseline file] [-diff] [-writebaseline] [patterns...]
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -50,7 +59,7 @@ type vetConfig struct {
 // Main is the entry point shared by vettool and standalone invocations:
 //
 //	apspvet -V=full | -flags | pkg.cfg     (driven by go vet)
-//	apspvet [dir-relative patterns...]     (standalone; default ./...)
+//	apspvet [flags] [patterns...]          (standalone; default ./...)
 //
 // It does not return.
 func Main(analyzers ...*Analyzer) {
@@ -65,9 +74,6 @@ func Main(analyzers ...*Analyzer) {
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
 		os.Exit(unitcheck(args[0], analyzers))
 	default:
-		if len(args) == 0 {
-			args = []string{"./..."}
-		}
 		os.Exit(standalone(args, analyzers))
 	}
 }
@@ -100,23 +106,39 @@ func unitcheck(cfgFile string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "apspvet: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// cmd/go requires the facts file regardless; the suite carries none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-	}
-	// Dependencies are visited for facts only — nothing to do.
+
+	// VetxOnly packages are dependencies visited for facts alone. Under
+	// the gate's `go vet ./...` every module package is a target in its
+	// own right (VetxOnly=false) and its facts flow through its target
+	// vetx, so VetxOnly configs here are exactly the out-of-module
+	// (standard library) deps — which carry no apspvet facts. Skip the
+	// typecheck; just write the empty facts file cmd/go insists on.
+	// Narrow invocations like `go vet ./internal/serve` lose the
+	// dependency facts and degrade to the analyzers' intra-package
+	// heuristics, which only under-report.
 	if cfg.VetxOnly {
+		if cfg.VetxOutput != "" {
+			if err := NewFactStore().WriteVetx(cfg.VetxOutput, nil); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
 		return 0
 	}
-	files := make([]string, 0, len(cfg.GoFiles))
-	for _, f := range cfg.GoFiles {
+
+	abs := func(f string) string {
 		if !filepath.IsAbs(f) {
 			f = filepath.Join(cfg.Dir, f)
 		}
-		files = append(files, f)
+		return f
+	}
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		files = append(files, abs(f))
+	}
+	var otherFiles []string
+	for _, f := range cfg.NonGoFiles {
+		otherFiles = append(otherFiles, abs(f))
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		if canonical, ok := cfg.ImportMap[path]; ok {
@@ -128,6 +150,26 @@ func unitcheck(cfgFile string, analyzers []*Analyzer) int {
 		}
 		return os.Open(file)
 	}
+
+	// Gather dependency facts. A vetx whose recorded export-data hashes
+	// no longer match the current build is stale: its summaries were
+	// computed against different code, so the facts are dropped (the
+	// analyzers then fall back to their intra-package heuristics, which
+	// can only under-report — never misreport).
+	store := NewFactStore()
+	for _, vetxPath := range cfg.PackageVetx {
+		dep, err := ReadVetx(vetxPath, cfg.PackageFile)
+		if err != nil {
+			var stale *ErrStaleVetx
+			if errors.As(err, &stale) || os.IsNotExist(err) {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
+			return 1
+		}
+		store.Merge(dep)
+	}
+
 	pkg, err := CheckFiles(cfg.ImportPath, files, lookup)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
@@ -136,11 +178,35 @@ func unitcheck(cfgFile string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
 		return 1
 	}
-	findings, err := RunAnalyzers(pkg, analyzers)
+	pkg.OtherFiles = otherFiles
+
+	findings, err := RunAnalyzersFacts(pkg, analyzers, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
 		return 1
 	}
+
+	// cmd/go requires the facts file regardless of content and feeds it
+	// to every dependent. Record the export hashes of the dependencies
+	// whose facts we consumed, so dependents can detect staleness.
+	if cfg.VetxOutput != "" {
+		hashes := map[string]string{}
+		for imp := range cfg.PackageVetx {
+			if cfg.Standard[imp] {
+				continue
+			}
+			if exp, ok := cfg.PackageFile[imp]; ok {
+				if h, err := hashFile(exp); err == nil {
+					hashes[imp] = h
+				}
+			}
+		}
+		if err := store.WriteVetx(cfg.VetxOutput, hashes); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
@@ -150,23 +216,80 @@ func unitcheck(cfgFile string, analyzers []*Analyzer) int {
 	return 0
 }
 
-func standalone(patterns []string, analyzers []*Analyzer) int {
+func standalone(args []string, analyzers []*Analyzer) int {
+	fs := flag.NewFlagSet("apspvet", flag.ContinueOnError)
+	sarifOut := fs.String("sarif", "", "write findings as SARIF 2.1 to `file`")
+	baselinePath := fs.String("baseline", "", "baseline `file` for -diff/-writebaseline")
+	diff := fs.Bool("diff", false, "report only findings not in the baseline")
+	writeBaseline := fs.Bool("writebaseline", false, "write current findings to the baseline and exit 0")
+	root := fs.String("root", "", "module root for relativizing paths (default: current directory)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if *root == "" {
+		if wd, err := os.Getwd(); err == nil {
+			*root = wd
+		}
+	}
+
 	pkgs, err := Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
 		return 1
 	}
-	exit := 0
+	// go list emits dependencies before dependents, so a single shared
+	// store gives each package the facts of everything it imports.
+	store := NewFactStore()
+	var all []Finding
 	for _, pkg := range pkgs {
-		findings, err := RunAnalyzers(pkg, analyzers)
+		findings, err := RunAnalyzersFacts(pkg, analyzers, store)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
 			return 1
 		}
-		for _, f := range findings {
-			fmt.Println(f)
-			exit = 1
+		all = append(all, findings...)
+	}
+
+	if *sarifOut != "" {
+		if err := WriteSARIF(*sarifOut, all, analyzers, *root); err != nil {
+			fmt.Fprintf(os.Stderr, "apspvet: writing SARIF: %v\n", err)
+			return 1
 		}
 	}
-	return exit
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "apspvet: -writebaseline requires -baseline")
+			return 1
+		}
+		if err := NewBaseline(all, *root).Write(*baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "apspvet: writing baseline: %v\n", err)
+			return 1
+		}
+		fmt.Printf("apspvet: wrote %d finding(s) to %s\n", len(all), *baselinePath)
+		return 0
+	}
+
+	report := all
+	if *diff {
+		base, err := ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apspvet: %v\n", err)
+			return 1
+		}
+		report = base.FilterNew(all, *root)
+		if n := len(all) - len(report); n > 0 {
+			fmt.Printf("apspvet: %d baselined finding(s) suppressed\n", n)
+		}
+	}
+	for _, f := range report {
+		fmt.Println(f)
+	}
+	if len(report) > 0 {
+		return 1
+	}
+	return 0
 }

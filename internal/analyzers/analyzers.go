@@ -4,10 +4,16 @@
 // argument rests on an ahead-of-time structural fact — only the A(k,k)
 // diagonal block is shared between concurrent updates — established by
 // symbolic analysis before any numeric work runs; these analyzers apply
-// the same philosophy to the implementation itself: goroutine panic
+// the same philosophy to the implementation itself.
+//
+// The original five are syntactic AST matchers: goroutine panic
 // containment (nakedgo), GEMM aliasing (aliascheck), context plumbing
 // (ctxplumb), NaN/Inf discipline (nanguard), and atomic counter access
-// (atomiccheck) are all checked before the code ever executes.
+// (atomiccheck). The flow-sensitive four build on the CFG/dataflow/
+// facts layer in internal/analysis: assembly ABI cross-checking
+// (asmabi), WAL append-before-publish ordering (walorder), frozen
+// published snapshots (snapfreeze), and monotonic generation advance
+// (genmono).
 //
 // DESIGN.md section 11 documents each invariant and its provenance.
 package analyzers
@@ -17,8 +23,12 @@ import "repro/internal/analysis"
 // Suite is every analyzer apspvet runs, in reporting order.
 var Suite = []*analysis.Analyzer{
 	AliasCheck,
+	AsmAbi,
 	AtomicCheck,
 	CtxPlumb,
+	GenMono,
 	NakedGo,
 	NanGuard,
+	SnapFreeze,
+	WalOrder,
 }

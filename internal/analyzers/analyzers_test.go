@@ -26,3 +26,19 @@ func TestNanGuard(t *testing.T) {
 func TestAtomicCheck(t *testing.T) {
 	analysistest.Run(t, analyzers.AtomicCheck, "atomiccheck")
 }
+
+func TestAsmAbi(t *testing.T) {
+	analysistest.Run(t, analyzers.AsmAbi, "asmabi")
+}
+
+func TestWalOrder(t *testing.T) {
+	analysistest.Run(t, analyzers.WalOrder, "walorder")
+}
+
+func TestGenMono(t *testing.T) {
+	analysistest.Run(t, analyzers.GenMono, "genmono")
+}
+
+func TestSnapFreeze(t *testing.T) {
+	analysistest.Run(t, analyzers.SnapFreeze, "snapfreeze")
+}

@@ -1,0 +1,291 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// AsmAbi cross-checks the hand-written amd64 assembly kernels against
+// their Go declarations: every `TEXT ·name(SB), NOSPLIT, $frame-argsize`
+// header must correspond to a body-less Go func in the same package,
+// the declared argument size must match the ABI0 frame layout computed
+// from the Go signature, and every FP-relative operand (`c_base+0(FP)`,
+// `stride+72(FP)`) must name a real parameter component at its real
+// offset. This is the vet-asmdecl class of bugs — a shifted offset
+// reads a neighbouring argument and produces silently wrong distances,
+// exactly the failure mode the differential GEMM suite can only catch
+// per-input. The check is static and total: all kernels, all operands,
+// on every build.
+var AsmAbi = &analysis.Analyzer{
+	Name: "asmabi",
+	Doc:  "cross-checks TEXT headers and FP operand offsets in package assembly against the Go declarations (ABI0, amd64)",
+	Run:  runAsmAbi,
+}
+
+// ABI0 layout on amd64: arguments at 8-byte-aligned word offsets from
+// FP, slices as (base,len,cap) words, strings as (base,len).
+const asmWordSize = 8
+
+// asmComp is one addressable component of a parameter: suffix appended
+// to the Go name ("" for scalars, "_base"/"_len"/"_cap" for slices) and
+// its offset within the parameter.
+type asmComp struct {
+	suffix string
+	off    int64
+	size   int64
+}
+
+// asmParam is a parameter (or result) laid out in the ABI0 frame.
+type asmParam struct {
+	name  string
+	off   int64
+	comps []asmComp
+}
+
+// asmLayout is the computed frame for one Go declaration.
+type asmLayout struct {
+	params  []asmParam
+	argSize int64
+	// offsets maps every acceptable FP operand name to its offset:
+	// component names (c_base) and, for the leading component, the bare
+	// parameter name (c).
+	offsets map[string]int64
+}
+
+// asmSymbol is one TEXT block parsed from an assembly file.
+type asmSymbol struct {
+	name    string
+	frame   int64
+	argSize int64 // -1 when the $frame had no -argsize part
+	line    int
+	fpRefs  []asmFPRef
+}
+
+type asmFPRef struct {
+	name string
+	off  int64
+	line int
+}
+
+var (
+	asmTextRE = regexp.MustCompile(`^TEXT\s+·(\w+)\(SB\)(?:\s*,\s*[A-Z][A-Z0-9|]*)?\s*,\s*\$(-?\d+)(?:-(\d+))?`)
+	asmFPRE   = regexp.MustCompile(`(\w+)\+(\d+)\(FP\)`)
+)
+
+func runAsmAbi(pass *analysis.Pass) error {
+	var asmFiles []string
+	for _, f := range pass.OtherFiles {
+		// Offsets below are amd64 ABI0; other architectures' files are
+		// left to their own (future) layout tables.
+		if strings.HasSuffix(f, "_amd64.s") {
+			asmFiles = append(asmFiles, f)
+		}
+	}
+	if len(asmFiles) == 0 {
+		return nil
+	}
+
+	// Body-less Go declarations are the assembly entry points.
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Body == nil && fd.Recv == nil {
+				decls[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	implemented := map[string]bool{}
+	for _, path := range asmFiles {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		tf := pass.Fset.AddFile(path, -1, len(data))
+		tf.SetLinesForContent(data)
+		linePos := func(line int) token.Pos { return tf.LineStart(line) }
+
+		for _, sym := range parseAsmSymbols(data) {
+			implemented[sym.name] = true
+			fd, ok := decls[sym.name]
+			if !ok {
+				pass.Reportf(linePos(sym.line), "TEXT ·%s(SB): no body-less Go declaration for assembly symbol %s in %s", sym.name, sym.name, pass.Pkg.Name())
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			layout, ok := computeASMLayout(fn.Type().(*types.Signature))
+			if !ok {
+				// Unsupported parameter type (struct, interface, ...):
+				// nothing in this package today; stay silent rather than
+				// guess offsets.
+				continue
+			}
+			if sym.frame%asmWordSize != 0 {
+				pass.Reportf(linePos(sym.line), "TEXT ·%s(SB): frame size %d is not %d-byte aligned", sym.name, sym.frame, asmWordSize)
+			}
+			if sym.argSize >= 0 && sym.argSize != layout.argSize {
+				pass.Reportf(linePos(sym.line), "TEXT ·%s(SB): wrong argument size %d; Go declaration needs %d", sym.name, sym.argSize, layout.argSize)
+			}
+			for _, ref := range sym.fpRefs {
+				want, ok := layout.offsets[ref.name]
+				if !ok {
+					pass.Reportf(linePos(ref.line), "TEXT ·%s(SB): unknown parameter %s in %s+%d(FP)", sym.name, ref.name, ref.name, ref.off)
+					continue
+				}
+				if ref.off != want {
+					pass.Reportf(linePos(ref.line), "TEXT ·%s(SB): invalid offset %s+%d(FP); expected %s+%d(FP)", sym.name, ref.name, ref.off, ref.name, want)
+				}
+			}
+		}
+	}
+
+	// The reverse direction: a body-less declaration with no TEXT symbol
+	// links, but calls jump to address zero.
+	for name, fd := range decls {
+		if !implemented[name] {
+			pass.Reportf(fd.Pos(), "func %s is declared without a body but no TEXT ·%s symbol exists in the package assembly", name, name)
+		}
+	}
+	return nil
+}
+
+// parseAsmSymbols extracts TEXT blocks and their FP operand references.
+// Comments (//-to-end-of-line) are stripped before matching so prose
+// like "// func minPlusAccum32AVX512(c, a, pk []float64, stride int)"
+// cannot contribute phantom operands.
+func parseAsmSymbols(data []byte) []asmSymbol {
+	var syms []asmSymbol
+	var cur *asmSymbol
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if m := asmTextRE.FindStringSubmatch(line); m != nil {
+			frame, _ := strconv.ParseInt(m[2], 10, 64)
+			argSize := int64(-1)
+			if m[3] != "" {
+				argSize, _ = strconv.ParseInt(m[3], 10, 64)
+			}
+			syms = append(syms, asmSymbol{name: m[1], frame: frame, argSize: argSize, line: i + 1})
+			cur = &syms[len(syms)-1]
+			continue
+		}
+		if cur == nil {
+			continue
+		}
+		for _, m := range asmFPRE.FindAllStringSubmatch(line, -1) {
+			off, _ := strconv.ParseInt(m[2], 10, 64)
+			cur.fpRefs = append(cur.fpRefs, asmFPRef{name: m[1], off: off, line: i + 1})
+		}
+	}
+	return syms
+}
+
+// computeASMLayout lays out a Go signature in the amd64 ABI0 frame:
+// parameters first in declaration order at naturally aligned offsets,
+// then results starting at the next word boundary. Returns ok=false
+// when a parameter type has no layout rule here.
+func computeASMLayout(sig *types.Signature) (asmLayout, bool) {
+	layout := asmLayout{offsets: map[string]int64{}}
+	off := int64(0)
+
+	place := func(name string, t types.Type) bool {
+		size, align, comps, ok := asmTypeLayout(t)
+		if !ok {
+			return false
+		}
+		if r := off % align; r != 0 {
+			off += align - r
+		}
+		p := asmParam{name: name, off: off, comps: comps}
+		layout.params = append(layout.params, p)
+		for i, c := range comps {
+			layout.offsets[name+c.suffix] = off + c.off
+			if i == 0 && c.suffix != "" {
+				// The bare name addresses the leading word (vet's asmdecl
+				// accepts c+0(FP) as an alias for c_base+0(FP)).
+				layout.offsets[name] = off + c.off
+			}
+		}
+		if len(comps) == 0 {
+			layout.offsets[name] = off
+		}
+		off += size
+		return true
+	}
+
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		v := params.At(i)
+		name := v.Name()
+		if name == "" || name == "_" {
+			name = "unnamed" + strconv.Itoa(i)
+		}
+		if !place(name, v.Type()) {
+			return layout, false
+		}
+	}
+	results := sig.Results()
+	if results.Len() > 0 {
+		if r := off % asmWordSize; r != 0 {
+			off += asmWordSize - r
+		}
+		for i := 0; i < results.Len(); i++ {
+			v := results.At(i)
+			name := v.Name()
+			if name == "" || name == "_" {
+				name = "ret"
+				if results.Len() > 1 {
+					name = "ret" + strconv.Itoa(i)
+				}
+			}
+			if !place(name, v.Type()) {
+				return layout, false
+			}
+		}
+	}
+	layout.argSize = off
+	return layout, true
+}
+
+// asmTypeLayout returns size, alignment, and addressable components of
+// a type in the amd64 ABI0 frame.
+func asmTypeLayout(t types.Type) (size, align int64, comps []asmComp, ok bool) {
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		return 24, 8, []asmComp{
+			{"_base", 0, 8}, {"_len", 8, 8}, {"_cap", 16, 8},
+		}, true
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return 8, 8, nil, true
+	case *types.Basic:
+		switch t.Kind() {
+		case types.Bool, types.Int8, types.Uint8:
+			return 1, 1, nil, true
+		case types.Int16, types.Uint16:
+			return 2, 2, nil, true
+		case types.Int32, types.Uint32, types.Float32:
+			return 4, 4, nil, true
+		case types.Int, types.Uint, types.Int64, types.Uint64, types.Uintptr, types.Float64, types.UnsafePointer:
+			return 8, 8, nil, true
+		case types.String:
+			return 16, 8, []asmComp{{"_base", 0, 8}, {"_len", 8, 8}}, true
+		}
+	}
+	return 0, 0, nil, false
+}

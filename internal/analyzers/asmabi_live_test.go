@@ -1,0 +1,62 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestAsmAbiSemiringLive runs asmabi against the real semiring package:
+// every TEXT symbol in gemm_amd64.s must line up with its Go
+// declaration, and the analyzer must see all of them (a silent skip of
+// a symbol class would pass vacuously).
+func TestAsmAbiSemiringLive(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skip("semiring assembly is amd64-only")
+	}
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+
+	data, err := os.ReadFile(filepath.Join("..", "semiring", "gemm_amd64.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := parseAsmSymbols(data)
+	if len(syms) != 11 {
+		names := make([]string, 0, len(syms))
+		for _, s := range syms {
+			names = append(names, s.name)
+		}
+		t.Fatalf("parsed %d TEXT symbols from gemm_amd64.s, want 11: %v", len(syms), names)
+	}
+
+	pkgs, err := analysis.Load("../..", "./internal/semiring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	hasAsm := false
+	for _, f := range pkg.OtherFiles {
+		if filepath.Base(f) == "gemm_amd64.s" {
+			hasAsm = true
+		}
+	}
+	if !hasAsm {
+		t.Fatalf("loader did not surface gemm_amd64.s in OtherFiles: %v", pkg.OtherFiles)
+	}
+
+	findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{AsmAbi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected asmabi finding on real tree: %s", f)
+	}
+}

@@ -1,0 +1,210 @@
+package analyzers_test
+
+// End-to-end tests for the standalone driver's SARIF/baseline modes and
+// for cross-package fact propagation through the real `go vet -vettool`
+// protocol. Both build the actual apspvet binary and run it the way the
+// Makefile and CI do.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildApspvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "apspvet")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/apspvet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building apspvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	mod := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(mod, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mod
+}
+
+// TestStandaloneDiffAware drives the full baseline workflow: write a
+// baseline over a module with one accepted finding, confirm -diff
+// passes on the unchanged tree, seed a second violation, and confirm
+// -diff fails naming only the new finding while the SARIF log stays a
+// valid 2.1.0 document carrying the complete finding set.
+func TestStandaloneDiffAware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go list; skipped in -short mode")
+	}
+	bin := buildApspvet(t)
+	mod := writeModule(t, map[string]string{
+		"go.mod": "module diffmod\n\ngo 1.22\n",
+		// aliascheck violation — the accepted, baselined finding.
+		"gemm/gemm.go": `package gemm
+
+type Mat struct{ Data []float64 }
+
+func MinPlusMulAdd(C, A, B Mat) {}
+
+func Update(panel, diag Mat) {
+	MinPlusMulAdd(panel, diag, panel)
+}
+`,
+	})
+	baseline := filepath.Join(mod, ".apspvet-baseline.json")
+
+	run := func(args ...string) (string, int) {
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running apspvet %v: %v\n%s", args, err, out)
+		}
+		return string(out), code
+	}
+
+	// Without a baseline the accepted finding fails the run.
+	if out, code := run("./..."); code == 0 {
+		t.Fatalf("apspvet passed on a module with a violation:\n%s", out)
+	}
+
+	if out, code := run("-baseline", baseline, "-writebaseline", "./..."); code != 0 {
+		t.Fatalf("-writebaseline failed (%d):\n%s", code, out)
+	}
+
+	// Diff-aware on the unchanged tree: baselined finding suppressed,
+	// exit 0.
+	out, code := run("-baseline", baseline, "-diff", "./...")
+	if code != 0 {
+		t.Fatalf("-diff failed on unchanged tree (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "baselined finding(s) suppressed") {
+		t.Errorf("-diff did not report the suppression: %q", out)
+	}
+
+	// Seed a new violation (nanguard: computed float equality in core).
+	newFile := filepath.Join(mod, "core", "core.go")
+	if err := os.MkdirAll(filepath.Dir(newFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newFile, []byte("package core\n\nfunc Relax(d, alt float64) bool {\n\treturn d == alt\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sarif := filepath.Join(mod, "out.sarif")
+	out, code = run("-sarif", sarif, "-baseline", baseline, "-diff", "./...")
+	if code == 0 {
+		t.Fatalf("-diff passed despite a new finding:\n%s", out)
+	}
+	if !strings.Contains(out, "core.go") {
+		t.Errorf("new finding not reported: %q", out)
+	}
+	if strings.Contains(out, "gemm.go") {
+		t.Errorf("baselined finding leaked past -diff: %q", out)
+	}
+
+	// The SARIF log must be valid and carry the full finding set (code
+	// scanning wants total state; -diff only gates the exit code).
+	data, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("SARIF shape wrong: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	rules := map[string]bool{}
+	for _, r := range log.Runs[0].Results {
+		rules[r.RuleID] = true
+	}
+	if !rules["aliascheck"] || !rules["nanguard"] {
+		t.Errorf("SARIF results missing expected rules: %v", rules)
+	}
+}
+
+// TestVettoolFactsAcrossPackages proves walorder's appender facts
+// travel between packages through the vetx files cmd/go threads into
+// each vet invocation. The violation is only detectable with the fact:
+// srv publishes before calling wal.Persist, and Persist's WAL append is
+// in a different package — without the imported fact the function has
+// no visible append at all and falls out of walorder's scope.
+func TestVettoolFactsAcrossPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet; skipped in -short mode")
+	}
+	bin := buildApspvet(t)
+	mod := writeModule(t, map[string]string{
+		"go.mod": "module factsmod\n\ngo 1.22\n",
+		"wal/wal.go": `package wal
+
+type Journal struct{}
+
+func (j *Journal) Append(rec []byte) error { return nil }
+
+// Persist is the cross-package appender: callers rely on it reaching
+// the WAL.
+func Persist(j *Journal) error {
+	return j.Append(nil)
+}
+`,
+		"srv/srv.go": `package srv
+
+import (
+	"sync/atomic"
+
+	"factsmod/wal"
+)
+
+type Server struct {
+	eng atomic.Pointer[int]
+}
+
+// Publish swaps the engine before the journal write lands — the
+// ordering bug walorder exists to catch, visible only through the
+// imported fact that wal.Persist appends.
+func Publish(s *Server, j *wal.Journal, v *int) error {
+	s.eng.Store(v)
+	return wal.Persist(j)
+}
+`,
+	})
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; the cross-package appender fact did not reach srv:\n%s", out)
+	}
+	got := string(out)
+	if !strings.Contains(got, "state publish s.eng.Store without a preceding WAL append") {
+		t.Errorf("missing walorder finding in srv (fact propagation broken):\n%s", got)
+	}
+	if !strings.Contains(got, "srv.go") {
+		t.Errorf("finding not anchored in srv/srv.go:\n%s", got)
+	}
+}

@@ -1,0 +1,105 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// GenMono enforces the monotonic-generation discipline (DESIGN.md §10):
+// the authoritative factor-generation atomics — fields named
+// `generation` (serve.Server) and `expectedGen` (shard.Coordinator) —
+// may only advance. Mechanically, every blind `.Store`/`.Swap` on such
+// a field is suspect unless the same field was `.Load`ed earlier on
+// every path (the read-modify-write shape that lets the surrounding
+// code enforce target > current); `.Add` is intrinsically monotonic and
+// `.CompareAndSwap` carries its own read in the compare, provided a
+// prior Load produced the compared value. Observation caches of remote
+// generations (workerState.gen in the anti-entropy prober) are not
+// authoritative and deliberately out of scope — they must be allowed to
+// move backwards when a worker restarts cold.
+var GenMono = &analysis.Analyzer{
+	Name: "genmono",
+	Doc:  "requires authoritative generation atomics (generation/expectedGen fields) to be mutated only via read-modify-write shapes: Load-then-Store, CompareAndSwap after Load, or Add",
+	Run:  runGenMono,
+}
+
+// genFields are the authoritative generation atomics, by field name.
+var genFields = map[string]bool{
+	"generation":  true,
+	"expectedGen": true,
+}
+
+func runGenMono(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Group the mutation sites by the field chain they address
+			// ("s.generation", "c.expectedGen"), then demand a preceding
+			// Load of the same chain for each group.
+			type site struct {
+				call   *ast.CallExpr
+				method string
+			}
+			byBase := map[string][]site{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				base, method, ok := genAtomicCall(call)
+				if !ok {
+					return true
+				}
+				switch method {
+				case "Store", "Swap", "CompareAndSwap":
+					byBase[base] = append(byBase[base], site{call, method})
+				}
+				return true
+			})
+			if len(byBase) == 0 {
+				continue
+			}
+			cfg := analysis.NewCFG(fd.Body)
+			for base, sites := range byBase {
+				mp := analysis.NewMustPrecede(cfg, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return false
+					}
+					b, method, ok := genAtomicCall(call)
+					return ok && b == base && method == "Load"
+				}, nil)
+				for _, s := range sites {
+					if !mp.At(s.call.Pos()) {
+						pass.Reportf(s.call.Pos(), "%s.%s without a prior %s.Load on some path; authoritative generations must advance via read-modify-write (Load-then-%s with a monotonic check, or Add) — restructure or annotate with //lint:ignore genmono <why monotonicity holds>", base, s.method, base, s.method)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// genAtomicCall decomposes X.<genfield>.<method>(...) calls, returning
+// the field chain as a string ("s.generation"), the atomic method
+// name, and whether the call addresses an authoritative generation
+// field.
+func genAtomicCall(call *ast.CallExpr) (base, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel || !genFields[inner.Sel.Name] {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}

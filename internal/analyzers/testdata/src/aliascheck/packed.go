@@ -1,0 +1,36 @@
+package a
+
+// Negative-case coverage for the fused *MulAddPacked family with
+// aliased PackedPanel sources. The packed operand is a snapshot taken
+// by PackPanel: once packed, later writes to the source matrix cannot
+// reach the panel, so C aliasing the panel's SOURCE is legal and must
+// NOT be flagged — the analyzer only sees the C-vs-A argument pair, and
+// the PackPanel contract (semiring/pack.go) owns source aliasing.
+
+func PackPanel(B Mat) *PackedPanel { return &PackedPanel{} }
+
+func MaxMinMulAddPacked(C, A Mat, P *PackedPanel)                {}
+func MaxMinMulAddPathsPacked(C, A Mat, P *PackedPanel, n, m int) {}
+func MulAddPacked(C, A Mat, P *PackedPanel)                      {}
+func MulAddPathsPacked(C, A Mat, P *PackedPanel, n, m int)       {}
+
+func packedUpdate(diag, up, down Mat) {
+	// Panel packed FROM C: the snapshot decouples them. Clean by design.
+	pc := PackPanel(down)
+	MulAddPacked(down, up, pc)
+	MaxMinMulAddPacked(down, up, pc)
+	MulAddPathsPacked(down, up, pc, 0, 0)
+
+	// Panel packed from A: equally clean — A is only read.
+	pa := PackPanel(up)
+	MaxMinMulAddPathsPacked(down, up, pa, 0, 0)
+
+	// The C-aliases-A hazard is still caught across the whole family.
+	MulAddPacked(down, down, pc)                  // want `C argument down aliases A`
+	MaxMinMulAddPacked(down, down, pc)            // want `C argument down aliases A`
+	MulAddPathsPacked(down, down, pc, 0, 0)       // want `C argument down aliases A`
+	MaxMinMulAddPathsPacked(down, down, pa, 0, 0) // want `C argument down aliases A`
+
+	//lint:ignore aliascheck the fused sweep writes only rows the closed diagonal never reads
+	MulAddPacked(down, down, pc)
+}

@@ -1,0 +1,22 @@
+package asmabi
+
+// Body-less declarations backed by good_amd64.s (correct) and
+// corrupt_amd64.s (deliberately wrong headers/operands).
+
+func goodKernel(c, a []float64, stride int)
+func retKernel() bool
+func wrongFrame(c []float64)
+func wrongSize(c []float64)
+func shiftedOff(c []float64, n int)
+
+// No TEXT symbol anywhere: calls would jump to address zero.
+func missingKernel(x int) bool // want `func missingKernel is declared without a body but no TEXT ·missingKernel symbol exists`
+
+// Keep the declarations referenced so the fixture type-checks without
+// unused-symbol noise in stricter tooling.
+var _ = goodKernel
+var _ = retKernel
+var _ = wrongFrame
+var _ = wrongSize
+var _ = shiftedOff
+var _ = missingKernel

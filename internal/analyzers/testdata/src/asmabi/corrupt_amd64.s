@@ -1,0 +1,23 @@
+#include "textflag.h"
+
+// Deliberate ABI corruption, one class per symbol.
+
+// Frame size not word-aligned.
+TEXT ·wrongFrame(SB), NOSPLIT, $4-24 // want `frame size 4 is not 8-byte aligned`
+	RET
+
+// Declared argument size disagrees with the Go signature (slice = 24).
+TEXT ·wrongSize(SB), NOSPLIT, $0-16 // want `wrong argument size 16; Go declaration needs 24`
+	RET
+
+// FP operand shifted into the middle of the preceding slice header,
+// plus a reference to a parameter that does not exist.
+TEXT ·shiftedOff(SB), NOSPLIT, $0-32
+	MOVQ c_base+0(FP), DI
+	MOVQ n+16(FP), AX // want `invalid offset n\+16\(FP\); expected n\+24\(FP\)`
+	MOVQ bogus+0(FP), BX // want `unknown parameter bogus`
+	RET
+
+// Symbol renamed out from under its Go declaration.
+TEXT ·renamedKernel(SB), NOSPLIT, $0-8 // want `no body-less Go declaration for assembly symbol renamedKernel`
+	RET

@@ -1,0 +1,16 @@
+#include "textflag.h"
+
+// func goodKernel(c, a []float64, stride int)
+TEXT ·goodKernel(SB), NOSPLIT, $0-56
+	MOVQ c_base+0(FP), DI
+	MOVQ c_len+8(FP), CX
+	MOVQ c_cap+16(FP), R9
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), DX
+	MOVQ stride+48(FP), R8
+	RET
+
+// func retKernel() bool
+TEXT ·retKernel(SB), NOSPLIT, $0-1
+	MOVB $1, ret+0(FP)
+	RET

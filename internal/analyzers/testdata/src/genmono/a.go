@@ -1,0 +1,71 @@
+package genmono
+
+import "sync/atomic"
+
+type server struct {
+	generation atomic.Uint64
+	// hits is not an authoritative generation; out of scope.
+	hits atomic.Uint64
+}
+
+type coordinator struct {
+	expectedGen atomic.Uint64
+}
+
+// A blind store can move the generation backwards.
+func blindStore(s *server, g uint64) {
+	s.generation.Store(g) // want `s\.generation\.Store without a prior s\.generation\.Load`
+}
+
+// Load-then-store with a monotonic check is the sanctioned shape.
+func loadThenStore(s *server, g uint64) {
+	cur := s.generation.Load()
+	if g <= cur {
+		return
+	}
+	s.generation.Store(g)
+}
+
+// A load on only one path does not protect the store.
+func loadOnOnePath(s *server, g uint64, check bool) {
+	if check {
+		if g <= s.generation.Load() {
+			return
+		}
+	}
+	s.generation.Store(g) // want `s\.generation\.Store without a prior s\.generation\.Load`
+}
+
+// Add is intrinsically monotonic.
+func bump(s *server) uint64 {
+	return s.generation.Add(1)
+}
+
+// CompareAndSwap carries its compare from a prior Load.
+func adopt(c *coordinator, g uint64) {
+	for {
+		cur := c.expectedGen.Load()
+		if g <= cur {
+			return
+		}
+		if c.expectedGen.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
+// A CAS whose compared value never came from the field is still blind.
+func blindCAS(c *coordinator, g uint64) {
+	c.expectedGen.CompareAndSwap(0, g) // want `c\.expectedGen\.CompareAndSwap without a prior c\.expectedGen\.Load`
+}
+
+// Non-generation atomics are out of scope.
+func countHit(s *server) {
+	s.hits.Store(0)
+}
+
+// Suppressed negative: anti-entropy resync adopts the coordinator's
+// generation wholesale, including backwards after an operator rollback.
+func resync(s *server, g uint64) {
+	s.generation.Store(g) //lint:ignore genmono resync adopts the coordinator generation; the window check upstream bounds regression
+}

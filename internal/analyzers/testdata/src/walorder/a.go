@@ -1,0 +1,96 @@
+package walorder
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+type Journal struct{}
+
+func (j *Journal) Append(rec []byte) error     { return nil }
+func (j *Journal) AppendMarker(g uint64) error { return nil }
+
+type server struct {
+	journal    *Journal
+	eng        atomic.Pointer[int]
+	generation atomic.Uint64
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {}
+
+// Publish before the append: the canonical violation.
+func swapBeforeAppend(s *server, e *int) error {
+	s.eng.Store(e) // want `state publish s\.eng\.Store without a preceding WAL append`
+	if s.journal != nil {
+		if err := s.journal.Append(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append on only one path: the else path reaches the store unappended.
+func appendOnOnePath(s *server, e *int, hot bool) {
+	if hot {
+		_ = s.journal.Append(nil)
+	}
+	s.eng.Store(e) // want `state publish s\.eng\.Store without a preceding WAL append`
+}
+
+// The sanctioned shape: append under a nil guard, then publish. The
+// nil branch is vacuous — a memory-only server has nothing to append.
+func guardedCommit(s *server, e *int, g uint64) error {
+	if s.journal != nil {
+		if err := s.journal.Append(nil); err != nil {
+			return err
+		}
+	}
+	s.eng.Store(e)
+	s.generation.Store(g)
+	return nil
+}
+
+// Appends routed through a package-local helper are seen via the call
+// graph: persist is an appender, so the store is covered.
+func persist(s *server) error {
+	if s.journal != nil {
+		return s.journal.Append(nil)
+	}
+	return nil
+}
+
+func viaHelper(s *server, e *int) error {
+	if err := persist(s); err != nil {
+		return err
+	}
+	s.eng.Store(e)
+	return nil
+}
+
+// Acking a client before the commit point is the same bug over HTTP.
+func ackEarly(w http.ResponseWriter, s *server) {
+	writeJSON(w, http.StatusOK, nil) // want `HTTP success acknowledgement without a preceding WAL append`
+	_ = s.journal.AppendMarker(1)
+}
+
+func ackAfter(w http.ResponseWriter, s *server) {
+	if err := s.journal.Append(nil); err != nil {
+		writeJSON(w, http.StatusInternalServerError, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, nil)
+}
+
+// Suppressed negative: boot-time publish where recovery has already
+// replayed the journal.
+func suppressed(s *server, e *int) {
+	if s.journal == nil {
+		return
+	}
+	s.eng.Store(e) //lint:ignore walorder boot publish: OpenDurable already replayed the journal to this state
+}
+
+// Out of scope: no journal in sight, pure in-memory swap.
+func memoryOnly(s *server, e *int) {
+	s.eng.Store(e)
+}

@@ -1,0 +1,281 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// WalOrder machine-checks the durability protocol's commit ordering
+// (DESIGN.md §9): a WAL append — whose Record/fsync return is the
+// commit point — must reach program order before the state it makes
+// durable is published, on every path. Publication here means storing
+// the engine pointer (`.eng.Store`), advancing an authoritative
+// generation (`.generation.Store` / `.expectedGen.Store` /
+// CompareAndSwap), or acknowledging success over HTTP. The check is
+// path-sensitive through nil guards: on the branch where the journal
+// or durable layer is provably nil, there is nothing to make durable
+// and the obligation is vacuously discharged — that is precisely the
+// `if s.durable != nil { append } ... swap` shape swapPatched uses.
+//
+// Append events are recognized by callee (Append/AppendMarker/
+// AppendCommitted on a Journal or Durable), by a cross-package fact
+// exported for any function that performs one, and transitively
+// through the intra-package call graph. A function is only analyzed if
+// it both publishes and is durability-aware (contains an append or a
+// journal nil guard), so pure in-memory serving paths stay out of
+// scope.
+var WalOrder = &analysis.Analyzer{
+	Name: "walorder",
+	Doc:  "verifies a WAL append precedes every engine-pointer swap, generation advance, and HTTP success ack on all paths in durability-aware functions",
+	Run:  runWalOrder,
+}
+
+// walAppendNames are the method names whose call constitutes the
+// durable commit point.
+var walAppendNames = map[string]bool{
+	"Append":          true,
+	"AppendMarker":    true,
+	"AppendCommitted": true,
+}
+
+// walDurableTypes are the named types owning the append methods (and
+// whose nil-ness discharges the obligation).
+var walDurableTypes = map[string]bool{
+	"Journal": true,
+	"Durable": true,
+}
+
+// walSwapFields are the atomic fields whose Store publishes state.
+var walSwapFields = map[string]bool{
+	"eng":         true,
+	"generation":  true,
+	"expectedGen": true,
+}
+
+// walAppenderFact marks an exported function that performs (possibly
+// conditionally) a WAL append, so dependent packages treat calls to it
+// as append events.
+type walAppenderFact struct {
+	Appends bool `json:"appends"`
+}
+
+func runWalOrder(pass *analysis.Pass) error {
+	cg := analysis.NewCallGraph(pass)
+
+	// isDirectAppend: a call that syntactically commits to the WAL.
+	isDirectAppend := func(call *ast.CallExpr) bool {
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || !walAppendNames[fn.Name()] {
+			return false
+		}
+		return walDurableTypes[recvTypeName(fn)]
+	}
+	// Fact-imported appenders from dependency packages.
+	isFactAppend := func(call *ast.CallExpr) bool {
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return false
+		}
+		var fact walAppenderFact
+		return pass.ImportFact(fn, &fact) && fact.Appends
+	}
+
+	// Package-local functions that may append, transitively. Seeded from
+	// direct and fact appends in each body, then closed over the call
+	// graph.
+	localAppends := map[*types.Func]bool{}
+	for fn, decl := range cg.Decl {
+		direct := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if direct {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && (isDirectAppend(call) || isFactAppend(call)) {
+				direct = true
+			}
+			return true
+		})
+		if direct {
+			localAppends[fn] = true
+		}
+	}
+	for fn := range cg.Decl {
+		if !localAppends[fn] && cg.Reaches(fn, func(callee *types.Func) bool { return localAppends[callee] }) {
+			localAppends[fn] = true
+		}
+	}
+	for fn := range localAppends {
+		pass.ExportFact(fn, walAppenderFact{Appends: true})
+	}
+
+	isAppendCall := func(call *ast.CallExpr) bool {
+		if isDirectAppend(call) || isFactAppend(call) {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		return fn != nil && localAppends[fn]
+	}
+	isEvent := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		return ok && isAppendCall(call)
+	}
+	// A nil journal/durable has nothing to append: the edge where the
+	// guard proves it nil discharges the obligation.
+	vacuous := func(cond ast.Expr, branch bool) bool {
+		be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		var x ast.Expr
+		switch {
+		case isNilIdent(be.Y):
+			x = be.X
+		case isNilIdent(be.X):
+			x = be.Y
+		default:
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[x]
+		if !ok || !isDurablePtr(tv.Type) {
+			return false
+		}
+		switch be.Op.String() {
+		case "!=":
+			return !branch // false branch: X is nil
+		case "==":
+			return branch // true branch: X is nil
+		}
+		return false
+	}
+
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var swaps, acks []*ast.CallExpr
+			hasAppend, hasGuard, hasDirect := false, false, false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isSwapCall(n) {
+						swaps = append(swaps, n)
+					}
+					if isAckCall(pass, n) {
+						acks = append(acks, n)
+					}
+					if isAppendCall(n) {
+						hasAppend = true
+					}
+					if isDirectAppend(n) || isFactAppend(n) {
+						hasDirect = true
+					}
+				case *ast.BinaryExpr:
+					if op := n.Op.String(); op == "==" || op == "!=" {
+						x := n.X
+						if isNilIdent(n.X) {
+							x = n.Y
+						} else if !isNilIdent(n.Y) {
+							break
+						}
+						if tv, ok := pass.TypesInfo.Types[x]; ok && isDurablePtr(tv.Type) {
+							hasGuard = true
+						}
+					}
+				}
+				return true
+			})
+			if len(swaps)+len(acks) == 0 || (!hasAppend && !hasGuard) {
+				continue
+			}
+			cfg := analysis.NewCFG(fd.Body)
+			mp := analysis.NewMustPrecede(cfg, isEvent, vacuous)
+			for _, call := range swaps {
+				if !mp.At(call.Pos()) {
+					pass.Reportf(call.Pos(), "state publish %s without a preceding WAL append on some path; the append's fsync return is the commit point and must come first — reorder or annotate with //lint:ignore walorder <why durability holds>", types.ExprString(call.Fun))
+				}
+			}
+			// HTTP acks are only meaningful where this function itself
+			// owns the commit (a direct append): transitive helpers own
+			// their own ordering.
+			if hasDirect {
+				for _, call := range acks {
+					if !mp.At(call.Pos()) {
+						pass.Reportf(call.Pos(), "HTTP success acknowledgement without a preceding WAL append on some path; a client treats the ack as durable — reorder or annotate with //lint:ignore walorder <why durability holds>")
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isSwapCall matches X.<field>.Store(...) / CompareAndSwap(...) where
+// field is one of the published atomics.
+func isSwapCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Store" && sel.Sel.Name != "CompareAndSwap" && sel.Sel.Name != "Swap") {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return walSwapFields[inner.Sel.Name]
+}
+
+// isAckCall matches writeJSON(..., http.StatusOK, ...) — the repo's
+// single success-acknowledgement helper on admin endpoints.
+func isAckCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if calleeName(call) != "writeJSON" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "http" && sel.Sel.Name == "StatusOK" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isDurablePtr reports whether t is (a pointer to) one of the durable
+// layer's named types.
+func isDurablePtr(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return walDurableTypes[n.Obj().Name()]
+	}
+	return false
+}
+
+// recvTypeName returns the receiver's named-type name for a method, or
+// "" for package functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

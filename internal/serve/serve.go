@@ -200,7 +200,9 @@ func New(f *core.Factor, res *core.Result, n int, opts Options) *Server {
 	if gen == 0 {
 		gen = 1
 	}
+	//lint:ignore walorder,genmono boot initialization: the generation is seeded from recovery (OpenDurable already replayed the journal) before any reader or writer exists
 	s.generation.Store(gen)
+	//lint:ignore walorder boot publish: the factor handed to New is the recovered durable state, so there is nothing new to journal
 	s.eng.Store(newEngine(f, res, n, opts.CacheSize, gen))
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)

@@ -206,6 +206,7 @@ func (s *Server) updateApply(w http.ResponseWriter, r *http.Request, req *update
 	} else if done {
 		// Already at or past the requested generation: the batch landed
 		// before a crash, or a retry raced the first attempt. Idempotent.
+		//lint:ignore walorder idempotent skip: the batch was journaled by the attempt that applied it, so this ack reports already-durable state
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"applied":    false,
 			"skipped":    true,
@@ -351,7 +352,9 @@ func (s *Server) updateResync(w http.ResponseWriter, r *http.Request, req *updat
 	s.updMu.Lock()
 	s.pending = nil
 	s.updMu.Unlock()
+	//lint:ignore walorder,genmono resync adopts the coordinator's authoritative generation; the checkpoint below makes it durable or the request fails and the coordinator retries
 	s.generation.Store(req.Gen)
+	//lint:ignore walorder resync publishes the rebuilt factor; its durability is the checkpoint below — on checkpoint failure the handler returns 500 and the coordinator retries
 	s.eng.Store(newEngine(f, nil, f.N(), s.cacheSize, req.Gen))
 	if err := s.durable.Checkpoint(req.Gen); err != nil {
 		// The live state moved but is not durable; fail the request so

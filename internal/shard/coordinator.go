@@ -199,6 +199,7 @@ func New(opts Options) (*Coordinator, error) {
 			expected = lg
 		}
 	}
+	//lint:ignore walorder,genmono boot initialization: the expected generation is recovered from workers and the journal before any batch can publish
 	c.expectedGen.Store(expected)
 	if c.journal != nil && c.journal.LastGen() < expected {
 		// Baseline coverage floor: the journal cannot replay anything
